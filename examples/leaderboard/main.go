@@ -1,0 +1,89 @@
+// Leaderboard: an auditable max register as a sealed-bid auction board. The
+// board always shows the highest bid; the auction house can audit exactly
+// which bidders peeked at the current high bid (insider-trading detection),
+// while bidders cannot tell how many competing bids were placed between their
+// looks — the max register's nonces hide write multiplicity (Section 4).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"auditreg"
+)
+
+func main() {
+	key, err := auditreg.NewKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	const observers = 3 // bidders who may look at the board
+	pads, err := auditreg.NewKeyedPads(key, observers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	board, err := auditreg.NewMaxRegister(observers, uint64(0),
+		func(a, b uint64) bool { return a < b }, pads)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three bidding desks place bids concurrently; each desk has its own
+	// writeMax handle with its own nonce source.
+	bids := [][]uint64{
+		{100, 150, 90},
+		{120, 160},
+		{80, 170, 165},
+	}
+	var wg sync.WaitGroup
+	for desk, stream := range bids {
+		w, err := board.Writer(auditreg.NewCryptoNonces(uint8(desk)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stream := stream
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, bid := range stream {
+				if err := w.WriteMax(bid); err != nil {
+					log.Printf("bid failed: %v", err)
+				}
+			}
+		}()
+	}
+
+	// Observers poll the board while bidding is in flight.
+	for j := 0; j < observers; j++ {
+		j := j
+		rd, err := board.Reader(j)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				_ = rd.Read()
+			}
+		}()
+	}
+	wg.Wait()
+
+	rd, err := board.Reader(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("winning bid:", rd.Read())
+
+	report, err := board.Auditor().Audit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== board access audit ===")
+	for j := 0; j < observers; j++ {
+		fmt.Printf("observer %d saw high bids: %v\n", j, report.ValuesRead(j))
+	}
+}

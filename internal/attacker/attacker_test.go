@@ -1,0 +1,137 @@
+package attacker_test
+
+import (
+	"testing"
+
+	"auditreg/internal/attacker"
+	"auditreg/internal/core"
+	"auditreg/internal/otp"
+)
+
+// TestCrashSimulation reproduces the paper's headline property (E3): the
+// crash-simulating attack learns the value in both designs, but only
+// Algorithm 1 still audits it.
+func TestCrashSimulation(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(0); seed < 20; seed++ {
+		res, err := attacker.RunCrashSimulation(4, 77, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Value != 77 {
+			t.Fatalf("seed %d: attacker learned %d, want 77", seed, res.Value)
+		}
+		if !res.CoreAudited {
+			t.Fatalf("seed %d: Algorithm 1 failed to audit an effective read", seed)
+		}
+		if res.StrawmanAudited {
+			t.Fatalf("seed %d: strawman audited a peek it cannot see", seed)
+		}
+	}
+}
+
+// TestEffectiveReadAuditedEvenWithLaterWrites: the effective read stays in
+// the audit trail after the value is overwritten (it migrates to B/V).
+func TestEffectiveReadAuditedEvenWithLaterWrites(t *testing.T) {
+	t.Parallel()
+	pads, err := otp.NewKeyedPads(otp.KeyFromSeed(3), 2)
+	if err != nil {
+		t.Fatalf("pads: %v", err)
+	}
+	reg, err := core.New(2, uint64(10), pads)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	learned, err := attacker.EffectiveRead(reg, 1)
+	if err != nil {
+		t.Fatalf("EffectiveRead: %v", err)
+	}
+	if learned != 10 {
+		t.Fatalf("learned %d, want 10", learned)
+	}
+	for i := uint64(11); i < 20; i++ {
+		if err := reg.Write(i); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	rep, err := reg.Auditor().Audit()
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if !rep.Contains(1, 10) {
+		t.Fatalf("audit %v lost the pre-overwrite effective read", rep)
+	}
+}
+
+// TestReaderSetInference (E4): plaintext tracking bits make the attacker
+// omniscient; one-time-pad bits reduce it to coin flipping.
+func TestReaderSetInference(t *testing.T) {
+	t.Parallel()
+	const trials = 400
+	coreRes, strawRes, err := attacker.RunReaderSetInference(trials, 1234)
+	if err != nil {
+		t.Fatalf("RunReaderSetInference: %v", err)
+	}
+	if strawRes.Rate() != 1.0 {
+		t.Fatalf("strawman attacker accuracy = %.3f, want 1.0", strawRes.Rate())
+	}
+	if strawRes.FalseClaimRate() != 0 {
+		t.Fatalf("strawman attacker made false claims: %.3f", strawRes.FalseClaimRate())
+	}
+	if r := coreRes.Rate(); r < 0.35 || r > 0.65 {
+		t.Fatalf("Algorithm 1 attacker accuracy = %.3f, want ~0.5 (chance)", r)
+	}
+}
+
+// TestMaxGapInference (E5): constant nonces make the gap inference sound
+// (accuracy 1.0, zero false claims); random nonces break its soundness.
+func TestMaxGapInference(t *testing.T) {
+	t.Parallel()
+	const trials = 300
+
+	plain, err := attacker.RunMaxGapInference(trials, 99, false)
+	if err != nil {
+		t.Fatalf("fixed-nonce run: %v", err)
+	}
+	if plain.Rate() != 1.0 {
+		t.Fatalf("fixed-nonce attacker accuracy = %.3f, want 1.0", plain.Rate())
+	}
+	if plain.FalseClaimRate() != 0 {
+		t.Fatalf("fixed-nonce attacker false-claim rate = %.3f, want 0", plain.FalseClaimRate())
+	}
+
+	nonced, err := attacker.RunMaxGapInference(trials, 99, true)
+	if err != nil {
+		t.Fatalf("nonced run: %v", err)
+	}
+	if nonced.FalseClaimRate() < 0.15 {
+		t.Fatalf("nonced attacker false-claim rate = %.3f, want substantial (inference unsound)", nonced.FalseClaimRate())
+	}
+	if nonced.Rate() >= plain.Rate() {
+		t.Fatalf("nonces did not degrade the attacker: %.3f >= %.3f", nonced.Rate(), plain.Rate())
+	}
+}
+
+// TestEffectiveReadSilentPath: if the attacker's reader has already cached
+// the current sequence number, the "read" is silent and nothing is learned
+// through shared memory — EffectiveRead reports that.
+func TestEffectiveReadSilentPath(t *testing.T) {
+	t.Parallel()
+	pads, err := otp.NewKeyedPads(otp.KeyFromSeed(8), 1)
+	if err != nil {
+		t.Fatalf("pads: %v", err)
+	}
+	reg, err := core.New(1, uint64(5), pads)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// First effective read works.
+	if _, err := attacker.EffectiveRead(reg, 0); err != nil {
+		t.Fatalf("first EffectiveRead: %v", err)
+	}
+	// A fresh handle is used each time, so a second attack is a fresh
+	// direct read and also works (the attacker "crashed" and restarted).
+	if _, err := attacker.EffectiveRead(reg, 0); err != nil {
+		t.Fatalf("second EffectiveRead: %v", err)
+	}
+}

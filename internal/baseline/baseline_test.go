@@ -1,0 +1,175 @@
+package baseline_test
+
+import (
+	"sync"
+	"testing"
+
+	"auditreg/internal/baseline"
+)
+
+func TestStrawmanValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := baseline.NewStrawman[int](0, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := baseline.NewStrawman[int](65, 0); err == nil {
+		t.Error("m=65 accepted")
+	}
+}
+
+func TestStrawmanReadWriteAudit(t *testing.T) {
+	t.Parallel()
+	s, err := baseline.NewStrawman(4, uint64(1))
+	if err != nil {
+		t.Fatalf("NewStrawman: %v", err)
+	}
+	v, _ := s.Read(2)
+	if v != 1 {
+		t.Fatalf("read = %d", v)
+	}
+	if err := s.Write(5); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	v, _ = s.Read(3)
+	if v != 5 {
+		t.Fatalf("read = %d", v)
+	}
+	rep, err := s.Audit()
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	if !rep.Contains(2, 1) || !rep.Contains(3, 5) {
+		t.Fatalf("audit = %v", rep)
+	}
+}
+
+// TestStrawmanLeaksReaderSet documents the defect: a reader observes other
+// readers' identities in plaintext.
+func TestStrawmanLeaksReaderSet(t *testing.T) {
+	t.Parallel()
+	s, err := baseline.NewStrawman(4, uint64(9))
+	if err != nil {
+		t.Fatalf("NewStrawman: %v", err)
+	}
+	s.Read(1)
+	s.Read(3)
+	_, observed := s.Read(0)
+	if observed&(1<<1) == 0 || observed&(1<<3) == 0 {
+		t.Fatalf("strawman unexpectedly hid readers: bits %#x", observed)
+	}
+}
+
+// TestStrawmanPeekInvisible documents the crash-simulating defect: Peek
+// learns the value but no audit ever reports it.
+func TestStrawmanPeekInvisible(t *testing.T) {
+	t.Parallel()
+	s, err := baseline.NewStrawman(2, uint64(33))
+	if err != nil {
+		t.Fatalf("NewStrawman: %v", err)
+	}
+	if got := s.Peek(); got != 33 {
+		t.Fatalf("peek = %d", got)
+	}
+	rep, err := s.Audit()
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	if rep.Len() != 0 {
+		t.Fatalf("audit after peek-only = %v, want empty", rep)
+	}
+}
+
+func TestStrawmanConcurrent(t *testing.T) {
+	t.Parallel()
+	s, err := baseline.NewStrawman(8, uint64(0))
+	if err != nil {
+		t.Fatalf("NewStrawman: %v", err)
+	}
+	var wg sync.WaitGroup
+	for j := 0; j < 8; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Read(j)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 200; i++ {
+			if err := s.Write(uint64(i)); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := s.Audit(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+}
+
+func TestMutexRegister(t *testing.T) {
+	t.Parallel()
+	if _, err := baseline.NewMutex[int](0, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	r, err := baseline.NewMutex(2, uint64(7))
+	if err != nil {
+		t.Fatalf("NewMutex: %v", err)
+	}
+	if got := r.Read(0); got != 7 {
+		t.Fatalf("read = %d", got)
+	}
+	r.Write(8)
+	if got := r.Read(1); got != 8 {
+		t.Fatalf("read = %d", got)
+	}
+	rep := r.Audit()
+	if !rep.Contains(0, 7) || !rep.Contains(1, 8) || rep.Len() != 2 {
+		t.Fatalf("audit = %v", rep)
+	}
+}
+
+func TestMutexConcurrent(t *testing.T) {
+	t.Parallel()
+	r, err := baseline.NewMutex(4, uint64(0))
+	if err != nil {
+		t.Fatalf("NewMutex: %v", err)
+	}
+	var wg sync.WaitGroup
+	for j := 0; j < 4; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Read(j)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			r.Write(uint64(i))
+		}
+	}()
+	wg.Wait()
+	r.Audit()
+}
+
+func TestPlainRegister(t *testing.T) {
+	t.Parallel()
+	r := baseline.NewPlain(uint64(3))
+	if got := r.Read(); got != 3 {
+		t.Fatalf("read = %d", got)
+	}
+	r.Write(4)
+	if got := r.Read(); got != 4 {
+		t.Fatalf("read = %d", got)
+	}
+}

@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"auditreg/internal/core"
+)
+
+// Mutex is a coarse-grained lock-based auditable register: one lock guards
+// the value and the audit log. Semantically equivalent to Algorithm 1 for
+// processes that never stop inside an operation, but blocking (neither
+// lock-free nor wait-free) — the classic simple design Algorithm 1 is
+// measured against.
+//
+// Construct with NewMutex.
+type Mutex[V comparable] struct {
+	mu    sync.Mutex
+	m     int
+	cur   V
+	seen  map[core.Entry[V]]struct{}
+	pairs []core.Entry[V]
+}
+
+// NewMutex returns a lock-based auditable register for m readers.
+func NewMutex[V comparable](m int, initial V) (*Mutex[V], error) {
+	if m < 1 || m > 64 {
+		return nil, fmt.Errorf("baseline: reader count m must be in [1, 64], got %d", m)
+	}
+	return &Mutex[V]{m: m, cur: initial, seen: make(map[core.Entry[V]]struct{})}, nil
+}
+
+// Read returns the current value, recording the access of reader j.
+func (r *Mutex[V]) Read(j int) V {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := core.Entry[V]{Reader: j, Value: r.cur}
+	if _, dup := r.seen[e]; !dup {
+		r.seen[e] = struct{}{}
+		r.pairs = append(r.pairs, e)
+	}
+	return r.cur
+}
+
+// Write sets the current value.
+func (r *Mutex[V]) Write(v V) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cur = v
+}
+
+// Audit returns the set of recorded accesses.
+func (r *Mutex[V]) Audit() core.Report[V] {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return core.NewReport(r.pairs...)
+}
+
+// Plain is a non-auditable linearizable register: the floor for read/write
+// cost against which the price of auditability is measured.
+//
+// Construct with NewPlain.
+type Plain[V any] struct {
+	p atomic.Pointer[V]
+}
+
+// NewPlain returns a plain register holding initial.
+func NewPlain[V any](initial V) *Plain[V] {
+	r := &Plain[V]{}
+	r.p.Store(&initial)
+	return r
+}
+
+// Read returns the current value.
+func (r *Plain[V]) Read() V { return *r.p.Load() }
+
+// Write sets the current value.
+func (r *Plain[V]) Write(v V) { r.p.Store(&v) }

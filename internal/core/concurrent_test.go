@@ -1,0 +1,244 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"auditreg/internal/core"
+	"auditreg/internal/probe"
+)
+
+// TestConcurrentAuditCompleteness runs readers, writers, and auditors
+// concurrently, then checks the paper's audit guarantees at quiescence:
+// after all operations complete, a final audit must report exactly the set of
+// (reader, value) pairs returned by reads (every completed read is effective,
+// Lemma 5; and audits report only effective reads, Lemma 3 + Lemma 24).
+func TestConcurrentAuditCompleteness(t *testing.T) {
+	t.Parallel()
+	for _, backend := range backends {
+		t.Run(backend, func(t *testing.T) {
+			t.Parallel()
+			const (
+				m        = 8
+				writers  = 4
+				perProc  = 200
+				auditors = 2
+			)
+			reg := newReg(t, backend, m, 0)
+
+			var wg sync.WaitGroup
+			returned := make([]map[uint64]struct{}, m)
+
+			for j := 0; j < m; j++ {
+				j := j
+				returned[j] = make(map[uint64]struct{})
+				rd := mustReader(t, reg, j)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perProc; i++ {
+						returned[j][rd.Read()] = struct{}{}
+					}
+				}()
+			}
+			for i := 0; i < writers; i++ {
+				i := i
+				w := reg.Writer()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for k := 0; k < perProc; k++ {
+						// Distinct per-writer values in 16 bits.
+						v := uint64(i)<<12 | uint64(k) | 1<<15
+						if err := w.Write(v); err != nil {
+							t.Errorf("write: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			// Auditors run concurrently; their intermediate reports
+			// must only ever grow (cumulative A).
+			for a := 0; a < auditors; a++ {
+				aud := reg.Auditor()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					prev := 0
+					for i := 0; i < perProc/4; i++ {
+						rep, err := aud.Audit()
+						if err != nil {
+							t.Errorf("audit: %v", err)
+							return
+						}
+						if rep.Len() < prev {
+							t.Errorf("audit set shrank: %d -> %d", prev, rep.Len())
+							return
+						}
+						prev = rep.Len()
+					}
+				}()
+			}
+			wg.Wait()
+
+			final, err := reg.Auditor().Audit()
+			if err != nil {
+				t.Fatalf("final audit: %v", err)
+			}
+			// Completeness: every returned (j, v) is audited.
+			for j := 0; j < m; j++ {
+				for v := range returned[j] {
+					if !final.Contains(j, v) {
+						t.Fatalf("read (%d, %d) returned but not audited", j, v)
+					}
+				}
+			}
+			// Accuracy at quiescence: every audited pair was returned
+			// by a completed read.
+			for _, e := range final.Entries() {
+				if _, ok := returned[e.Reader][e.Value]; !ok {
+					t.Fatalf("audited pair (%d, %v) was never read", e.Reader, e.Value)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteRetryBound checks Lemma 2's wait-freedom bound: with a single
+// writer and m readers, every write's repeat loop runs at most m+1 iterations
+// (each reader can defeat the CAS at most once per sequence number).
+func TestWriteRetryBound(t *testing.T) {
+	t.Parallel()
+	const (
+		m      = 8
+		writes = 300
+	)
+	reg := newReg(t, "ptr", m, 0)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for j := 0; j < m; j++ {
+		rd := mustReader(t, reg, j)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					rd.Read()
+				}
+			}
+		}()
+	}
+
+	counter := probe.NewCounter()
+	w := reg.Writer(core.WithProbe(counter.Probe()))
+	maxIter := 0
+	for i := 0; i < writes; i++ {
+		before := counter.Invokes[probe.RRead]
+		if err := w.Write(uint64(i) & 0xffff); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if iters := counter.Invokes[probe.RRead] - before; iters > maxIter {
+			maxIter = iters
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if maxIter > m+1 {
+		t.Fatalf("write loop ran %d iterations, Lemma 2 bound is m+1 = %d", maxIter, m+1)
+	}
+	t.Logf("max write-loop iterations observed: %d (bound %d)", maxIter, m+1)
+}
+
+// TestConcurrentReadersSeeMonotoneSeqs verifies readers never observe the
+// sequence number regress (Invariant 15 as seen through fetch&xor responses).
+func TestConcurrentReadersSeeMonotoneSeqs(t *testing.T) {
+	t.Parallel()
+	const m = 4
+	reg := newReg(t, "ptr", m, 0)
+
+	var wg sync.WaitGroup
+	for j := 0; j < m; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			rd := mustReader(t, reg, j)
+			for i := 0; i < 500; i++ {
+				rd.Read()
+				_, seq, ok := rd.Last()
+				if ok && seq < last {
+					t.Errorf("reader %d saw seq regress %d -> %d", j, last, seq)
+					return
+				}
+				if ok {
+					last = seq
+				}
+			}
+		}()
+	}
+	w := reg.Writer()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			if err := w.Write(uint64(i) & 0xffff); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestManyWritersAgreeOnFinalValue checks multi-writer convergence: after all
+// writers finish, all readers agree on one final value that was written.
+func TestManyWritersAgreeOnFinalValue(t *testing.T) {
+	t.Parallel()
+	const (
+		m       = 4
+		writers = 8
+	)
+	reg := newReg(t, "ptr", m, 0)
+	written := make(map[uint64]struct{})
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		i := i
+		w := reg.Writer()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				v := uint64(i)<<8 | uint64(k) | 1<<14
+				mu.Lock()
+				written[v] = struct{}{}
+				mu.Unlock()
+				if err := w.Write(v); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var vals []uint64
+	for j := 0; j < m; j++ {
+		vals = append(vals, mustReader(t, reg, j).Read())
+	}
+	for _, v := range vals {
+		if v != vals[0] {
+			t.Fatalf("readers disagree at quiescence: %v", vals)
+		}
+	}
+	if _, ok := written[vals[0]]; !ok {
+		t.Fatalf("final value %d was never written", vals[0])
+	}
+}

@@ -1,0 +1,208 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"auditreg/internal/core"
+	"auditreg/internal/probe"
+)
+
+// crashAfter runs fn and aborts it at the k-th primitive Invoke emitted
+// through the returned option (1-based); it reports whether the abort fired.
+// This models the paper's processes that "stop prematurely" at any step.
+type crashPoint struct {
+	k     int
+	seen  int
+	fired bool
+}
+
+type crashSignal struct{}
+
+func (c *crashPoint) option() core.HandleOption {
+	return core.WithProbe(func(e probe.Event) {
+		if e.Kind != probe.Invoke {
+			return
+		}
+		c.seen++
+		if c.seen == c.k {
+			c.fired = true
+			panic(crashSignal{})
+		}
+	})
+}
+
+func runWithCrash(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(crashSignal); !ok {
+				panic(r)
+			}
+		}
+	}()
+	fn()
+}
+
+// TestWriterCrashAtEveryStep injects a writer crash before each primitive of
+// a write (SN read, R read, V store, B set, R CAS, SN CAS) and checks that
+// the register stays fully usable and the audit stays exact: readers help
+// finish interrupted writes, so a writer dying mid-operation — even between
+// the CAS on R and the announcement on SN — never wedges or corrupts the
+// object.
+func TestWriterCrashAtEveryStep(t *testing.T) {
+	t.Parallel()
+	// A clean write performs 6 primitives; probe one to count.
+	counter := probe.NewCounter()
+	{
+		reg := newReg(t, "ptr", 1, 0)
+		w := reg.Writer(core.WithProbe(counter.Probe()))
+		if err := w.Write(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := counter.Total()
+	if steps < 4 {
+		t.Fatalf("unexpectedly few primitives per write: %d", steps)
+	}
+
+	for k := 1; k <= steps; k++ {
+		k := k
+		t.Run(fmt.Sprintf("crash-at-step-%d", k), func(t *testing.T) {
+			t.Parallel()
+			reg := newReg(t, "ptr", 1, 0)
+			cp := &crashPoint{k: k}
+			w1 := reg.Writer(cp.option())
+			runWithCrash(func() {
+				if err := w1.Write(7); err != nil {
+					t.Errorf("Write: %v", err)
+				}
+			})
+			if !cp.fired {
+				t.Fatalf("crash point %d not reached", k)
+			}
+
+			// The register must remain readable; the value is 0 or 7
+			// depending on whether the crash hit before or after the
+			// CAS on R.
+			rd := mustReader(t, reg, 0)
+			v1 := rd.Read()
+			if v1 != 0 && v1 != 7 {
+				t.Fatalf("read after crash = %d", v1)
+			}
+
+			// Another writer completes normally (wait-freedom is
+			// per-process: the dead writer blocks nobody).
+			w2 := reg.Writer()
+			if err := w2.Write(9); err != nil {
+				t.Fatalf("post-crash write: %v", err)
+			}
+			if got := rd.Read(); got != 9 {
+				t.Fatalf("read after recovery write = %d", got)
+			}
+
+			// The audit is exact: both reads, nothing else.
+			rep := mustAudit(t, reg.Auditor())
+			if !rep.Contains(0, v1) || !rep.Contains(0, 9) {
+				t.Fatalf("audit %v lost reads (0,%d)/(0,9)", rep, v1)
+			}
+			if rep.Len() != 2 {
+				t.Fatalf("audit %v has phantom entries", rep)
+			}
+		})
+	}
+}
+
+// TestAuditorCrashAtEveryStep: an auditor dying mid-audit leaves the register
+// unharmed and a fresh auditor reconstructs the full history.
+func TestAuditorCrashAtEveryStep(t *testing.T) {
+	t.Parallel()
+	// Build a history: 3 writes, 2 reads.
+	build := func() (*core.Register[uint64], uint64, uint64) {
+		reg := newReg(t, "ptr", 1, 0)
+		rd := mustReader(t, reg, 0)
+		w := reg.Writer()
+		var v1, v2 uint64
+		if err := w.Write(5); err != nil {
+			t.Fatal(err)
+		}
+		v1 = rd.Read()
+		if err := w.Write(6); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(7); err != nil {
+			t.Fatal(err)
+		}
+		v2 = rd.Read()
+		return reg, v1, v2
+	}
+
+	// Count a full audit's primitives.
+	counter := probe.NewCounter()
+	{
+		reg, _, _ := build()
+		a := reg.Auditor(core.WithProbe(counter.Probe()))
+		if _, err := a.Audit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := counter.Total()
+
+	for k := 1; k <= steps; k++ {
+		reg, v1, v2 := build()
+		cp := &crashPoint{k: k}
+		dying := reg.Auditor(cp.option())
+		runWithCrash(func() {
+			if _, err := dying.Audit(); err != nil {
+				t.Errorf("audit: %v", err)
+			}
+		})
+		if !cp.fired {
+			t.Fatalf("crash point %d not reached", k)
+		}
+		rep := mustAudit(t, reg.Auditor())
+		if !rep.Contains(0, v1) || !rep.Contains(0, v2) || rep.Len() != 2 {
+			t.Fatalf("crash at %d: fresh audit = %v, want {(0,%d),(0,%d)}", k, rep, v1, v2)
+		}
+	}
+}
+
+// TestReaderCrashLeavesSystemConsistent: a reader dying at any of its steps
+// leaves writers and auditors fully functional, and if the crash happened at
+// or after the fetch&xor, the read is effective and audited (Lemma 5).
+func TestReaderCrashLeavesSystemConsistent(t *testing.T) {
+	t.Parallel()
+	for k := 1; k <= 3; k++ { // SN read, R xor, SN CAS
+		reg := newReg(t, "ptr", 2, 0)
+		if err := reg.Write(5); err != nil {
+			t.Fatal(err)
+		}
+		cp := &crashPoint{k: k}
+		rd0, err := reg.Reader(0, cp.option())
+		if err != nil {
+			t.Fatal(err)
+		}
+		runWithCrash(func() { rd0.Read() })
+		if !cp.fired {
+			t.Fatalf("crash point %d not reached", k)
+		}
+
+		if err := reg.Write(6); err != nil {
+			t.Fatalf("crash at %d: write: %v", k, err)
+		}
+		rd1 := mustReader(t, reg, 1)
+		if got := rd1.Read(); got != 6 {
+			t.Fatalf("crash at %d: read = %d", k, got)
+		}
+		rep := mustAudit(t, reg.Auditor())
+		// The crash fires immediately *before* the k-th primitive, so
+		// the fetch&xor (primitive 2) has executed only for k >= 3:
+		// then the read is effective and must be audited; for k <= 2
+		// nothing was read and nothing may be reported.
+		if k >= 3 && !rep.Contains(0, 5) {
+			t.Fatalf("crash at %d: effective read (0,5) not audited: %v", k, rep)
+		}
+		if k <= 2 && rep.Contains(0, 5) {
+			t.Fatalf("crash at %d: phantom read audited: %v", k, rep)
+		}
+	}
+}

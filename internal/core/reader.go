@@ -1,0 +1,69 @@
+package core
+
+import "auditreg/internal/probe"
+
+// Reader is the per-process read handle (code for reader p_j, Algorithm 1
+// lines 1-6). It caches the latest value read (prev_val) and its sequence
+// number (prev_sn); a read returns from the cache — a "silent" read — when
+// SN shows no new write, which is what guarantees each reader applies at most
+// one fetch&xor to R per sequence number (Lemma 17) and hence that no pad is
+// observed twice by the same reader.
+//
+// Not safe for concurrent use: it models a single sequential process.
+type Reader[V comparable] struct {
+	reg   *Register[V]
+	j     int
+	pid   int
+	probe probe.Probe
+
+	prevSN  uint64
+	prevVal V
+}
+
+// Index returns the reader's index j.
+func (rd *Reader[V]) Index() int { return rd.j }
+
+// Read returns the register's current value. It is wait-free: at most three
+// primitive steps. The read is effective — and auditable — the instant the
+// fetch&xor on R takes effect (Claim 4); everything after that is local or
+// helping.
+func (rd *Reader[V]) Read() V {
+	reg := rd.reg
+
+	// Line 2: sn <- SN.read()
+	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+	sn := reg.sn.Load()
+	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn})
+
+	// Line 3: no new write since the latest read by this process.
+	if sn == rd.prevSN {
+		return rd.prevVal
+	}
+
+	// Line 4: fetch the current value and insert j into the encrypted
+	// reader set, in one atomic step.
+	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.RXor})
+	t := reg.r.FetchXor(uint64(1) << uint(rd.j))
+	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.RXor, Detail: t})
+
+	// Line 5: help complete the t.Seq-th write. For t.Seq == 0 the CAS
+	// arguments wrap to (MaxUint64, 0) and can never succeed, matching the
+	// paper where there is no 0-th write to help.
+	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+	ok := reg.sn.CompareAndSwap(t.Seq-1, t.Seq)
+	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+
+	// Line 6.
+	rd.prevSN, rd.prevVal = t.Seq, t.Val
+	return t.Val
+}
+
+// Last returns the reader's cached value and sequence number, and whether the
+// cache is populated (i.e. whether the reader has ever read). Diagnostic.
+func (rd *Reader[V]) Last() (val V, seq uint64, ok bool) {
+	if rd.prevSN == ^uint64(0) {
+		var zero V
+		return zero, 0, false
+	}
+	return rd.prevVal, rd.prevSN, true
+}

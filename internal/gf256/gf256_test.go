@@ -1,0 +1,147 @@
+package gf256_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"auditreg/internal/gf256"
+)
+
+func TestFieldAxioms(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+
+	// Identity and zero.
+	for a := 0; a < 256; a++ {
+		ab := byte(a)
+		if f.Mul(ab, 1) != ab {
+			t.Fatalf("%d * 1 != %d", a, a)
+		}
+		if f.Mul(ab, 0) != 0 {
+			t.Fatalf("%d * 0 != 0", a)
+		}
+		if f.Add(ab, ab) != 0 {
+			t.Fatalf("%d + %d != 0 in characteristic 2", a, a)
+		}
+	}
+
+	// Inverses.
+	for a := 1; a < 256; a++ {
+		ab := byte(a)
+		if f.Mul(ab, f.Inv(ab)) != 1 {
+			t.Fatalf("%d * inv(%d) != 1", a, a)
+		}
+	}
+}
+
+func TestFieldQuickProperties(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+	// Commutativity, associativity, distributivity.
+	if err := quick.Check(func(a, b, c byte) bool {
+		if f.Mul(a, b) != f.Mul(b, a) {
+			return false
+		}
+		if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+			return false
+		}
+		return f.Mul(a, f.Add(b, c)) == f.Add(f.Mul(a, b), f.Mul(a, c))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Division inverts multiplication.
+	if err := quick.Check(func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return f.Div(f.Mul(a, b), b) == a
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+	for a := 0; a < 256; a++ {
+		if f.Pow(byte(a), 0) != 1 {
+			t.Fatalf("%d^0 != 1", a)
+		}
+	}
+	if f.Pow(0, 5) != 0 {
+		t.Fatal("0^5 != 0")
+	}
+	// a^3 == a*a*a for all a.
+	for a := 0; a < 256; a++ {
+		ab := byte(a)
+		want := f.Mul(ab, f.Mul(ab, ab))
+		if got := f.Pow(ab, 3); got != want {
+			t.Fatalf("%d^3 = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	f.Div(3, 0)
+}
+
+func TestInvertMatrixRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+	// A Vandermonde 3x3 (always invertible).
+	m := [][]byte{
+		{1, 1, 1},
+		{1, 2, f.Mul(2, 2)},
+		{1, 3, f.Mul(3, 3)},
+	}
+	inv, ok := f.InvertMatrix(m)
+	if !ok {
+		t.Fatal("Vandermonde matrix reported singular")
+	}
+	// m * inv == identity.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var acc byte
+			for k := 0; k < 3; k++ {
+				acc ^= f.Mul(m[i][k], inv[k][j])
+			}
+			want := byte(0)
+			if i == j {
+				want = 1
+			}
+			if acc != want {
+				t.Fatalf("(m*inv)[%d][%d] = %d, want %d", i, j, acc, want)
+			}
+		}
+	}
+}
+
+func TestInvertSingularMatrix(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+	m := [][]byte{
+		{1, 2},
+		{1, 2}, // duplicate row
+	}
+	if _, ok := f.InvertMatrix(m); ok {
+		t.Fatal("singular matrix inverted")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+	row := []byte{1, 2, 3}
+	vec := []byte{4, 5, 6}
+	want := f.Add(f.Add(f.Mul(1, 4), f.Mul(2, 5)), f.Mul(3, 6))
+	if got := f.MulVec(row, vec); got != want {
+		t.Fatalf("MulVec = %d, want %d", got, want)
+	}
+}

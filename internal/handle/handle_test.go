@@ -1,0 +1,33 @@
+package handle_test
+
+import (
+	"testing"
+
+	"auditreg/internal/handle"
+	"auditreg/internal/probe"
+)
+
+func TestApplyDefaults(t *testing.T) {
+	t.Parallel()
+	cfg := handle.Apply(7, nil)
+	if cfg.PID != 7 || cfg.Probe != nil {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func TestApplyOptions(t *testing.T) {
+	t.Parallel()
+	fired := false
+	p := probe.Probe(func(probe.Event) { fired = true })
+	cfg := handle.Apply(7, []handle.Option{handle.WithPID(42), handle.WithProbe(p)})
+	if cfg.PID != 42 {
+		t.Fatalf("pid = %d", cfg.PID)
+	}
+	if cfg.Probe == nil {
+		t.Fatal("probe not attached")
+	}
+	cfg.Probe(probe.Event{})
+	if !fired {
+		t.Fatal("probe not wired through")
+	}
+}

@@ -1,0 +1,122 @@
+// Package history records concurrent operation histories — invocation and
+// response events in a global total order — for the linearizability checker.
+// Timestamps come from a single atomic counter: an operation's invocation is
+// stamped when it starts, its response when it completes, so real-time
+// precedence in the recorded history implies real-time precedence in the run.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Pair is one audit-entry (reader, value) in an operation's output set.
+type Pair struct {
+	// Reader is the reader/scanner id.
+	Reader int
+	// Value is the value it was audited reading.
+	Value uint64
+}
+
+// Op is one completed operation in a history.
+type Op struct {
+	// Proc is the process that performed the operation.
+	Proc int
+	// Call names the operation: "read", "write", "audit", "writeMax",
+	// "scan", "update".
+	Call string
+	// Arg is the input (writes, updates).
+	Arg uint64
+	// Out is the scalar output (reads).
+	Out uint64
+	// OutSet is the audit output.
+	OutSet []Pair
+	// OutVec is the vector output (scans).
+	OutVec []uint64
+	// Inv and Ret are the global timestamps of invocation and response.
+	Inv, Ret int64
+}
+
+// String renders the operation compactly for failure messages.
+func (o Op) String() string {
+	switch o.Call {
+	case "write", "update":
+		return fmt.Sprintf("p%d.%s(%d)@[%d,%d]", o.Proc, o.Call, o.Arg, o.Inv, o.Ret)
+	case "read":
+		return fmt.Sprintf("p%d.read()=%d@[%d,%d]", o.Proc, o.Out, o.Inv, o.Ret)
+	case "scan":
+		return fmt.Sprintf("p%d.scan()=%v@[%d,%d]", o.Proc, o.OutVec, o.Inv, o.Ret)
+	case "audit":
+		return fmt.Sprintf("p%d.audit()=%v@[%d,%d]", o.Proc, o.OutSet, o.Inv, o.Ret)
+	default:
+		return fmt.Sprintf("p%d.%s@[%d,%d]", o.Proc, o.Call, o.Inv, o.Ret)
+	}
+}
+
+// Recorder collects operations from concurrently running processes.
+// The zero value is ready to use.
+type Recorder struct {
+	clock atomic.Int64
+	mu    sync.Mutex
+	ops   []Op
+}
+
+// Pending is an operation that has been invoked but not yet completed.
+type Pending struct {
+	r  *Recorder
+	op Op
+}
+
+// Begin stamps the invocation of an operation.
+func (r *Recorder) Begin(proc int, call string, arg uint64) *Pending {
+	return &Pending{
+		r:  r,
+		op: Op{Proc: proc, Call: call, Arg: arg, Inv: r.clock.Add(1)},
+	}
+}
+
+// End stamps the response and commits the operation to the history.
+// Output mutators may be applied to the pending op before End.
+func (p *Pending) End() {
+	p.op.Ret = p.r.clock.Add(1)
+	p.r.mu.Lock()
+	defer p.r.mu.Unlock()
+	p.r.ops = append(p.r.ops, p.op)
+}
+
+// SetOut records a scalar output.
+func (p *Pending) SetOut(v uint64) *Pending {
+	p.op.Out = v
+	return p
+}
+
+// SetOutSet records an audit output.
+func (p *Pending) SetOutSet(pairs []Pair) *Pending {
+	p.op.OutSet = pairs
+	return p
+}
+
+// SetOutVec records a vector output.
+func (p *Pending) SetOutVec(view []uint64) *Pending {
+	p.op.OutVec = view
+	return p
+}
+
+// Ops returns the completed operations sorted by invocation time.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	sort.Slice(out, func(i, j int) bool { return out[i].Inv < out[j].Inv })
+	return out
+}
+
+// Len returns the number of completed operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}

@@ -1,0 +1,99 @@
+package history_test
+
+import (
+	"sync"
+	"testing"
+
+	"auditreg/internal/history"
+)
+
+func TestRecorderTimestampsOrdered(t *testing.T) {
+	t.Parallel()
+	var rec history.Recorder
+	p1 := rec.Begin(1, "write", 5)
+	p1.End()
+	p2 := rec.Begin(2, "read", 0)
+	p2.SetOut(5).End()
+
+	ops := rec.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	if !(ops[0].Inv < ops[0].Ret && ops[0].Ret < ops[1].Inv && ops[1].Inv < ops[1].Ret) {
+		t.Fatalf("timestamps not strictly ordered: %+v", ops)
+	}
+	if ops[1].Out != 5 {
+		t.Fatalf("output lost: %+v", ops[1])
+	}
+}
+
+func TestRecorderOverlapPreserved(t *testing.T) {
+	t.Parallel()
+	var rec history.Recorder
+	p1 := rec.Begin(1, "write", 5)
+	p2 := rec.Begin(2, "read", 0) // invoked before p1 returns
+	p1.End()
+	p2.SetOut(0).End()
+
+	ops := rec.Ops()
+	// Sorted by Inv: p1 first; intervals overlap.
+	if ops[0].Proc != 1 || ops[1].Proc != 2 {
+		t.Fatalf("order: %+v", ops)
+	}
+	if ops[1].Inv > ops[0].Ret {
+		t.Fatal("overlap lost")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	t.Parallel()
+	var rec history.Recorder
+	const procs, per = 8, 100
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec.Begin(p, "read", 0).SetOut(uint64(i)).End()
+			}
+		}()
+	}
+	wg.Wait()
+	if rec.Len() != procs*per {
+		t.Fatalf("recorded %d ops, want %d", rec.Len(), procs*per)
+	}
+	ops := rec.Ops()
+	seen := make(map[int64]bool, 2*len(ops))
+	for _, op := range ops {
+		if op.Inv >= op.Ret {
+			t.Fatalf("bad interval: %+v", op)
+		}
+		if seen[op.Inv] || seen[op.Ret] {
+			t.Fatalf("duplicate timestamp in %+v", op)
+		}
+		seen[op.Inv], seen[op.Ret] = true, true
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1].Inv >= ops[i].Inv {
+			t.Fatal("Ops not sorted by invocation")
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	t.Parallel()
+	cases := []history.Op{
+		{Proc: 1, Call: "write", Arg: 5, Inv: 1, Ret: 2},
+		{Proc: 2, Call: "read", Out: 5, Inv: 3, Ret: 4},
+		{Proc: 3, Call: "audit", OutSet: []history.Pair{{Reader: 2, Value: 5}}, Inv: 5, Ret: 6},
+		{Proc: 4, Call: "scan", OutVec: []uint64{1, 2}, Inv: 7, Ret: 8},
+		{Proc: 5, Call: "writeMax", Arg: 9, Inv: 9, Ret: 10},
+	}
+	for _, c := range cases {
+		if c.String() == "" {
+			t.Fatalf("empty String for %+v", c)
+		}
+	}
+}

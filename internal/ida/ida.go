@@ -1,0 +1,123 @@
+// Package ida implements Rabin's information dispersal algorithm over
+// GF(2^8): a value is encoded into n shares such that any k reconstruct it
+// and fewer than k reveal nothing about missing positions beyond length. The
+// replicated auditable register baseline (internal/replicated) disperses
+// register values across servers with it, following Cogo & Bessani: a reader
+// must gather k shares — and therefore be logged by k servers — to learn the
+// value.
+package ida
+
+import (
+	"fmt"
+
+	"auditreg/internal/gf256"
+)
+
+// Coder encodes values into n shares with reconstruction threshold k, using
+// a Vandermonde matrix over GF(2^8) (rows x_i = i+1, columns x_i^j): every
+// k×k submatrix is invertible because the x_i are distinct.
+//
+// Construct with New.
+type Coder struct {
+	f      *gf256.Field
+	n, k   int
+	matrix [][]byte // n rows × k columns
+}
+
+// MaxShares bounds n: Vandermonde rows need distinct nonzero points in
+// GF(2^8).
+const MaxShares = 255
+
+// New returns a coder producing n shares with threshold k.
+func New(n, k int) (*Coder, error) {
+	if k < 1 || n < k || n > MaxShares {
+		return nil, fmt.Errorf("ida: need 1 <= k <= n <= %d, got n=%d k=%d", MaxShares, n, k)
+	}
+	f := gf256.New()
+	matrix := make([][]byte, n)
+	for i := range matrix {
+		row := make([]byte, k)
+		x := byte(i + 1)
+		for j := 0; j < k; j++ {
+			row[j] = f.Pow(x, j)
+		}
+		matrix[i] = row
+	}
+	return &Coder{f: f, n: n, k: k, matrix: matrix}, nil
+}
+
+// Shares returns n, the number of shares produced.
+func (c *Coder) Shares() int { return c.n }
+
+// Threshold returns k, the number of shares needed to reconstruct.
+func (c *Coder) Threshold() int { return c.k }
+
+// ShareSize returns the per-share byte size for a value of dataLen bytes.
+func (c *Coder) ShareSize(dataLen int) int { return (dataLen + c.k - 1) / c.k }
+
+// Split encodes data into n shares. Data is implicitly zero-padded to a
+// multiple of k; Reconstruct needs the original length to strip the padding.
+func (c *Coder) Split(data []byte) [][]byte {
+	cols := c.ShareSize(len(data))
+	padded := make([]byte, cols*c.k)
+	copy(padded, data)
+
+	shares := make([][]byte, c.n)
+	for i := range shares {
+		shares[i] = make([]byte, cols)
+	}
+	vec := make([]byte, c.k)
+	for col := 0; col < cols; col++ {
+		for j := 0; j < c.k; j++ {
+			vec[j] = padded[col*c.k+j]
+		}
+		for i := 0; i < c.n; i++ {
+			shares[i][col] = c.f.MulVec(c.matrix[i], vec)
+		}
+	}
+	return shares
+}
+
+// Reconstruct recovers a value of length dataLen from at least k shares,
+// given as a map from share index (0-based) to share bytes.
+func (c *Coder) Reconstruct(shares map[int][]byte, dataLen int) ([]byte, error) {
+	if len(shares) < c.k {
+		return nil, fmt.Errorf("ida: have %d shares, need %d", len(shares), c.k)
+	}
+	cols := c.ShareSize(dataLen)
+
+	// Pick k shares and build the corresponding submatrix.
+	idx := make([]int, 0, c.k)
+	for i := range shares {
+		if i < 0 || i >= c.n {
+			return nil, fmt.Errorf("ida: share index %d out of range [0, %d)", i, c.n)
+		}
+		if len(shares[i]) != cols {
+			return nil, fmt.Errorf("ida: share %d has %d bytes, want %d", i, len(shares[i]), cols)
+		}
+		idx = append(idx, i)
+		if len(idx) == c.k {
+			break
+		}
+	}
+	sub := make([][]byte, c.k)
+	for r, i := range idx {
+		sub[r] = c.matrix[i]
+	}
+	inv, ok := c.f.InvertMatrix(sub)
+	if !ok {
+		return nil, fmt.Errorf("ida: submatrix not invertible (corrupt share indices?)")
+	}
+
+	out := make([]byte, cols*c.k)
+	vec := make([]byte, c.k)
+	for col := 0; col < cols; col++ {
+		for r, i := range idx {
+			vec[r] = shares[i][col]
+		}
+		for j := 0; j < c.k; j++ {
+			out[col*c.k+j] = c.f.MulVec(inv[j], vec)
+		}
+	}
+	return out[:dataLen], nil
+}

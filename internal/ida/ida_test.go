@@ -1,0 +1,154 @@
+package ida_test
+
+import (
+	"bytes"
+	mathrand "math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"auditreg/internal/ida"
+)
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := ida.New(0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ida.New(2, 3); err == nil {
+		t.Error("n < k accepted")
+	}
+	if _, err := ida.New(300, 3); err == nil {
+		t.Error("n > 255 accepted")
+	}
+	c, err := ida.New(5, 2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if c.Shares() != 5 || c.Threshold() != 2 {
+		t.Fatalf("params = (%d, %d)", c.Shares(), c.Threshold())
+	}
+}
+
+func TestSplitReconstructAllSubsets(t *testing.T) {
+	t.Parallel()
+	c, err := ida.New(5, 3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	data := []byte("auditing without leaks despite curiosity")
+	shares := c.Split(data)
+	if len(shares) != 5 {
+		t.Fatalf("got %d shares", len(shares))
+	}
+
+	// Every 3-subset of the 5 shares reconstructs.
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			for d := b + 1; d < 5; d++ {
+				subset := map[int][]byte{a: shares[a], b: shares[b], d: shares[d]}
+				got, err := c.Reconstruct(subset, len(data))
+				if err != nil {
+					t.Fatalf("subset {%d,%d,%d}: %v", a, b, d, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("subset {%d,%d,%d} reconstructed %q", a, b, d, got)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructBelowThreshold(t *testing.T) {
+	t.Parallel()
+	c, err := ida.New(5, 3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	shares := c.Split([]byte("secret"))
+	if _, err := c.Reconstruct(map[int][]byte{0: shares[0], 1: shares[1]}, 6); err == nil {
+		t.Fatal("reconstruction from k-1 shares accepted")
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	t.Parallel()
+	c, err := ida.New(4, 2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	shares := c.Split([]byte("abcd"))
+	// Bad index.
+	if _, err := c.Reconstruct(map[int][]byte{0: shares[0], 9: shares[1]}, 4); err == nil {
+		t.Fatal("out-of-range share index accepted")
+	}
+	// Wrong length.
+	if _, err := c.Reconstruct(map[int][]byte{0: shares[0], 1: shares[1][:1]}, 4); err == nil {
+		t.Fatal("truncated share accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(data []byte, seed uint64) bool {
+		rng := mathrand.New(mathrand.NewPCG(seed, 3))
+		k := 1 + rng.IntN(6)
+		n := k + rng.IntN(6)
+		c, err := ida.New(n, k)
+		if err != nil {
+			return false
+		}
+		shares := c.Split(data)
+		// Random k-subset.
+		perm := rng.Perm(n)
+		subset := make(map[int][]byte, k)
+		for _, i := range perm[:k] {
+			subset[i] = shares[i]
+		}
+		got, err := c.Reconstruct(subset, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyValue(t *testing.T) {
+	t.Parallel()
+	c, err := ida.New(5, 2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	shares := c.Split(nil)
+	got, err := c.Reconstruct(map[int][]byte{1: shares[1], 3: shares[3]}, 0)
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("reconstructed %q from empty value", got)
+	}
+}
+
+func TestShareSize(t *testing.T) {
+	t.Parallel()
+	c, err := ida.New(7, 3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cases := map[int]int{0: 0, 1: 1, 3: 1, 4: 2, 9: 3, 10: 4}
+	for dataLen, want := range cases {
+		if got := c.ShareSize(dataLen); got != want {
+			t.Errorf("ShareSize(%d) = %d, want %d", dataLen, got, want)
+		}
+	}
+	// Shares are k times smaller than the data (the space advantage of
+	// IDA over full replication).
+	data := make([]byte, 300)
+	for _, s := range c.Split(data) {
+		if len(s) != 100 {
+			t.Fatalf("share size %d, want 100", len(s))
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package linearizability implements a Wing & Gong style linearizability
+// checker with memoization: it searches for a permutation of a concurrent
+// history that respects real-time order and a sequential specification
+// (Definition 1 of the paper). States are deduplicated by fingerprint, so the
+// search prunes permutations that reach the same (linearized-set, state)
+// configuration twice.
+//
+// The checker consumes histories recorded by internal/history and models from
+// this package: an auditable register model, an auditable max register model,
+// and an auditable snapshot model, each encoding the paper's sequential
+// specification including audit accuracy + completeness.
+package linearizability
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"auditreg/internal/history"
+)
+
+// State is one state of a sequential specification.
+type State interface {
+	// Apply attempts to apply op, returning the successor state. ok is
+	// false when the op's recorded output contradicts the specification.
+	Apply(op history.Op) (next State, ok bool)
+	// Key fingerprints the state for memoization. Equal states must have
+	// equal keys.
+	Key() string
+}
+
+// Model supplies the initial state of a specification.
+type Model interface {
+	// Init returns the initial state.
+	Init() State
+}
+
+// MaxOps bounds the history size the checker accepts; the search is
+// exponential in the worst case.
+const MaxOps = 63
+
+// Result reports the outcome of a check.
+type Result struct {
+	// Ok is whether the history is linearizable with respect to the model.
+	Ok bool
+	// Witness is one linearization order (indices into the input ops) when
+	// Ok; nil otherwise.
+	Witness []int
+	// Explored counts visited configurations (diagnostic).
+	Explored int
+}
+
+// Check searches for a linearization of ops against the model.
+func Check(model Model, ops []history.Op) (Result, error) {
+	if len(ops) > MaxOps {
+		return Result{}, fmt.Errorf("linearizability: history of %d ops exceeds limit %d", len(ops), MaxOps)
+	}
+	for _, op := range ops {
+		if op.Ret <= op.Inv {
+			return Result{}, fmt.Errorf("linearizability: op %v has no valid interval", op)
+		}
+	}
+
+	n := len(ops)
+	full := uint64(1)<<uint(n) - 1
+	memo := make(map[string]struct{})
+	var witness []int
+
+	var dfs func(mask uint64, st State) bool
+	dfs = func(mask uint64, st State) bool {
+		if mask == full {
+			return true
+		}
+		key := fmt.Sprintf("%x|%s", mask, st.Key())
+		if _, seen := memo[key]; seen {
+			return false
+		}
+		memo[key] = struct{}{}
+
+		// minRet over unlinearized ops: only ops invoked before it may
+		// linearize next (real-time order).
+		minRet := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 && ops[i].Ret < minRet {
+				minRet = ops[i].Ret
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 || ops[i].Inv > minRet {
+				continue
+			}
+			next, ok := st.Apply(ops[i])
+			if !ok {
+				continue
+			}
+			witness = append(witness, i)
+			if dfs(mask|1<<uint(i), next) {
+				return true
+			}
+			witness = witness[:len(witness)-1]
+		}
+		return false
+	}
+
+	ok := dfs(0, model.Init())
+	res := Result{Ok: ok, Explored: len(memo)}
+	if ok {
+		res.Witness = append([]int(nil), witness...)
+	}
+	return res, nil
+}
+
+// pairSetKey canonicalizes a pair set for fingerprints and comparisons.
+func pairSetKey(pairs map[history.Pair]struct{}) string {
+	keys := make([]string, 0, len(pairs))
+	for p := range pairs {
+		keys = append(keys, fmt.Sprintf("%d:%d", p.Reader, p.Value))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+func samePairSet(pairs map[history.Pair]struct{}, out []history.Pair) bool {
+	if len(out) != len(pairs) {
+		return false
+	}
+	for _, p := range out {
+		if _, ok := pairs[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func clonePairs(pairs map[history.Pair]struct{}) map[history.Pair]struct{} {
+	out := make(map[history.Pair]struct{}, len(pairs))
+	for p := range pairs {
+		out[p] = struct{}{}
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+package maxreg
+
+import (
+	"fmt"
+
+	"auditreg/internal/core"
+	"auditreg/internal/handle"
+	"auditreg/internal/otp"
+	"auditreg/internal/probe"
+	"auditreg/internal/shmem"
+	"auditreg/internal/unbounded"
+)
+
+// Nonced is the value actually stored by Algorithm 2: the user value paired
+// with a random nonce, ordered lexicographically (first by value, then by
+// nonce). The nonce introduces the "noisiness" that prevents a reader from
+// inferring intermediate writeMax operations from sequence-number gaps
+// (Lemma 38): consecutive observed values no longer reveal how many distinct
+// user values were written in between.
+type Nonced[V comparable] struct {
+	// Val is the user value w.
+	Val V
+	// Nonce is the random nonce N appended by the writer.
+	Nonce uint64
+}
+
+// Auditable is the auditable multi-writer, m-reader max register of
+// Algorithm 2. Its shared state mirrors Algorithm 1 — R, SN, V, B — plus a
+// non-auditable max register M shared by the writers.
+//
+// Guarantees (Theorem 40): linearizable and wait-free; an audit reports
+// (j, v) iff p_j has a v-effective read; writeMax operations are
+// uncompromised by readers that did not read the value; reads are
+// uncompromised by other readers.
+//
+// Construct with NewAuditable.
+type Auditable[V comparable] struct {
+	m     int
+	maskM uint64
+	pads  otp.PadSource
+	less  Less[V]
+
+	r    shmem.TripleReg[Nonced[V]]
+	sn   shmem.SeqReg
+	mreg MaxReg[Nonced[V]]
+	vals *unbounded.Array[V]
+	bits *unbounded.BitTable
+}
+
+// AuditableOption configures an Auditable max register.
+type AuditableOption[V comparable] func(*auditableConfig[V])
+
+type auditableConfig[V comparable] struct {
+	capacity int
+	mreg     MaxReg[Nonced[V]]
+	tripleR  shmem.TripleReg[Nonced[V]]
+	seqReg   shmem.SeqReg
+}
+
+// WithAuditableCapacity bounds the recorded history length.
+func WithAuditableCapacity[V comparable](n int) AuditableOption[V] {
+	return func(c *auditableConfig[V]) { c.capacity = n }
+}
+
+// WithM injects the non-auditable max register substrate M. It must be
+// initialized to the Nonced initial value passed to NewAuditable.
+func WithM[V comparable](m MaxReg[Nonced[V]]) AuditableOption[V] {
+	return func(c *auditableConfig[V]) { c.mreg = m }
+}
+
+// WithAuditableTripleReg injects the backend of R (e.g. a LockedTriple for
+// cross-checking). It must hold (0, initial, pads.Mask(0)).
+func WithAuditableTripleReg[V comparable](r shmem.TripleReg[Nonced[V]]) AuditableOption[V] {
+	return func(c *auditableConfig[V]) { c.tripleR = r }
+}
+
+// WithAuditableSeqReg injects the backend of SN. It must hold 0.
+func WithAuditableSeqReg[V comparable](sn shmem.SeqReg) AuditableOption[V] {
+	return func(c *auditableConfig[V]) { c.seqReg = sn }
+}
+
+// NewAuditable returns an auditable max register for m readers holding
+// initial (with nonce 0), ordered by less.
+func NewAuditable[V comparable](m int, initial V, less Less[V], pads otp.PadSource, opts ...AuditableOption[V]) (*Auditable[V], error) {
+	if m < 1 || m > shmem.MaxReaders {
+		return nil, fmt.Errorf("maxreg: reader count m must be in [1, %d], got %d", shmem.MaxReaders, m)
+	}
+	if less == nil {
+		return nil, fmt.Errorf("maxreg: ordering must not be nil")
+	}
+	if pads == nil {
+		return nil, fmt.Errorf("maxreg: pad source must not be nil")
+	}
+	var cfg auditableConfig[V]
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	vals, err := unbounded.NewArray[V](cfg.capacity)
+	if err != nil {
+		return nil, err
+	}
+	bits, err := unbounded.NewBitTable(cfg.capacity)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := &Auditable[V]{
+		m:     m,
+		maskM: otp.MaskBits(m),
+		pads:  pads,
+		less:  less,
+		vals:  vals,
+		bits:  bits,
+	}
+	init := Nonced[V]{Val: initial, Nonce: 0}
+	initTriple := shmem.Triple[Nonced[V]]{Seq: 0, Val: init, Bits: pads.Mask(0) & reg.maskM}
+
+	switch {
+	case cfg.tripleR != nil:
+		if got := cfg.tripleR.Load(); got != initTriple {
+			return nil, fmt.Errorf("maxreg: injected R holds %+v, want %+v", got, initTriple)
+		}
+		reg.r = cfg.tripleR
+	default:
+		reg.r = shmem.NewPtrTriple(initTriple)
+	}
+	switch {
+	case cfg.seqReg != nil:
+		if got := cfg.seqReg.Load(); got != 0 {
+			return nil, fmt.Errorf("maxreg: injected SN holds %d, want 0", got)
+		}
+		reg.sn = cfg.seqReg
+	default:
+		reg.sn = &shmem.AtomicSeq{}
+	}
+	switch {
+	case cfg.mreg != nil:
+		if got := cfg.mreg.Read(); got != init {
+			return nil, fmt.Errorf("maxreg: injected M holds %+v, want %+v", got, init)
+		}
+		reg.mreg = cfg.mreg
+	default:
+		reg.mreg = NewCASMax(init, reg.lessNonced)
+	}
+	return reg, nil
+}
+
+// lessNonced orders Nonced pairs lexicographically: by user value, then by
+// nonce.
+func (reg *Auditable[V]) lessNonced(a, b Nonced[V]) bool {
+	switch {
+	case reg.less(a.Val, b.Val):
+		return true
+	case reg.less(b.Val, a.Val):
+		return false
+	default:
+		return a.Nonce < b.Nonce
+	}
+}
+
+// Readers returns the register's reader count m.
+func (reg *Auditable[V]) Readers() int { return reg.m }
+
+// Seq returns the current announced sequence number. Diagnostic.
+func (reg *Auditable[V]) Seq() uint64 { return reg.sn.Load() }
+
+// Reader returns the handle for reader j (0 <= j < m). Not safe for
+// concurrent use; one handle per reading process.
+func (reg *Auditable[V]) Reader(j int, opts ...core.HandleOption) (*Reader[V], error) {
+	if j < 0 || j >= reg.m {
+		return nil, fmt.Errorf("maxreg: reader index %d out of range [0, %d)", j, reg.m)
+	}
+	cfg := handle.Apply(j, opts)
+	return &Reader[V]{reg: reg, j: j, pid: cfg.PID, probe: cfg.Probe, prevSN: ^uint64(0)}, nil
+}
+
+// Writer returns a writer handle drawing nonces from the given source. Not
+// safe for concurrent use; one handle per writing process, each with its own
+// nonce source.
+func (reg *Auditable[V]) Writer(nonces otp.NonceSource, opts ...core.HandleOption) (*Writer[V], error) {
+	if nonces == nil {
+		return nil, fmt.Errorf("maxreg: nonce source must not be nil")
+	}
+	cfg := handle.Apply(-1, opts)
+	return &Writer[V]{reg: reg, nonces: nonces, pid: cfg.PID, probe: cfg.Probe}, nil
+}
+
+// Auditor returns an auditor handle with its own cumulative audit set. Not
+// safe for concurrent use.
+func (reg *Auditable[V]) Auditor(opts ...core.HandleOption) *Auditor[V] {
+	cfg := handle.Apply(-1, opts)
+	return &Auditor[V]{reg: reg, pid: cfg.PID, probe: cfg.Probe, seen: make(map[core.Entry[V]]struct{})}
+}
+
+// Reader is the per-process read handle of the auditable max register. The
+// algorithm is identical to Algorithm 1's read — the silent-read cache, the
+// fetch&xor, the helping CAS on SN — except that the nonce is stripped from
+// returned values.
+type Reader[V comparable] struct {
+	reg   *Auditable[V]
+	j     int
+	pid   int
+	probe probe.Probe
+
+	prevSN  uint64
+	prevVal V
+}
+
+// Index returns the reader's index j.
+func (rd *Reader[V]) Index() int { return rd.j }
+
+// Read returns the largest value written so far. Wait-free; effective (and
+// auditable) as soon as the fetch&xor takes effect.
+func (rd *Reader[V]) Read() V {
+	reg := rd.reg
+
+	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+	sn := reg.sn.Load()
+	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn})
+	if sn == rd.prevSN {
+		return rd.prevVal
+	}
+
+	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.RXor})
+	t := reg.r.FetchXor(uint64(1) << uint(rd.j))
+	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.RXor, Detail: t})
+
+	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+	ok := reg.sn.CompareAndSwap(t.Seq-1, t.Seq)
+	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+
+	rd.prevSN, rd.prevVal = t.Seq, t.Val.Val
+	return t.Val.Val
+}
+
+// Writer is the per-process writeMax handle (Algorithm 2 lines 22-35).
+type Writer[V comparable] struct {
+	reg    *Auditable[V]
+	nonces otp.NonceSource
+	pid    int
+	probe  probe.Probe
+}
+
+// WriteMax raises the register to w if w exceeds the largest value written.
+// Wait-free (Lemma 28): after the value lands in M, (R.seq, R.val) can change
+// at most once before R.val dominates w, and then the retry loop is bounded
+// by the readers' single fetch&xor per sequence number.
+func (w *Writer[V]) WriteMax(val V) error {
+	reg := w.reg
+
+	// Line 23: append a fresh nonce.
+	v := Nonced[V]{Val: val, Nonce: w.nonces.Next()}
+
+	// Line 24: M.writeMax(v); sn <- SN.read() + 1.
+	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.MWrite})
+	reg.mreg.WriteMax(v)
+	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.MWrite})
+
+	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+	sn := reg.sn.Load() + 1
+	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn - 1})
+
+	for {
+		// Line 26: (lsn, lval, bits) <- R.read().
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.RRead})
+		t := reg.r.Load()
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.RRead, Detail: t})
+
+		// Line 27: a value >= v is already installed.
+		if !reg.lessNonced(t.Val, v) {
+			sn = t.Seq
+			break
+		}
+
+		// Lines 28-30: the target sequence number was consumed by a
+		// concurrent writeMax; help announce it and take a fresh one.
+		if t.Seq >= sn {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+			ok := reg.sn.CompareAndSwap(sn-1, sn)
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+			sn = reg.sn.Load() + 1
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn - 1})
+			continue
+		}
+
+		// Line 31: mval <- M.read(); the candidate to install.
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.MRead})
+		mval := reg.mreg.Read()
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.MRead, Detail: mval})
+
+		// Lines 32-33: copy outgoing value (nonce stripped) and its
+		// decrypted reader set for auditors.
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.VStore})
+		if err := reg.vals.Store(t.Seq, t.Val.Val); err != nil {
+			return err
+		}
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.VStore})
+
+		readers := (t.Bits ^ reg.pads.Mask(t.Seq)) & reg.maskM
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.BSet, Detail: readers})
+		if err := reg.bits.Or(t.Seq, readers); err != nil {
+			return err
+		}
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.BSet})
+
+		// Line 34.
+		next := shmem.Triple[Nonced[V]]{Seq: sn, Val: mval, Bits: reg.pads.Mask(sn) & reg.maskM}
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.RCAS})
+		ok := reg.r.CompareAndSwap(t, next)
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.RCAS, Detail: ok})
+		if ok {
+			break
+		}
+	}
+
+	// Line 35.
+	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+	ok := reg.sn.CompareAndSwap(sn-1, sn)
+	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+	return nil
+}
+
+// Auditor is the per-process audit handle; the code is Algorithm 1's audit
+// with nonces stripped from reported values.
+type Auditor[V comparable] struct {
+	reg   *Auditable[V]
+	pid   int
+	probe probe.Probe
+
+	lsa     uint64
+	seen    map[core.Entry[V]]struct{}
+	entries []core.Entry[V]
+}
+
+// Audit reports the set of pairs (j, v) such that p_j has a v-effective read
+// linearized before the audit. Cumulative over the auditor's lifetime.
+func (a *Auditor[V]) Audit() (core.Report[V], error) {
+	reg := a.reg
+
+	a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.RRead})
+	t := reg.r.Load()
+	a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.RRead, Detail: t})
+
+	for s := a.lsa; s < t.Seq; s++ {
+		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.VLoad})
+		val, ok := reg.vals.Load(s)
+		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.VLoad, Detail: val})
+		if !ok {
+			return core.Report[V]{}, fmt.Errorf("maxreg: audit found uninitialized V[%d]; history capacity was exceeded", s)
+		}
+		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.BRow})
+		row := reg.bits.Row(s)
+		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.BRow, Detail: row})
+		a.add(row&reg.maskM, val)
+	}
+	a.add((t.Bits^reg.pads.Mask(t.Seq))&reg.maskM, t.Val.Val)
+
+	a.lsa = t.Seq
+	a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+	ok := reg.sn.CompareAndSwap(t.Seq-1, t.Seq)
+	a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+
+	out := make([]core.Entry[V], len(a.entries))
+	copy(out, a.entries)
+	return core.NewReport(out...), nil
+}
+
+func (a *Auditor[V]) add(row uint64, val V) {
+	for j := 0; row != 0; j++ {
+		if row&1 != 0 {
+			e := core.Entry[V]{Reader: j, Value: val}
+			if _, dup := a.seen[e]; !dup {
+				a.seen[e] = struct{}{}
+				a.entries = append(a.entries, e)
+			}
+		}
+		row >>= 1
+	}
+}

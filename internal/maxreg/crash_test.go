@@ -1,0 +1,145 @@
+package maxreg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"auditreg/internal/core"
+	"auditreg/internal/otp"
+	"auditreg/internal/probe"
+)
+
+type crashSignal struct{}
+
+// crashOption aborts the handle at its k-th primitive Invoke.
+func crashOption(k int, fired *bool) core.HandleOption {
+	seen := 0
+	return core.WithProbe(func(e probe.Event) {
+		if e.Kind != probe.Invoke {
+			return
+		}
+		seen++
+		if seen == k {
+			*fired = true
+			panic(crashSignal{})
+		}
+	})
+}
+
+func runWithCrash(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(crashSignal); !ok {
+				panic(r)
+			}
+		}
+	}()
+	fn()
+}
+
+// TestWriteMaxCrashAtEveryStep kills a writeMax before each of its primitives
+// (M write, SN read, R read, M read, V store, B set, R CAS, SN CAS) and
+// checks that the max register stays monotone, usable, and exactly auditable.
+func TestWriteMaxCrashAtEveryStep(t *testing.T) {
+	t.Parallel()
+	// Count a clean writeMax's primitives.
+	counter := probe.NewCounter()
+	{
+		reg := newAuditable(t, 1, 0)
+		w, err := reg.Writer(otp.NewSeededNonces(1, 1), core.WithProbe(counter.Probe()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteMax(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := counter.Total()
+	if steps < 5 {
+		t.Fatalf("unexpectedly few primitives per writeMax: %d", steps)
+	}
+
+	for k := 1; k <= steps; k++ {
+		k := k
+		t.Run(fmt.Sprintf("crash-at-step-%d", k), func(t *testing.T) {
+			t.Parallel()
+			reg := newAuditable(t, 1, 0)
+			fired := false
+			w1, err := reg.Writer(otp.NewSeededNonces(2, 1), crashOption(k, &fired))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runWithCrash(func() {
+				if err := w1.WriteMax(7); err != nil {
+					t.Errorf("WriteMax: %v", err)
+				}
+			})
+			if !fired {
+				t.Fatalf("crash point %d not reached", k)
+			}
+
+			rd := newAudReader(t, reg, 0)
+			v1 := rd.Read()
+			if v1 != 0 && v1 != 7 {
+				t.Fatalf("read after crash = %d", v1)
+			}
+
+			// A fresh writer raises the register past the wreck. Note
+			// that 7 may live in M but not yet in R; the new writeMax
+			// of a *larger* value must land regardless.
+			w2, err := reg.Writer(otp.NewSeededNonces(3, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.WriteMax(9); err != nil {
+				t.Fatalf("post-crash writeMax: %v", err)
+			}
+			if got := rd.Read(); got != 9 {
+				t.Fatalf("read after recovery = %d", got)
+			}
+
+			rep, err := reg.Auditor().Audit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Contains(0, v1) || !rep.Contains(0, 9) {
+				t.Fatalf("audit %v lost reads (0,%d)/(0,9)", rep, v1)
+			}
+			if rep.Len() != 2 {
+				t.Fatalf("audit %v has phantom entries", rep)
+			}
+		})
+	}
+}
+
+// TestWriteMaxCrashThenSmallerWrite: after a crash that parked a large value
+// in M but possibly not in R, a *smaller* writeMax by another process helps
+// publish the larger value rather than losing it — M is the source of truth.
+func TestWriteMaxCrashThenSmallerWrite(t *testing.T) {
+	t.Parallel()
+	reg := newAuditable(t, 1, 0)
+	fired := false
+	// Crash right after M.writeMax lands (step 2 is the SN read).
+	w1, err := reg.Writer(otp.NewSeededNonces(4, 1), crashOption(2, &fired))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWithCrash(func() { _ = w1.WriteMax(100) })
+	if !fired {
+		t.Fatal("crash point not reached")
+	}
+
+	w2, err := reg.Writer(otp.NewSeededNonces(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.WriteMax(50); err != nil {
+		t.Fatalf("WriteMax: %v", err)
+	}
+	rd := newAudReader(t, reg, 0)
+	// The second writer installs M's current maximum (100), not its own
+	// input: the crashed write's value survives.
+	if got := rd.Read(); got != 100 {
+		t.Fatalf("read = %d, want 100 (rescued from M)", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Package maxreg implements max registers: objects whose read returns the
+// largest value ever written (Aspnes, Attiya, Censor-Hillel).
+//
+// It provides three non-auditable max registers — the substrate M of
+// Algorithm 2 — and the paper's auditable max register itself:
+//
+//   - CASMax: unbounded, lock-free, one atomic pointer + compare&swap;
+//   - LockedMax: mutex reference implementation for cross-checking;
+//   - TreeMax: the classic bounded wait-free construction from a binary tree
+//     of one-bit switches (Aspnes–Attiya–Censor-Hillel), lazily allocated;
+//   - Auditable: Algorithm 2 of the paper — an auditable max register whose
+//     effective reads are audited and whose reads/writes are uncompromised by
+//     readers, using random nonces to hide write multiplicity.
+package maxreg
+
+import "sync"
+
+// MaxReg is a (non-auditable) max register over values of type V.
+// Implementations must be safe for concurrent use.
+type MaxReg[V any] interface {
+	// WriteMax raises the register to v if v exceeds the current value.
+	WriteMax(v V)
+	// Read returns the largest value written so far.
+	Read() V
+}
+
+// Less is a strict total order on V.
+type Less[V any] func(a, b V) bool
+
+// CASMax is an unbounded lock-free max register: an atomic pointer to the
+// current maximum, raised with compare&swap. writeMax is lock-free (a failed
+// CAS means another writeMax raised the register, so the loop re-checks
+// dominance and usually exits); read is wait-free.
+//
+// Construct with NewCASMax; the zero value is not usable.
+type CASMax[V any] struct {
+	p    ptr[V]
+	less Less[V]
+}
+
+// NewCASMax returns a CASMax holding initial, ordered by less.
+func NewCASMax[V any](initial V, less Less[V]) *CASMax[V] {
+	r := &CASMax[V]{less: less}
+	r.p.store(&initial)
+	return r
+}
+
+var _ MaxReg[int] = (*CASMax[int])(nil)
+
+// WriteMax implements MaxReg.
+func (r *CASMax[V]) WriteMax(v V) {
+	next := &v
+	for {
+		cur := r.p.load()
+		if !r.less(*cur, v) {
+			return
+		}
+		if r.p.compareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Read implements MaxReg.
+func (r *CASMax[V]) Read() V { return *r.p.load() }
+
+// LockedMax is the mutex-protected reference max register.
+// Construct with NewLockedMax; the zero value is not usable.
+type LockedMax[V any] struct {
+	mu   sync.Mutex
+	cur  V
+	less Less[V]
+}
+
+// NewLockedMax returns a LockedMax holding initial, ordered by less.
+func NewLockedMax[V any](initial V, less Less[V]) *LockedMax[V] {
+	return &LockedMax[V]{cur: initial, less: less}
+}
+
+var _ MaxReg[int] = (*LockedMax[int])(nil)
+
+// WriteMax implements MaxReg.
+func (r *LockedMax[V]) WriteMax(v V) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.less(r.cur, v) {
+		r.cur = v
+	}
+}
+
+// Read implements MaxReg.
+func (r *LockedMax[V]) Read() V {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur
+}

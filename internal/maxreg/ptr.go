@@ -1,0 +1,14 @@
+package maxreg
+
+import "sync/atomic"
+
+// ptr is a tiny typed wrapper over atomic.Pointer used by CASMax. It exists
+// so CASMax's hot path reads as the algorithm (load / compareAndSwap) rather
+// than as atomic plumbing.
+type ptr[V any] struct {
+	p atomic.Pointer[V]
+}
+
+func (x *ptr[V]) load() *V                        { return x.p.Load() }
+func (x *ptr[V]) store(v *V)                      { x.p.Store(v) }
+func (x *ptr[V]) compareAndSwap(old, new *V) bool { return x.p.CompareAndSwap(old, new) }

@@ -1,0 +1,113 @@
+package maxreg
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// TreeMax is the bounded wait-free max register of Aspnes, Attiya and
+// Censor-Hillel ("Polylogarithmic concurrent data structures from monotone
+// circuits", J.ACM 2012): a binary tree of one-bit switches over the value
+// range [0, 2^height). A writeMax descends height levels setting switches
+// high-side-first; a read descends following set switches. Both operations
+// are wait-free with exactly `height` register accesses — no helping, no
+// retries.
+//
+// Nodes are allocated lazily along accessed paths, so a TreeMax over a 2^30
+// range costs memory proportional to the values actually written.
+//
+// Construct with NewTreeMax; the zero value is not usable.
+type TreeMax struct {
+	height int
+	root   *treeNode
+}
+
+type treeNode struct {
+	// sw is the switch: once set, the maximum lives in the high subtree.
+	sw   atomic.Bool
+	low  atomic.Pointer[treeNode]
+	high atomic.Pointer[treeNode]
+}
+
+var _ MaxReg[uint64] = (*TreeMax)(nil)
+
+// MaxTreeHeight bounds the supported tree height (value range 2^60).
+const MaxTreeHeight = 60
+
+// NewTreeMax returns a tree max register over the value range [0, 2^height),
+// initially holding 0.
+func NewTreeMax(height int) (*TreeMax, error) {
+	if height < 1 || height > MaxTreeHeight {
+		return nil, fmt.Errorf("maxreg: tree height must be in [1, %d], got %d", MaxTreeHeight, height)
+	}
+	return &TreeMax{height: height, root: new(treeNode)}, nil
+}
+
+// Bound returns the exclusive upper bound of the register's range.
+func (r *TreeMax) Bound() uint64 { return uint64(1) << uint(r.height) }
+
+// WriteMax implements MaxReg. Values outside [0, Bound()) are clamped to
+// Bound()-1; use TryWriteMax to detect range errors instead.
+func (r *TreeMax) WriteMax(v uint64) {
+	if v >= r.Bound() {
+		v = r.Bound() - 1
+	}
+	writeTree(r.root, r.height, v)
+}
+
+// TryWriteMax is WriteMax with range checking.
+func (r *TreeMax) TryWriteMax(v uint64) error {
+	if v >= r.Bound() {
+		return fmt.Errorf("maxreg: value %d outside range [0, %d)", v, r.Bound())
+	}
+	writeTree(r.root, r.height, v)
+	return nil
+}
+
+func writeTree(n *treeNode, height int, v uint64) {
+	if height == 0 {
+		return // leaf: the value is fully encoded by the path
+	}
+	half := uint64(1) << uint(height-1)
+	if v >= half {
+		// Write the remainder into the high subtree *before* setting
+		// the switch: a reader directed high must already find it.
+		writeTree(child(&n.high), height-1, v-half)
+		n.sw.Store(true)
+		return
+	}
+	// Low side: only meaningful while the switch is unset; once set, any
+	// high value dominates v and the write is already linearized as a
+	// no-op.
+	if !n.sw.Load() {
+		writeTree(child(&n.low), height-1, v)
+	}
+}
+
+// Read implements MaxReg.
+func (r *TreeMax) Read() uint64 {
+	return readTree(r.root, r.height)
+}
+
+func readTree(n *treeNode, height int) uint64 {
+	if height == 0 {
+		return 0
+	}
+	half := uint64(1) << uint(height-1)
+	if n.sw.Load() {
+		return half + readTree(child(&n.high), height-1)
+	}
+	return readTree(child(&n.low), height-1)
+}
+
+// child returns the node behind p, installing a fresh one on first touch.
+func child(p *atomic.Pointer[treeNode]) *treeNode {
+	if n := p.Load(); n != nil {
+		return n
+	}
+	fresh := new(treeNode)
+	if p.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return p.Load()
+}

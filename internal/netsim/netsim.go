@@ -1,0 +1,135 @@
+// Package netsim is a small deterministic asynchronous message-passing
+// simulator: nodes exchange messages through a network that delivers them one
+// at a time in a seeded pseudo-random order, with optional crash faults.
+// It hosts the replicated auditable-register baseline (internal/replicated),
+// matching the asynchronous crash-prone model of Cogo & Bessani.
+package netsim
+
+import (
+	"fmt"
+	mathrand "math/rand/v2"
+)
+
+// NodeID identifies a node.
+type NodeID int
+
+// Message is an envelope in flight.
+type Message struct {
+	// From and To are the endpoints.
+	From, To NodeID
+	// Payload is the protocol message.
+	Payload any
+}
+
+// Handler is a node's protocol logic: Deliver consumes one message and
+// returns the messages it sends in response. Handlers run only inside
+// Network.Pump, one at a time; they need no internal locking.
+type Handler interface {
+	Deliver(msg Message) []Message
+}
+
+// Stats counts network activity.
+type Stats struct {
+	// Sent is the number of messages handed to the network.
+	Sent int
+	// Delivered is the number of messages delivered to handlers.
+	Delivered int
+	// Dropped counts messages to or from crashed nodes.
+	Dropped int
+}
+
+// Network is the simulator. Construct with New; not safe for concurrent use
+// (the simulation is single-threaded by design — asynchrony comes from the
+// randomized delivery order, not from goroutines).
+type Network struct {
+	rng      *mathrand.Rand
+	handlers map[NodeID]Handler
+	crashed  map[NodeID]bool
+	inflight []Message
+	stats    Stats
+}
+
+// New returns a network with the given delivery-order seed.
+func New(seed uint64) *Network {
+	return &Network{
+		rng:      mathrand.New(mathrand.NewPCG(seed, 0x7e7)),
+		handlers: make(map[NodeID]Handler),
+		crashed:  make(map[NodeID]bool),
+	}
+}
+
+// Register attaches a handler to an id. Re-registering replaces the handler.
+func (n *Network) Register(id NodeID, h Handler) {
+	n.handlers[id] = h
+}
+
+// Crash marks a node as crashed: messages to and from it vanish.
+func (n *Network) Crash(id NodeID) { n.crashed[id] = true }
+
+// Crashed reports whether a node is crashed.
+func (n *Network) Crashed(id NodeID) bool { return n.crashed[id] }
+
+// Send queues messages for asynchronous delivery.
+func (n *Network) Send(msgs ...Message) {
+	for _, m := range msgs {
+		if n.crashed[m.From] {
+			n.stats.Dropped++
+			continue
+		}
+		n.stats.Sent++
+		n.inflight = append(n.inflight, m)
+	}
+}
+
+// Pending returns the number of messages in flight.
+func (n *Network) Pending() int { return len(n.inflight) }
+
+// Stats returns the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Step delivers one randomly chosen in-flight message. It reports whether a
+// message was available.
+func (n *Network) Step() (bool, error) {
+	for len(n.inflight) > 0 {
+		i := n.rng.IntN(len(n.inflight))
+		m := n.inflight[i]
+		last := len(n.inflight) - 1
+		n.inflight[i] = n.inflight[last]
+		n.inflight = n.inflight[:last]
+
+		if n.crashed[m.To] {
+			n.stats.Dropped++
+			continue
+		}
+		h, ok := n.handlers[m.To]
+		if !ok {
+			return false, fmt.Errorf("netsim: message to unregistered node %d", m.To)
+		}
+		n.stats.Delivered++
+		n.Send(h.Deliver(m)...)
+		return true, nil
+	}
+	return false, nil
+}
+
+// Pump delivers messages until the network is quiescent or until the
+// predicate becomes true (checked after every delivery). A nil predicate
+// pumps to quiescence. It errors if the predicate is non-nil and unmet at
+// quiescence — the protocol deadlocked or lost a needed quorum.
+func (n *Network) Pump(done func() bool) error {
+	for {
+		if done != nil && done() {
+			return nil
+		}
+		progressed, err := n.Step()
+		if err != nil {
+			return err
+		}
+		if !progressed {
+			if done == nil {
+				return nil
+			}
+			return fmt.Errorf("netsim: quiescent before completion (lost quorum?)")
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package probe defines the instrumentation hook threaded through the
+// algorithm implementations.
+//
+// Each process handle (reader, writer, auditor) optionally carries a Probe.
+// The handle reports every primitive it applies to shared base objects: an
+// Invoke event immediately before the primitive and a Return event carrying
+// the response. Probes serve three purposes in this repository:
+//
+//   - the deterministic scheduler (internal/sched) blocks processes inside
+//     Invoke events to control interleavings at primitive granularity, which
+//     is exactly the step granularity of the paper's model (Section 2);
+//   - the honest-but-curious attacker (internal/attacker) records Return
+//     events, which are precisely "the responses obtained from base objects"
+//     the paper allows an attacker to compute on;
+//   - tests count events to check step bounds such as the m+1 write-retry
+//     bound of Lemma 2.
+//
+// A nil Probe costs a single nil check per primitive.
+package probe
+
+// Kind distinguishes the two event flavours.
+type Kind uint8
+
+// Event kinds.
+const (
+	// Invoke is emitted immediately before a primitive is applied.
+	Invoke Kind = iota + 1
+	// Return is emitted immediately after, with the primitive's response.
+	Return
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case Invoke:
+		return "invoke"
+	case Return:
+		return "return"
+	default:
+		return "unknown"
+	}
+}
+
+// Prim identifies which primitive on which base object is being applied.
+type Prim uint8
+
+// Primitives on the shared base objects of Algorithms 1-3.
+const (
+	// SNRead is a read of the sequence-number register SN.
+	SNRead Prim = iota + 1
+	// SNCAS is a compare&swap on SN.
+	SNCAS
+	// RRead is a read of the register R.
+	RRead
+	// RCAS is a compare&swap on R.
+	RCAS
+	// RXor is a fetch&xor on R.
+	RXor
+	// VStore is a write to V[s].
+	VStore
+	// VLoad is a read of V[s].
+	VLoad
+	// BSet is a write of true to B[s][j].
+	BSet
+	// BRow is a read of row B[s].
+	BRow
+	// MWrite is a writeMax on the underlying max register M (Algorithm 2).
+	MWrite
+	// MRead is a read of M (Algorithm 2).
+	MRead
+	// SUpdate is an update of the underlying snapshot S (Algorithm 3).
+	SUpdate
+	// SScan is a scan of S (Algorithm 3).
+	SScan
+)
+
+// String returns the primitive's name as used in the paper's pseudo-code.
+func (p Prim) String() string {
+	switch p {
+	case SNRead:
+		return "SN.read"
+	case SNCAS:
+		return "SN.compare&swap"
+	case RRead:
+		return "R.read"
+	case RCAS:
+		return "R.compare&swap"
+	case RXor:
+		return "R.fetch&xor"
+	case VStore:
+		return "V.write"
+	case VLoad:
+		return "V.read"
+	case BSet:
+		return "B.write"
+	case BRow:
+		return "B.read"
+	case MWrite:
+		return "M.writeMax"
+	case MRead:
+		return "M.read"
+	case SUpdate:
+		return "S.update"
+	case SScan:
+		return "S.scan"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one instrumentation record.
+type Event struct {
+	// PID is the process id of the handle applying the primitive.
+	PID int
+	// Kind is Invoke or Return.
+	Kind Kind
+	// Prim is the primitive applied.
+	Prim Prim
+	// Detail carries primitive-specific data: on Return it holds the
+	// response (for example a shmem.Triple), on Invoke the arguments where
+	// useful. It may be nil.
+	Detail any
+}
+
+// Probe receives instrumentation events. Implementations may block (the
+// scheduler does); algorithm code calls the probe synchronously.
+type Probe func(Event)
+
+// Emit calls p with the event if p is non-nil.
+func (p Probe) Emit(e Event) {
+	if p != nil {
+		p(e)
+	}
+}
+
+// Counter is a simple Probe that counts events per primitive. It is not safe
+// for concurrent use; attach one Counter per handle.
+type Counter struct {
+	// Invokes counts Invoke events per primitive.
+	Invokes map[Prim]int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{Invokes: make(map[Prim]int)}
+}
+
+// Probe returns the probe function recording into c.
+func (c *Counter) Probe() Probe {
+	return func(e Event) {
+		if e.Kind == Invoke {
+			c.Invokes[e.Prim]++
+		}
+	}
+}
+
+// Total returns the total number of Invoke events across primitives.
+func (c *Counter) Total() int {
+	n := 0
+	for _, v := range c.Invokes {
+		n += v
+	}
+	return n
+}

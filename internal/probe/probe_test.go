@@ -1,0 +1,72 @@
+package probe_test
+
+import (
+	"testing"
+
+	"auditreg/internal/probe"
+)
+
+func TestNilProbeEmitIsSafe(t *testing.T) {
+	t.Parallel()
+	var p probe.Probe
+	p.Emit(probe.Event{PID: 1, Kind: probe.Invoke, Prim: probe.RXor})
+}
+
+func TestEmitDispatches(t *testing.T) {
+	t.Parallel()
+	var got []probe.Event
+	p := probe.Probe(func(e probe.Event) { got = append(got, e) })
+	p.Emit(probe.Event{PID: 3, Kind: probe.Invoke, Prim: probe.SNRead})
+	p.Emit(probe.Event{PID: 3, Kind: probe.Return, Prim: probe.SNRead, Detail: uint64(7)})
+	if len(got) != 2 {
+		t.Fatalf("got %d events", len(got))
+	}
+	if got[1].Detail.(uint64) != 7 {
+		t.Fatalf("detail = %v", got[1].Detail)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	t.Parallel()
+	c := probe.NewCounter()
+	p := c.Probe()
+	p(probe.Event{Kind: probe.Invoke, Prim: probe.RXor})
+	p(probe.Event{Kind: probe.Return, Prim: probe.RXor}) // returns not counted
+	p(probe.Event{Kind: probe.Invoke, Prim: probe.RXor})
+	p(probe.Event{Kind: probe.Invoke, Prim: probe.RCAS})
+	if c.Invokes[probe.RXor] != 2 || c.Invokes[probe.RCAS] != 1 {
+		t.Fatalf("invokes = %v", c.Invokes)
+	}
+	if c.Total() != 3 {
+		t.Fatalf("total = %d", c.Total())
+	}
+}
+
+func TestStringers(t *testing.T) {
+	t.Parallel()
+	prims := []probe.Prim{
+		probe.SNRead, probe.SNCAS, probe.RRead, probe.RCAS, probe.RXor,
+		probe.VStore, probe.VLoad, probe.BSet, probe.BRow,
+		probe.MWrite, probe.MRead, probe.SUpdate, probe.SScan,
+	}
+	seen := make(map[string]bool, len(prims))
+	for _, p := range prims {
+		s := p.String()
+		if s == "" || s == "unknown" {
+			t.Fatalf("prim %d has no name", p)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate prim name %q", s)
+		}
+		seen[s] = true
+	}
+	if probe.Prim(200).String() != "unknown" {
+		t.Fatal("unknown prim not reported")
+	}
+	if probe.Invoke.String() != "invoke" || probe.Return.String() != "return" {
+		t.Fatal("kind names wrong")
+	}
+	if probe.Kind(9).String() != "unknown" {
+		t.Fatal("unknown kind not reported")
+	}
+}

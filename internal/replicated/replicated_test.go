@@ -1,0 +1,258 @@
+package replicated_test
+
+import (
+	"bytes"
+	"testing"
+
+	"auditreg/internal/replicated"
+)
+
+func newCluster(t *testing.T, f int, seed uint64) *replicated.Cluster {
+	t.Helper()
+	c, err := replicated.NewCluster(f, seed)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+func TestClusterValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := replicated.NewCluster(0, 1); err == nil {
+		t.Error("f=0 accepted")
+	}
+	c := newCluster(t, 1, 1)
+	if c.Servers() != 5 || c.FaultBound() != 1 {
+		t.Fatalf("cluster = (%d, %d)", c.Servers(), c.FaultBound())
+	}
+	if err := c.Crash(9); err == nil {
+		t.Error("crash of unknown server accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	t.Parallel()
+	for _, f := range []int{1, 2, 3} {
+		c := newCluster(t, f, 42)
+		w := c.Writer(1)
+		r := c.Reader(0)
+
+		if err := w.Write([]byte("v1")); err != nil {
+			t.Fatalf("f=%d: Write: %v", f, err)
+		}
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("f=%d: Read: %v", f, err)
+		}
+		if !bytes.Equal(got, []byte("v1")) {
+			t.Fatalf("f=%d: read %q", f, got)
+		}
+
+		if err := w.Write([]byte("value-two")); err != nil {
+			t.Fatalf("f=%d: Write: %v", f, err)
+		}
+		got, err = r.Read()
+		if err != nil {
+			t.Fatalf("f=%d: Read: %v", f, err)
+		}
+		if !bytes.Equal(got, []byte("value-two")) {
+			t.Fatalf("f=%d: read %q", f, got)
+		}
+	}
+}
+
+func TestReadInitialValue(t *testing.T) {
+	t.Parallel()
+	c := newCluster(t, 1, 7)
+	got, err := c.Reader(3).Read()
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("initial read = %q, want empty", got)
+	}
+}
+
+func TestSurvivesFCrashes(t *testing.T) {
+	t.Parallel()
+	const f = 2
+	c := newCluster(t, f, 9)
+	w := c.Writer(1)
+	r := c.Reader(0)
+
+	if err := w.Write([]byte("before")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	for i := 0; i < f; i++ {
+		if err := c.Crash(i); err != nil {
+			t.Fatalf("Crash: %v", err)
+		}
+	}
+	got, err := r.Read()
+	if err != nil {
+		t.Fatalf("Read after %d crashes: %v", f, err)
+	}
+	if !bytes.Equal(got, []byte("before")) {
+		t.Fatalf("read %q", got)
+	}
+	if err := w.Write([]byte("after")); err != nil {
+		t.Fatalf("Write after crashes: %v", err)
+	}
+	got, err = r.Read()
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, []byte("after")) {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestTooManyCrashesLoseQuorum(t *testing.T) {
+	t.Parallel()
+	c := newCluster(t, 1, 3)
+	for i := 0; i < 2; i++ { // f+1 crashes
+		if err := c.Crash(i); err != nil {
+			t.Fatalf("Crash: %v", err)
+		}
+	}
+	if err := c.Writer(1).Write([]byte("x")); err == nil {
+		t.Fatal("write completed without a quorum")
+	}
+}
+
+func TestAuditCompleteness(t *testing.T) {
+	t.Parallel()
+	c := newCluster(t, 1, 11)
+	w := c.Writer(1)
+	r2 := c.Reader(2)
+	r5 := c.Reader(5)
+
+	if err := w.Write([]byte("classified")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	v, err := r2.Read()
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if _, err := r5.Read(); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+
+	accesses, err := c.Auditor().Audit()
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	found2, found5 := false, false
+	for _, a := range accesses {
+		if a.Reader == 2 && bytes.Equal(a.Value, v) {
+			found2 = true
+			// An effective read is logged at k = f+1 servers, and
+			// the audit misses at most f, so evidence >= 1; here
+			// with no crashes every contacted server that logged
+			// it reports it.
+			if a.Evidence < 1 {
+				t.Fatalf("evidence = %d", a.Evidence)
+			}
+		}
+		if a.Reader == 5 {
+			found5 = true
+		}
+	}
+	if !found2 || !found5 {
+		t.Fatalf("audit missed readers: %+v", accesses)
+	}
+}
+
+func TestAuditSurvivesCrashesAfterRead(t *testing.T) {
+	t.Parallel()
+	const f = 1
+	c := newCluster(t, f, 13)
+	w := c.Writer(1)
+	if err := w.Write([]byte("s3cret")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := c.Reader(4).Read(); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	// f servers crash *after* the read; the access must still be audited
+	// because it was logged at >= f+1 servers.
+	if err := c.Crash(0); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	accesses, err := c.Auditor().Audit()
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	for _, a := range accesses {
+		if a.Reader == 4 && bytes.Equal(a.Value, []byte("s3cret")) {
+			return
+		}
+	}
+	t.Fatalf("audit lost the read after %d crashes: %+v", f, accesses)
+}
+
+func TestMessageCosts(t *testing.T) {
+	t.Parallel()
+	c := newCluster(t, 1, 17)
+	n := c.Servers()
+
+	before := c.Stats()
+	if err := c.Writer(1).Write([]byte("v")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	writeMsgs := c.Stats().Sent - before.Sent
+	if writeMsgs != 2*n {
+		t.Fatalf("write cost %d messages, want %d (request+ack per server)", writeMsgs, 2*n)
+	}
+
+	before = c.Stats()
+	if _, err := c.Reader(0).Read(); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	readMsgs := c.Stats().Sent - before.Sent
+	if readMsgs != 2*n {
+		t.Fatalf("read cost %d messages, want %d", readMsgs, 2*n)
+	}
+}
+
+func TestMultiWriterLastTimestampWins(t *testing.T) {
+	t.Parallel()
+	c := newCluster(t, 1, 19)
+	w1 := c.Writer(1)
+	w2 := c.Writer(2)
+	r := c.Reader(0)
+
+	if err := w1.Write([]byte("from-w1")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := w2.Write([]byte("from-w2")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := r.Read()
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	// w2's timestamp (same seq, higher writer id) wins.
+	if !bytes.Equal(got, []byte("from-w2")) {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestManySeedsDeterministicOutcome(t *testing.T) {
+	t.Parallel()
+	// Whatever the asynchronous delivery order, a read after a completed
+	// write returns that write's value.
+	for seed := uint64(0); seed < 50; seed++ {
+		c := newCluster(t, 1, seed)
+		if err := c.Writer(1).Write([]byte("stable")); err != nil {
+			t.Fatalf("seed %d: Write: %v", seed, err)
+		}
+		got, err := c.Reader(1).Read()
+		if err != nil {
+			t.Fatalf("seed %d: Read: %v", seed, err)
+		}
+		if !bytes.Equal(got, []byte("stable")) {
+			t.Fatalf("seed %d: read %q", seed, got)
+		}
+	}
+}

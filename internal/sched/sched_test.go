@@ -1,0 +1,194 @@
+package sched_test
+
+import (
+	"testing"
+
+	"auditreg/internal/core"
+	"auditreg/internal/otp"
+	"auditreg/internal/probe"
+	"auditreg/internal/sched"
+	"auditreg/internal/shmem"
+)
+
+func TestPolicies(t *testing.T) {
+	t.Parallel()
+	ready := []int{1, 3, 5}
+
+	rr := &sched.RoundRobinPolicy{}
+	got := []int{rr.Pick(ready), rr.Pick(ready), rr.Pick(ready), rr.Pick(ready)}
+	want := []int{1, 3, 5, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin picks = %v, want %v", got, want)
+		}
+	}
+
+	sp := sched.NewScriptPolicy(5, 5, 1, 9)
+	if p := sp.Pick(ready); p != 5 {
+		t.Fatalf("script pick 1 = %d", p)
+	}
+	if p := sp.Pick(ready); p != 5 {
+		t.Fatalf("script pick 2 = %d", p)
+	}
+	if p := sp.Pick(ready); p != 1 {
+		t.Fatalf("script pick 3 = %d", p)
+	}
+	// 9 is never ready; falls back to lowest.
+	if p := sp.Pick(ready); p != 1 {
+		t.Fatalf("script fallback = %d", p)
+	}
+
+	rp := sched.NewRandomPolicy(1)
+	for i := 0; i < 100; i++ {
+		p := rp.Pick(ready)
+		if p != 1 && p != 3 && p != 5 {
+			t.Fatalf("random policy picked %d not in ready set", p)
+		}
+	}
+}
+
+// newSchedReg builds a register whose reader/writer handles are gated by the
+// scheduler.
+func newSchedReg(t *testing.T, s *sched.Scheduler, m int) (*core.Register[uint64], []*core.Reader[uint64], *core.Writer[uint64]) {
+	t.Helper()
+	pads, err := otp.NewKeyedPads(otp.KeyFromSeed(2), m)
+	if err != nil {
+		t.Fatalf("pads: %v", err)
+	}
+	reg, err := core.New(m, uint64(0), pads)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	readers := make([]*core.Reader[uint64], m)
+	for j := 0; j < m; j++ {
+		rd, err := reg.Reader(j, core.WithProbe(s.Probe(j)))
+		if err != nil {
+			t.Fatalf("Reader: %v", err)
+		}
+		readers[j] = rd
+	}
+	w := reg.Writer(core.WithProbe(s.Probe(100)), core.WithPID(100))
+	return reg, readers, w
+}
+
+func TestSchedulerRunsToCompletion(t *testing.T) {
+	t.Parallel()
+	s := sched.New(sched.NewRandomPolicy(7))
+	_, readers, w := newSchedReg(t, s, 2)
+
+	var r0, r1 uint64
+	err := s.Run(map[int]func(){
+		0:   func() { r0 = readers[0].Read(); r0 = readers[0].Read() },
+		1:   func() { r1 = readers[1].Read() },
+		100: func() { _ = w.Write(42); _ = w.Write(43) },
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Steps() == 0 {
+		t.Fatal("scheduler granted no steps")
+	}
+	for _, v := range []uint64{r0, r1} {
+		if v != 0 && v != 42 && v != 43 {
+			t.Fatalf("read returned %d, not a written value", v)
+		}
+	}
+}
+
+// TestSchedulerDeterministic: the same seed yields the same step count and
+// the same outputs.
+func TestSchedulerDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func(seed uint64) (int, [2]uint64) {
+		s := sched.New(sched.NewRandomPolicy(seed))
+		_, readers, w := newSchedReg(t, s, 2)
+		var out [2]uint64
+		if err := s.Run(map[int]func(){
+			0:   func() { out[0] = readers[0].Read() },
+			1:   func() { out[1] = readers[1].Read() },
+			100: func() { _ = w.Write(9) },
+		}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return s.Steps(), out
+	}
+	s1, o1 := run(11)
+	s2, o2 := run(11)
+	if s1 != s2 || o1 != o2 {
+		t.Fatalf("same seed diverged: (%d, %v) vs (%d, %v)", s1, o1, s2, o2)
+	}
+}
+
+func TestSchedulerMissingProbe(t *testing.T) {
+	t.Parallel()
+	s := sched.New(&sched.RoundRobinPolicy{})
+	if err := s.Run(map[int]func(){3: func() {}}); err == nil {
+		t.Fatal("Run accepted a process without probe")
+	}
+}
+
+func TestSchedulerProcessWithoutSteps(t *testing.T) {
+	t.Parallel()
+	s := sched.New(&sched.RoundRobinPolicy{})
+	_ = s.Probe(1)
+	ran := false
+	if err := s.Run(map[int]func(){1: func() { ran = true }}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("process did not run")
+	}
+}
+
+// TestSingleXorPerSeq is experiment E12 (Lemma 17): under many adversarial
+// schedules, no reader ever applies two fetch&xors while R holds the same
+// sequence number — the guard that keeps each pad observed at most once.
+func TestSingleXorPerSeq(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(0); seed < 50; seed++ {
+		s := sched.New(sched.NewRandomPolicy(seed))
+		pads, err := otp.NewKeyedPads(otp.KeyFromSeed(seed), 2)
+		if err != nil {
+			t.Fatalf("pads: %v", err)
+		}
+		reg, err := core.New(2, uint64(0), pads)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+
+		type key struct {
+			reader int
+			seq    uint64
+		}
+		seen := make(map[key]int)
+		mkReader := func(j int) *core.Reader[uint64] {
+			gate := s.Probe(j)
+			rd, err := reg.Reader(j, core.WithProbe(func(e probe.Event) {
+				gate(e)
+				if e.Prim == probe.RXor && e.Kind == probe.Return {
+					tr := e.Detail.(shmem.Triple[uint64])
+					seen[key{reader: j, seq: tr.Seq}]++
+				}
+			}))
+			if err != nil {
+				t.Fatalf("Reader: %v", err)
+			}
+			return rd
+		}
+		rd0, rd1 := mkReader(0), mkReader(1)
+		w := reg.Writer(core.WithProbe(s.Probe(100)))
+
+		if err := s.Run(map[int]func(){
+			0:   func() { rd0.Read(); rd0.Read(); rd0.Read() },
+			1:   func() { rd1.Read(); rd1.Read() },
+			100: func() { _ = w.Write(1); _ = w.Write(2) },
+		}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for k, n := range seen {
+			if n > 1 {
+				t.Fatalf("seed %d: reader %d applied %d fetch&xors at seq %d", seed, k.reader, n, k.seq)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package shmem
+
+import "sync"
+
+// LockedTriple is the mutex-protected reference TripleReg backend. Every
+// primitive executes in a critical section, so linearizability is immediate.
+// It exists to cross-check the lock-free backends and as the backend of the
+// deterministic scheduler, where the scheduler serializes steps anyway.
+//
+// The zero value holds the zero Triple and is ready to use; NewLockedTriple
+// sets an initial value.
+type LockedTriple[V comparable] struct {
+	mu sync.Mutex
+	t  Triple[V]
+}
+
+var _ TripleReg[int] = (*LockedTriple[int])(nil)
+
+// NewLockedTriple returns a LockedTriple holding init.
+func NewLockedTriple[V comparable](init Triple[V]) *LockedTriple[V] {
+	return &LockedTriple[V]{t: init}
+}
+
+// Load implements TripleReg.
+func (r *LockedTriple[V]) Load() Triple[V] {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t
+}
+
+// CompareAndSwap implements TripleReg.
+func (r *LockedTriple[V]) CompareAndSwap(old, new Triple[V]) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.t != old {
+		return false
+	}
+	r.t = new
+	return true
+}
+
+// FetchXor implements TripleReg.
+func (r *LockedTriple[V]) FetchXor(mask uint64) Triple[V] {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.t
+	r.t.Bits ^= mask
+	return prev
+}
+
+// LockedSeq is a mutex-protected SeqReg, the reference counterpart of
+// AtomicSeq. The zero value holds 0 and is ready to use.
+type LockedSeq struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+var _ SeqReg = (*LockedSeq)(nil)
+
+// Load implements SeqReg.
+func (r *LockedSeq) Load() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.v
+}
+
+// CompareAndSwap implements SeqReg.
+func (r *LockedSeq) CompareAndSwap(old, new uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.v != old {
+		return false
+	}
+	r.v = new
+	return true
+}

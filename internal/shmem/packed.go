@@ -1,0 +1,143 @@
+package shmem
+
+import "fmt"
+
+import "sync/atomic"
+
+// Layout describes how a Packed64 register partitions its 64-bit word into
+// the triple's three fields, from most to least significant:
+//
+//	| Seq (SeqBits) | Val (ValBits) | tracking bits (ReaderBits) |
+//
+// The widths must be positive and sum to at most 64.
+type Layout struct {
+	// SeqBits is the width of the sequence-number field; the register can
+	// represent 2^SeqBits-1 writes before overflowing.
+	SeqBits int
+	// ValBits is the width of the value field.
+	ValBits int
+	// ReaderBits is the number of tracking bits, i.e. the maximum number
+	// of readers m.
+	ReaderBits int
+}
+
+// DefaultLayout supports 2^28 writes, 16-bit values, and 20 readers.
+var DefaultLayout = Layout{SeqBits: 28, ValBits: 16, ReaderBits: 20}
+
+// Validate reports whether the layout is well-formed.
+func (l Layout) Validate() error {
+	switch {
+	case l.SeqBits < 1 || l.ValBits < 1 || l.ReaderBits < 1:
+		return fmt.Errorf("shmem: layout fields must be positive: %+v", l)
+	case l.SeqBits+l.ValBits+l.ReaderBits > 64:
+		return fmt.Errorf("shmem: layout exceeds 64 bits: %+v", l)
+	case l.ReaderBits > MaxReaders:
+		return fmt.Errorf("shmem: layout supports at most %d readers: %+v", MaxReaders, l)
+	default:
+		return nil
+	}
+}
+
+// MaxSeq returns the largest representable sequence number.
+func (l Layout) MaxSeq() uint64 { return mask(l.SeqBits) }
+
+// MaxVal returns the largest representable value.
+func (l Layout) MaxVal() uint64 { return mask(l.ValBits) }
+
+// Pack encodes a triple. Fields wider than the layout are rejected.
+func (l Layout) Pack(t Triple[uint64]) (uint64, error) {
+	if t.Seq > l.MaxSeq() {
+		return 0, fmt.Errorf("shmem: sequence number %d exceeds layout capacity %d", t.Seq, l.MaxSeq())
+	}
+	if t.Val > l.MaxVal() {
+		return 0, fmt.Errorf("shmem: value %d exceeds layout capacity %d", t.Val, l.MaxVal())
+	}
+	if t.Bits > mask(l.ReaderBits) {
+		return 0, fmt.Errorf("shmem: tracking bits %#x exceed %d reader bits", t.Bits, l.ReaderBits)
+	}
+	return t.Seq<<uint(l.ValBits+l.ReaderBits) | t.Val<<uint(l.ReaderBits) | t.Bits, nil
+}
+
+// Unpack decodes a packed word into a triple.
+func (l Layout) Unpack(w uint64) Triple[uint64] {
+	return Triple[uint64]{
+		Seq:  w >> uint(l.ValBits+l.ReaderBits),
+		Val:  w >> uint(l.ReaderBits) & mask(l.ValBits),
+		Bits: w & mask(l.ReaderBits),
+	}
+}
+
+// Packed64 packs the whole triple into one atomic 64-bit word: the closest
+// analogue of the single hardware register R the paper assumes. Sequence
+// numbers, values, and tracking bits are bounded by the layout; callers must
+// keep values within Layout.MaxVal and histories within Layout.MaxSeq.
+//
+// FetchXor is a CAS retry loop because sync/atomic lacks an XOR primitive;
+// see the package comment.
+//
+// Construct with NewPacked64; the zero value is not usable.
+type Packed64 struct {
+	layout Layout
+	w      atomic.Uint64
+}
+
+var _ TripleReg[uint64] = (*Packed64)(nil)
+
+// NewPacked64 returns a packed register with the given layout holding init.
+func NewPacked64(layout Layout, init Triple[uint64]) (*Packed64, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := layout.Pack(init)
+	if err != nil {
+		return nil, err
+	}
+	r := &Packed64{layout: layout}
+	r.w.Store(w)
+	return r, nil
+}
+
+// Layout returns the register's bit layout.
+func (r *Packed64) Layout() Layout { return r.layout }
+
+// Load implements TripleReg.
+func (r *Packed64) Load() Triple[uint64] { return r.layout.Unpack(r.w.Load()) }
+
+// CompareAndSwap implements TripleReg. Triples that do not fit the layout
+// cannot be register contents, so the swap simply fails for them.
+func (r *Packed64) CompareAndSwap(old, new Triple[uint64]) bool {
+	ow, err := r.layout.Pack(old)
+	if err != nil {
+		return false
+	}
+	nw, err := r.layout.Pack(new)
+	if err != nil {
+		// The caller attempted to store an unrepresentable triple;
+		// failing the CAS keeps the register consistent and surfaces
+		// the condition as a stuck writer in tests rather than silent
+		// truncation.
+		return false
+	}
+	return r.w.CompareAndSwap(ow, nw)
+}
+
+// FetchXor implements TripleReg.
+func (r *Packed64) FetchXor(maskBits uint64) Triple[uint64] {
+	maskBits &= mask(r.layout.ReaderBits)
+	for {
+		cur := r.w.Load()
+		if r.w.CompareAndSwap(cur, cur^maskBits) {
+			return r.layout.Unpack(cur)
+		}
+	}
+}
+
+func mask(bits int) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	if bits <= 0 {
+		return 0
+	}
+	return uint64(1)<<uint(bits) - 1
+}

@@ -1,0 +1,19 @@
+package shmem
+
+import "sync/atomic"
+
+// AtomicSeq is the default SeqReg backend: a single atomic 64-bit word.
+// The zero value holds 0 and is ready to use.
+type AtomicSeq struct {
+	v atomic.Uint64
+}
+
+var _ SeqReg = (*AtomicSeq)(nil)
+
+// Load implements SeqReg.
+func (r *AtomicSeq) Load() uint64 { return r.v.Load() }
+
+// CompareAndSwap implements SeqReg.
+func (r *AtomicSeq) CompareAndSwap(old, new uint64) bool {
+	return r.v.CompareAndSwap(old, new)
+}

@@ -1,0 +1,266 @@
+package shmem_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"auditreg/internal/shmem"
+)
+
+// newBackends returns one of each TripleReg backend holding init, for
+// cross-checking tests. Values must fit 16 bits for the packed register.
+func newBackends(t *testing.T, init shmem.Triple[uint64]) map[string]shmem.TripleReg[uint64] {
+	t.Helper()
+	packed, err := shmem.NewPacked64(shmem.Layout{SeqBits: 28, ValBits: 16, ReaderBits: 20}, init)
+	if err != nil {
+		t.Fatalf("NewPacked64: %v", err)
+	}
+	return map[string]shmem.TripleReg[uint64]{
+		"ptr":    shmem.NewPtrTriple(init),
+		"locked": shmem.NewLockedTriple(init),
+		"packed": packed,
+	}
+}
+
+func TestTripleRegBasics(t *testing.T) {
+	t.Parallel()
+	init := shmem.Triple[uint64]{Seq: 0, Val: 5, Bits: 0b1010}
+	for name, r := range newBackends(t, init) {
+		r := r
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if got := r.Load(); got != init {
+				t.Fatalf("Load = %+v, want %+v", got, init)
+			}
+			// Failed CAS: wrong old.
+			if r.CompareAndSwap(shmem.Triple[uint64]{Seq: 9}, shmem.Triple[uint64]{Seq: 1}) {
+				t.Fatal("CAS with wrong old succeeded")
+			}
+			// Successful CAS.
+			next := shmem.Triple[uint64]{Seq: 1, Val: 7, Bits: 0b0101}
+			if !r.CompareAndSwap(init, next) {
+				t.Fatal("CAS with correct old failed")
+			}
+			if got := r.Load(); got != next {
+				t.Fatalf("Load after CAS = %+v, want %+v", got, next)
+			}
+			// FetchXor returns the pre-state and flips only bits.
+			prev := r.FetchXor(0b0011)
+			if prev != next {
+				t.Fatalf("FetchXor returned %+v, want %+v", prev, next)
+			}
+			want := next
+			want.Bits ^= 0b0011
+			if got := r.Load(); got != want {
+				t.Fatalf("Load after xor = %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestTripleRegCrossCheck drives the same random primitive sequence against
+// all backends and requires identical observable behaviour.
+func TestTripleRegCrossCheck(t *testing.T) {
+	t.Parallel()
+	type step struct {
+		Op   uint8 // mod 3: 0 load, 1 cas, 2 xor
+		Seq  uint8
+		Val  uint16
+		Bits uint16 // masked to 16 bits (within every backend's reader field)
+	}
+	f := func(steps []step) bool {
+		init := shmem.Triple[uint64]{Seq: 0, Val: 1, Bits: 0}
+		regs := newBackends(t, init)
+		names := []string{"ptr", "locked", "packed"}
+		for _, s := range steps {
+			switch s.Op % 3 {
+			case 0:
+				want := regs[names[0]].Load()
+				for _, n := range names[1:] {
+					if regs[n].Load() != want {
+						return false
+					}
+				}
+			case 1:
+				// Propose a CAS from the current content of the
+				// first backend; all must agree on the outcome.
+				old := regs[names[0]].Load()
+				if s.Seq%2 == 0 {
+					old.Seq++ // make it fail half the time
+				}
+				next := shmem.Triple[uint64]{Seq: old.Seq + 1, Val: uint64(s.Val), Bits: uint64(s.Bits)}
+				want := regs[names[0]].CompareAndSwap(old, next)
+				for _, n := range names[1:] {
+					if regs[n].CompareAndSwap(old, next) != want {
+						return false
+					}
+				}
+			case 2:
+				mask := uint64(s.Bits)
+				want := regs[names[0]].FetchXor(mask)
+				for _, n := range names[1:] {
+					if regs[n].FetchXor(mask) != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTripleRegConcurrentXorsCommute: n goroutines each xor a distinct bit
+// once; afterwards all bits must be flipped regardless of interleaving, and
+// every goroutine must have observed a distinct pre-state (atomicity).
+func TestTripleRegConcurrentXorsCommute(t *testing.T) {
+	t.Parallel()
+	init := shmem.Triple[uint64]{Seq: 3, Val: 9, Bits: 0}
+	for name, r := range newBackends(t, init) {
+		r := r
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const n = 16
+			prevs := make([]shmem.Triple[uint64], n)
+			var wg sync.WaitGroup
+			for j := 0; j < n; j++ {
+				j := j
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					prevs[j] = r.FetchXor(1 << uint(j))
+				}()
+			}
+			wg.Wait()
+			if got := r.Load().Bits; got != 1<<n-1 {
+				t.Fatalf("final bits %#x, want %#x", got, uint64(1<<n-1))
+			}
+			seen := make(map[uint64]bool, n)
+			for _, p := range prevs {
+				if seen[p.Bits] {
+					t.Fatalf("two xors observed the same pre-state %#x: not atomic", p.Bits)
+				}
+				seen[p.Bits] = true
+			}
+		})
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name   string
+		layout shmem.Layout
+		ok     bool
+	}{
+		{"default", shmem.DefaultLayout, true},
+		{"exact64", shmem.Layout{SeqBits: 32, ValBits: 16, ReaderBits: 16}, true},
+		{"over64", shmem.Layout{SeqBits: 33, ValBits: 16, ReaderBits: 16}, false},
+		{"zeroSeq", shmem.Layout{SeqBits: 0, ValBits: 16, ReaderBits: 16}, false},
+		{"zeroVal", shmem.Layout{SeqBits: 16, ValBits: 0, ReaderBits: 16}, false},
+		{"zeroReaders", shmem.Layout{SeqBits: 16, ValBits: 16, ReaderBits: 0}, false},
+	}
+	for _, c := range cases {
+		if err := c.layout.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%t", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestLayoutPackUnpackRoundTrip(t *testing.T) {
+	t.Parallel()
+	layout := shmem.Layout{SeqBits: 20, ValBits: 24, ReaderBits: 20}
+	f := func(seq, val, bits uint64) bool {
+		tr := shmem.Triple[uint64]{
+			Seq:  seq & layout.MaxSeq(),
+			Val:  val & layout.MaxVal(),
+			Bits: bits & (1<<20 - 1),
+		}
+		w, err := layout.Pack(tr)
+		if err != nil {
+			return false
+		}
+		return layout.Unpack(w) == tr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutPackRejectsOverflow(t *testing.T) {
+	t.Parallel()
+	layout := shmem.Layout{SeqBits: 8, ValBits: 8, ReaderBits: 8}
+	if _, err := layout.Pack(shmem.Triple[uint64]{Seq: 256}); err == nil {
+		t.Error("seq overflow accepted")
+	}
+	if _, err := layout.Pack(shmem.Triple[uint64]{Val: 256}); err == nil {
+		t.Error("val overflow accepted")
+	}
+	if _, err := layout.Pack(shmem.Triple[uint64]{Bits: 256}); err == nil {
+		t.Error("bits overflow accepted")
+	}
+}
+
+func TestPacked64RejectsUnrepresentableCAS(t *testing.T) {
+	t.Parallel()
+	layout := shmem.Layout{SeqBits: 8, ValBits: 8, ReaderBits: 8}
+	r, err := shmem.NewPacked64(layout, shmem.Triple[uint64]{Val: 1})
+	if err != nil {
+		t.Fatalf("NewPacked64: %v", err)
+	}
+	if r.CompareAndSwap(r.Load(), shmem.Triple[uint64]{Seq: 1, Val: 1 << 20}) {
+		t.Fatal("CAS to unrepresentable triple succeeded")
+	}
+	if got := r.Load(); got.Val != 1 {
+		t.Fatalf("register corrupted: %+v", got)
+	}
+}
+
+func TestSeqRegs(t *testing.T) {
+	t.Parallel()
+	for name, r := range map[string]shmem.SeqReg{
+		"atomic": &shmem.AtomicSeq{},
+		"locked": &shmem.LockedSeq{},
+	} {
+		r := r
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if r.Load() != 0 {
+				t.Fatal("zero value not 0")
+			}
+			if r.CompareAndSwap(1, 2) {
+				t.Fatal("CAS with wrong old succeeded")
+			}
+			if !r.CompareAndSwap(0, 5) {
+				t.Fatal("CAS with correct old failed")
+			}
+			if r.Load() != 5 {
+				t.Fatal("CAS did not store")
+			}
+		})
+	}
+}
+
+func TestAtomicSeqConcurrentMonotone(t *testing.T) {
+	t.Parallel()
+	var r shmem.AtomicSeq
+	const procs = 8
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				cur := r.Load()
+				r.CompareAndSwap(cur, cur+1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Load(); got == 0 || got > procs*1000 {
+		t.Fatalf("implausible final count %d", got)
+	}
+}

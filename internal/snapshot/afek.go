@@ -1,0 +1,135 @@
+// Package snapshot implements atomic snapshot objects: the classic wait-free
+// construction of Afek, Attiya, Dolev, Gafni, Merritt and Shavit ("Atomic
+// Snapshots of Shared Memory", J.ACM 1993) as the substrate S, and on top of
+// it Algorithm 3 of "Auditing without Leaks Despite Curiosity": an auditable
+// snapshot whose effective scans are audited and whose scans/updates are
+// uncompromised by scanners.
+package snapshot
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Afek is the wait-free n-component single-writer-per-component atomic
+// snapshot of Afek et al. Each component register carries, besides the data,
+// a sequence number and an embedded view: an updater performs an embedded
+// scan and publishes it with its write, so a scanner that sees the same
+// component move twice can borrow that embedded view (the "helping" that
+// makes scan wait-free after at most n+1 double collects).
+//
+// Construct with NewAfek. Scan may be called by any number of goroutines;
+// Update(i, ...) must only be called by component i's designated writer (use
+// Updater handles to enforce this).
+type Afek[V any] struct {
+	regs []atomic.Pointer[afekCell[V]]
+}
+
+type afekCell[V any] struct {
+	val  V
+	seq  uint64
+	view []V
+}
+
+// NewAfek returns an n-component snapshot, every component holding initial.
+func NewAfek[V any](n int, initial V) (*Afek[V], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("snapshot: component count must be positive, got %d", n)
+	}
+	s := &Afek[V]{regs: make([]atomic.Pointer[afekCell[V]], n)}
+	initView := make([]V, n)
+	for i := range initView {
+		initView[i] = initial
+	}
+	for i := range s.regs {
+		s.regs[i].Store(&afekCell[V]{val: initial, seq: 0, view: initView})
+	}
+	return s, nil
+}
+
+// Components returns the number of components n.
+func (s *Afek[V]) Components() int { return len(s.regs) }
+
+// Scan returns an atomic view of all components.
+func (s *Afek[V]) Scan() []V {
+	n := len(s.regs)
+	moved := make([]uint8, n)
+	c1 := s.collect()
+	for {
+		c2 := s.collect()
+		if sameCollect(c1, c2) {
+			// Clean double collect: the memory was still in between,
+			// so the values form an atomic view.
+			out := make([]V, n)
+			for i, c := range c2 {
+				out[i] = c.val
+			}
+			return out
+		}
+		for i := range c1 {
+			if c1[i].seq != c2[i].seq {
+				if moved[i] > 0 {
+					// Component i moved twice during this scan:
+					// its writer completed a full update — and
+					// hence a full embedded scan — inside our
+					// interval. Borrow it.
+					out := make([]V, n)
+					copy(out, c2[i].view)
+					return out
+				}
+				moved[i]++
+			}
+		}
+		c1 = c2
+	}
+}
+
+// Update sets component i to v. Must be called only by component i's single
+// designated writer.
+func (s *Afek[V]) Update(i int, v V) error {
+	if i < 0 || i >= len(s.regs) {
+		return fmt.Errorf("snapshot: component %d out of range [0, %d)", i, len(s.regs))
+	}
+	view := s.Scan() // the embedded scan that enables helping
+	cur := s.regs[i].Load()
+	s.regs[i].Store(&afekCell[V]{val: v, seq: cur.seq + 1, view: view})
+	return nil
+}
+
+func (s *Afek[V]) collect() []*afekCell[V] {
+	out := make([]*afekCell[V], len(s.regs))
+	for i := range s.regs {
+		out[i] = s.regs[i].Load()
+	}
+	return out
+}
+
+func sameCollect[V any](a, b []*afekCell[V]) bool {
+	for i := range a {
+		if a[i].seq != b[i].seq {
+			return false
+		}
+	}
+	return true
+}
+
+// Updater is the single-writer handle for one component; it enforces the
+// single-writer-per-component discipline of the object.
+type Updater[V any] struct {
+	s *Afek[V]
+	i int
+}
+
+// Updater returns the write handle for component i.
+func (s *Afek[V]) Updater(i int) (*Updater[V], error) {
+	if i < 0 || i >= len(s.regs) {
+		return nil, fmt.Errorf("snapshot: component %d out of range [0, %d)", i, len(s.regs))
+	}
+	return &Updater[V]{s: s, i: i}, nil
+}
+
+// Component returns the component index this handle writes.
+func (u *Updater[V]) Component() int { return u.i }
+
+// Update sets the component to v.
+func (u *Updater[V]) Update(v V) { _ = u.s.Update(u.i, v) }

@@ -1,0 +1,275 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"auditreg/internal/core"
+	"auditreg/internal/handle"
+	"auditreg/internal/maxreg"
+	"auditreg/internal/otp"
+	"auditreg/internal/probe"
+)
+
+// Store is the substrate snapshot interface of Algorithm 3: any linearizable,
+// wait-free snapshot object (Afek by default, Locked for cross-checking).
+type Store[V any] interface {
+	// Scan returns an atomic view of all components.
+	Scan() []V
+	// Update sets component i to v (single writer per component).
+	Update(i int, v V) error
+	// Components returns the number of components.
+	Components() int
+}
+
+var (
+	_ Store[int] = (*Afek[int])(nil)
+	_ Store[int] = (*Locked[int])(nil)
+)
+
+// comp is a component of the substrate S: the user value tagged with the
+// writer's local sequence number sn_i (Algorithm 3 line 2). The sum of the
+// tags over a view is the view's unique, increasing version number.
+type comp[V comparable] struct {
+	sn  uint64
+	val V
+}
+
+// view is the value type written to the auditable max register M: the
+// version number paired with an immutable snapshot view. Pointer identity
+// stands in for content equality: version numbers uniquely identify states
+// along the linearization of S, so any two views with the same vn have equal
+// content.
+type view[V comparable] struct {
+	vn   uint64
+	data *[]V
+}
+
+// ViewEntry is one audited snapshot access: the scanner and the view it
+// effectively obtained.
+type ViewEntry[V comparable] struct {
+	// Reader is the scanner's index.
+	Reader int
+	// View is the snapshot view it read.
+	View []V
+}
+
+// Auditable is the auditable n-component snapshot of Algorithm 3, built from
+// a non-auditable snapshot S and an auditable max register M (Algorithm 2).
+//
+// Guarantees (Theorem 12): wait-free and linearizable; audits report exactly
+// the effective scans; scans are uncompromised by other scanners; updates are
+// uncompromised by scanners.
+//
+// Construct with NewAuditable.
+type Auditable[V comparable] struct {
+	n    int
+	m    int
+	s    Store[comp[V]]
+	mreg *maxreg.Auditable[view[V]]
+}
+
+// AuditableOption configures an auditable snapshot.
+type AuditableOption[V comparable] func(*auditableConfig[V])
+
+type auditableConfig[V comparable] struct {
+	store    Store[comp[V]]
+	locked   bool
+	capacity int
+}
+
+// WithLockedStore substitutes the mutex-based reference snapshot for the
+// Afek substrate (cross-checking, benchmarks).
+func WithLockedStore[V comparable]() AuditableOption[V] {
+	return func(c *auditableConfig[V]) { c.locked = true }
+}
+
+// WithSnapshotCapacity bounds the audit history length of the underlying max
+// register.
+func WithSnapshotCapacity[V comparable](n int) AuditableOption[V] {
+	return func(c *auditableConfig[V]) { c.capacity = n }
+}
+
+// NewAuditable returns an auditable snapshot with n components (one designated
+// updater each) and m scanners, every component holding initial.
+func NewAuditable[V comparable](n, m int, initial V, pads otp.PadSource, opts ...AuditableOption[V]) (*Auditable[V], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("snapshot: component count must be positive, got %d", n)
+	}
+	var cfg auditableConfig[V]
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	var store Store[comp[V]]
+	var err error
+	if cfg.locked {
+		store, err = NewLocked(n, comp[V]{sn: 0, val: initial})
+	} else {
+		store, err = NewAfek(n, comp[V]{sn: 0, val: initial})
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	initData := make([]V, n)
+	for i := range initData {
+		initData[i] = initial
+	}
+	initView := view[V]{vn: 0, data: &initData}
+	mreg, err := maxreg.NewAuditable(m, initView,
+		func(a, b view[V]) bool { return a.vn < b.vn },
+		pads,
+		maxreg.WithAuditableCapacity[view[V]](cfg.capacity),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Auditable[V]{n: n, m: m, s: store, mreg: mreg}, nil
+}
+
+// Components returns the number of components n.
+func (reg *Auditable[V]) Components() int { return reg.n }
+
+// Scanners returns the number of scanners m.
+func (reg *Auditable[V]) Scanners() int { return reg.m }
+
+// SnapUpdater is the single-writer update handle for one component
+// (Algorithm 3 lines 1-5). Not safe for concurrent use.
+type SnapUpdater[V comparable] struct {
+	reg   *Auditable[V]
+	i     int
+	sn    uint64
+	mw    *maxreg.Writer[view[V]]
+	pid   int
+	probe probe.Probe
+}
+
+// Updater returns the update handle for component i. Nonces feed the
+// underlying auditable max register's writeMax.
+func (reg *Auditable[V]) Updater(i int, nonces otp.NonceSource, opts ...core.HandleOption) (*SnapUpdater[V], error) {
+	if i < 0 || i >= reg.n {
+		return nil, fmt.Errorf("snapshot: component %d out of range [0, %d)", i, reg.n)
+	}
+	cfg := handle.Apply(i, opts)
+	mw, err := reg.mreg.Writer(nonces, core.WithPID(cfg.PID), core.WithProbe(cfg.Probe))
+	if err != nil {
+		return nil, err
+	}
+	return &SnapUpdater[V]{reg: reg, i: i, mw: mw, pid: cfg.PID, probe: cfg.Probe}, nil
+}
+
+// Component returns the component index this handle updates.
+func (u *SnapUpdater[V]) Component() int { return u.i }
+
+// Update sets component i to v: bump the local sequence number, install the
+// tagged value in S, scan S, and publish (version, view) to M (lines 2-5).
+func (u *SnapUpdater[V]) Update(v V) error {
+	reg := u.reg
+
+	// Line 2: sn_i++ ; S.update_i((sn_i, v)).
+	u.sn++
+	u.probe.Emit(probe.Event{PID: u.pid, Kind: probe.Invoke, Prim: probe.SUpdate})
+	if err := reg.s.Update(u.i, comp[V]{sn: u.sn, val: v}); err != nil {
+		return err
+	}
+	u.probe.Emit(probe.Event{PID: u.pid, Kind: probe.Return, Prim: probe.SUpdate})
+
+	// Line 3: sview <- S.scan(); vn <- sum of sequence tags.
+	u.probe.Emit(probe.Event{PID: u.pid, Kind: probe.Invoke, Prim: probe.SScan})
+	sview := reg.s.Scan()
+	u.probe.Emit(probe.Event{PID: u.pid, Kind: probe.Return, Prim: probe.SScan})
+
+	var vn uint64
+	data := make([]V, len(sview))
+	for k, c := range sview {
+		vn += c.sn
+		data[k] = c.val // line 4: strip the tags
+	}
+
+	// Line 5: M.writeMax((vn, view)).
+	return u.mw.WriteMax(view[V]{vn: vn, data: &data})
+}
+
+// SnapScanner is the per-process scan handle (Algorithm 3 lines 6-7): a scan
+// is a single read of the auditable max register M, so it is effective — and
+// audited — exactly when that read is.
+type SnapScanner[V comparable] struct {
+	mr *maxreg.Reader[view[V]]
+	j  int
+}
+
+// Scanner returns the handle for scanner j (0 <= j < m). Not safe for
+// concurrent use.
+func (reg *Auditable[V]) Scanner(j int, opts ...core.HandleOption) (*SnapScanner[V], error) {
+	mr, err := reg.mreg.Reader(j, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &SnapScanner[V]{mr: mr, j: j}, nil
+}
+
+// Index returns the scanner's index j.
+func (sc *SnapScanner[V]) Index() int { return sc.j }
+
+// Scan returns an atomic view of the snapshot.
+func (sc *SnapScanner[V]) Scan() []V {
+	v := sc.mr.Read()
+	out := make([]V, len(*v.data))
+	copy(out, *v.data)
+	return out
+}
+
+// SnapAuditor is the per-process audit handle (lines 8-10): an audit of the
+// snapshot is an audit of M with version numbers stripped.
+type SnapAuditor[V comparable] struct {
+	ma *maxreg.Auditor[view[V]]
+}
+
+// Auditor returns an auditor handle with its own cumulative audit set.
+func (reg *Auditable[V]) Auditor(opts ...core.HandleOption) *SnapAuditor[V] {
+	return &SnapAuditor[V]{ma: reg.mreg.Auditor(opts...)}
+}
+
+// Audit reports the set of (scanner, view) pairs such that the scanner has an
+// effective scan returning the view, deduplicated by view content.
+func (a *SnapAuditor[V]) Audit() ([]ViewEntry[V], error) {
+	rep, err := a.ma.Audit()
+	if err != nil {
+		return nil, err
+	}
+	var out []ViewEntry[V]
+	for _, e := range rep.Entries() {
+		data := make([]V, len(*e.Value.data))
+		copy(data, *e.Value.data)
+		entry := ViewEntry[V]{Reader: e.Reader, View: data}
+		if !containsViewEntry(out, entry) {
+			out = append(out, entry)
+		}
+	}
+	return out, nil
+}
+
+func containsViewEntry[V comparable](entries []ViewEntry[V], e ViewEntry[V]) bool {
+	for _, x := range entries {
+		if x.Reader != e.Reader || len(x.View) != len(e.View) {
+			continue
+		}
+		same := true
+		for i := range e.View {
+			if x.View[i] != e.View[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsView reports whether entries includes (reader, view), comparing
+// views by content. Exported for tests and examples.
+func ContainsView[V comparable](entries []ViewEntry[V], reader int, v []V) bool {
+	return containsViewEntry(entries, ViewEntry[V]{Reader: reader, View: v})
+}

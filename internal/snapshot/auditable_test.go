@@ -1,0 +1,279 @@
+package snapshot_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"auditreg/internal/otp"
+	"auditreg/internal/snapshot"
+	"auditreg/internal/spec"
+)
+
+func newAuditableSnap(t *testing.T, n, m int, initial uint64, opts ...snapshot.AuditableOption[uint64]) *snapshot.Auditable[uint64] {
+	t.Helper()
+	pads, err := otp.NewKeyedPads(otp.KeyFromSeed(11), m)
+	if err != nil {
+		t.Fatalf("NewKeyedPads: %v", err)
+	}
+	reg, err := snapshot.NewAuditable(n, m, initial, pads, opts...)
+	if err != nil {
+		t.Fatalf("NewAuditable: %v", err)
+	}
+	return reg
+}
+
+func equalViews(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAuditableSnapshotValidation(t *testing.T) {
+	t.Parallel()
+	pads, _ := otp.NewKeyedPads(otp.KeyFromSeed(1), 2)
+	if _, err := snapshot.NewAuditable[uint64](0, 2, 0, pads); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := snapshot.NewAuditable[uint64](2, 0, 0, pads); err == nil {
+		t.Error("m=0 accepted")
+	}
+	reg := newAuditableSnap(t, 2, 2, 0)
+	if _, err := reg.Updater(2, otp.NewSeededNonces(1, 1)); err == nil {
+		t.Error("out-of-range updater accepted")
+	}
+	if _, err := reg.Scanner(2); err == nil {
+		t.Error("out-of-range scanner accepted")
+	}
+}
+
+func TestAuditableSnapshotBasics(t *testing.T) {
+	t.Parallel()
+	for _, locked := range []bool{false, true} {
+		name := "afek"
+		var opts []snapshot.AuditableOption[uint64]
+		if locked {
+			name = "locked"
+			opts = append(opts, snapshot.WithLockedStore[uint64]())
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			reg := newAuditableSnap(t, 3, 2, 0, opts...)
+			u0, err := reg.Updater(0, otp.NewSeededNonces(1, 10))
+			if err != nil {
+				t.Fatalf("Updater: %v", err)
+			}
+			u2, err := reg.Updater(2, otp.NewSeededNonces(2, 12))
+			if err != nil {
+				t.Fatalf("Updater: %v", err)
+			}
+			sc, err := reg.Scanner(0)
+			if err != nil {
+				t.Fatalf("Scanner: %v", err)
+			}
+
+			if got := sc.Scan(); !equalViews(got, []uint64{0, 0, 0}) {
+				t.Fatalf("initial scan = %v", got)
+			}
+			if err := u0.Update(5); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+			if err := u2.Update(7); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+			if got := sc.Scan(); !equalViews(got, []uint64{5, 0, 7}) {
+				t.Fatalf("scan = %v, want [5 0 7]", got)
+			}
+
+			entries, err := reg.Auditor().Audit()
+			if err != nil {
+				t.Fatalf("Audit: %v", err)
+			}
+			if !snapshot.ContainsView(entries, 0, []uint64{0, 0, 0}) {
+				t.Fatalf("audit %v missing initial view of scanner 0", entries)
+			}
+			if !snapshot.ContainsView(entries, 0, []uint64{5, 0, 7}) {
+				t.Fatalf("audit %v missing second view of scanner 0", entries)
+			}
+			if snapshot.ContainsView(entries, 1, []uint64{0, 0, 0}) {
+				t.Fatalf("audit reports scanner 1 which never scanned: %v", entries)
+			}
+		})
+	}
+}
+
+// TestQuickAuditableSnapshotMatchesSpec replays random sequential scripts
+// against the implementation and the sequential specification.
+func TestQuickAuditableSnapshotMatchesSpec(t *testing.T) {
+	t.Parallel()
+	type op struct {
+		Kind    uint8 // mod 3: 0 scan, 1 update, 2 audit
+		Proc    uint8
+		Payload uint16
+	}
+	f := func(ops []op, seed uint64) bool {
+		const (
+			n = 3
+			m = 3
+		)
+		pads, err := otp.NewKeyedPads(otp.KeyFromSeed(seed), m)
+		if err != nil {
+			return false
+		}
+		reg, err := snapshot.NewAuditable[uint64](n, m, 0, pads)
+		if err != nil {
+			return false
+		}
+		oracle := spec.NewAuditableSnapshot[uint64](n, 0)
+
+		updaters := make([]*snapshot.SnapUpdater[uint64], n)
+		for i := range updaters {
+			u, err := reg.Updater(i, otp.NewSeededNonces(seed+uint64(i), uint8(i)))
+			if err != nil {
+				return false
+			}
+			updaters[i] = u
+		}
+		scanners := make([]*snapshot.SnapScanner[uint64], m)
+		for j := range scanners {
+			sc, err := reg.Scanner(j)
+			if err != nil {
+				return false
+			}
+			scanners[j] = sc
+		}
+		auditor := reg.Auditor()
+
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				j := int(o.Proc) % m
+				got := scanners[j].Scan()
+				want := oracle.Scan(j)
+				if !equalViews(got, want) {
+					return false
+				}
+			case 1:
+				i := int(o.Proc) % n
+				if err := updaters[i].Update(uint64(o.Payload)); err != nil {
+					return false
+				}
+				oracle.Update(i, uint64(o.Payload))
+			case 2:
+				got, err := auditor.Audit()
+				if err != nil {
+					return false
+				}
+				want := oracle.Audit()
+				if len(got) != len(want) {
+					return false
+				}
+				for _, w := range want {
+					if !snapshot.ContainsView(got, w.Reader, w.View) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAuditableSnapshotConcurrent checks component-wise monotonicity of
+// scanned views, scan containment of completed updates, and quiescent audit
+// equivalence.
+func TestAuditableSnapshotConcurrent(t *testing.T) {
+	t.Parallel()
+	const (
+		n   = 3
+		m   = 4
+		per = 120
+	)
+	reg := newAuditableSnap(t, n, m, 0)
+
+	var wg sync.WaitGroup
+	type viewKey [n]uint64
+	returned := make([]map[viewKey]struct{}, m)
+
+	for i := 0; i < n; i++ {
+		u, err := reg.Updater(i, otp.NewSeededNonces(uint64(i)+100, uint8(i)))
+		if err != nil {
+			t.Fatalf("Updater: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 1; k <= per; k++ {
+				if err := u.Update(uint64(k)); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for j := 0; j < m; j++ {
+		j := j
+		returned[j] = make(map[viewKey]struct{})
+		sc, err := reg.Scanner(j)
+		if err != nil {
+			t.Fatalf("Scanner: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := make([]uint64, n)
+			for k := 0; k < per; k++ {
+				got := sc.Scan()
+				var key viewKey
+				for i, v := range got {
+					if v < prev[i] {
+						t.Errorf("scanner %d: component %d regressed %d -> %d", j, i, prev[i], v)
+						return
+					}
+					prev[i] = v
+					key[i] = v
+				}
+				returned[j][key] = struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Quiescent audit equivalence.
+	entries, err := reg.Auditor().Audit()
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	for j := 0; j < m; j++ {
+		for key := range returned[j] {
+			if !snapshot.ContainsView(entries, j, key[:]) {
+				t.Fatalf("scan (%d, %v) returned but not audited", j, key)
+			}
+		}
+	}
+	for _, e := range entries {
+		var key viewKey
+		copy(key[:], e.View)
+		if _, ok := returned[e.Reader][key]; !ok {
+			t.Fatalf("audited view (%d, %v) was never scanned", e.Reader, e.View)
+		}
+	}
+
+	// Final scan shows every completed update.
+	sc, _ := reg.Scanner(0)
+	final := sc.Scan()
+	for i, v := range final {
+		if v != per {
+			t.Fatalf("component %d = %d at quiescence, want %d", i, v, per)
+		}
+	}
+}

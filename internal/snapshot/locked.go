@@ -1,0 +1,49 @@
+package snapshot
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Locked is the mutex-protected reference snapshot, trivially atomic. It
+// cross-checks Afek in tests and serves as an injectable substrate for the
+// auditable snapshot.
+type Locked[V any] struct {
+	mu    sync.Mutex
+	state []V
+}
+
+// NewLocked returns an n-component locked snapshot holding initial.
+func NewLocked[V any](n int, initial V) (*Locked[V], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("snapshot: component count must be positive, got %d", n)
+	}
+	state := make([]V, n)
+	for i := range state {
+		state[i] = initial
+	}
+	return &Locked[V]{state: state}, nil
+}
+
+// Components returns the number of components n.
+func (s *Locked[V]) Components() int { return len(s.state) }
+
+// Scan returns an atomic view of all components.
+func (s *Locked[V]) Scan() []V {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]V, len(s.state))
+	copy(out, s.state)
+	return out
+}
+
+// Update sets component i to v.
+func (s *Locked[V]) Update(i int, v V) error {
+	if i < 0 || i >= len(s.state) {
+		return fmt.Errorf("snapshot: component %d out of range [0, %d)", i, len(s.state))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state[i] = v
+	return nil
+}

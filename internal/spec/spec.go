@@ -1,0 +1,165 @@
+// Package spec holds sequential specifications of the objects implemented in
+// this repository. They serve as oracles: property-based tests replay random
+// operation sequences against both the concurrent implementation and the
+// spec, and the linearizability checker searches for an order of concurrent
+// operations that the spec accepts.
+//
+// The auditable specifications implement the paper's sequential definition
+// (Section 2): an audit returns a pair (j, v) if and only if a read by p_j
+// returning v precedes the audit (accuracy + completeness).
+package spec
+
+import (
+	"auditreg/internal/core"
+)
+
+// AuditableRegister is the sequential specification of Algorithm 1's object.
+type AuditableRegister[V comparable] struct {
+	cur   V
+	seen  map[core.Entry[V]]struct{}
+	pairs []core.Entry[V]
+}
+
+// NewAuditableRegister returns a specification register holding initial.
+func NewAuditableRegister[V comparable](initial V) *AuditableRegister[V] {
+	return &AuditableRegister[V]{
+		cur:  initial,
+		seen: make(map[core.Entry[V]]struct{}),
+	}
+}
+
+// Read returns the current value and records that reader j read it.
+func (s *AuditableRegister[V]) Read(j int) V {
+	s.record(core.Entry[V]{Reader: j, Value: s.cur})
+	return s.cur
+}
+
+// Write sets the current value.
+func (s *AuditableRegister[V]) Write(v V) { s.cur = v }
+
+// Audit returns the set of all (reader, value) pairs read so far.
+func (s *AuditableRegister[V]) Audit() core.Report[V] {
+	return core.NewReport(s.pairs...)
+}
+
+// Current returns the register's value without recording a read.
+func (s *AuditableRegister[V]) Current() V { return s.cur }
+
+func (s *AuditableRegister[V]) record(e core.Entry[V]) {
+	if _, dup := s.seen[e]; dup {
+		return
+	}
+	s.seen[e] = struct{}{}
+	s.pairs = append(s.pairs, e)
+}
+
+// AuditableMax is the sequential specification of Algorithm 2's object: reads
+// return the largest value written so far, audits report effective reads.
+// Values are compared with the user ordering; the nonce machinery of the
+// implementation is invisible at this level.
+type AuditableMax[V comparable] struct {
+	cur   V
+	less  func(a, b V) bool
+	seen  map[core.Entry[V]]struct{}
+	pairs []core.Entry[V]
+}
+
+// NewAuditableMax returns a specification max register holding initial,
+// ordered by less.
+func NewAuditableMax[V comparable](initial V, less func(a, b V) bool) *AuditableMax[V] {
+	return &AuditableMax[V]{
+		cur:  initial,
+		less: less,
+		seen: make(map[core.Entry[V]]struct{}),
+	}
+}
+
+// Read returns the largest value written and records the access of reader j.
+func (s *AuditableMax[V]) Read(j int) V {
+	e := core.Entry[V]{Reader: j, Value: s.cur}
+	if _, dup := s.seen[e]; !dup {
+		s.seen[e] = struct{}{}
+		s.pairs = append(s.pairs, e)
+	}
+	return s.cur
+}
+
+// WriteMax raises the register to v if v is larger than the current value.
+func (s *AuditableMax[V]) WriteMax(v V) {
+	if s.less(s.cur, v) {
+		s.cur = v
+	}
+}
+
+// Audit returns the set of all (reader, value) pairs read so far.
+func (s *AuditableMax[V]) Audit() core.Report[V] {
+	return core.NewReport(s.pairs...)
+}
+
+// Current returns the largest value written without recording a read.
+func (s *AuditableMax[V]) Current() V { return s.cur }
+
+// ViewPair is one audited snapshot access: reader j obtained View.
+type ViewPair[V comparable] struct {
+	// Reader is the scanning process id.
+	Reader int
+	// View is the snapshot view it obtained.
+	View []V
+}
+
+// AuditableSnapshot is the sequential specification of Algorithm 3's object:
+// an n-component single-writer-per-component snapshot whose audits report the
+// views returned by scans.
+type AuditableSnapshot[V comparable] struct {
+	state []V
+	pairs []ViewPair[V]
+}
+
+// NewAuditableSnapshot returns a specification snapshot with n components
+// holding initial.
+func NewAuditableSnapshot[V comparable](n int, initial V) *AuditableSnapshot[V] {
+	state := make([]V, n)
+	for i := range state {
+		state[i] = initial
+	}
+	return &AuditableSnapshot[V]{state: state}
+}
+
+// Update sets component i to v.
+func (s *AuditableSnapshot[V]) Update(i int, v V) { s.state[i] = v }
+
+// Scan returns the current view and records the access of reader j.
+func (s *AuditableSnapshot[V]) Scan(j int) []V {
+	view := make([]V, len(s.state))
+	copy(view, s.state)
+	if !s.contains(j, view) {
+		s.pairs = append(s.pairs, ViewPair[V]{Reader: j, View: view})
+	}
+	return view
+}
+
+// Audit returns all (reader, view) pairs scanned so far.
+func (s *AuditableSnapshot[V]) Audit() []ViewPair[V] {
+	out := make([]ViewPair[V], len(s.pairs))
+	copy(out, s.pairs)
+	return out
+}
+
+func (s *AuditableSnapshot[V]) contains(j int, view []V) bool {
+	for _, p := range s.pairs {
+		if p.Reader != j || len(p.View) != len(view) {
+			continue
+		}
+		same := true
+		for i := range view {
+			if p.View[i] != view[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}

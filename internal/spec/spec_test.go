@@ -1,0 +1,66 @@
+package spec_test
+
+import (
+	"testing"
+
+	"auditreg/internal/spec"
+)
+
+func TestAuditableRegisterSpec(t *testing.T) {
+	t.Parallel()
+	s := spec.NewAuditableRegister(10)
+	if got := s.Read(0); got != 10 {
+		t.Fatalf("read = %d", got)
+	}
+	s.Write(20)
+	if got := s.Current(); got != 20 {
+		t.Fatalf("current = %d", got)
+	}
+	s.Read(1)
+	s.Read(1) // duplicate pair, set semantics
+	rep := s.Audit()
+	if !rep.Contains(0, 10) || !rep.Contains(1, 20) || rep.Len() != 2 {
+		t.Fatalf("audit = %v", rep)
+	}
+}
+
+func TestAuditableMaxSpec(t *testing.T) {
+	t.Parallel()
+	s := spec.NewAuditableMax(0, func(a, b int) bool { return a < b })
+	s.WriteMax(5)
+	s.WriteMax(3)
+	if got := s.Read(2); got != 5 {
+		t.Fatalf("read = %d", got)
+	}
+	if got := s.Current(); got != 5 {
+		t.Fatalf("current = %d", got)
+	}
+	rep := s.Audit()
+	if !rep.Contains(2, 5) || rep.Len() != 1 {
+		t.Fatalf("audit = %v", rep)
+	}
+}
+
+func TestAuditableSnapshotSpec(t *testing.T) {
+	t.Parallel()
+	s := spec.NewAuditableSnapshot(3, 0)
+	view := s.Scan(1)
+	if len(view) != 3 || view[0] != 0 {
+		t.Fatalf("view = %v", view)
+	}
+	s.Update(2, 9)
+	view2 := s.Scan(1)
+	if view2[2] != 9 {
+		t.Fatalf("view = %v", view2)
+	}
+	s.Scan(1) // duplicate view for the same reader: deduplicated
+	pairs := s.Audit()
+	if len(pairs) != 2 {
+		t.Fatalf("audit = %+v", pairs)
+	}
+	// Mutating the returned view must not corrupt the spec state.
+	view2[0] = 99
+	if s.Scan(0)[0] == 99 {
+		t.Fatal("spec state aliased to returned view")
+	}
+}

@@ -1,0 +1,216 @@
+package unbounded_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"auditreg/internal/unbounded"
+)
+
+func TestArrayStoreLoad(t *testing.T) {
+	t.Parallel()
+	a, err := unbounded.NewArray[string](0)
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	if _, ok := a.Load(0); ok {
+		t.Fatal("empty slot reported written")
+	}
+	if err := a.Store(0, "x"); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if v, ok := a.Load(0); !ok || v != "x" {
+		t.Fatalf("Load = (%q, %t)", v, ok)
+	}
+	// Far index in a different chunk.
+	if err := a.Store(123456, "y"); err != nil {
+		t.Fatalf("Store far: %v", err)
+	}
+	if v, ok := a.Load(123456); !ok || v != "y" {
+		t.Fatalf("Load far = (%q, %t)", v, ok)
+	}
+	// Neighbours untouched.
+	if _, ok := a.Load(123455); ok {
+		t.Fatal("neighbour slot reported written")
+	}
+}
+
+func TestArrayCapacityBound(t *testing.T) {
+	t.Parallel()
+	a, err := unbounded.NewArray[int](100)
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	capSlots := a.Capacity()
+	if err := a.Store(capSlots-1, 1); err != nil {
+		t.Fatalf("Store at capacity-1: %v", err)
+	}
+	if err := a.Store(capSlots, 1); err == nil {
+		t.Fatal("Store beyond capacity accepted")
+	}
+	if _, ok := a.Load(capSlots); ok {
+		t.Fatal("Load beyond capacity reported written")
+	}
+}
+
+func TestArrayNegativeCapacity(t *testing.T) {
+	t.Parallel()
+	if _, err := unbounded.NewArray[int](-1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestArrayQuickSparse(t *testing.T) {
+	t.Parallel()
+	a, err := unbounded.NewArray[uint64](1 << 20)
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	written := make(map[uint64]uint64)
+	f := func(idx uint32, v uint64) bool {
+		i := uint64(idx) % a.Capacity()
+		if err := a.Store(i, v); err != nil {
+			return false
+		}
+		written[i] = v
+		got, ok := a.Load(i)
+		return ok && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range written {
+		if got, ok := a.Load(i); !ok || got != v {
+			t.Fatalf("slot %d = (%d, %t), want %d", i, got, ok, v)
+		}
+	}
+}
+
+func TestArrayConcurrentDistinctSlots(t *testing.T) {
+	t.Parallel()
+	a, err := unbounded.NewArray[int](0)
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	const procs, per = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				idx := uint64(p*per + i)
+				if err := a.Store(idx, p); err != nil {
+					t.Errorf("Store(%d): %v", idx, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for p := 0; p < procs; p++ {
+		for i := 0; i < per; i++ {
+			if v, ok := a.Load(uint64(p*per + i)); !ok || v != p {
+				t.Fatalf("slot %d = (%d, %t), want %d", p*per+i, v, ok, p)
+			}
+		}
+	}
+}
+
+func TestBitTableSetRow(t *testing.T) {
+	t.Parallel()
+	b, err := unbounded.NewBitTable(0)
+	if err != nil {
+		t.Fatalf("NewBitTable: %v", err)
+	}
+	if got := b.Row(7); got != 0 {
+		t.Fatalf("fresh row = %#x", got)
+	}
+	if err := b.Set(7, 3); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := b.Set(7, 0); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if got := b.Row(7); got != 0b1001 {
+		t.Fatalf("row = %#x, want 0b1001", got)
+	}
+	// Or merges.
+	if err := b.Or(7, 0b0110); err != nil {
+		t.Fatalf("Or: %v", err)
+	}
+	if got := b.Row(7); got != 0b1111 {
+		t.Fatalf("row after Or = %#x, want 0b1111", got)
+	}
+	// Or with zero is a no-op even out of range.
+	if err := b.Or(1<<40, 0); err != nil {
+		t.Fatalf("Or(.., 0) should be a no-op: %v", err)
+	}
+}
+
+func TestBitTableValidation(t *testing.T) {
+	t.Parallel()
+	b, err := unbounded.NewBitTable(10)
+	if err != nil {
+		t.Fatalf("NewBitTable: %v", err)
+	}
+	if err := b.Set(0, -1); err == nil {
+		t.Error("negative bit accepted")
+	}
+	if err := b.Set(0, 64); err == nil {
+		t.Error("bit 64 accepted")
+	}
+	if err := b.Set(b.Capacity(), 0); err == nil {
+		t.Error("row beyond capacity accepted")
+	}
+	if _, err := unbounded.NewBitTable(-5); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestBitTableConcurrentOrsMerge(t *testing.T) {
+	t.Parallel()
+	b, err := unbounded.NewBitTable(0)
+	if err != nil {
+		t.Fatalf("NewBitTable: %v", err)
+	}
+	const procs = 32
+	var wg sync.WaitGroup
+	for j := 0; j < procs; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.Set(5, j); err != nil {
+				t.Errorf("Set(5, %d): %v", j, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Row(5); got != 1<<procs-1 {
+		t.Fatalf("row = %#x, want all %d bits", got, procs)
+	}
+}
+
+func TestBitTableQuickIdempotentMonotone(t *testing.T) {
+	t.Parallel()
+	b, err := unbounded.NewBitTable(1 << 16)
+	if err != nil {
+		t.Fatalf("NewBitTable: %v", err)
+	}
+	f := func(row uint16, bit uint8) bool {
+		j := int(bit) % 64
+		before := b.Row(uint64(row))
+		if err := b.Set(uint64(row), j); err != nil {
+			return false
+		}
+		after := b.Row(uint64(row))
+		// Monotone, contains the new bit, and changes nothing else.
+		return after&before == before && after&(1<<j) != 0 && after&^(before|1<<j) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

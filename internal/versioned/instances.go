@@ -1,0 +1,76 @@
+package versioned
+
+// This file provides ready-made versioned types the paper calls out as
+// naturally versioned: counters and logical clocks (Section 5.3), plus a
+// versioned register (the degenerate type whose update overwrites the state).
+
+// CounterType is a monotone counter: update increments, read returns the
+// count. It is intrinsically versioned — the count is its own version — but
+// the generic transform keeps an explicit version for uniformity.
+func CounterType() Type[uint64, struct{}, uint64] {
+	return Type[uint64, struct{}, uint64]{
+		Init:    0,
+		Apply:   func(q uint64, _ struct{}) uint64 { return q + 1 },
+		Observe: func(q uint64) uint64 { return q },
+	}
+}
+
+// LamportClockType is a Lamport logical clock: update(observed) advances the
+// clock to max(local, observed) + 1; read returns the clock value.
+func LamportClockType() Type[uint64, uint64, uint64] {
+	return Type[uint64, uint64, uint64]{
+		Init: 0,
+		Apply: func(q uint64, observed uint64) uint64 {
+			if observed > q {
+				q = observed
+			}
+			return q + 1
+		},
+		Observe: func(q uint64) uint64 { return q },
+	}
+}
+
+// RegisterType is an overwriting register over values of type V: update
+// replaces the state, read returns it. Made auditable through the versioned
+// transform it provides the same interface as Algorithm 1 built from
+// Algorithm 2's machinery.
+func RegisterType[V any](initial V) Type[V, V, V] {
+	return Type[V, V, V]{
+		Init:    initial,
+		Apply:   func(_ V, v V) V { return v },
+		Observe: func(q V) V { return q },
+	}
+}
+
+// BoundedHistogramType is a small fixed-width histogram: update(bucket)
+// increments a bucket, read returns the bucket counts as a value (arrays are
+// comparable, so the observation can flow through the auditable transform).
+func BoundedHistogramType[K comparable](buckets []K) Type[map[K]uint64, K, [8]uint64] {
+	index := make(map[K]int, len(buckets))
+	for i, b := range buckets {
+		if i >= 8 {
+			break
+		}
+		index[b] = i
+	}
+	return Type[map[K]uint64, K, [8]uint64]{
+		Init: make(map[K]uint64, len(buckets)),
+		Apply: func(q map[K]uint64, k K) map[K]uint64 {
+			next := make(map[K]uint64, len(q)+1)
+			for key, v := range q {
+				next[key] = v
+			}
+			next[k]++
+			return next
+		},
+		Observe: func(q map[K]uint64) [8]uint64 {
+			var out [8]uint64
+			for k, v := range q {
+				if i, ok := index[k]; ok {
+					out[i] = v
+				}
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,110 @@
+// Package versioned implements Section 5.3 of "Auditing without Leaks
+// Despite Curiosity": versioned types and the transformation that makes any
+// versioned type auditable using an auditable max register.
+//
+// A type t = (Q, q0, I, O, f, g) has states Q, update inputs I, read outputs
+// O; update(v) moves the state from q to g(q, v), read() returns f(q). Its
+// versioned variant t' augments the state with a version number that strictly
+// increases with every update and is returned by every read.
+//
+// Given any linearizable, wait-free versioned implementation T of t, the
+// auditable variant works exactly like Algorithm 3: an update applies to T,
+// reads back (o, vn), and writes the pair to an auditable max register M
+// ordered by vn; a read reads M; an audit audits M. The auditable variant
+// inherits T's type behaviour and M's auditability (Theorem 13).
+package versioned
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Type is the sequential specification tuple (Q, q0, I, O, f, g).
+type Type[Q, I, O any] struct {
+	// Init is the initial state q0.
+	Init Q
+	// Apply is the update transition g: I × Q → Q.
+	Apply func(Q, I) Q
+	// Observe is the read function f: Q → O.
+	Observe func(Q) O
+}
+
+// Base is a linearizable versioned implementation of some type: updates
+// advance the state and its version; reads return the observation together
+// with the version number. Implementations must be safe for concurrent use.
+type Base[I, O any] interface {
+	// Update applies an update with input v.
+	Update(v I)
+	// Read returns the current observation and version number.
+	Read() (O, uint64)
+}
+
+// CASBase is a lock-free versioned implementation of a Type: an atomic
+// pointer to an immutable (state, version) record, advanced with CAS.
+// Construct with NewCAS.
+type CASBase[Q, I, O any] struct {
+	t Type[Q, I, O]
+	p atomic.Pointer[versionedState[Q]]
+}
+
+type versionedState[Q any] struct {
+	q  Q
+	vn uint64
+}
+
+var _ Base[int, int] = (*CASBase[int, int, int])(nil)
+
+// NewCAS returns a lock-free versioned implementation of t.
+func NewCAS[Q, I, O any](t Type[Q, I, O]) *CASBase[Q, I, O] {
+	b := &CASBase[Q, I, O]{t: t}
+	b.p.Store(&versionedState[Q]{q: t.Init, vn: 0})
+	return b
+}
+
+// Update implements Base.
+func (b *CASBase[Q, I, O]) Update(v I) {
+	for {
+		cur := b.p.Load()
+		next := &versionedState[Q]{q: b.t.Apply(cur.q, v), vn: cur.vn + 1}
+		if b.p.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Read implements Base.
+func (b *CASBase[Q, I, O]) Read() (O, uint64) {
+	cur := b.p.Load()
+	return b.t.Observe(cur.q), cur.vn
+}
+
+// LockedBase is the mutex-protected reference versioned implementation.
+// Construct with NewLocked.
+type LockedBase[Q, I, O any] struct {
+	t  Type[Q, I, O]
+	mu sync.Mutex
+	q  Q
+	vn uint64
+}
+
+var _ Base[int, int] = (*LockedBase[int, int, int])(nil)
+
+// NewLocked returns a mutex-based versioned implementation of t.
+func NewLocked[Q, I, O any](t Type[Q, I, O]) *LockedBase[Q, I, O] {
+	return &LockedBase[Q, I, O]{t: t, q: t.Init}
+}
+
+// Update implements Base.
+func (b *LockedBase[Q, I, O]) Update(v I) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.q = b.t.Apply(b.q, v)
+	b.vn++
+}
+
+// Read implements Base.
+func (b *LockedBase[Q, I, O]) Read() (O, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.t.Observe(b.q), b.vn
+}

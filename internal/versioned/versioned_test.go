@@ -1,0 +1,351 @@
+package versioned_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"auditreg/internal/core"
+	"auditreg/internal/otp"
+	"auditreg/internal/versioned"
+)
+
+func TestCASBaseCounter(t *testing.T) {
+	t.Parallel()
+	b := versioned.NewCAS(versioned.CounterType())
+	if o, vn := b.Read(); o != 0 || vn != 0 {
+		t.Fatalf("initial = (%d, %d)", o, vn)
+	}
+	for i := 1; i <= 10; i++ {
+		b.Update(struct{}{})
+		if o, vn := b.Read(); o != uint64(i) || vn != uint64(i) {
+			t.Fatalf("after %d incs: (%d, %d)", i, o, vn)
+		}
+	}
+}
+
+func TestLockedBaseMatchesCAS(t *testing.T) {
+	t.Parallel()
+	f := func(deltas []uint16) bool {
+		cas := versioned.NewCAS(versioned.LamportClockType())
+		locked := versioned.NewLocked(versioned.LamportClockType())
+		for _, d := range deltas {
+			cas.Update(uint64(d))
+			locked.Update(uint64(d))
+			co, cv := cas.Read()
+			lo, lv := locked.Read()
+			if co != lo || cv != lv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCASBaseConcurrentCounter(t *testing.T) {
+	t.Parallel()
+	b := versioned.NewCAS(versioned.CounterType())
+	const procs, per = 8, 1000
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Update(struct{}{})
+			}
+		}()
+	}
+	wg.Wait()
+	if o, vn := b.Read(); o != procs*per || vn != procs*per {
+		t.Fatalf("final = (%d, %d), want (%d, %d)", o, vn, procs*per, procs*per)
+	}
+}
+
+func TestVersionStrictlyIncreases(t *testing.T) {
+	t.Parallel()
+	b := versioned.NewCAS(versioned.RegisterType(uint64(0)))
+	// Updates that do not change the observation still bump the version.
+	_, v0 := b.Read()
+	b.Update(0)
+	_, v1 := b.Read()
+	if v1 != v0+1 {
+		t.Fatalf("idempotent update did not advance version: %d -> %d", v0, v1)
+	}
+}
+
+func newAuditableCounter(t *testing.T, m int) *versioned.Auditable[struct{}, uint64] {
+	t.Helper()
+	pads, err := otp.NewKeyedPads(otp.KeyFromSeed(5), m)
+	if err != nil {
+		t.Fatalf("NewKeyedPads: %v", err)
+	}
+	reg, err := versioned.NewAuditable[struct{}, uint64](m, versioned.NewCAS(versioned.CounterType()), pads)
+	if err != nil {
+		t.Fatalf("NewAuditable: %v", err)
+	}
+	return reg
+}
+
+func TestAuditableCounterSequential(t *testing.T) {
+	t.Parallel()
+	reg := newAuditableCounter(t, 2)
+	u, err := reg.Updater(otp.NewSeededNonces(1, 1))
+	if err != nil {
+		t.Fatalf("Updater: %v", err)
+	}
+	rd, err := reg.Reader(0)
+	if err != nil {
+		t.Fatalf("Reader: %v", err)
+	}
+	if got := rd.Read(); got != 0 {
+		t.Fatalf("initial read = %d", got)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := u.Update(struct{}{}); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		if got := rd.Read(); got != uint64(i) {
+			t.Fatalf("read = %d, want %d", got, i)
+		}
+	}
+	rep, err := reg.Auditor().Audit()
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	for i := uint64(0); i <= 5; i++ {
+		if !rep.Contains(0, i) {
+			t.Fatalf("audit %v missing (0, %d)", rep, i)
+		}
+	}
+	if rep.Len() != 6 {
+		t.Fatalf("audit has %d entries, want 6: %v", rep.Len(), rep)
+	}
+}
+
+func TestAuditableValidatesBase(t *testing.T) {
+	t.Parallel()
+	pads, _ := otp.NewKeyedPads(otp.KeyFromSeed(1), 2)
+	if _, err := versioned.NewAuditable[struct{}, uint64](2, nil, pads); err == nil {
+		t.Error("nil base accepted")
+	}
+	// A base that already advanced must be rejected.
+	b := versioned.NewCAS(versioned.CounterType())
+	b.Update(struct{}{})
+	if _, err := versioned.NewAuditable[struct{}, uint64](2, b, pads); err == nil {
+		t.Error("non-zero-version base accepted")
+	}
+}
+
+func TestAuditableReadVersioned(t *testing.T) {
+	t.Parallel()
+	reg := newAuditableCounter(t, 1)
+	u, _ := reg.Updater(otp.NewSeededNonces(2, 2))
+	rd, _ := reg.Reader(0)
+	u.Update(struct{}{})
+	u.Update(struct{}{})
+	o, vn := rd.ReadVersioned()
+	if o != 2 || vn != 2 {
+		t.Fatalf("ReadVersioned = (%d, %d), want (2, 2)", o, vn)
+	}
+}
+
+// TestAuditableLamportConcurrent: concurrent clock updates; reads are
+// monotone; quiescent audit equivalence holds.
+func TestAuditableLamportConcurrent(t *testing.T) {
+	t.Parallel()
+	const (
+		m       = 4
+		writers = 3
+		per     = 100
+	)
+	pads, err := otp.NewKeyedPads(otp.KeyFromSeed(9), m)
+	if err != nil {
+		t.Fatalf("NewKeyedPads: %v", err)
+	}
+	reg, err := versioned.NewAuditable[uint64, uint64](m, versioned.NewCAS(versioned.LamportClockType()), pads)
+	if err != nil {
+		t.Fatalf("NewAuditable: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	returned := make([]map[uint64]struct{}, m)
+	for j := 0; j < m; j++ {
+		j := j
+		returned[j] = make(map[uint64]struct{})
+		rd, err := reg.Reader(j)
+		if err != nil {
+			t.Fatalf("Reader: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for i := 0; i < per; i++ {
+				v := rd.Read()
+				if v < last {
+					t.Errorf("clock regressed at reader %d: %d -> %d", j, last, v)
+					return
+				}
+				last = v
+				returned[j][v] = struct{}{}
+			}
+		}()
+	}
+	for i := 0; i < writers; i++ {
+		u, err := reg.Updater(otp.NewSeededNonces(uint64(i)+50, uint8(i)))
+		if err != nil {
+			t.Fatalf("Updater: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				if err := u.Update(uint64(k)); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep, err := reg.Auditor().Audit()
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	for j := 0; j < m; j++ {
+		for v := range returned[j] {
+			if !rep.Contains(j, v) {
+				t.Fatalf("read (%d, %d) returned but not audited", j, v)
+			}
+		}
+	}
+	for _, e := range rep.Entries() {
+		if _, ok := returned[e.Reader][e.Value]; !ok {
+			t.Fatalf("audited pair (%d, %d) was never read", e.Reader, e.Value)
+		}
+	}
+}
+
+func TestBoundedHistogramType(t *testing.T) {
+	t.Parallel()
+	ht := versioned.BoundedHistogramType([]string{"get", "put", "del"})
+	b := versioned.NewCAS(ht)
+	b.Update("get")
+	b.Update("get")
+	b.Update("put")
+	o, vn := b.Read()
+	if vn != 3 {
+		t.Fatalf("version = %d, want 3", vn)
+	}
+	if o[0] != 2 || o[1] != 1 || o[2] != 0 {
+		t.Fatalf("histogram = %v", o)
+	}
+}
+
+// TestAuditableHistogram exercises the transform with a composite observation
+// type (an array), checking audits carry full views.
+func TestAuditableHistogram(t *testing.T) {
+	t.Parallel()
+	pads, _ := otp.NewKeyedPads(otp.KeyFromSeed(3), 1)
+	base := versioned.NewCAS(versioned.BoundedHistogramType([]string{"a", "b"}))
+	reg, err := versioned.NewAuditable[string, [8]uint64](1, base, pads)
+	if err != nil {
+		t.Fatalf("NewAuditable: %v", err)
+	}
+	u, _ := reg.Updater(otp.NewSeededNonces(1, 1))
+	rd, _ := reg.Reader(0)
+
+	u.Update("a")
+	u.Update("b")
+	got := rd.Read()
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("read = %v", got)
+	}
+	rep, err := reg.Auditor().Audit()
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	var want [8]uint64
+	want[0], want[1] = 1, 1
+	if !rep.Contains(0, want) {
+		t.Fatalf("audit %v missing histogram view", rep)
+	}
+}
+
+// TestQuickAuditableRegisterMatchesOracle: the versioned-register transform
+// behaves like a plain auditable register in sequential runs.
+func TestQuickAuditableRegisterMatchesOracle(t *testing.T) {
+	t.Parallel()
+	type op struct {
+		Kind   uint8
+		Reader uint8
+		Value  uint16
+	}
+	f := func(ops []op, seed uint64) bool {
+		const m = 3
+		pads, err := otp.NewKeyedPads(otp.KeyFromSeed(seed), m)
+		if err != nil {
+			return false
+		}
+		base := versioned.NewCAS(versioned.RegisterType(uint64(0)))
+		reg, err := versioned.NewAuditable[uint64, uint64](m, base, pads)
+		if err != nil {
+			return false
+		}
+		u, err := reg.Updater(otp.NewSeededNonces(seed, 1))
+		if err != nil {
+			return false
+		}
+		readers := make([]*versioned.AuditableReader[uint64, uint64], m)
+		for j := range readers {
+			rd, err := reg.Reader(j)
+			if err != nil {
+				return false
+			}
+			readers[j] = rd
+		}
+		auditor := reg.Auditor()
+
+		cur := uint64(0)
+		type pair = core.Entry[uint64]
+		seen := make(map[pair]struct{})
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				j := int(o.Reader) % m
+				got := readers[j].Read()
+				if got != cur {
+					return false
+				}
+				seen[pair{Reader: j, Value: got}] = struct{}{}
+			case 1:
+				if err := u.Update(uint64(o.Value)); err != nil {
+					return false
+				}
+				cur = uint64(o.Value)
+			case 2:
+				rep, err := auditor.Audit()
+				if err != nil {
+					return false
+				}
+				if rep.Len() != len(seen) {
+					return false
+				}
+				for e := range seen {
+					if !rep.Contains(e.Reader, e.Value) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
