@@ -69,8 +69,16 @@ func NewKey() (Key, error) { return otp.NewKey() }
 // experiments only.
 func KeyFromSeed(seed uint64) Key { return otp.KeyFromSeed(seed) }
 
-// NewKeyedPads returns the pad source for m readers backed by key.
+// NewKeyedPads returns the pad source for m readers backed by key: one
+// SHA-256 digest per pad lookup.
 func NewKeyedPads(key Key, m int) (PadSource, error) { return otp.NewKeyedPads(key, m) }
+
+// NewBlockPads returns the block-derived pad source for m readers backed by
+// key: one SHA-256 digest yields four consecutive pads, served through a
+// lock-free window cache. Prefer it on write- or audit-heavy workloads; it is
+// as strong as NewKeyedPads but derives a different pad sequence from the
+// same key.
+func NewBlockPads(key Key, m int) (PadSource, error) { return otp.NewBlockPads(key, m) }
 
 // NewSeededNonces returns a deterministic nonce source for the writer with
 // the given 8-bit owner id.

@@ -45,45 +45,76 @@ func benchReg(b *testing.B, m int) *auditreg.Register[uint64] {
 // --- E1: write retry cost under reader contention (Lemma 2) ---
 
 func BenchmarkE1WriteUnderReadStorm(b *testing.B) {
-	for _, m := range []int{1, 4, 16, 64} {
-		b.Run(benchName("m", m), func(b *testing.B) {
-			reg := benchReg(b, m)
-			stop := make(chan struct{})
-			var wg sync.WaitGroup
-			for j := 0; j < m; j++ {
-				rd, err := reg.Reader(j)
+	// The pads dimension is the before/after of the pad-derivation overhaul:
+	// per-pad SHA-256 (keyed) vs block derivation with the window cache
+	// (block). sha/write counts digest compressions per write via
+	// otp.DerivationCounter.
+	sources := []struct {
+		name string
+		make func(m int) auditreg.PadSource
+	}{
+		{"pads=keyed", func(m int) auditreg.PadSource { return benchPads(b, m) }},
+		{"pads=block", func(m int) auditreg.PadSource {
+			pads, err := auditreg.NewBlockPads(auditreg.KeyFromSeed(1), m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return pads
+		}},
+	}
+	for _, src := range sources {
+		for _, m := range []int{1, 4, 16, 64} {
+			b.Run(src.name+"/"+benchName("m", m), func(b *testing.B) {
+				pads := src.make(m)
+				reg, err := auditreg.NewRegister(m, uint64(0), pads)
 				if err != nil {
 					b.Fatal(err)
 				}
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						select {
-						case <-stop:
-							return
-						default:
-							rd.Read()
-						}
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				for j := 0; j < m; j++ {
+					rd, err := reg.Reader(j)
+					if err != nil {
+						b.Fatal(err)
 					}
-				}()
-			}
-			counter := probe.NewCounter()
-			cw := reg.Writer(core.WithProbe(counter.Probe()))
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := cw.Write(uint64(i)); err != nil {
-					b.Fatal(err)
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+								rd.Read()
+							}
+						}
+					}()
 				}
-			}
-			b.StopTimer()
-			close(stop)
-			wg.Wait()
-			if b.N > 0 {
-				b.ReportMetric(float64(counter.Invokes[probe.RRead])/float64(b.N), "loop-iters/write")
-				b.ReportMetric(float64(counter.Invokes[probe.RCAS])/float64(b.N), "cas/write")
-			}
-		})
+				counter := probe.NewCounter()
+				cw := reg.Writer(core.WithProbe(counter.Probe()))
+				dc, _ := pads.(otp.DerivationCounter)
+				var sha0 uint64
+				if dc != nil {
+					sha0 = dc.Derivations()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := cw.Write(uint64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				close(stop)
+				wg.Wait()
+				if b.N > 0 {
+					b.ReportMetric(float64(counter.Invokes[probe.RRead])/float64(b.N), "loop-iters/write")
+					b.ReportMetric(float64(counter.Invokes[probe.RCAS])/float64(b.N), "cas/write")
+					if dc != nil {
+						b.ReportMetric(float64(dc.Derivations()-sha0)/float64(b.N), "sha/write")
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -530,40 +561,63 @@ func BenchmarkE11ReplicatedRead(b *testing.B) {
 // --- substrate microbenches ---
 
 func BenchmarkSubstrateIDA(b *testing.B) {
-	coder, err := ida.New(5, 2)
-	if err != nil {
-		b.Fatal(err)
-	}
-	data := make([]byte, 1024)
-	for i := range data {
-		data[i] = byte(i)
-	}
-	b.Run("split", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			_ = coder.Split(data)
+	for _, tc := range []struct{ n, k, size int }{
+		{5, 2, 1024},  // the replicated-baseline deployment shape (f=1)
+		{16, 8, 4096}, // the dispersal-overhaul acceptance configuration
+	} {
+		coder, err := ida.New(tc.n, tc.k)
+		if err != nil {
+			b.Fatal(err)
 		}
-	})
-	b.Run("reconstruct", func(b *testing.B) {
-		shares := coder.Split(data)
-		subset := map[int][]byte{1: shares[1], 3: shares[3]}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := coder.Reconstruct(subset, len(data)); err != nil {
-				b.Fatal(err)
+		data := make([]byte, tc.size)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		name := benchName("n", tc.n) + "/" + benchName("k", tc.k) + "/" + benchName("size", tc.size)
+		b.Run("split/"+name, func(b *testing.B) {
+			b.SetBytes(int64(tc.size))
+			for i := 0; i < b.N; i++ {
+				_ = coder.Split(data)
 			}
-		}
-	})
+		})
+		b.Run("reconstruct/"+name, func(b *testing.B) {
+			b.SetBytes(int64(tc.size))
+			shares := coder.Split(data)
+			subset := make(map[int][]byte, tc.k)
+			for i := 0; i < tc.k; i++ {
+				subset[(i*2+1)%tc.n] = shares[(i*2+1)%tc.n]
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coder.Reconstruct(subset, len(data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkSubstratePadMask(b *testing.B) {
-	pads, err := otp.NewKeyedPads(otp.KeyFromSeed(1), 64)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = pads.Mask(uint64(i))
-	}
+	b.Run("keyed", func(b *testing.B) {
+		pads, err := otp.NewKeyedPads(otp.KeyFromSeed(1), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = pads.Mask(uint64(i))
+		}
+	})
+	b.Run("block", func(b *testing.B) {
+		pads, err := otp.NewBlockPads(otp.KeyFromSeed(1), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = pads.Mask(uint64(i))
+		}
+	})
 }
 
 func benchName(prefix string, v int) string {

@@ -1,0 +1,3 @@
+module auditreg
+
+go 1.24

@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"testing"
+
+	"auditreg/internal/core"
+	"auditreg/internal/otp"
+	"auditreg/internal/shmem"
+)
+
+// TestSilentReadAllocationFree: a read that finds no new write answers from
+// the handle cache — one atomic load, zero heap allocations, regardless of
+// backend or value type.
+func TestSilentReadAllocationFree(t *testing.T) {
+	reg := newReg(t, "seqlock", 2, 7)
+	rd := mustReader(t, reg, 0)
+	if err := reg.Write(42); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	rd.Read() // populate the cache; every further read is silent
+	if n := testing.AllocsPerRun(1000, func() {
+		if rd.Read() != 42 {
+			t.Fatal("silent read returned wrong value")
+		}
+	}); n != 0 {
+		t.Fatalf("silent Read allocated %v times per run", n)
+	}
+}
+
+// TestUint64WriteAllocationFree: on the auto-selected seqlock backend and on
+// the two-word packed backend, an uncontended uint64 write performs no heap
+// allocation — the triple CAS, the value log store, and the bit-table OR all
+// work in place. FixedPads isolate the register path from pad derivation
+// (BlockPads amortize one small block allocation over four sequence numbers;
+// see TestUint64WriteBlockPadsAmortized).
+func TestUint64WriteAllocationFree(t *testing.T) {
+	pads, err := otp.NewFixedPads(0xA5A5, 0x5A5A, 0xFFFF, 0x0101)
+	if err != nil {
+		t.Fatalf("NewFixedPads: %v", err)
+	}
+	for _, backend := range []string{"seqlock", "packed128"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			var opts []core.Option[uint64]
+			if backend == "packed128" {
+				init := shmem.Triple[uint64]{Seq: 0, Val: 0, Bits: pads.Mask(0) & otp.MaskBits(4)}
+				r, err := shmem.NewPacked128(shmem.DefaultLayout128, init)
+				if err != nil {
+					t.Fatalf("NewPacked128: %v", err)
+				}
+				opts = append(opts, core.WithTripleReg[uint64](r))
+			}
+			reg, err := core.New[uint64](4, 0, pads, opts...)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			w := reg.Writer()
+			if err := w.Write(1); err != nil { // materialize history chunk 0
+				t.Fatalf("Write: %v", err)
+			}
+			var i uint64
+			// Stay below one unbounded chunk (1024 sequence numbers) so no
+			// chunk materialization is charged to the measured writes.
+			if n := testing.AllocsPerRun(500, func() {
+				i++
+				if err := w.Write(i); err != nil {
+					t.Fatal(err)
+				}
+			}); n != 0 {
+				t.Fatalf("uint64 Write on %s allocated %v times per run", backend, n)
+			}
+		})
+	}
+}
+
+// TestUint64WriteBlockPadsAmortized: with the production BlockPads source the
+// only write-path allocation left is the pad block itself — one small object
+// per four sequence numbers, amortizing to zero in AllocsPerRun's integer
+// average.
+func TestUint64WriteBlockPadsAmortized(t *testing.T) {
+	pads, err := otp.NewBlockPads(otp.KeyFromSeed(9), 4)
+	if err != nil {
+		t.Fatalf("NewBlockPads: %v", err)
+	}
+	reg, err := core.New[uint64](4, 0, pads)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	w := reg.Writer()
+	if err := w.Write(1); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var i uint64
+	if n := testing.AllocsPerRun(500, func() {
+		i++
+		if err := w.Write(i); err != nil {
+			t.Fatal(err)
+		}
+	}); n >= 1 {
+		t.Fatalf("uint64 Write under BlockPads allocated %v times per run, want amortized < 1", n)
+	}
+}
+
+// TestIncrementalAuditAllocationFree: an audit that finds no new history rows
+// and no new readers of the current value must not allocate — the lsa cursor
+// skips the scan, the pad memo skips the digest, and the report is a
+// zero-copy view.
+func TestIncrementalAuditAllocationFree(t *testing.T) {
+	reg := newReg(t, "seqlock", 2, 0)
+	rd := mustReader(t, reg, 0)
+	w := reg.Writer()
+	for i := 0; i < 10; i++ {
+		if err := w.Write(uint64(i + 1)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		rd.Read()
+	}
+	auditor := reg.Auditor()
+	if _, err := auditor.Audit(); err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := auditor.Audit(); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("quiescent incremental Audit allocated %v times per run", n)
+	}
+}

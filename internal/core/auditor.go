@@ -3,13 +3,15 @@ package core
 import (
 	"fmt"
 
+	"auditreg/internal/otp"
 	"auditreg/internal/probe"
 )
 
 // Auditor is the per-process audit handle (Algorithm 1 lines 16-22). It
 // accumulates the audit set A across calls and remembers the latest audited
 // sequence number lsa, so successive audits scan only the new suffix of the
-// history plus the (always re-decoded) current value.
+// history plus the (always re-decoded) current value. See AuditSet for how A
+// deduplicates and how reports avoid copying.
 //
 // Not safe for concurrent use: it models a single sequential process.
 // Distinct Auditor handles may audit concurrently, each with its own A.
@@ -17,10 +19,10 @@ type Auditor[V comparable] struct {
 	reg   *Register[V]
 	pid   int
 	probe probe.Probe
+	padc  otp.PadCache
 
-	lsa     uint64
-	seen    map[Entry[V]]struct{}
-	entries []Entry[V]
+	lsa uint64
+	set AuditSet[V]
 }
 
 // Audit reports which values have been read and by whom: the set of pairs
@@ -35,54 +37,51 @@ func (a *Auditor[V]) Audit() (Report[V], error) {
 	reg := a.reg
 
 	// Line 17: (rsn, rval, rbits) <- R.read(). The audit linearizes here.
-	a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.RRead})
+	if a.probe != nil {
+		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.RRead})
+	}
 	t := reg.r.Load()
-	a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.RRead, Detail: t})
+	if a.probe != nil {
+		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.RRead, Detail: t})
+	}
 
 	// Lines 18-20: collect readers of past values from V and B. The scan
 	// starts at lsa, not 0: rows below lsa were already folded into A.
 	for s := a.lsa; s < t.Seq; s++ {
-		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.VLoad})
+		if a.probe != nil {
+			a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.VLoad})
+		}
 		val, ok := reg.vals.Load(s)
-		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.VLoad, Detail: val})
+		if a.probe != nil {
+			a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.VLoad, Detail: val})
+		}
 		if !ok {
 			return Report[V]{}, fmt.Errorf("core: audit found uninitialized V[%d]; history capacity was exceeded", s)
 		}
-		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.BRow})
+		if a.probe != nil {
+			a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.BRow})
+		}
 		row := reg.bits.Row(s)
-		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.BRow, Detail: row})
-		a.add(row&reg.maskM, val)
+		if a.probe != nil {
+			a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.BRow, Detail: row})
+		}
+		a.set.Add(row&reg.maskM, val)
 	}
 
 	// Line 21: decrypt the current value's tracking bits.
-	a.add((t.Bits^reg.pads.Mask(t.Seq))&reg.maskM, t.Val)
+	a.set.Add((t.Bits^a.padc.Mask(t.Seq))&reg.maskM, t.Val)
 
 	// Line 22: advance the cursor to rsn (not rsn+1: more readers may
 	// still join the current sequence number) and help complete the
 	// rsn-th write before returning, ending any transition phase.
 	a.lsa = t.Seq
-	a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
-	ok := reg.sn.CompareAndSwap(t.Seq-1, t.Seq)
-	a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
-
-	return a.report(), nil
-}
-
-func (a *Auditor[V]) add(row uint64, val V) {
-	for j := 0; row != 0; j++ {
-		if row&1 != 0 {
-			e := Entry[V]{Reader: j, Value: val}
-			if _, dup := a.seen[e]; !dup {
-				a.seen[e] = struct{}{}
-				a.entries = append(a.entries, e)
-			}
-		}
-		row >>= 1
+	if a.probe != nil {
+		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
 	}
-}
+	ok := reg.sn.CompareAndSwap(t.Seq-1, t.Seq)
+	if a.probe != nil {
+		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+	}
 
-func (a *Auditor[V]) report() Report[V] {
-	out := make([]Entry[V], len(a.entries))
-	copy(out, a.entries)
-	return Report[V]{entries: out}
+	return a.set.View(), nil
 }

@@ -11,8 +11,10 @@ import (
 )
 
 // backends enumerates the interchangeable R implementations every behavioural
-// test runs against.
-var backends = []string{"ptr", "locked", "packed"}
+// test runs against. "seqlock" is what core.New auto-selects for uint64, so
+// it doubles as the default-path entry; "ptr" is injected explicitly to keep
+// the lock-free pointer backend covered.
+var backends = []string{"ptr", "locked", "packed", "seqlock", "packed128"}
 
 // newReg builds a register over uint64 values with the requested backend.
 // Values must stay within 16 bits so the packed backend can represent them.
@@ -25,7 +27,21 @@ func newReg(t *testing.T, backend string, m int, initial uint64) *core.Register[
 	var opts []core.Option[uint64]
 	switch backend {
 	case "ptr":
-		// default
+		init := shmem.Triple[uint64]{Seq: 0, Val: initial, Bits: pads.Mask(0)}
+		opts = append(opts, core.WithTripleReg[uint64](shmem.NewPtrTriple(init)))
+	case "seqlock":
+		// What core.New picks by itself for uint64; exercised via the
+		// default path on purpose.
+	case "packed128":
+		if m > shmem.DefaultLayout128.ReaderBits {
+			t.Skipf("packed128 layout supports %d readers, need %d", shmem.DefaultLayout128.ReaderBits, m)
+		}
+		init := shmem.Triple[uint64]{Seq: 0, Val: initial, Bits: pads.Mask(0)}
+		r, err := shmem.NewPacked128(shmem.DefaultLayout128, init)
+		if err != nil {
+			t.Fatalf("NewPacked128: %v", err)
+		}
+		opts = append(opts, core.WithTripleReg[uint64](r))
 	case "locked":
 		init := shmem.Triple[uint64]{Seq: 0, Val: initial, Bits: pads.Mask(0)}
 		opts = append(opts, core.WithTripleReg[uint64](shmem.NewLockedTriple(init)))

@@ -9,6 +9,9 @@ import "auditreg/internal/probe"
 // one fetch&xor to R per sequence number (Lemma 17) and hence that no pad is
 // observed twice by the same reader.
 //
+// A silent read costs one atomic load and zero heap allocations; probe event
+// construction is guarded so an uninstrumented handle pays nothing for it.
+//
 // Not safe for concurrent use: it models a single sequential process.
 type Reader[V comparable] struct {
 	reg   *Register[V]
@@ -23,17 +26,23 @@ type Reader[V comparable] struct {
 // Index returns the reader's index j.
 func (rd *Reader[V]) Index() int { return rd.j }
 
-// Read returns the register's current value. It is wait-free: at most three
-// primitive steps. The read is effective — and auditable — the instant the
-// fetch&xor on R takes effect (Claim 4); everything after that is local or
-// helping.
+// Read returns the register's current value. It is wait-free in the paper's
+// base-object model: at most three primitive steps (on the default
+// word-sized backend the base objects trade strict wait-freedom for
+// allocation-freedom; see the package comment). The read is effective — and
+// auditable — the instant the fetch&xor on R takes effect (Claim 4);
+// everything after that is local or helping.
 func (rd *Reader[V]) Read() V {
 	reg := rd.reg
 
 	// Line 2: sn <- SN.read()
-	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+	if rd.probe != nil {
+		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+	}
 	sn := reg.sn.Load()
-	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn})
+	if rd.probe != nil {
+		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn})
+	}
 
 	// Line 3: no new write since the latest read by this process.
 	if sn == rd.prevSN {
@@ -42,16 +51,24 @@ func (rd *Reader[V]) Read() V {
 
 	// Line 4: fetch the current value and insert j into the encrypted
 	// reader set, in one atomic step.
-	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.RXor})
+	if rd.probe != nil {
+		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.RXor})
+	}
 	t := reg.r.FetchXor(uint64(1) << uint(rd.j))
-	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.RXor, Detail: t})
+	if rd.probe != nil {
+		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.RXor, Detail: t})
+	}
 
 	// Line 5: help complete the t.Seq-th write. For t.Seq == 0 the CAS
 	// arguments wrap to (MaxUint64, 0) and can never succeed, matching the
 	// paper where there is no 0-th write to help.
-	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+	if rd.probe != nil {
+		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+	}
 	ok := reg.sn.CompareAndSwap(t.Seq-1, t.Seq)
-	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+	if rd.probe != nil {
+		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+	}
 
 	// Line 6.
 	rd.prevSN, rd.prevVal = t.Seq, t.Val

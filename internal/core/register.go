@@ -27,6 +27,17 @@
 // writing process, one Auditor per auditing process (it carries the audit
 // set A and the cursor lsa). The Register itself is safe for concurrent use
 // through any number of handles.
+//
+// One deviation from the paper's model is opt-out rather than opt-in: for
+// word-sized values New defaults R to the allocation-free seqlock backend,
+// which is linearizable but not strictly wait-free — a mutator preempted
+// inside its few-instruction critical section briefly delays other
+// processes' steps on R. The paper's per-operation step bounds are
+// unchanged; only the assumption that every base-object primitive completes
+// regardless of other processes' speed is weakened to the scheduler not
+// parking a process inside those few instructions indefinitely. Inject
+// shmem.NewPtrTriple via WithTripleReg to restore fully wait-free base
+// objects at one heap allocation per mutation.
 package core
 
 import (
@@ -51,8 +62,51 @@ type Register[V comparable] struct {
 
 	r    shmem.TripleReg[V]
 	sn   shmem.SeqReg
-	vals *unbounded.Array[V]
+	vals valueLog[V]
 	bits *unbounded.BitTable
+}
+
+// valueLog abstracts the audit array V so word-sized values can use the
+// allocation-free inline store while arbitrary V keeps the boxed store.
+type valueLog[V comparable] interface {
+	Store(i uint64, v V) error
+	Load(i uint64) (V, bool)
+}
+
+// u64Log adapts unbounded.U64Array to valueLog[uint64]; its concrete method
+// signatures mean calls through the interface never box the value.
+type u64Log struct{ a *unbounded.U64Array }
+
+func (l u64Log) Store(i uint64, v uint64) error { return l.a.Store(i, v) }
+func (l u64Log) Load(i uint64) (uint64, bool)   { return l.a.Load(i) }
+
+// newValueLog picks the value store for V: the inline atomic array when V is
+// uint64, the boxed array otherwise.
+func newValueLog[V comparable](capacity int) (valueLog[V], error) {
+	var zero V
+	if _, is64 := any(zero).(uint64); is64 {
+		arr, err := unbounded.NewU64Array(capacity)
+		if err != nil {
+			return nil, err
+		}
+		if lg, ok := any(u64Log{a: arr}).(valueLog[V]); ok {
+			return lg, nil
+		}
+	}
+	return unbounded.NewArray[V](capacity)
+}
+
+// defaultTripleReg picks the backend for R when none is injected: the
+// allocation-free seqlock register for word-sized values, the lock-free
+// pointer register otherwise. See shmem.SeqlockTriple and the package doc
+// for the wait-freedom trade this makes.
+func defaultTripleReg[V comparable](init shmem.Triple[V]) shmem.TripleReg[V] {
+	if i64, ok := any(init).(shmem.Triple[uint64]); ok {
+		if r, ok := any(shmem.NewSeqlockTriple(i64)).(shmem.TripleReg[V]); ok {
+			return r
+		}
+	}
+	return shmem.NewPtrTriple(init)
 }
 
 // Option configures a Register.
@@ -65,6 +119,7 @@ type config[V comparable] struct {
 }
 
 // WithTripleReg injects a custom backend for the register R (for example a
+// shmem.NewPtrTriple for strictly wait-free base objects, a
 // shmem.LockedTriple for cross-checking, a shmem.Packed64 for uint64 values,
 // or a scheduler-instrumented register). The backend must be initialized to
 // the triple (0, initial, pads.Mask(0)); New verifies this.
@@ -100,7 +155,7 @@ func New[V comparable](m int, initial V, pads otp.PadSource, opts ...Option[V]) 
 	}
 
 	maskM := otp.MaskBits(m)
-	vals, err := unbounded.NewArray[V](cfg.capacity)
+	vals, err := newValueLog[V](cfg.capacity)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +180,7 @@ func New[V comparable](m int, initial V, pads otp.PadSource, opts ...Option[V]) 
 		}
 		reg.r = cfg.tripleReg
 	default:
-		reg.r = shmem.NewPtrTriple(init)
+		reg.r = defaultTripleReg(init)
 	}
 	switch {
 	case cfg.seqReg != nil:
@@ -149,7 +204,7 @@ func (reg *Register[V]) Seq() uint64 { return reg.sn.Load() }
 // Write performs a write with an anonymous writer handle. Handy when the
 // caller does not need instrumentation.
 func (reg *Register[V]) Write(v V) error {
-	w := Writer[V]{reg: reg, pid: -1}
+	w := Writer[V]{reg: reg, pid: -1, padc: otp.NewPadCache(reg.pads)}
 	return w.Write(v)
 }
 
@@ -187,7 +242,7 @@ func (reg *Register[V]) Reader(j int, opts ...HandleOption) (*Reader[V], error) 
 // instrumentation, so this is purely for probe attribution).
 func (reg *Register[V]) Writer(opts ...HandleOption) *Writer[V] {
 	cfg := handle.Apply(-1, opts)
-	return &Writer[V]{reg: reg, pid: cfg.PID, probe: cfg.Probe}
+	return &Writer[V]{reg: reg, pid: cfg.PID, probe: cfg.Probe, padc: otp.NewPadCache(reg.pads)}
 }
 
 // Auditor returns an auditor handle holding its own audit set A and cursor
@@ -198,6 +253,7 @@ func (reg *Register[V]) Auditor(opts ...HandleOption) *Auditor[V] {
 		reg:   reg,
 		pid:   cfg.PID,
 		probe: cfg.Probe,
-		seen:  make(map[Entry[V]]struct{}),
+		padc:  otp.NewPadCache(reg.pads),
+		set:   NewAuditSet[V](),
 	}
 }

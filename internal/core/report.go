@@ -38,6 +38,14 @@ func NewReport[V comparable](entries ...Entry[V]) Report[V] {
 	return Report[V]{entries: out}
 }
 
+// NewReportView wraps entries without copying or deduplicating. The entries
+// must be distinct already and must not be mutated afterwards; appending to a
+// slice the view was capped from is fine. It is the zero-copy counterpart of
+// NewReport for producers that maintain the set invariant themselves.
+func NewReportView[V comparable](entries []Entry[V]) Report[V] {
+	return Report[V]{entries: entries}
+}
+
 // Len returns the number of distinct audited pairs.
 func (r Report[V]) Len() int { return len(r.entries) }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"auditreg/internal/otp"
 	"auditreg/internal/probe"
 	"auditreg/internal/shmem"
 )
@@ -10,33 +11,48 @@ import (
 // installing a new value they decrypt the reader set of the value they
 // overwrite and copy it, with the value, into the audit arrays B and V.
 //
+// The handle carries a pad memo (otp.PadCache), so the CAS retry loop pays
+// for each pad once no matter how many readers defeat its CAS attempts.
+//
 // Not safe for concurrent use: it models a single sequential process.
 // Distinct Writer handles may write concurrently.
 type Writer[V comparable] struct {
 	reg   *Register[V]
 	pid   int
 	probe probe.Probe
+	padc  otp.PadCache
 }
 
-// Write sets the register's value to v. It is wait-free: the retry loop runs
-// at most m+1 iterations (Lemma 2), because a CAS on R can only be defeated
-// by one of the m readers' single fetch&xor per sequence number or by a
-// concurrent write that lets this one terminate as overwritten ("silent").
+// Write sets the register's value to v. It is wait-free in the paper's
+// base-object model: the retry loop runs at most m+1 iterations (Lemma 2),
+// because a CAS on R can only be defeated by one of the m readers' single
+// fetch&xor per sequence number or by a concurrent write that lets this one
+// terminate as overwritten ("silent"). On the default word-sized backend the
+// base objects themselves trade strict wait-freedom for allocation-freedom;
+// see the package comment.
 //
 // The only possible error is history-capacity exhaustion (see WithCapacity).
 func (w *Writer[V]) Write(v V) error {
 	reg := w.reg
 
 	// Line 8: sn <- SN.read() + 1.
-	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+	if w.probe != nil {
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+	}
 	sn := reg.sn.Load() + 1
-	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn - 1})
+	if w.probe != nil {
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn - 1})
+	}
 
 	for {
 		// Line 10: (lsn, lval, bits) <- R.read().
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.RRead})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.RRead})
+		}
 		t := reg.r.Load()
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.RRead, Detail: t})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.RRead, Detail: t})
+		}
 
 		// Line 11: a concurrent write already installed sn or later;
 		// this write may be linearized immediately before it.
@@ -45,33 +61,49 @@ func (w *Writer[V]) Write(v V) error {
 		}
 
 		// Line 12: copy the outgoing value for auditors.
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.VStore})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.VStore})
+		}
 		if err := reg.vals.Store(t.Seq, t.Val); err != nil {
 			return err
 		}
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.VStore})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.VStore})
+		}
 
 		// Line 13: decrypt the tracking bits and copy the reader set.
-		readers := (t.Bits ^ reg.pads.Mask(t.Seq)) & reg.maskM
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.BSet, Detail: readers})
+		readers := (t.Bits ^ w.padc.Mask(t.Seq)) & reg.maskM
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.BSet, Detail: readers})
+		}
 		if err := reg.bits.Or(t.Seq, readers); err != nil {
 			return err
 		}
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.BSet})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.BSet})
+		}
 
 		// Line 14: install (sn, v, fresh empty encrypted reader set).
-		next := shmem.Triple[V]{Seq: sn, Val: v, Bits: reg.pads.Mask(sn) & reg.maskM}
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.RCAS})
+		next := shmem.Triple[V]{Seq: sn, Val: v, Bits: w.padc.Mask(sn) & reg.maskM}
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.RCAS})
+		}
 		ok := reg.r.CompareAndSwap(t, next)
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.RCAS, Detail: ok})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.RCAS, Detail: ok})
+		}
 		if ok {
 			break
 		}
 	}
 
 	// Line 15: announce the new sequence number.
-	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+	if w.probe != nil {
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+	}
 	ok := reg.sn.CompareAndSwap(sn-1, sn)
-	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+	if w.probe != nil {
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+	}
 	return nil
 }

@@ -5,11 +5,13 @@
 // reproduced in internal/replicated.
 package gf256
 
-// Field provides GF(2^8) arithmetic via log/exp tables.
+// Field provides GF(2^8) arithmetic via log/exp tables, plus a full product
+// table feeding the bulk kernels of mul.go.
 // Construct with New; the zero value is not usable.
 type Field struct {
 	exp [512]byte // doubled to skip the mod 255 in Mul
 	log [256]byte
+	mul [256][256]byte // mul[a][b] = a*b; rows feed MulAdd/MulSlice
 }
 
 // New builds the field tables. The polynomial 0x11d is primitive with root
@@ -29,6 +31,7 @@ func New() *Field {
 	for i := 255; i < 512; i++ {
 		f.exp[i] = f.exp[i-255]
 	}
+	f.buildMulTable()
 	return f
 }
 
@@ -36,12 +39,7 @@ func New() *Field {
 func (f *Field) Add(a, b byte) byte { return a ^ b }
 
 // Mul returns a*b.
-func (f *Field) Mul(a, b byte) byte {
-	if a == 0 || b == 0 {
-		return 0
-	}
-	return f.exp[int(f.log[a])+int(f.log[b])]
-}
+func (f *Field) Mul(a, b byte) byte { return f.mul[a][b] }
 
 // Inv returns the multiplicative inverse of a; Inv(0) panics, as division by
 // zero is a programming error in matrix inversion code.
@@ -82,7 +80,7 @@ func (f *Field) Pow(a byte, n int) byte {
 func (f *Field) MulVec(row, vec []byte) byte {
 	var acc byte
 	for i := range row {
-		acc ^= f.Mul(row[i], vec[i])
+		acc ^= f.mul[row[i]][vec[i]]
 	}
 	return acc
 }

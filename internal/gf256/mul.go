@@ -1,0 +1,121 @@
+package gf256
+
+import "encoding/binary"
+
+// Bulk kernels over GF(2^8). The scalar Mul pays a zero test plus two table
+// indirections per byte; dispersing a KiB-sized value multiplies every byte by
+// a handful of matrix coefficients, so internal/ida streams whole share rows
+// through the kernels below instead. Each kernel walks a single precomputed
+// 256-byte product row — one L1-resident lookup and one XOR per byte — and the
+// coefficients 0 and 1 short-circuit to clears, copies, and word-wide XORs.
+
+// buildMulTable fills the full 256×256 product table from the log/exp tables.
+// 64 KiB once per Field; Row hands out 256-byte slices of it.
+func (f *Field) buildMulTable() {
+	for a := 1; a < 256; a++ {
+		row := &f.mul[a]
+		la := int(f.log[a])
+		for b := 1; b < 256; b++ {
+			row[b] = f.exp[la+int(f.log[b])]
+		}
+	}
+}
+
+// Row returns the precomputed product row of c: Row(c)[x] == Mul(c, x).
+// The returned array is shared and must not be modified.
+func (f *Field) Row(c byte) *[256]byte { return &f.mul[c] }
+
+// MulAdd sets dst[i] ^= c * src[i] for every i — one accumulation step of a
+// matrix-vector product over whole rows. dst and src must have the same
+// length and must not overlap (dst == src entirely is not meaningful here
+// because dst is both read and written).
+func (f *Field) MulAdd(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulAdd length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorBytes(dst, src)
+		return
+	}
+	row := &f.mul[c]
+	dst = dst[:len(src)] // hoist the bounds check out of the loop
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// MulAdd2 sets dst[i] ^= c1*src1[i] ^ c2*src2[i] — two accumulation steps
+// fused into one pass, halving the loads and stores of dst relative to two
+// MulAdd calls. All three slices must have the same length; the sources must
+// not overlap dst. Coefficients 0 and 1 are served by the same row lookups
+// (row 0 is all zeros, row 1 is the identity permutation), so callers need no
+// special-casing.
+func (f *Field) MulAdd2(dst, src1, src2 []byte, c1, c2 byte) {
+	if len(dst) != len(src1) || len(dst) != len(src2) {
+		panic("gf256: MulAdd2 length mismatch")
+	}
+	row1, row2 := &f.mul[c1], &f.mul[c2]
+	src2 = src2[:len(src1)] // hoist the bounds checks out of the loop
+	dst = dst[:len(src1)]
+	for i, s := range src1 {
+		dst[i] ^= row1[s] ^ row2[src2[i]]
+	}
+}
+
+// MulAdd4 is MulAdd2 over four sources: dst[i] ^= Σ c_j*src_j[i] in a single
+// pass over dst. Four is where fusing stops paying: more rows exhaust
+// registers and the product-table lines competing for L1.
+func (f *Field) MulAdd4(dst, src1, src2, src3, src4 []byte, c1, c2, c3, c4 byte) {
+	if len(dst) != len(src1) || len(dst) != len(src2) || len(dst) != len(src3) || len(dst) != len(src4) {
+		panic("gf256: MulAdd4 length mismatch")
+	}
+	row1, row2, row3, row4 := &f.mul[c1], &f.mul[c2], &f.mul[c3], &f.mul[c4]
+	n := len(src1)
+	src2 = src2[:n] // hoist the bounds checks out of the loop
+	src3 = src3[:n]
+	src4 = src4[:n]
+	dst = dst[:n]
+	for i, s := range src1 {
+		dst[i] ^= row1[s] ^ row2[src2[i]] ^ row3[src3[i]] ^ row4[src4[i]]
+	}
+}
+
+// MulSlice sets dst[i] = c * src[i] for every i. dst and src must have the
+// same length; dst == src is allowed.
+func (f *Field) MulSlice(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		clear(dst)
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	row := &f.mul[c]
+	dst = dst[:len(src)] // hoist the bounds check out of the loop
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// xorBytes sets dst[i] ^= src[i], eight bytes per step for the bulk of the
+// slice. The c == 1 case of MulAdd lands here; for a Vandermonde dispersal
+// matrix that is every coefficient of the first column.
+func xorBytes(dst, src []byte) {
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}

@@ -1,0 +1,252 @@
+package gf256_test
+
+import (
+	"bytes"
+	mathrand "math/rand/v2"
+	"testing"
+
+	"auditreg/internal/gf256"
+)
+
+// refMul is an independent scalar reference: carry-less (Russian peasant)
+// multiplication with the 0x11d reduction, sharing no tables with the
+// package, so a systematically wrong product table cannot hide.
+func refMul(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1d
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// scalarMulAdd is the reference the bulk kernels are checked against: the
+// naive per-byte loop over the independent scalar multiply.
+func scalarMulAdd(f *gf256.Field, dst, src []byte, c byte) {
+	for i := range src {
+		dst[i] ^= refMul(c, src[i])
+	}
+}
+
+// TestMulAddDifferential: MulAdd agrees with the scalar loop for every
+// coefficient, across lengths chosen to hit the word-wide XOR fast path, its
+// byte tail, and the empty slice.
+func TestMulAddDifferential(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+	rng := mathrand.New(mathrand.NewPCG(7, 11))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 100, 1024} {
+		src := make([]byte, n)
+		init := make([]byte, n)
+		for i := range src {
+			src[i] = byte(rng.Uint64())
+			init[i] = byte(rng.Uint64())
+		}
+		for c := 0; c < 256; c++ {
+			want := append([]byte(nil), init...)
+			scalarMulAdd(f, want, src, byte(c))
+			got := append([]byte(nil), init...)
+			f.MulAdd(got, src, byte(c))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAdd(c=%d, n=%d) diverges from scalar reference", c, n)
+			}
+		}
+	}
+}
+
+// TestMulAdd2Differential: the fused two-source kernel agrees with two
+// scalar accumulations for coefficient pairs covering 0, 1, and general
+// values on both sides.
+func TestMulAdd2Differential(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+	rng := mathrand.New(mathrand.NewPCG(19, 23))
+	coeffs := []byte{0, 1, 2, 0x1d, 0x57, 0xff}
+	for _, n := range []int{0, 1, 9, 64, 1024} {
+		src1 := make([]byte, n)
+		src2 := make([]byte, n)
+		init := make([]byte, n)
+		for i := range src1 {
+			src1[i] = byte(rng.Uint64())
+			src2[i] = byte(rng.Uint64())
+			init[i] = byte(rng.Uint64())
+		}
+		for _, c1 := range coeffs {
+			for _, c2 := range coeffs {
+				want := append([]byte(nil), init...)
+				scalarMulAdd(f, want, src1, c1)
+				scalarMulAdd(f, want, src2, c2)
+				got := append([]byte(nil), init...)
+				f.MulAdd2(got, src1, src2, c1, c2)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("MulAdd2(c1=%d, c2=%d, n=%d) diverges", c1, c2, n)
+				}
+			}
+		}
+	}
+}
+
+// TestMulAdd4Differential: the four-source kernel agrees with four scalar
+// accumulations across random coefficient quadruples plus the all-zero and
+// all-one corners.
+func TestMulAdd4Differential(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+	rng := mathrand.New(mathrand.NewPCG(29, 31))
+	quads := [][4]byte{{0, 0, 0, 0}, {1, 1, 1, 1}, {0, 1, 2, 3}}
+	for i := 0; i < 32; i++ {
+		quads = append(quads, [4]byte{byte(rng.Uint64()), byte(rng.Uint64()), byte(rng.Uint64()), byte(rng.Uint64())})
+	}
+	for _, n := range []int{0, 1, 9, 64, 1024} {
+		srcs := make([][]byte, 4)
+		for s := range srcs {
+			srcs[s] = make([]byte, n)
+			for i := range srcs[s] {
+				srcs[s][i] = byte(rng.Uint64())
+			}
+		}
+		init := make([]byte, n)
+		for i := range init {
+			init[i] = byte(rng.Uint64())
+		}
+		for _, q := range quads {
+			want := append([]byte(nil), init...)
+			for s := range srcs {
+				scalarMulAdd(f, want, srcs[s], q[s])
+			}
+			got := append([]byte(nil), init...)
+			f.MulAdd4(got, srcs[0], srcs[1], srcs[2], srcs[3], q[0], q[1], q[2], q[3])
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAdd4(c=%v, n=%d) diverges", q, n)
+			}
+		}
+	}
+}
+
+// TestMulSliceDifferential: MulSlice agrees with the scalar product for every
+// coefficient, including in-place (dst == src).
+func TestMulSliceDifferential(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+	rng := mathrand.New(mathrand.NewPCG(13, 17))
+	for _, n := range []int{0, 1, 9, 64, 1024} {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(rng.Uint64())
+		}
+		for c := 0; c < 256; c++ {
+			want := make([]byte, n)
+			for i := range src {
+				want[i] = refMul(byte(c), src[i])
+			}
+			got := make([]byte, n)
+			f.MulSlice(got, src, byte(c))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulSlice(c=%d, n=%d) diverges from scalar product", c, n)
+			}
+			inPlace := append([]byte(nil), src...)
+			f.MulSlice(inPlace, inPlace, byte(c))
+			if !bytes.Equal(inPlace, want) {
+				t.Fatalf("in-place MulSlice(c=%d, n=%d) diverges", c, n)
+			}
+		}
+	}
+}
+
+// TestRowMatchesMul: the precomputed rows are exactly the multiplication
+// table.
+func TestRowMatchesMul(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+	for c := 0; c < 256; c++ {
+		row := f.Row(byte(c))
+		for x := 0; x < 256; x++ {
+			if row[x] != refMul(byte(c), byte(x)) {
+				t.Fatalf("Row(%d)[%d] = %d, want %d", c, x, row[x], refMul(byte(c), byte(x)))
+			}
+		}
+	}
+}
+
+// TestMulAddLengthMismatchPanics: mismatched lengths are programming errors.
+func TestMulAddLengthMismatchPanics(t *testing.T) {
+	t.Parallel()
+	f := gf256.New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulAdd with mismatched lengths did not panic")
+		}
+	}()
+	f.MulAdd(make([]byte, 4), make([]byte, 5), 2)
+}
+
+func BenchmarkMulAdd(b *testing.B) {
+	f := gf256.New()
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	b.Run("bulk", func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			f.MulAdd(dst, src, 0x57)
+		}
+	})
+	b.Run("bulk-xor", func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			f.MulAdd(dst, src, 1)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		// The pre-overhaul cost model: per-byte log/exp lookups with zero
+		// tests, as Mul computed before the product table existed.
+		lf := newLogExpField()
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			for j := range src {
+				dst[j] ^= lf.mul(0x57, src[j])
+			}
+		}
+	})
+}
+
+// logExpField replicates the pre-overhaul scalar multiply (log/exp tables,
+// zero tests) as the benchmark baseline.
+type logExpField struct {
+	exp [512]byte
+	log [256]byte
+}
+
+func newLogExpField() *logExpField {
+	f := &logExpField{}
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		f.exp[i] = x
+		f.log[x] = byte(i)
+		hi := x & 0x80
+		x <<= 1
+		if hi != 0 {
+			x ^= 0x1d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		f.exp[i] = f.exp[i-255]
+	}
+	return f
+}
+
+func (f *logExpField) mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+int(f.log[b])]
+}

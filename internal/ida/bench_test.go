@@ -1,0 +1,212 @@
+package ida_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"auditreg/internal/ida"
+)
+
+// logExpField replicates the pre-overhaul scalar arithmetic (log/exp tables,
+// zero tests, per-column MulVec) as the differential reference and benchmark
+// baseline for the row-major slab encoder.
+type logExpField struct {
+	exp [512]byte
+	log [256]byte
+}
+
+func newLogExpField() *logExpField {
+	f := &logExpField{}
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		f.exp[i] = x
+		f.log[x] = byte(i)
+		hi := x & 0x80
+		x <<= 1
+		if hi != 0 {
+			x ^= 0x1d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		f.exp[i] = f.exp[i-255]
+	}
+	return f
+}
+
+func (f *logExpField) mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+int(f.log[b])]
+}
+
+func (f *logExpField) mulVec(row, vec []byte) byte {
+	var acc byte
+	for i := range row {
+		acc ^= f.mul(row[i], vec[i])
+	}
+	return acc
+}
+
+func (f *logExpField) pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[(int(f.log[a])*n)%255]
+}
+
+// scalarSplit is the pre-overhaul encoder: a per-column matrix-vector
+// product, one k-byte gather per output column.
+func scalarSplit(f *logExpField, matrix [][]byte, n, k int, data []byte) [][]byte {
+	cols := (len(data) + k - 1) / k
+	padded := make([]byte, cols*k)
+	copy(padded, data)
+	shares := make([][]byte, n)
+	for i := range shares {
+		shares[i] = make([]byte, cols)
+	}
+	vec := make([]byte, k)
+	for col := 0; col < cols; col++ {
+		for j := 0; j < k; j++ {
+			vec[j] = padded[col*k+j]
+		}
+		for i := 0; i < n; i++ {
+			shares[i][col] = f.mulVec(matrix[i], vec)
+		}
+	}
+	return shares
+}
+
+func vandermonde(f *logExpField, n, k int) [][]byte {
+	matrix := make([][]byte, n)
+	for i := range matrix {
+		row := make([]byte, k)
+		for j := 0; j < k; j++ {
+			row[j] = f.pow(byte(i+1), j)
+		}
+		matrix[i] = row
+	}
+	return matrix
+}
+
+// TestSplitMatchesScalarReference: the row-major slab encoder emits the exact
+// same share bytes as the per-column scalar encoder, so shares written before
+// the overhaul reconstruct after it and vice versa.
+func TestSplitMatchesScalarReference(t *testing.T) {
+	t.Parallel()
+	f := newLogExpField()
+	for _, tc := range []struct{ n, k, size int }{
+		{5, 2, 0}, {5, 2, 1}, {5, 3, 40}, {16, 8, 4096}, {16, 8, 4097},
+	} {
+		c, err := ida.New(tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("New(%d, %d): %v", tc.n, tc.k, err)
+		}
+		data := make([]byte, tc.size)
+		for i := range data {
+			data[i] = byte(i*7 + 3)
+		}
+		got := c.Split(data)
+		want := scalarSplit(f, vandermonde(f, tc.n, tc.k), tc.n, tc.k, data)
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("n=%d k=%d size=%d: share %d diverges from scalar reference",
+					tc.n, tc.k, tc.size, i)
+			}
+		}
+	}
+}
+
+// TestReconstructRepeatedQuorum: repeated reconstruction from the same (and
+// from permuted) share subsets stays correct — exercising the inverse cache
+// on hits, misses, and order-permuted keys.
+func TestReconstructRepeatedQuorum(t *testing.T) {
+	t.Parallel()
+	c, err := ida.New(7, 3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	data := []byte("repeated quorum reconstruction hits the inverse cache")
+	shares := c.Split(data)
+	for round := 0; round < 10; round++ {
+		a, b2, d := round%5, (round%5)+1, (round%5)+2
+		subset := map[int][]byte{a: shares[a], b2: shares[b2], d: shares[d]}
+		got, err := c.Reconstruct(subset, len(data))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round %d reconstructed %q", round, got)
+		}
+	}
+}
+
+func benchCoder(b *testing.B, n, k int) *ida.Coder {
+	b.Helper()
+	c, err := ida.New(n, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchData(size int) []byte {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	return data
+}
+
+// BenchmarkSplit: the acceptance configuration n=16, k=8 on 4 KiB values,
+// bulk row-major encoder vs the scalar per-column reference.
+func BenchmarkSplit(b *testing.B) {
+	for _, tc := range []struct{ n, k, size int }{
+		{5, 2, 1024}, {16, 8, 4096}, {16, 8, 65536},
+	} {
+		name := fmt.Sprintf("n=%d/k=%d/size=%d", tc.n, tc.k, tc.size)
+		c := benchCoder(b, tc.n, tc.k)
+		data := benchData(tc.size)
+		b.Run("bulk/"+name, func(b *testing.B) {
+			b.SetBytes(int64(tc.size))
+			for i := 0; i < b.N; i++ {
+				_ = c.Split(data)
+			}
+		})
+		f := newLogExpField()
+		matrix := vandermonde(f, tc.n, tc.k)
+		b.Run("scalar/"+name, func(b *testing.B) {
+			b.SetBytes(int64(tc.size))
+			for i := 0; i < b.N; i++ {
+				_ = scalarSplit(f, matrix, tc.n, tc.k, data)
+			}
+		})
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	for _, tc := range []struct{ n, k, size int }{
+		{5, 2, 1024}, {16, 8, 4096},
+	} {
+		name := fmt.Sprintf("n=%d/k=%d/size=%d", tc.n, tc.k, tc.size)
+		c := benchCoder(b, tc.n, tc.k)
+		data := benchData(tc.size)
+		shares := c.Split(data)
+		subset := make(map[int][]byte, tc.k)
+		for i := 0; i < tc.k; i++ {
+			subset[i*2%tc.n] = shares[i*2%tc.n]
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(tc.size))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Reconstruct(subset, len(data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

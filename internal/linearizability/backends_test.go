@@ -1,0 +1,133 @@
+package linearizability_test
+
+import (
+	"fmt"
+	"testing"
+
+	"auditreg/internal/core"
+	"auditreg/internal/history"
+	"auditreg/internal/linearizability"
+	"auditreg/internal/otp"
+	"auditreg/internal/sched"
+	"auditreg/internal/shmem"
+)
+
+// newBackendReg builds a 2-reader uint64 register over the named R backend
+// with block-derived pads, so the scheduler-driven checks below exercise the
+// exact configuration of the fast path: seqlock or two-word-packed R plus
+// BlockPads.
+func newBackendReg(t *testing.T, backend string, pads otp.PadSource) *core.Register[uint64] {
+	t.Helper()
+	init := shmem.Triple[uint64]{Seq: 0, Val: 0, Bits: pads.Mask(0) & otp.MaskBits(2)}
+	var opts []core.Option[uint64]
+	switch backend {
+	case "ptr":
+		opts = append(opts, core.WithTripleReg[uint64](shmem.NewPtrTriple(init)))
+	case "seqlock":
+		opts = append(opts, core.WithTripleReg[uint64](shmem.NewSeqlockTriple(init)))
+	case "packed128":
+		r, err := shmem.NewPacked128(shmem.DefaultLayout128, init)
+		if err != nil {
+			t.Fatalf("NewPacked128: %v", err)
+		}
+		opts = append(opts, core.WithTripleReg[uint64](r))
+	default:
+		t.Fatalf("unknown backend %q", backend)
+	}
+	reg, err := core.New(2, uint64(0), pads, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return reg
+}
+
+// TestBackendEquivalenceUnderScheduler (E2) drives the PtrTriple reference
+// and the allocation-free backends through scheduler-chosen interleavings and
+// checks every recorded history against the auditable-register specification:
+// the fast backends must be linearizable exactly where the reference is.
+func TestBackendEquivalenceUnderScheduler(t *testing.T) {
+	t.Parallel()
+	const seeds = 40
+	for _, backend := range []string{"ptr", "seqlock", "packed128"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(0); seed < seeds; seed++ {
+				runScheduledBackendCheck(t, backend, seed)
+			}
+		})
+	}
+}
+
+func runScheduledBackendCheck(t *testing.T, backend string, seed uint64) {
+	t.Helper()
+	s := sched.New(sched.NewRandomPolicy(seed))
+	pads, err := otp.NewBlockPads(otp.KeyFromSeed(seed), 2)
+	if err != nil {
+		t.Fatalf("pads: %v", err)
+	}
+	reg := newBackendReg(t, backend, pads)
+
+	rd0, err := reg.Reader(0, core.WithProbe(s.Probe(0)))
+	if err != nil {
+		t.Fatalf("Reader: %v", err)
+	}
+	rd1, err := reg.Reader(1, core.WithProbe(s.Probe(1)))
+	if err != nil {
+		t.Fatalf("Reader: %v", err)
+	}
+	w := reg.Writer(core.WithProbe(s.Probe(100)))
+	w2 := reg.Writer(core.WithProbe(s.Probe(101)))
+	aud := reg.Auditor(core.WithProbe(s.Probe(200)))
+
+	var rec history.Recorder
+	if err := s.Run(map[int]func(){
+		0: func() {
+			for i := 0; i < 2; i++ {
+				p := rec.Begin(0, "read", 0)
+				p.SetOut(rd0.Read()).End()
+			}
+		},
+		1: func() {
+			p := rec.Begin(1, "read", 0)
+			p.SetOut(rd1.Read()).End()
+		},
+		100: func() {
+			p := rec.Begin(100, "write", 7)
+			if err := w.Write(7); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			p.End()
+		},
+		101: func() {
+			p := rec.Begin(101, "write", 9)
+			if err := w2.Write(9); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			p.End()
+		},
+		200: func() {
+			p := rec.Begin(200, "audit", 0)
+			rep, err := aud.Audit()
+			if err != nil {
+				t.Errorf("audit: %v", err)
+				return
+			}
+			p.SetOutSet(auditPairs(rep)).End()
+		},
+	}); err != nil {
+		t.Fatalf("%s seed %d: Run: %v", backend, seed, err)
+	}
+
+	ops := rec.Ops()
+	res, err := linearizability.Check(linearizability.AuditableRegisterModel{Initial: 0}, ops)
+	if err != nil {
+		t.Fatalf("%s seed %d: Check: %v", backend, seed, err)
+	}
+	if !res.Ok {
+		t.Fatalf("%s seed %d: history not linearizable:\n%v", backend, seed,
+			fmt.Sprintf("%v", ops))
+	}
+}

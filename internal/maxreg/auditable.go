@@ -183,14 +183,14 @@ func (reg *Auditable[V]) Writer(nonces otp.NonceSource, opts ...core.HandleOptio
 		return nil, fmt.Errorf("maxreg: nonce source must not be nil")
 	}
 	cfg := handle.Apply(-1, opts)
-	return &Writer[V]{reg: reg, nonces: nonces, pid: cfg.PID, probe: cfg.Probe}, nil
+	return &Writer[V]{reg: reg, nonces: nonces, pid: cfg.PID, probe: cfg.Probe, padc: otp.NewPadCache(reg.pads)}, nil
 }
 
 // Auditor returns an auditor handle with its own cumulative audit set. Not
 // safe for concurrent use.
 func (reg *Auditable[V]) Auditor(opts ...core.HandleOption) *Auditor[V] {
 	cfg := handle.Apply(-1, opts)
-	return &Auditor[V]{reg: reg, pid: cfg.PID, probe: cfg.Probe, seen: make(map[core.Entry[V]]struct{})}
+	return &Auditor[V]{reg: reg, pid: cfg.PID, probe: cfg.Probe, padc: otp.NewPadCache(reg.pads), set: core.NewAuditSet[V]()}
 }
 
 // Reader is the per-process read handle of the auditable max register. The
@@ -215,31 +215,46 @@ func (rd *Reader[V]) Index() int { return rd.j }
 func (rd *Reader[V]) Read() V {
 	reg := rd.reg
 
-	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+	if rd.probe != nil {
+		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+	}
 	sn := reg.sn.Load()
-	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn})
+	if rd.probe != nil {
+		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn})
+	}
 	if sn == rd.prevSN {
 		return rd.prevVal
 	}
 
-	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.RXor})
+	if rd.probe != nil {
+		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.RXor})
+	}
 	t := reg.r.FetchXor(uint64(1) << uint(rd.j))
-	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.RXor, Detail: t})
+	if rd.probe != nil {
+		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.RXor, Detail: t})
+	}
 
-	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+	if rd.probe != nil {
+		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+	}
 	ok := reg.sn.CompareAndSwap(t.Seq-1, t.Seq)
-	rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+	if rd.probe != nil {
+		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+	}
 
 	rd.prevSN, rd.prevVal = t.Seq, t.Val.Val
 	return t.Val.Val
 }
 
-// Writer is the per-process writeMax handle (Algorithm 2 lines 22-35).
+// Writer is the per-process writeMax handle (Algorithm 2 lines 22-35). Like
+// the plain register's writer it memoizes pads per handle, so CAS retries do
+// not re-derive them.
 type Writer[V comparable] struct {
 	reg    *Auditable[V]
 	nonces otp.NonceSource
 	pid    int
 	probe  probe.Probe
+	padc   otp.PadCache
 }
 
 // WriteMax raises the register to w if w exceeds the largest value written.
@@ -253,19 +268,31 @@ func (w *Writer[V]) WriteMax(val V) error {
 	v := Nonced[V]{Val: val, Nonce: w.nonces.Next()}
 
 	// Line 24: M.writeMax(v); sn <- SN.read() + 1.
-	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.MWrite})
+	if w.probe != nil {
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.MWrite})
+	}
 	reg.mreg.WriteMax(v)
-	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.MWrite})
+	if w.probe != nil {
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.MWrite})
+	}
 
-	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+	if w.probe != nil {
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+	}
 	sn := reg.sn.Load() + 1
-	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn - 1})
+	if w.probe != nil {
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn - 1})
+	}
 
 	for {
 		// Line 26: (lsn, lval, bits) <- R.read().
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.RRead})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.RRead})
+		}
 		t := reg.r.Load()
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.RRead, Detail: t})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.RRead, Detail: t})
+		}
 
 		// Line 27: a value >= v is already installed.
 		if !reg.lessNonced(t.Val, v) {
@@ -276,63 +303,93 @@ func (w *Writer[V]) WriteMax(val V) error {
 		// Lines 28-30: the target sequence number was consumed by a
 		// concurrent writeMax; help announce it and take a fresh one.
 		if t.Seq >= sn {
-			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+			if w.probe != nil {
+				w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+			}
 			ok := reg.sn.CompareAndSwap(sn-1, sn)
-			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+			if w.probe != nil {
+				w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+			}
 
-			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+			if w.probe != nil {
+				w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNRead})
+			}
 			sn = reg.sn.Load() + 1
-			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn - 1})
+			if w.probe != nil {
+				w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn - 1})
+			}
 			continue
 		}
 
 		// Line 31: mval <- M.read(); the candidate to install.
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.MRead})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.MRead})
+		}
 		mval := reg.mreg.Read()
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.MRead, Detail: mval})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.MRead, Detail: mval})
+		}
 
 		// Lines 32-33: copy outgoing value (nonce stripped) and its
 		// decrypted reader set for auditors.
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.VStore})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.VStore})
+		}
 		if err := reg.vals.Store(t.Seq, t.Val.Val); err != nil {
 			return err
 		}
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.VStore})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.VStore})
+		}
 
-		readers := (t.Bits ^ reg.pads.Mask(t.Seq)) & reg.maskM
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.BSet, Detail: readers})
+		readers := (t.Bits ^ w.padc.Mask(t.Seq)) & reg.maskM
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.BSet, Detail: readers})
+		}
 		if err := reg.bits.Or(t.Seq, readers); err != nil {
 			return err
 		}
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.BSet})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.BSet})
+		}
 
 		// Line 34.
-		next := shmem.Triple[Nonced[V]]{Seq: sn, Val: mval, Bits: reg.pads.Mask(sn) & reg.maskM}
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.RCAS})
+		next := shmem.Triple[Nonced[V]]{Seq: sn, Val: mval, Bits: w.padc.Mask(sn) & reg.maskM}
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.RCAS})
+		}
 		ok := reg.r.CompareAndSwap(t, next)
-		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.RCAS, Detail: ok})
+		if w.probe != nil {
+			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.RCAS, Detail: ok})
+		}
 		if ok {
 			break
 		}
 	}
 
 	// Line 35.
-	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+	if w.probe != nil {
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
+	}
 	ok := reg.sn.CompareAndSwap(sn-1, sn)
-	w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+	if w.probe != nil {
+		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+	}
 	return nil
 }
 
 // Auditor is the per-process audit handle; the code is Algorithm 1's audit
-// with nonces stripped from reported values.
+// with nonces stripped from reported values. The audit set is a
+// core.AuditSet: deduplicated through per-value reader bitmasks, reported as
+// zero-copy snapshots.
 type Auditor[V comparable] struct {
 	reg   *Auditable[V]
 	pid   int
 	probe probe.Probe
+	padc  otp.PadCache
 
-	lsa     uint64
-	seen    map[core.Entry[V]]struct{}
-	entries []core.Entry[V]
+	lsa uint64
+	set core.AuditSet[V]
 }
 
 // Audit reports the set of pairs (j, v) such that p_j has a v-effective read
@@ -340,43 +397,44 @@ type Auditor[V comparable] struct {
 func (a *Auditor[V]) Audit() (core.Report[V], error) {
 	reg := a.reg
 
-	a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.RRead})
+	if a.probe != nil {
+		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.RRead})
+	}
 	t := reg.r.Load()
-	a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.RRead, Detail: t})
+	if a.probe != nil {
+		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.RRead, Detail: t})
+	}
 
 	for s := a.lsa; s < t.Seq; s++ {
-		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.VLoad})
+		if a.probe != nil {
+			a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.VLoad})
+		}
 		val, ok := reg.vals.Load(s)
-		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.VLoad, Detail: val})
+		if a.probe != nil {
+			a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.VLoad, Detail: val})
+		}
 		if !ok {
 			return core.Report[V]{}, fmt.Errorf("maxreg: audit found uninitialized V[%d]; history capacity was exceeded", s)
 		}
-		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.BRow})
+		if a.probe != nil {
+			a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.BRow})
+		}
 		row := reg.bits.Row(s)
-		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.BRow, Detail: row})
-		a.add(row&reg.maskM, val)
+		if a.probe != nil {
+			a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.BRow, Detail: row})
+		}
+		a.set.Add(row&reg.maskM, val)
 	}
-	a.add((t.Bits^reg.pads.Mask(t.Seq))&reg.maskM, t.Val.Val)
+	a.set.Add((t.Bits^a.padc.Mask(t.Seq))&reg.maskM, t.Val.Val)
 
 	a.lsa = t.Seq
-	a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
-	ok := reg.sn.CompareAndSwap(t.Seq-1, t.Seq)
-	a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
-
-	out := make([]core.Entry[V], len(a.entries))
-	copy(out, a.entries)
-	return core.NewReport(out...), nil
-}
-
-func (a *Auditor[V]) add(row uint64, val V) {
-	for j := 0; row != 0; j++ {
-		if row&1 != 0 {
-			e := core.Entry[V]{Reader: j, Value: val}
-			if _, dup := a.seen[e]; !dup {
-				a.seen[e] = struct{}{}
-				a.entries = append(a.entries, e)
-			}
-		}
-		row >>= 1
+	if a.probe != nil {
+		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
 	}
+	ok := reg.sn.CompareAndSwap(t.Seq-1, t.Seq)
+	if a.probe != nil {
+		a.probe.Emit(probe.Event{PID: a.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
+	}
+
+	return a.set.View(), nil
 }

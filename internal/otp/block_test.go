@@ -1,0 +1,239 @@
+package otp_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"auditreg/internal/otp"
+)
+
+// naiveBlockMask re-derives rand_s from scratch, independently of BlockPads'
+// window cache: one SHA-256 over (key ‖ s/4 ‖ 0xB1), sliced at offset 8*(s%4).
+func naiveBlockMask(key otp.Key, m int, s uint64) uint64 {
+	var buf [41]byte
+	copy(buf[:32], key[:])
+	binary.LittleEndian.PutUint64(buf[32:40], s/4)
+	buf[40] = 0xB1
+	sum := sha256.Sum256(buf[:])
+	return binary.LittleEndian.Uint64(sum[8*(s%4):]) & otp.MaskBits(m)
+}
+
+// TestBlockPadsDerivationEquivalence: the windowed, cached fast path must
+// agree with a from-scratch re-derivation on every sequence number, under
+// sequential, strided, and random access patterns (which exercise window hits,
+// misses, and evictions).
+func TestBlockPadsDerivationEquivalence(t *testing.T) {
+	t.Parallel()
+	key := otp.KeyFromSeed(11)
+	const m = 48
+	p, err := otp.NewBlockPadsWindow(key, m, 8) // tiny window: force evictions
+	if err != nil {
+		t.Fatalf("NewBlockPadsWindow: %v", err)
+	}
+	// Sequential.
+	for s := uint64(0); s < 500; s++ {
+		if got, want := p.Mask(s), naiveBlockMask(key, m, s); got != want {
+			t.Fatalf("sequential: Mask(%d) = %#x, want %#x", s, got, want)
+		}
+	}
+	// Random access, including revisits of evicted blocks.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 2000; i++ {
+		s := rng.Uint64N(1 << 20)
+		if got, want := p.Mask(s), naiveBlockMask(key, m, s); got != want {
+			t.Fatalf("random: Mask(%d) = %#x, want %#x", s, got, want)
+		}
+	}
+}
+
+func TestBlockPadsDeterministicAndKeyed(t *testing.T) {
+	t.Parallel()
+	key := otp.KeyFromSeed(7)
+	p1, err := otp.NewBlockPads(key, 16)
+	if err != nil {
+		t.Fatalf("NewBlockPads: %v", err)
+	}
+	p2, err := otp.NewBlockPads(key, 16)
+	if err != nil {
+		t.Fatalf("NewBlockPads: %v", err)
+	}
+	other, err := otp.NewBlockPads(otp.KeyFromSeed(8), 16)
+	if err != nil {
+		t.Fatalf("NewBlockPads: %v", err)
+	}
+	differs := false
+	for s := uint64(0); s < 256; s++ {
+		if p1.Mask(s) != p2.Mask(s) {
+			t.Fatalf("pad sequence not deterministic at s=%d", s)
+		}
+		if p1.Mask(s) != other.Mask(s) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("distinct keys produced identical pad sequences")
+	}
+}
+
+func TestBlockPadsRespectWidth(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64, mRaw uint8, s uint64) bool {
+		m := int(mRaw)%otp.MaxReaders + 1
+		p, err := otp.NewBlockPads(otp.KeyFromSeed(seed), m)
+		if err != nil {
+			return false
+		}
+		return p.Mask(s)&^otp.MaskBits(m) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockPadsDisjointFromKeyedPads: under the same key, the block-derived
+// sequence must be unrelated to the legacy per-sequence-number sequence — the
+// domain byte keeps their digest inputs disjoint.
+func TestBlockPadsDisjointFromKeyedPads(t *testing.T) {
+	t.Parallel()
+	key := otp.KeyFromSeed(3)
+	block, err := otp.NewBlockPads(key, 64)
+	if err != nil {
+		t.Fatalf("NewBlockPads: %v", err)
+	}
+	keyed, err := otp.NewKeyedPads(key, 64)
+	if err != nil {
+		t.Fatalf("NewKeyedPads: %v", err)
+	}
+	collisions := 0
+	for s := uint64(0); s < 256; s++ {
+		if block.Mask(s) == keyed.Mask(s) {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("block and keyed sequences collide on %d/256 masks", collisions)
+	}
+}
+
+// TestBlockPadsAmortizedDerivations: a sequential scan of S sequence numbers
+// must cost about S/4 digests — the 4x compression-count win over KeyedPads.
+func TestBlockPadsAmortizedDerivations(t *testing.T) {
+	t.Parallel()
+	p, err := otp.NewBlockPads(otp.KeyFromSeed(5), 32)
+	if err != nil {
+		t.Fatalf("NewBlockPads: %v", err)
+	}
+	const span = 4096
+	for s := uint64(0); s < span; s++ {
+		p.Mask(s)
+		p.Mask(s) // repeat lookups must be free
+	}
+	if got := p.Derivations(); got != span/otp.MasksPerBlock {
+		t.Fatalf("scan of %d seqs cost %d derivations, want %d", span, got, span/otp.MasksPerBlock)
+	}
+
+	keyed, err := otp.NewKeyedPads(otp.KeyFromSeed(5), 32)
+	if err != nil {
+		t.Fatalf("NewKeyedPads: %v", err)
+	}
+	for s := uint64(0); s < span; s++ {
+		keyed.Mask(s)
+	}
+	if got := keyed.Derivations(); got != span {
+		t.Fatalf("KeyedPads cost %d derivations over %d masks", got, span)
+	}
+}
+
+// TestBlockPadsConcurrent hammers one source from many goroutines; run under
+// -race this checks the lock-free window, and the per-goroutine comparison
+// against the naive derivation checks that racing publishes never serve a
+// wrong block.
+func TestBlockPadsConcurrent(t *testing.T) {
+	t.Parallel()
+	key := otp.KeyFromSeed(21)
+	const m = 64
+	p, err := otp.NewBlockPadsWindow(key, m, 4)
+	if err != nil {
+		t.Fatalf("NewBlockPadsWindow: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 9))
+			for i := 0; i < 3000; i++ {
+				s := rng.Uint64N(256)
+				if got, want := p.Mask(s), naiveBlockMask(key, m, s); got != want {
+					select {
+					case errs <- "mask mismatch under concurrency":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestBlockPadsValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := otp.NewBlockPads(otp.Key{}, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := otp.NewBlockPads(otp.Key{}, 65); err == nil {
+		t.Error("m=65 accepted")
+	}
+	if _, err := otp.NewBlockPadsWindow(otp.Key{}, 4, 3); err == nil {
+		t.Error("non-power-of-two window accepted")
+	}
+	if _, err := otp.NewBlockPadsWindow(otp.Key{}, 4, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+// TestPadCache: repeats hit the memo (no derivations), the writer's (lsn, sn)
+// working set coexists, and values always match the underlying source.
+func TestPadCache(t *testing.T) {
+	t.Parallel()
+	src, err := otp.NewKeyedPads(otp.KeyFromSeed(13), 16)
+	if err != nil {
+		t.Fatalf("NewKeyedPads: %v", err)
+	}
+	ref, err := otp.NewKeyedPads(otp.KeyFromSeed(13), 16)
+	if err != nil {
+		t.Fatalf("NewKeyedPads: %v", err)
+	}
+	c := otp.NewPadCache(src)
+
+	// Writer working set: pads lsn and sn=lsn+1, repeated per retry.
+	for retry := 0; retry < 10; retry++ {
+		if c.Mask(41) != ref.Mask(41) || c.Mask(42) != ref.Mask(42) {
+			t.Fatal("cached mask diverged from source")
+		}
+	}
+	if got := src.Derivations(); got != 2 {
+		t.Fatalf("10 retries over {41, 42} cost %d derivations, want 2", got)
+	}
+
+	// Random probes stay correct through evictions.
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := 0; i < 500; i++ {
+		s := rng.Uint64N(64)
+		if c.Mask(s) != ref.Mask(s) {
+			t.Fatalf("PadCache.Mask(%d) diverged", s)
+		}
+	}
+}

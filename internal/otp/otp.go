@@ -21,6 +21,7 @@ import (
 	"fmt"
 	mathrand "math/rand/v2"
 	"sync"
+	"sync/atomic"
 )
 
 // MaxReaders is the largest number of readers m supported by a single pad:
@@ -64,11 +65,13 @@ func KeyFromSeed(seed uint64) Key {
 // KeyedPads derives rand_s = SHA-256(key ‖ s) truncated to m bits.
 // The zero value is not usable; construct with NewKeyedPads.
 type KeyedPads struct {
-	key Key
-	m   int
+	key         Key
+	m           int
+	derivations atomic.Uint64
 }
 
 var _ PadSource = (*KeyedPads)(nil)
+var _ DerivationCounter = (*KeyedPads)(nil)
 
 // NewKeyedPads returns a pad source for m readers (1 <= m <= MaxReaders)
 // backed by the given shared key.
@@ -82,14 +85,19 @@ func NewKeyedPads(key Key, m int) (*KeyedPads, error) {
 // Readers returns the number of readers m the pads cover.
 func (p *KeyedPads) Readers() int { return p.m }
 
-// Mask implements PadSource.
+// Mask implements PadSource: one SHA-256 digest per call. BlockPads derives
+// the same-strength pads at a quarter digest per fresh sequence number.
 func (p *KeyedPads) Mask(s uint64) uint64 {
+	p.derivations.Add(1)
 	var buf [40]byte
 	copy(buf[:32], p.key[:])
 	binary.LittleEndian.PutUint64(buf[32:], s)
 	sum := sha256.Sum256(buf[:])
 	return binary.LittleEndian.Uint64(sum[:8]) & MaskBits(p.m)
 }
+
+// Derivations implements DerivationCounter.
+func (p *KeyedPads) Derivations() uint64 { return p.derivations.Load() }
 
 // FixedPads serves masks from an explicit table, cycling past the end.
 // It is intended for tests that need hand-picked pads.

@@ -1,0 +1,197 @@
+package shmem
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Layout128 describes how a Packed128 register partitions its two 64-bit
+// words:
+//
+//	word0: | Seq (SeqBits) | tracking bits (ReaderBits) |
+//	word1: | Seq tag (64-ValBits) | Val (ValBits) |
+//
+// SeqBits+ReaderBits must be at most 64 and ValBits at most 48, leaving a
+// sequence tag of at least 16 bits in word1 to bind a value to its sequence
+// number.
+type Layout128 struct {
+	// SeqBits is the width of the sequence-number field in word0.
+	SeqBits int
+	// ValBits is the width of the value field in word1.
+	ValBits int
+	// ReaderBits is the number of tracking bits, i.e. the maximum m.
+	ReaderBits int
+}
+
+// DefaultLayout128 supports 2^40 writes, 32-bit values, and 24 readers.
+var DefaultLayout128 = Layout128{SeqBits: 40, ValBits: 32, ReaderBits: 24}
+
+// Validate reports whether the layout is well-formed.
+func (l Layout128) Validate() error {
+	switch {
+	case l.SeqBits < 1 || l.ValBits < 1 || l.ReaderBits < 1:
+		return fmt.Errorf("shmem: layout fields must be positive: %+v", l)
+	case l.SeqBits+l.ReaderBits > 64:
+		return fmt.Errorf("shmem: seq and reader bits exceed word0: %+v", l)
+	case l.ValBits > 48:
+		return fmt.Errorf("shmem: value field leaves a sequence tag under 16 bits: %+v", l)
+	case l.ReaderBits > MaxReaders:
+		return fmt.Errorf("shmem: layout supports at most %d readers: %+v", MaxReaders, l)
+	default:
+		return nil
+	}
+}
+
+// MaxSeq returns the largest representable sequence number.
+func (l Layout128) MaxSeq() uint64 { return mask(l.SeqBits) }
+
+// MaxVal returns the largest representable value.
+func (l Layout128) MaxVal() uint64 { return mask(l.ValBits) }
+
+func (l Layout128) tagBits() int { return 64 - l.ValBits }
+
+func (l Layout128) pack0(seq, bits uint64) uint64 { return seq<<uint(l.ReaderBits) | bits }
+
+func (l Layout128) unpack0(w uint64) (seq, bits uint64) {
+	return w >> uint(l.ReaderBits), w & mask(l.ReaderBits)
+}
+
+func (l Layout128) pack1(seq, val uint64) uint64 {
+	return (seq&mask(l.tagBits()))<<uint(l.ValBits) | val
+}
+
+func (l Layout128) tagMatches(w1, seq uint64) bool {
+	return w1>>uint(l.ValBits) == seq&mask(l.tagBits())
+}
+
+func (l Layout128) val(w1 uint64) uint64 { return w1 & mask(l.ValBits) }
+
+func (l Layout128) check(t Triple[uint64]) error {
+	switch {
+	case t.Seq > l.MaxSeq():
+		return fmt.Errorf("shmem: sequence number %d exceeds layout capacity %d", t.Seq, l.MaxSeq())
+	case t.Val > l.MaxVal():
+		return fmt.Errorf("shmem: value %d exceeds layout capacity %d", t.Val, l.MaxVal())
+	case t.Bits > mask(l.ReaderBits):
+		return fmt.Errorf("shmem: tracking bits %#x exceed %d reader bits", t.Bits, l.ReaderBits)
+	default:
+		return nil
+	}
+}
+
+// Packed128 packs the triple into two atomic 64-bit words — twice the
+// register width of Packed64, with none of PtrTriple's allocations. It
+// exploits a structural invariant of Algorithms 1 and 2: the register's
+// sequence number only ever increases, and the value changes only together
+// with the sequence number, so (Seq -> Val) is a function over the register's
+// reachable states. Word0 carries (Seq | Bits) and is the CAS arbiter; word1
+// carries (Seq tag | Val) and is published by the unique CAS winner for each
+// sequence number. A load assembles (seq, bits) from word0 and waits for
+// word1's tag to match.
+//
+// Like SeqlockTriple this trades wait-freedom for allocation-freedom: a CAS
+// winner preempted between its word0 CAS and its word1 publish stalls loads
+// of the new sequence number (the publish is the very next instruction, so
+// the window is a few nanoseconds in practice). The sequence tag wraps every
+// 2^(64-ValBits) writes; a load would need to sleep across an entire wrap of
+// writes to mis-bind a value, which the >= 16-bit minimum tag makes
+// unrealistic.
+//
+// Callers must keep sequence numbers monotone and below MaxSeq, and values
+// below MaxVal; a CompareAndSwap that changes Val while keeping Seq, or that
+// decreases Seq, is outside the supported usage and simply fails.
+//
+// Construct with NewPacked128; the zero value is not usable.
+type Packed128 struct {
+	layout Layout128
+	w0     atomic.Uint64
+	w1     atomic.Uint64
+}
+
+var _ TripleReg[uint64] = (*Packed128)(nil)
+
+// NewPacked128 returns a two-word packed register with the given layout
+// holding init.
+func NewPacked128(layout Layout128, init Triple[uint64]) (*Packed128, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	if err := layout.check(init); err != nil {
+		return nil, err
+	}
+	r := &Packed128{layout: layout}
+	r.w0.Store(layout.pack0(init.Seq, init.Bits))
+	r.w1.Store(layout.pack1(init.Seq, init.Val))
+	return r, nil
+}
+
+// Layout returns the register's bit layout.
+func (r *Packed128) Layout() Layout128 { return r.layout }
+
+// Load implements TripleReg.
+func (r *Packed128) Load() Triple[uint64] {
+	l := r.layout
+	for spin := 0; ; spin++ {
+		w0 := r.w0.Load()
+		seq, bits := l.unpack0(w0)
+		w1 := r.w1.Load()
+		if l.tagMatches(w1, seq) {
+			// w1 is the published value of seq (tag wrap aside, see the
+			// type comment). Bits from w0 and the value of seq form a
+			// state the register held while w0 was current.
+			return Triple[uint64]{Seq: seq, Val: l.val(w1), Bits: bits}
+		}
+		if spin&31 == 31 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// CompareAndSwap implements TripleReg. Triples outside the layout or outside
+// the seq-monotone usage cannot be (or become) register contents, so the swap
+// fails for them.
+func (r *Packed128) CompareAndSwap(old, new Triple[uint64]) bool {
+	l := r.layout
+	if l.check(old) != nil || l.check(new) != nil {
+		return false
+	}
+	if new.Seq < old.Seq || (new.Seq == old.Seq && new.Val != old.Val) {
+		return false // outside the supported seq-monotone usage
+	}
+	// Guard against a fabricated old: if old.Seq is current, the published
+	// value for it must be old.Val, else the register never held old.
+	w1 := r.w1.Load()
+	if l.tagMatches(w1, old.Seq) && l.val(w1) != old.Val {
+		return false
+	}
+	if !r.w0.CompareAndSwap(l.pack0(old.Seq, old.Bits), l.pack0(new.Seq, new.Bits)) {
+		return false
+	}
+	if new.Seq != old.Seq {
+		// This CAS is the unique winner for new.Seq: publish its value.
+		r.w1.Store(l.pack1(new.Seq, new.Val))
+	}
+	return true
+}
+
+// FetchXor implements TripleReg. The value is snapshotted from word1 before
+// the word0 CAS: while the CAS target w0 stays current, word1 can only hold
+// the value published for w0's sequence number, so a successful CAS certifies
+// the snapshot. Capturing it after the CAS would race a later writer
+// overwriting word1.
+func (r *Packed128) FetchXor(maskBits uint64) Triple[uint64] {
+	l := r.layout
+	maskBits &= mask(l.ReaderBits)
+	for spin := 0; ; spin++ {
+		w0 := r.w0.Load()
+		seq, bits := l.unpack0(w0)
+		w1 := r.w1.Load()
+		if l.tagMatches(w1, seq) && r.w0.CompareAndSwap(w0, w0^maskBits) {
+			return Triple[uint64]{Seq: seq, Val: l.val(w1), Bits: bits}
+		}
+		if spin&31 == 31 {
+			runtime.Gosched()
+		}
+	}
+}

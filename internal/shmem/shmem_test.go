@@ -8,6 +8,9 @@ import (
 	"auditreg/internal/shmem"
 )
 
+// backendNames lists every TripleReg backend, first entry the reference.
+var backendNames = []string{"ptr", "locked", "packed", "seqlock", "packed128"}
+
 // newBackends returns one of each TripleReg backend holding init, for
 // cross-checking tests. Values must fit 16 bits for the packed register.
 func newBackends(t *testing.T, init shmem.Triple[uint64]) map[string]shmem.TripleReg[uint64] {
@@ -16,10 +19,16 @@ func newBackends(t *testing.T, init shmem.Triple[uint64]) map[string]shmem.Tripl
 	if err != nil {
 		t.Fatalf("NewPacked64: %v", err)
 	}
+	packed128, err := shmem.NewPacked128(shmem.DefaultLayout128, init)
+	if err != nil {
+		t.Fatalf("NewPacked128: %v", err)
+	}
 	return map[string]shmem.TripleReg[uint64]{
-		"ptr":    shmem.NewPtrTriple(init),
-		"locked": shmem.NewLockedTriple(init),
-		"packed": packed,
+		"ptr":       shmem.NewPtrTriple(init),
+		"locked":    shmem.NewLockedTriple(init),
+		"packed":    packed,
+		"seqlock":   shmem.NewSeqlockTriple(init),
+		"packed128": packed128,
 	}
 }
 
@@ -72,7 +81,7 @@ func TestTripleRegCrossCheck(t *testing.T) {
 	f := func(steps []step) bool {
 		init := shmem.Triple[uint64]{Seq: 0, Val: 1, Bits: 0}
 		regs := newBackends(t, init)
-		names := []string{"ptr", "locked", "packed"}
+		names := backendNames
 		for _, s := range steps {
 			switch s.Op % 3 {
 			case 0:
