@@ -38,7 +38,10 @@
 //	rep, _ := reg.Auditor().Audit()
 //	fmt.Println(rep) // {(0, v1)}
 //
-// See examples/ for complete programs and DESIGN.md for the system inventory.
+// See examples/ for complete programs and DESIGN.md for the system
+// inventory. To host many named auditable objects behind one API — with
+// sharded lookup and batched asynchronous auditing — see package
+// auditreg/store.
 package auditreg
 
 import (
@@ -140,6 +143,11 @@ type Less[V any] = maxreg.Less[V]
 // MaxRegisterOption configures a MaxRegister.
 type MaxRegisterOption[V comparable] = maxreg.AuditableOption[V]
 
+// WithMaxCapacity bounds the auditable history length of a MaxRegister.
+func WithMaxCapacity[V comparable](n int) MaxRegisterOption[V] {
+	return maxreg.WithAuditableCapacity[V](n)
+}
+
 // NewMaxRegister returns an auditable max register for m readers holding
 // initial, ordered by less.
 func NewMaxRegister[V comparable](m int, initial V, less Less[V], pads PadSource, opts ...MaxRegisterOption[V]) (*MaxRegister[V], error) {
@@ -163,6 +171,12 @@ type ViewEntry[V comparable] = snapshot.ViewEntry[V]
 
 // SnapshotOption configures a Snapshot.
 type SnapshotOption[V comparable] = snapshot.AuditableOption[V]
+
+// WithSnapshotCapacity bounds the audit history length of a Snapshot's
+// underlying max register.
+func WithSnapshotCapacity[V comparable](n int) SnapshotOption[V] {
+	return snapshot.WithSnapshotCapacity[V](n)
+}
 
 // NewSnapshot returns an auditable snapshot with n single-writer components
 // and m scanners, every component holding initial.

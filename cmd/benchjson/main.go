@@ -1,7 +1,10 @@
 // Command benchjson runs the repository's benchmark suite and writes the
 // results as machine-readable JSON, one file per perf-trajectory step
-// (BENCH_1.json, BENCH_2.json, ...). See EXPERIMENTS.md for the experiment
-// series the benchmarks regenerate and for how to interpret the metrics.
+// (BENCH_1.json, BENCH_2.json, ...). The schema and the `go test -bench`
+// parser live in internal/benchfmt and are shared with cmd/loadgen, so
+// benchmark results and workload-driver results land in identical files. See
+// EXPERIMENTS.md for the experiment series the benchmarks regenerate and for
+// how to interpret the metrics.
 //
 // Usage:
 //
@@ -16,42 +19,16 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
-	"runtime"
-	"sort"
 	"strconv"
 	"strings"
-	"time"
+
+	"auditreg/internal/benchfmt"
 )
-
-// result is one benchmark's aggregated outcome.
-type result struct {
-	Name    string             `json:"name"`
-	Package string             `json:"package"`
-	Iters   int64              `json:"iters"`
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// report is the BENCH_*.json schema.
-type report struct {
-	Schema    string   `json:"schema"`
-	Created   string   `json:"created"`
-	GoVersion string   `json:"go"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	Bench     string   `json:"bench"`
-	Benchtime string   `json:"benchtime"`
-	Count     int      `json:"count"`
-	Packages  []string `json:"packages"`
-	Results   []result `json:"results"`
-}
 
 func main() {
 	out := flag.String("out", "BENCH_1.json", "output file")
@@ -75,7 +52,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	results, err := parse(bytes.NewReader(raw))
+	results, err := benchfmt.Parse(bytes.NewReader(raw))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
@@ -85,114 +62,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep := report{
-		Schema:    "auditreg-bench/v1",
-		Created:   time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Bench:     *benchRe,
-		Benchtime: *benchtime,
-		Count:     *count,
-		Packages:  packages,
-		Results:   results,
-	}
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+	rep := benchfmt.NewReport(*benchRe, *benchtime, *count, packages)
+	rep.Results = results
+	if err := rep.WriteFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(results), *out)
-}
-
-// parse reads `go test -bench` output, attributing benchmarks to the package
-// announced by the preceding "pkg:" line and folding repeated runs of one
-// benchmark into their per-metric best.
-func parse(r *bytes.Reader) ([]result, error) {
-	byKey := make(map[string]*result)
-	var order []string
-	pkg := ""
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
-			pkg = rest
-			continue
-		}
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 || len(fields)%2 != 0 {
-			continue
-		}
-		name := trimProcSuffix(fields[0])
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		key := pkg + " " + name
-		res := byKey[key]
-		if res == nil {
-			res = &result{Name: name, Package: pkg, Metrics: make(map[string]float64)}
-			byKey[key] = res
-			order = append(order, key)
-		}
-		if iters > res.Iters {
-			res.Iters = iters
-		}
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			unit := fields[i+1]
-			prev, seen := res.Metrics[unit]
-			if !seen || better(unit, v, prev) {
-				res.Metrics[unit] = v
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	out := make([]result, 0, len(order))
-	for _, key := range order {
-		out = append(out, *byKey[key])
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Package != out[j].Package {
-			return out[i].Package < out[j].Package
-		}
-		return out[i].Name < out[j].Name
-	})
-	return out, nil
-}
-
-// better reports whether v beats prev for the unit: throughput units are
-// higher-is-better, every cost unit lower-is-better.
-func better(unit string, v, prev float64) bool {
-	if unit == "MB/s" {
-		return v > prev
-	}
-	return v < prev
-}
-
-// trimProcSuffix drops the -GOMAXPROCS suffix go test appends to benchmark
-// names, so results compare across machines.
-func trimProcSuffix(name string) string {
-	i := strings.LastIndexByte(name, '-')
-	if i < 0 {
-		return name
-	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
 }

@@ -1,0 +1,81 @@
+// Command doccheck is the documentation gate run by CI: it fails if any Go
+// package in the module lacks a package-level doc comment, so `go doc` stays
+// useful for every package. A package passes when at least one of its
+// non-test files carries a doc comment on the package clause.
+//
+// Usage:
+//
+//	go run ./cmd/doccheck          # check the module rooted at .
+//	go run ./cmd/doccheck ./dir    # check another root
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+
+	// Collect, per package directory, whether any non-test file documents
+	// the package.
+	documented := map[string]bool{}
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		seen[dir] = true
+		if documented[dir] {
+			return nil
+		}
+		f, perr := parser.ParseFile(token.NewFileSet(), path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("%s: %w", path, perr)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	var missing []string
+	for dir := range seen {
+		if !documented[dir] {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d package(s) missing a package doc comment:\n", len(missing))
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d packages documented\n", len(seen))
+}

@@ -1,0 +1,297 @@
+// Command loadgen drives mixed read/write/audit traffic against the sharded
+// multi-object store (package auditreg/store): N named objects of all three
+// kinds, P client goroutines, and a background audit pool sweeping the
+// shards. It measures multi-object scaling — the dimension the per-object
+// benchmarks of cmd/benchjson cannot see — and writes results in the same
+// BENCH_*.json schema (internal/benchfmt), so workload numbers join the perf
+// trajectory alongside benchmark numbers. See EXPERIMENTS.md (series E12)
+// for the methodology.
+//
+// Usage:
+//
+//	go run ./cmd/loadgen                                        # default grid, text summary
+//	go run ./cmd/loadgen -objects 64,1024 -goroutines 1,8 -out BENCH_2.json
+//	go run -race ./cmd/loadgen -objects 1024 -goroutines 8      # correctness soak
+//
+// Each (objects, goroutines) grid cell runs -ops operations split across the
+// goroutines: reads (and snapshot scans), writes (and snapshot component
+// updates), and audit-report lookups against the pool, in the proportions of
+// -writepct and -auditpct. After the traffic quiesces, the pool is flushed
+// and -verify objects are checked against a fresh synchronous per-object
+// audit — the driver doubles as an end-to-end equivalence check of the
+// batched audit pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"auditreg"
+	"auditreg/internal/benchfmt"
+	"auditreg/store"
+)
+
+func main() {
+	objectsFlag := flag.String("objects", "64,1024", "comma-separated object counts (grid axis)")
+	goroutinesFlag := flag.String("goroutines", "1,8", "comma-separated client goroutine counts (grid axis)")
+	ops := flag.Int("ops", 200000, "total operations per grid cell")
+	writePct := flag.Int("writepct", 25, "percent of operations that write")
+	auditPct := flag.Int("auditpct", 5, "percent of operations that fetch the pool's audit report")
+	readers := flag.Int("readers", 0, "reader principals per object (0: min(goroutines, 64))")
+	components := flag.Int("components", 4, "components per snapshot object")
+	poolWorkers := flag.Int("poolworkers", 4, "audit pool worker goroutines")
+	poolInterval := flag.Duration("poolinterval", 2*time.Millisecond, "audit pool sweep interval")
+	verify := flag.Int("verify", 64, "objects per cell to check against a fresh synchronous audit (0: none)")
+	seed := flag.Uint64("seed", 1, "base seed for keys, nonces, and traffic")
+	out := flag.String("out", "", "write results as BENCH_*.json to this file")
+	flag.Parse()
+
+	objectCounts, err := parseInts(*objectsFlag)
+	if err != nil {
+		fatalf("bad -objects: %v", err)
+	}
+	goroutineCounts, err := parseInts(*goroutinesFlag)
+	if err != nil {
+		fatalf("bad -goroutines: %v", err)
+	}
+	if *writePct < 0 || *auditPct < 0 || *writePct+*auditPct > 100 {
+		fatalf("-writepct + -auditpct must fit in [0, 100]")
+	}
+
+	var results []benchfmt.Result
+	for _, n := range objectCounts {
+		for _, p := range goroutineCounts {
+			cfg := cellConfig{
+				objects: n, goroutines: p, ops: *ops,
+				writePct: *writePct, auditPct: *auditPct,
+				readers: *readers, components: *components,
+				poolWorkers: *poolWorkers, poolInterval: *poolInterval,
+				verify: *verify, seed: *seed,
+			}
+			res, err := runCell(cfg)
+			if err != nil {
+				fatalf("objects=%d goroutines=%d: %v", n, p, err)
+			}
+			results = append(results, res)
+			fmt.Printf("%-44s %10.0f ns/op %12.0f ops/s  reads=%.0f writes=%.0f audits=%.0f pool-audits=%.0f pairs=%.0f\n",
+				res.Name, res.Metrics["ns/op"], res.Metrics["ops/s"],
+				res.Metrics["reads"], res.Metrics["writes"], res.Metrics["audit-lookups"],
+				res.Metrics["pool-audits"], res.Metrics["audited-pairs"])
+		}
+	}
+
+	if *out != "" {
+		rep := benchfmt.NewReport(
+			fmt.Sprintf("Loadgen/objects=%s/goroutines=%s", *objectsFlag, *goroutinesFlag),
+			fmt.Sprintf("%dx", *ops), 1, []string{"auditreg/cmd/loadgen"})
+		rep.Results = results
+		if err := rep.WriteFile(*out); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("loadgen: %d configurations -> %s\n", len(results), *out)
+	}
+}
+
+type cellConfig struct {
+	objects, goroutines, ops int
+	writePct, auditPct       int
+	readers, components      int
+	poolWorkers              int
+	poolInterval             time.Duration
+	verify                   int
+	seed                     uint64
+}
+
+var kinds = []store.Kind{store.Register, store.MaxRegister, store.Snapshot}
+
+// runCell builds a fresh store, opens the objects, runs the traffic, flushes
+// the pool, verifies a sample, and folds the counters into one Result.
+func runCell(cfg cellConfig) (benchfmt.Result, error) {
+	m := cfg.readers
+	if m == 0 {
+		m = cfg.goroutines
+		if m > auditreg.MaxReaders {
+			m = auditreg.MaxReaders
+		}
+	}
+	st, err := store.New[uint64](auditreg.KeyFromSeed(cfg.seed),
+		store.WithReaders[uint64](m),
+		store.WithLess[uint64](func(a, b uint64) bool { return a < b }),
+		store.WithComponents[uint64](cfg.components),
+		store.WithNonces[uint64](func(id uint64) auditreg.NonceSource {
+			return auditreg.NewSeededNonces(cfg.seed+id, uint8(id))
+		}),
+	)
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+
+	names := make([]string, cfg.objects)
+	for i := range names {
+		kind := kinds[i%len(kinds)]
+		names[i] = fmt.Sprintf("%v-%05d", kind, i)
+		if _, err := st.Open(names[i], kind); err != nil {
+			return benchfmt.Result{}, err
+		}
+	}
+
+	pool, err := st.NewAuditPool(store.WithPoolWorkers(cfg.poolWorkers), store.WithPoolInterval(cfg.poolInterval))
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	if err := pool.Start(); err != nil {
+		return benchfmt.Result{}, err
+	}
+
+	var reads, writes, audits atomic.Uint64
+	var firstErr atomic.Pointer[error]
+	fail := func(err error) {
+		firstErr.CompareAndSwap(nil, &err)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(g)*7919))
+			reader := g % m
+			n := cfg.ops / cfg.goroutines
+			if g < cfg.ops%cfg.goroutines {
+				n++
+			}
+			for i := 0; i < n; i++ {
+				name := names[rng.Intn(len(names))]
+				obj, _ := st.Lookup(name)
+				switch roll := rng.Intn(100); {
+				case roll < cfg.writePct:
+					v := uint64(rng.Intn(1 << 20))
+					var err error
+					if obj.Kind() == store.Snapshot {
+						err = obj.UpdateAt(rng.Intn(obj.Components()), v)
+					} else {
+						err = obj.Write(v)
+					}
+					if err != nil {
+						fail(err)
+						return
+					}
+					writes.Add(1)
+				case roll < cfg.writePct+cfg.auditPct:
+					pool.Report(name) // lock-free latest report; absent early on
+					audits.Add(1)
+				default:
+					var err error
+					if obj.Kind() == store.Snapshot {
+						_, err = obj.Scan(reader)
+					} else {
+						_, err = obj.Read(reader)
+					}
+					if err != nil {
+						fail(err)
+						return
+					}
+					reads.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	pool.Stop()
+
+	if errp := firstErr.Load(); errp != nil {
+		return benchfmt.Result{}, *errp
+	}
+	if err := pool.Flush(); err != nil {
+		return benchfmt.Result{}, err
+	}
+	if err := pool.Err(); err != nil {
+		return benchfmt.Result{}, err
+	}
+
+	// Equivalence check: the pool's batched report must equal a fresh
+	// synchronous per-object audit on a deterministic sample. The sample is
+	// a seeded shuffle, not a stride — a stride that is a multiple of
+	// len(kinds) would align with the round-robin kind assignment and only
+	// ever verify one kind.
+	perm := rand.New(rand.NewSource(int64(cfg.seed))).Perm(len(names))
+	if cfg.verify < len(perm) {
+		perm = perm[:max(0, cfg.verify)]
+	}
+	checked := 0
+	for _, i := range perm {
+		name := names[i]
+		ground, err := st.Audit(name)
+		if err != nil {
+			return benchfmt.Result{}, err
+		}
+		rep, ok := pool.Report(name)
+		if !ok {
+			return benchfmt.Result{}, fmt.Errorf("pool has no report for %s", name)
+		}
+		if !rep.Same(ground) {
+			return benchfmt.Result{}, fmt.Errorf("pool report for %s (%d pairs) != synchronous audit (%d pairs)",
+				name, rep.Len(), ground.Len())
+		}
+		checked++
+	}
+
+	var pairs uint64
+	for _, aud := range pool.Merged() {
+		pairs += uint64(aud.Len())
+	}
+
+	totalOps := reads.Load() + writes.Load() + audits.Load()
+	metrics, err := benchfmt.Metric(
+		"ns/op", float64(elapsed.Nanoseconds())/float64(totalOps),
+		"ops/s", float64(totalOps)/elapsed.Seconds(),
+		"reads", reads.Load(),
+		"writes", writes.Load(),
+		"audit-lookups", audits.Load(),
+		"pool-audits", pool.Audited(),
+		"pool-sweeps", pool.Sweeps(),
+		"audited-pairs", pairs,
+		"verified-objects", checked,
+	)
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	return benchfmt.Result{
+		Name:    fmt.Sprintf("Loadgen/objects=%d/goroutines=%d", cfg.objects, cfg.goroutines),
+		Package: "auditreg/cmd/loadgen",
+		Iters:   int64(totalOps),
+		Metrics: metrics,
+	}, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("counts must be positive, got %d", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

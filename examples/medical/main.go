@@ -41,7 +41,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Two clinicians update the record while staff read it concurrently.
+	// A clinician appends updates while staff read the record concurrently.
 	var wg sync.WaitGroup
 	updates := []string{
 		"2026-06-02: bloodwork ordered",

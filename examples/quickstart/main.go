@@ -1,4 +1,6 @@
-// Quickstart: an auditable register in thirty lines — write, read, audit.
+// Quickstart: the smallest complete auditable-register program — write,
+// read, audit. For hosting many named objects behind one API, see the
+// auditreg/store package and its examples.
 package main
 
 import (

@@ -1,7 +1,12 @@
-// Versioned types: Section 5.3's transform makes any versioned object
-// auditable. Here a shared request counter and a Lamport clock become
+// Versioned types: the paper's transform (Theorem 13) makes any versioned
+// object auditable. Here a shared request counter and a Lamport clock become
 // auditable: the audit shows exactly which monitor observed which counter
 // value / clock reading.
+//
+// Note that each object gets its own pad source. One-time pads are indexed
+// by an object's sequence numbers, so sharing a source between two objects
+// would hand out the same pad twice — XOR-ing the two encrypted tracking
+// words would then leak reader sets to curious readers.
 package main
 
 import (
@@ -57,8 +62,19 @@ func main() {
 	fmt.Println("counter audit:", rep)
 
 	// --- Auditable Lamport clock ---
+	// Fresh key, fresh pads: reusing the counter's source — or deriving a
+	// second source from the same key — would repeat pads and void the
+	// one-time property (see the note at the top).
+	clockKey, err := auditreg.NewKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	clockPads, err := auditreg.NewKeyedPads(clockKey, monitors)
+	if err != nil {
+		log.Fatal(err)
+	}
 	clock, err := auditreg.NewVersioned(monitors,
-		auditreg.NewVersionedBase(auditreg.LamportClockType()), pads)
+		auditreg.NewVersionedBase(auditreg.LamportClockType()), clockPads)
 	if err != nil {
 		log.Fatal(err)
 	}

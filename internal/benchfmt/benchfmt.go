@@ -1,0 +1,199 @@
+// Package benchfmt defines the machine-readable benchmark result schema
+// shared by cmd/benchjson and cmd/loadgen (the BENCH_*.json files of the
+// perf trajectory; see EXPERIMENTS.md), plus the parser for `go test -bench`
+// output. One schema means one trajectory: results from the benchmark suite
+// and from the workload driver land in identical files and are compared with
+// identical tooling.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schema is the format tag of every report this package writes.
+const Schema = "auditreg-bench/v1"
+
+// Result is one benchmark's (or one workload configuration's) aggregated
+// outcome.
+type Result struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_*.json schema: the environment the numbers were taken
+// in plus one Result per benchmark. Numbers are comparable only within one
+// report (same machine, same run).
+type Report struct {
+	Schema    string   `json:"schema"`
+	Created   string   `json:"created"`
+	GoVersion string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Bench     string   `json:"bench"`
+	Benchtime string   `json:"benchtime"`
+	Count     int      `json:"count"`
+	Packages  []string `json:"packages"`
+	Results   []Result `json:"results"`
+}
+
+// NewReport returns a report stamped with the current environment. bench and
+// benchtime describe how the numbers were produced (a -bench regexp for the
+// benchmark suite, a workload description for loadgen), count the number of
+// repetitions folded into each result.
+func NewReport(bench, benchtime string, count int, packages []string) Report {
+	return Report{
+		Schema:    Schema,
+		Created:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Bench:     bench,
+		Benchtime: benchtime,
+		Count:     count,
+		Packages:  packages,
+	}
+}
+
+// WriteFile writes the report as indented JSON to path.
+func (r *Report) WriteFile(path string) error {
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+// Parse reads `go test -bench` output, attributing benchmarks to the package
+// announced by the preceding "pkg:" line and folding repeated runs of one
+// benchmark into their per-metric best (see Better). Results come back
+// sorted by package, then name.
+func Parse(r io.Reader) ([]Result, error) {
+	byKey := make(map[string]*Result)
+	var order []string
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := TrimProcSuffix(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		key := pkg + " " + name
+		res := byKey[key]
+		if res == nil {
+			res = &Result{Name: name, Package: pkg, Metrics: make(map[string]float64)}
+			byKey[key] = res
+			order = append(order, key)
+		}
+		if iters > res.Iters {
+			res.Iters = iters
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			prev, seen := res.Metrics[unit]
+			if !seen || Better(unit, v, prev) {
+				res.Metrics[unit] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(order))
+	for _, key := range order {
+		out = append(out, *byKey[key])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Package != out[j].Package {
+			return out[i].Package < out[j].Package
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// throughputUnits are higher-is-better; every other unit is a cost.
+var throughputUnits = map[string]bool{
+	"MB/s":  true,
+	"ops/s": true,
+}
+
+// Better reports whether v beats prev for the unit: throughput units are
+// higher-is-better, every cost unit lower-is-better.
+func Better(unit string, v, prev float64) bool {
+	if throughputUnits[unit] {
+		return v > prev
+	}
+	return v < prev
+}
+
+// TrimProcSuffix drops the -GOMAXPROCS suffix go test appends to benchmark
+// names, so results compare across machines.
+func TrimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Metric builds a metric map from alternating unit, value pairs; a
+// convenience for producers that assemble results directly (loadgen).
+func Metric(pairs ...any) (map[string]float64, error) {
+	if len(pairs)%2 != 0 {
+		return nil, fmt.Errorf("benchfmt: Metric takes unit/value pairs, got %d arguments", len(pairs))
+	}
+	m := make(map[string]float64, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		unit, ok := pairs[i].(string)
+		if !ok {
+			return nil, fmt.Errorf("benchfmt: Metric unit %v is not a string", pairs[i])
+		}
+		switch v := pairs[i+1].(type) {
+		case float64:
+			m[unit] = v
+		case int:
+			m[unit] = float64(v)
+		case int64:
+			m[unit] = float64(v)
+		case uint64:
+			m[unit] = float64(v)
+		default:
+			return nil, fmt.Errorf("benchfmt: Metric value for %q has unsupported type %T", unit, v)
+		}
+	}
+	return m, nil
+}

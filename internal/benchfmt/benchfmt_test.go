@@ -1,0 +1,141 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: auditreg
+cpu: Some CPU
+BenchmarkE7SilentRead-8   	100000000	        10.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkE7SilentRead-8   	120000000	         9.8 ns/op	       0 B/op	       0 allocs/op
+BenchmarkE1Write/pads=block-8         	 5000000	       250.0 ns/op	         1.20 cas/write	         0.25 sha/write
+pkg: auditreg/internal/ida
+BenchmarkSplit/bulk-8     	   20000	     60000 ns/op	 800.0 MB/s
+BenchmarkSplit/bulk-8     	   21000	     59000 ns/op	 820.0 MB/s
+PASS
+`
+
+func TestParseFoldsRepsToBest(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+
+	silent := byName["BenchmarkE7SilentRead"]
+	if silent.Package != "auditreg" {
+		t.Errorf("package = %q, want auditreg", silent.Package)
+	}
+	if silent.Metrics["ns/op"] != 9.8 {
+		t.Errorf("ns/op = %v, want the best (minimum) 9.8", silent.Metrics["ns/op"])
+	}
+	if silent.Iters != 120000000 {
+		t.Errorf("iters = %d, want the max 120000000", silent.Iters)
+	}
+
+	split := byName["BenchmarkSplit/bulk"]
+	if split.Package != "auditreg/internal/ida" {
+		t.Errorf("package = %q, want auditreg/internal/ida", split.Package)
+	}
+	if split.Metrics["MB/s"] != 820.0 {
+		t.Errorf("MB/s = %v, want the best (maximum) 820", split.Metrics["MB/s"])
+	}
+	if split.Metrics["ns/op"] != 59000.0 {
+		t.Errorf("ns/op = %v, want 59000", split.Metrics["ns/op"])
+	}
+
+	write := byName["BenchmarkE1Write/pads=block"]
+	if write.Metrics["sha/write"] != 0.25 {
+		t.Errorf("sha/write = %v, want 0.25", write.Metrics["sha/write"])
+	}
+}
+
+func TestParseSortsByPackageThenName(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	for i := 1; i < len(results); i++ {
+		a, b := results[i-1], results[i]
+		if a.Package > b.Package || (a.Package == b.Package && a.Name > b.Name) {
+			t.Fatalf("results out of order: %s/%s before %s/%s", a.Package, a.Name, b.Package, b.Name)
+		}
+	}
+}
+
+func TestBetter(t *testing.T) {
+	cases := []struct {
+		unit    string
+		v, prev float64
+		want    bool
+	}{
+		{"ns/op", 5, 10, true},
+		{"ns/op", 10, 5, false},
+		{"allocs/op", 0, 1, true},
+		{"MB/s", 900, 800, true},
+		{"MB/s", 700, 800, false},
+		{"ops/s", 2e6, 1e6, true},
+	}
+	for _, c := range cases {
+		if got := Better(c.unit, c.v, c.prev); got != c.want {
+			t.Errorf("Better(%q, %v, %v) = %v, want %v", c.unit, c.v, c.prev, got, c.want)
+		}
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"BenchmarkX-8", "BenchmarkX"},
+		{"BenchmarkX-16", "BenchmarkX"},
+		{"BenchmarkX/sub=a-8", "BenchmarkX/sub=a"},
+		{"BenchmarkX", "BenchmarkX"},
+		{"BenchmarkX-y", "BenchmarkX-y"},
+	}
+	for _, c := range cases {
+		if got := TrimProcSuffix(c.in); got != c.want {
+			t.Errorf("TrimProcSuffix(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNewReportStampsEnvironment(t *testing.T) {
+	rep := NewReport("Loadgen", "1x", 1, []string{"auditreg/cmd/loadgen"})
+	if rep.Schema != Schema {
+		t.Errorf("schema = %q, want %q", rep.Schema, Schema)
+	}
+	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" || rep.CPUs == 0 {
+		t.Errorf("environment fields missing: %+v", rep)
+	}
+	if rep.Created == "" {
+		t.Error("created timestamp missing")
+	}
+}
+
+func TestMetric(t *testing.T) {
+	m, err := Metric("ns/op", 12.5, "reads", int64(100), "ops/s", 2e6)
+	if err != nil {
+		t.Fatalf("Metric: %v", err)
+	}
+	if m["ns/op"] != 12.5 || m["reads"] != 100 || m["ops/s"] != 2e6 {
+		t.Errorf("Metric = %v", m)
+	}
+	if _, err := Metric("odd"); err == nil {
+		t.Error("odd argument count must fail")
+	}
+	if _, err := Metric(1, 2); err == nil {
+		t.Error("non-string unit must fail")
+	}
+	if _, err := Metric("u", "not-a-number"); err == nil {
+		t.Error("unsupported value type must fail")
+	}
+}

@@ -1,0 +1,157 @@
+// Package shard provides the concurrent name-to-object map underlying the
+// multi-object store: a power-of-two array of independently locked buckets
+// with lazy, exactly-once object creation. Shard count is fixed at
+// construction, so lookups never take a global lock and sweeps (audits,
+// metrics) can walk one shard at a time, bounding how much of the map any
+// maintenance pass pins at once.
+package shard
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultShards is the shard count selected when NewMap is given 0. It is
+// sized for a few dozen cores hammering disjoint names: large enough that
+// bucket collisions are rare, small enough that a per-shard sweep touches a
+// useful fraction of the map.
+const DefaultShards = 64
+
+// MaxShards bounds the shard count (1 Mi buckets is far beyond any sensible
+// configuration and keeps the power-of-two rounding overflow-free).
+const MaxShards = 1 << 20
+
+// Map is a sharded map from object names to values of type T. All methods
+// are safe for concurrent use. The zero value is not usable; construct with
+// NewMap.
+type Map[T any] struct {
+	mask    uint64
+	buckets []bucket[T]
+}
+
+type bucket[T any] struct {
+	mu sync.RWMutex
+	m  map[string]T
+}
+
+// NewMap returns a map with the given shard count rounded up to a power of
+// two. A count of 0 selects DefaultShards.
+func NewMap[T any](shards int) (*Map[T], error) {
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	if shards < 0 || shards > MaxShards {
+		return nil, fmt.Errorf("shard: shard count must be in [1, %d], got %d", MaxShards, shards)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	m := &Map[T]{mask: uint64(n - 1), buckets: make([]bucket[T], n)}
+	for i := range m.buckets {
+		m.buckets[i].m = make(map[string]T)
+	}
+	return m, nil
+}
+
+// Shards returns the shard count (a power of two).
+func (m *Map[T]) Shards() int { return len(m.buckets) }
+
+// ShardOf returns the index of the shard holding name.
+func (m *Map[T]) ShardOf(name string) int { return int(fnv1a(name) & m.mask) }
+
+// fnv1a is the 64-bit FNV-1a hash; inlined to keep Get allocation-free
+// (hash/fnv would force the string through an io.Writer).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Get returns the value stored under name, if any.
+func (m *Map[T]) Get(name string) (T, bool) {
+	b := &m.buckets[m.ShardOf(name)]
+	b.mu.RLock()
+	v, ok := b.m[name]
+	b.mu.RUnlock()
+	return v, ok
+}
+
+// GetOrCreate returns the value stored under name, creating it with create
+// if absent. Exactly one concurrent caller runs create per name; the others
+// observe its result. created reports whether this call ran create. If
+// create fails nothing is stored and the error is returned.
+//
+// create runs while the shard is locked: it must be quick and must not touch
+// this Map.
+func (m *Map[T]) GetOrCreate(name string, create func() (T, error)) (v T, created bool, err error) {
+	b := &m.buckets[m.ShardOf(name)]
+	b.mu.RLock()
+	v, ok := b.m[name]
+	b.mu.RUnlock()
+	if ok {
+		return v, false, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v, ok = b.m[name]; ok {
+		return v, false, nil
+	}
+	v, err = create()
+	if err != nil {
+		var zero T
+		return zero, false, err
+	}
+	b.m[name] = v
+	return v, true, nil
+}
+
+// Len returns the total number of stored entries.
+func (m *Map[T]) Len() int {
+	n := 0
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.RLock()
+		n += len(b.m)
+		b.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls f for every entry until f returns false, shard by shard, in
+// unspecified order within a shard; entries added or removed concurrently
+// may or may not be visited. f runs without any shard lock held, so it may
+// call back into the Map.
+func (m *Map[T]) Range(f func(name string, v T) bool) {
+	for i := range m.buckets {
+		if !m.RangeShard(i, f) {
+			return
+		}
+	}
+}
+
+// RangeShard calls f for every entry of shard i (in unspecified order — a
+// sweep that needs ordering sorts its own output) and reports whether the
+// sweep ran to completion (false if f stopped it). Like Range, f runs
+// without the shard lock held: the shard's entries are snapshotted first,
+// so f observes the membership as of the snapshot.
+func (m *Map[T]) RangeShard(i int, f func(name string, v T) bool) bool {
+	b := &m.buckets[i]
+	b.mu.RLock()
+	names := make([]string, 0, len(b.m))
+	vals := make([]T, 0, len(b.m))
+	for name, v := range b.m {
+		names = append(names, name)
+		vals = append(vals, v)
+	}
+	b.mu.RUnlock()
+	for k, name := range names {
+		if !f(name, vals[k]) {
+			return false
+		}
+	}
+	return true
+}

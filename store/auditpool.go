@@ -1,0 +1,275 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"auditreg"
+	"auditreg/internal/shard"
+)
+
+// Pool defaults.
+const (
+	DefaultPoolWorkers  = 4
+	DefaultPoolInterval = 25 * time.Millisecond
+)
+
+// AuditPool audits a store's objects asynchronously, in batches: background
+// workers sweep the shard map on an interval, each worker owning a disjoint
+// set of shards per pass. Every object is audited through a persistent
+// cursor — the auditor handle keeps the paper's lsa, so a sweep scans only
+// the history suffix written since the previous one — and the resulting
+// report (cumulative, as audits are) is published for lock-free reads via
+// Report and Merged.
+//
+// The pool observes exactly the audit semantics of the per-object auditors:
+// a published report is some linearized audit of that object, and reports
+// only grow. Flush forces a synchronous full pass for callers that need
+// every cursor advanced past all operations that happened before the call.
+//
+// Construct with Store.NewAuditPool; Start/Stop bracket the background
+// workers, Flush also works on a pool that was never started (pure batch
+// mode). All methods are safe for concurrent use.
+type AuditPool[V comparable] struct {
+	st       *Store[V]
+	workers  int
+	interval time.Duration
+
+	cursors *shard.Map[*auditCursor[V]]
+	stopc   chan struct{}
+	stop    sync.Once
+	started atomic.Bool
+	wg      sync.WaitGroup
+
+	sweeps  atomic.Uint64 // completed per-worker passes over their shards
+	audited atomic.Uint64 // incremental per-object audits performed
+	errs    atomic.Uint64
+	lastErr atomic.Pointer[error]
+}
+
+// auditCursor is one object's audit state: the persistent per-kind auditor
+// handle (not safe for concurrent use, hence the mutex) and the latest
+// published report.
+type auditCursor[V comparable] struct {
+	mu      sync.Mutex
+	obj     *Object[V]
+	regAud  *auditreg.Auditor[V]
+	maxAud  *auditreg.MaxAuditor[V]
+	snapAud *auditreg.SnapshotAuditor[V]
+	rep     atomic.Pointer[ObjectAudit[V]]
+}
+
+// PoolOption configures an AuditPool.
+type PoolOption func(*poolConfig)
+
+type poolConfig struct {
+	workers  int
+	interval time.Duration
+}
+
+// WithPoolWorkers sets the number of background sweep goroutines (default
+// DefaultPoolWorkers, capped at the store's shard count).
+func WithPoolWorkers(n int) PoolOption {
+	return func(c *poolConfig) { c.workers = n }
+}
+
+// WithPoolInterval sets the pause between a worker's passes (default
+// DefaultPoolInterval).
+func WithPoolInterval(d time.Duration) PoolOption {
+	return func(c *poolConfig) { c.interval = d }
+}
+
+// NewAuditPool returns an audit pool over the store's objects. The pool
+// holds the store's audit secret by construction; like the store itself it
+// must stay on the writer/auditor side of the trust boundary.
+func (st *Store[V]) NewAuditPool(opts ...PoolOption) (*AuditPool[V], error) {
+	cfg := poolConfig{workers: DefaultPoolWorkers, interval: DefaultPoolInterval}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.workers < 1 {
+		return nil, fmt.Errorf("store: pool workers must be positive, got %d", cfg.workers)
+	}
+	if cfg.interval <= 0 {
+		return nil, fmt.Errorf("store: pool interval must be positive, got %v", cfg.interval)
+	}
+	if cfg.workers > st.objects.Shards() {
+		cfg.workers = st.objects.Shards()
+	}
+	cursors, err := shard.NewMap[*auditCursor[V]](st.objects.Shards())
+	if err != nil {
+		return nil, err
+	}
+	return &AuditPool[V]{
+		st:       st,
+		workers:  cfg.workers,
+		interval: cfg.interval,
+		cursors:  cursors,
+		stopc:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the background workers. A pool starts at most once.
+func (p *AuditPool[V]) Start() error {
+	if !p.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("store: audit pool already started")
+	}
+	for w := 0; w < p.workers; w++ {
+		p.wg.Add(1)
+		go p.run(w)
+	}
+	return nil
+}
+
+// Stop halts the background workers and waits for them to finish their
+// current pass. Idempotent; the pool cannot be restarted, but Flush keeps
+// working.
+func (p *AuditPool[V]) Stop() {
+	p.stop.Do(func() { close(p.stopc) })
+	p.wg.Wait()
+}
+
+// run is one worker's loop: sweep the shards assigned to it (s ≡ w mod
+// workers), then pause for the interval.
+func (p *AuditPool[V]) run(w int) {
+	defer p.wg.Done()
+	timer := time.NewTimer(p.interval)
+	defer timer.Stop()
+	for {
+		for s := w; s < p.st.objects.Shards(); s += p.workers {
+			select {
+			case <-p.stopc:
+				return
+			default:
+			}
+			p.sweepShard(s)
+		}
+		p.sweeps.Add(1)
+		timer.Reset(p.interval)
+		select {
+		case <-p.stopc:
+			return
+		case <-timer.C:
+		}
+	}
+}
+
+// sweepShard incrementally audits every object of shard s, returning the
+// first error (audits fail only when an object outgrew its history
+// capacity).
+func (p *AuditPool[V]) sweepShard(s int) error {
+	var first error
+	p.st.objects.RangeShard(s, func(name string, obj *Object[V]) bool {
+		cur, _, _ := p.cursors.GetOrCreate(name, func() (*auditCursor[V], error) {
+			return newAuditCursor(obj), nil
+		})
+		if err := cur.audit(); err != nil {
+			p.errs.Add(1)
+			p.lastErr.Store(&err)
+			if first == nil {
+				first = err
+			}
+		} else {
+			p.audited.Add(1)
+		}
+		return true
+	})
+	return first
+}
+
+// Flush synchronously audits every object in the store, advancing each
+// cursor past all operations linearized before the corresponding per-object
+// audit, and returns the first error encountered. It may run concurrently
+// with the background workers and works on a never-started pool.
+func (p *AuditPool[V]) Flush() error {
+	var first error
+	for s := 0; s < p.st.objects.Shards(); s++ {
+		if err := p.sweepShard(s); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Report returns the named object's latest published audit, if the pool has
+// audited it: a shard-map lookup (one bucket read-lock) plus an atomic load
+// of the published report — it never contends with an in-progress audit of
+// the object.
+func (p *AuditPool[V]) Report(name string) (ObjectAudit[V], bool) {
+	cur, ok := p.cursors.Get(name)
+	if !ok {
+		return ObjectAudit[V]{}, false
+	}
+	rep := cur.rep.Load()
+	if rep == nil {
+		return ObjectAudit[V]{}, false
+	}
+	return *rep, true
+}
+
+// Merged returns the latest published audit of every audited object, sorted
+// by object name. The reports are the auditors' zero-copy views (see
+// auditreg.Report); no audit entries are copied.
+func (p *AuditPool[V]) Merged() []ObjectAudit[V] {
+	var out []ObjectAudit[V]
+	p.cursors.Range(func(_ string, cur *auditCursor[V]) bool {
+		if rep := cur.rep.Load(); rep != nil {
+			out = append(out, *rep)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Object < out[j].Object })
+	return out
+}
+
+// Sweeps returns the number of completed per-worker passes.
+func (p *AuditPool[V]) Sweeps() uint64 { return p.sweeps.Load() }
+
+// Audited returns the number of incremental per-object audits performed.
+func (p *AuditPool[V]) Audited() uint64 { return p.audited.Load() }
+
+// Err returns the most recent audit error observed by the pool, if any.
+func (p *AuditPool[V]) Err() error {
+	if e := p.lastErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+func newAuditCursor[V comparable](obj *Object[V]) *auditCursor[V] {
+	cur := &auditCursor[V]{obj: obj}
+	switch obj.kind {
+	case Register:
+		cur.regAud = obj.reg.Auditor()
+	case MaxRegister:
+		cur.maxAud = obj.max.Auditor()
+	case Snapshot:
+		cur.snapAud = obj.snap.Auditor()
+	}
+	return cur
+}
+
+// audit advances the cursor by one incremental audit and publishes the
+// resulting cumulative report.
+func (c *auditCursor[V]) audit() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := ObjectAudit[V]{Object: c.obj.name, Kind: c.obj.kind}
+	var err error
+	switch c.obj.kind {
+	case Register:
+		rep.Report, err = c.regAud.Audit()
+	case MaxRegister:
+		rep.Report, err = c.maxAud.Audit()
+	case Snapshot:
+		rep.Views, err = c.snapAud.Audit()
+	}
+	if err != nil {
+		return fmt.Errorf("store: pool audit %q: %w", c.obj.name, err)
+	}
+	c.rep.Store(&rep)
+	return nil
+}

@@ -1,0 +1,258 @@
+package store_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"auditreg/store"
+)
+
+// TestPoolMatchesPerObjectAudit is the store-level equivalence proof: under
+// mixed concurrent read/write traffic over many objects of all three kinds,
+// the batched asynchronous audit pipeline reports exactly the readers that
+// effectively read each object — mid-traffic reports contain no false
+// positives (every pair also appears in the final synchronous ground truth),
+// and once traffic quiesces a Flush leaves no false negatives (pool report
+// and fresh full-history per-object audit are equal sets).
+func TestPoolMatchesPerObjectAudit(t *testing.T) {
+	const (
+		objectsPerKind = 20
+		goroutines     = 8
+		opsPerG        = 1200
+	)
+	st := newTestStore(t)
+
+	kinds := []store.Kind{store.Register, store.MaxRegister, store.Snapshot}
+	var names []string
+	for _, k := range kinds {
+		for i := 0; i < objectsPerKind; i++ {
+			name := fmt.Sprintf("%v-%02d", k, i)
+			if _, err := st.Open(name, k); err != nil {
+				t.Fatalf("Open(%s): %v", name, err)
+			}
+			names = append(names, name)
+		}
+	}
+
+	pool, err := st.NewAuditPool(store.WithPoolWorkers(3), store.WithPoolInterval(time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewAuditPool: %v", err)
+	}
+	if err := pool.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer pool.Stop()
+
+	// Mid-traffic report snapshots, checked for false positives later.
+	var midMu sync.Mutex
+	var mid []store.ObjectAudit[uint64]
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < opsPerG; i++ {
+				name := names[rng.Intn(len(names))]
+				obj, _ := st.Lookup(name)
+				switch {
+				case rng.Intn(100) < 30: // write
+					v := uint64(rng.Intn(500))
+					if obj.Kind() == store.Snapshot {
+						if err := obj.UpdateAt(rng.Intn(obj.Components()), v); err != nil {
+							t.Errorf("UpdateAt(%s): %v", name, err)
+							return
+						}
+					} else if err := obj.Write(v); err != nil {
+						t.Errorf("Write(%s): %v", name, err)
+						return
+					}
+				default: // read
+					if obj.Kind() == store.Snapshot {
+						if _, err := obj.Scan(g); err != nil {
+							t.Errorf("Scan(%s): %v", name, err)
+							return
+						}
+					} else if _, err := obj.Read(g); err != nil {
+						t.Errorf("Read(%s): %v", name, err)
+						return
+					}
+				}
+				if i%400 == 399 {
+					if rep, ok := pool.Report(name); ok {
+						midMu.Lock()
+						mid = append(mid, rep)
+						midMu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Traffic has quiesced; one synchronous batch pass advances every
+	// cursor past everything.
+	if err := pool.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := pool.Err(); err != nil {
+		t.Fatalf("pool observed audit error: %v", err)
+	}
+
+	ground := map[string]store.ObjectAudit[uint64]{}
+	for _, name := range names {
+		aud, err := st.Audit(name)
+		if err != nil {
+			t.Fatalf("ground-truth Audit(%s): %v", name, err)
+		}
+		ground[name] = aud
+	}
+
+	// No false negatives (and no false positives) after the flush: exact
+	// set equality per object.
+	for _, name := range names {
+		rep, ok := pool.Report(name)
+		if !ok {
+			t.Fatalf("pool has no report for %s", name)
+		}
+		if !rep.Same(ground[name]) {
+			t.Errorf("pool report for %s disagrees with per-object audit:\npool:   %d pairs\nground: %d pairs",
+				name, rep.Len(), ground[name].Len())
+		}
+	}
+
+	// No false positives mid-traffic: every mid-flight report is a subset
+	// of the final ground truth.
+	for _, rep := range mid {
+		if !rep.Subset(ground[rep.Object]) {
+			t.Errorf("mid-traffic report for %s contains pairs absent from the final audit", rep.Object)
+		}
+	}
+
+	// The merged view covers every object, sorted by name, zero-copy.
+	merged := pool.Merged()
+	if len(merged) != len(names) {
+		t.Fatalf("Merged() has %d objects, want %d", len(merged), len(names))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i-1].Object >= merged[i].Object {
+			t.Fatal("Merged() must be sorted by object name")
+		}
+	}
+	if pool.Audited() == 0 || pool.Sweeps() == 0 {
+		t.Error("pool counters must reflect background sweeps")
+	}
+}
+
+// TestPoolFlushWithoutStart exercises pure batch mode: a never-started pool
+// audits on demand.
+func TestPoolFlushWithoutStart(t *testing.T) {
+	st := newTestStore(t)
+	if _, err := st.Open("r", store.Register); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := st.Write("r", 3); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := st.Read("r", 5); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+
+	pool, err := st.NewAuditPool()
+	if err != nil {
+		t.Fatalf("NewAuditPool: %v", err)
+	}
+	if _, ok := pool.Report("r"); ok {
+		t.Fatal("report before any flush must be absent")
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rep, ok := pool.Report("r")
+	if !ok || !rep.Report.Contains(5, 3) {
+		t.Fatalf("flushed report = (%v, %v), want to contain (5, 3)", rep.Report, ok)
+	}
+	pool.Stop() // Stop on a never-started pool is a no-op.
+}
+
+// TestPoolCursorIsIncremental checks that successive flushes extend the
+// published report rather than restarting it, and that new accesses between
+// flushes show up.
+func TestPoolCursorIsIncremental(t *testing.T) {
+	st := newTestStore(t)
+	if _, err := st.Open("r", store.Register); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	pool, err := st.NewAuditPool()
+	if err != nil {
+		t.Fatalf("NewAuditPool: %v", err)
+	}
+
+	if err := st.Write("r", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Read("r", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep1, _ := pool.Report("r")
+
+	if err := st.Write("r", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Read("r", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep2, _ := pool.Report("r")
+
+	if !rep1.Subset(rep2) {
+		t.Error("cumulative pool reports must only grow")
+	}
+	if !rep2.Report.Contains(0, 1) || !rep2.Report.Contains(1, 2) {
+		t.Errorf("second report %v misses expected pairs", rep2.Report)
+	}
+	ground, err := st.Audit("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Same(ground) {
+		t.Errorf("incremental report %v != ground truth %v", rep2.Report, ground.Report)
+	}
+}
+
+// TestPoolStartTwice ensures the pool rejects a second Start and Stop is
+// idempotent.
+func TestPoolStartStop(t *testing.T) {
+	st := newTestStore(t)
+	pool, err := st.NewAuditPool(store.WithPoolInterval(time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewAuditPool: %v", err)
+	}
+	if err := pool.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := pool.Start(); err == nil {
+		t.Error("second Start must fail")
+	}
+	pool.Stop()
+	pool.Stop()
+}
+
+func TestPoolOptionValidation(t *testing.T) {
+	st := newTestStore(t)
+	if _, err := st.NewAuditPool(store.WithPoolWorkers(0)); err == nil {
+		t.Error("zero workers must fail")
+	}
+	if _, err := st.NewAuditPool(store.WithPoolInterval(0)); err == nil {
+		t.Error("zero interval must fail")
+	}
+}

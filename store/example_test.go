@@ -1,0 +1,103 @@
+package store_test
+
+import (
+	"fmt"
+
+	"auditreg"
+	"auditreg/store"
+)
+
+// ExampleNew shows the basic multi-object cycle: open named objects lazily,
+// write and read through the store, audit one object synchronously.
+func ExampleNew() {
+	st, _ := store.New[uint64](auditreg.KeyFromSeed(1), store.WithReaders[uint64](4))
+
+	_, _ = st.Open("accounts/alice", store.Register)
+	_ = st.Write("accounts/alice", 100)
+
+	balance, _ := st.Read("accounts/alice", 2) // reader principal 2
+	fmt.Println("balance:", balance)
+
+	aud, _ := st.Audit("accounts/alice")
+	fmt.Println("audit:", aud.Report)
+	// Output:
+	// balance: 100
+	// audit: {(2, 100)}
+}
+
+// ExampleStore_Open shows the three hosted kinds and kind safety.
+func ExampleStore_Open() {
+	st, _ := store.New[uint64](auditreg.KeyFromSeed(2),
+		store.WithReaders[uint64](2),
+		store.WithLess[uint64](func(a, b uint64) bool { return a < b }),
+		store.WithNonces[uint64](func(id uint64) auditreg.NonceSource {
+			return auditreg.NewSeededNonces(7+id, uint8(id))
+		}),
+	)
+
+	reg, _ := st.Open("cfg", store.Register)
+	high, _ := st.Open("highscore", store.MaxRegister)
+	snap, _ := st.Open("metrics", store.Snapshot, store.WithObjectComponents(3))
+
+	_ = reg.Write(1)
+	_ = high.Write(90)
+	_ = high.Write(40) // lower than the max: ignored
+	_ = snap.UpdateAt(1, 5)
+
+	v, _ := reg.Read(0)
+	max, _ := high.Read(0)
+	view, _ := snap.Scan(0)
+	fmt.Println(v, max, view)
+
+	// Reopening under another kind fails.
+	_, err := st.Open("cfg", store.Snapshot)
+	fmt.Println("reopen as snapshot:", err != nil)
+	// Output:
+	// 1 90 [0 5 0]
+	// reopen as snapshot: true
+}
+
+// ExampleAuditPool shows batched auditing: a pool flushed on demand audits
+// every object incrementally and serves a merged, name-sorted view.
+func ExampleAuditPool() {
+	st, _ := store.New[uint64](auditreg.KeyFromSeed(3), store.WithReaders[uint64](2))
+
+	for _, name := range []string{"a", "b"} {
+		_, _ = st.Open(name, store.Register)
+		_ = st.Write(name, 11)
+		_, _ = st.Read(name, 1)
+	}
+
+	pool, _ := st.NewAuditPool()
+	_ = pool.Flush() // in production: pool.Start() sweeps in the background
+
+	for _, aud := range pool.Merged() {
+		fmt.Printf("%s: %v\n", aud.Object, aud.Report)
+	}
+	// Output:
+	// a: {(1, 11)}
+	// b: {(1, 11)}
+}
+
+// ExampleAuditPool_Report shows the per-object cursor: successive flushes
+// extend the cumulative report with only the new accesses.
+func ExampleAuditPool_Report() {
+	st, _ := store.New[uint64](auditreg.KeyFromSeed(4), store.WithReaders[uint64](2))
+	_, _ = st.Open("doc", store.Register)
+	pool, _ := st.NewAuditPool()
+
+	_ = st.Write("doc", 1)
+	_, _ = st.Read("doc", 0)
+	_ = pool.Flush()
+	rep, _ := pool.Report("doc")
+	fmt.Println("after flush 1:", rep.Report)
+
+	_ = st.Write("doc", 2)
+	_, _ = st.Read("doc", 1)
+	_ = pool.Flush()
+	rep, _ = pool.Report("doc")
+	fmt.Println("after flush 2:", rep.Report)
+	// Output:
+	// after flush 1: {(0, 1)}
+	// after flush 2: {(0, 1), (1, 2)}
+}

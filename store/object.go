@@ -1,0 +1,225 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"auditreg"
+)
+
+// Object is one named auditable object hosted by a Store. All methods are
+// safe for concurrent use; obtain objects from Store.Open or Store.Lookup.
+//
+// Unlike the bare auditreg objects — whose per-process handles the caller
+// threads through its own code — an Object manages handles itself: one
+// persistent, mutex-guarded read handle per reader index (so the silent-read
+// cache and the one-fetch&xor-per-write invariant survive calls from
+// arbitrary goroutines) and a free pool of writer handles (so concurrent
+// writers never share one).
+type Object[V comparable] struct {
+	st   *Store[V]
+	name string
+	kind Kind
+
+	reg  *auditreg.Register[V]
+	max  *auditreg.MaxRegister[V]
+	snap *auditreg.Snapshot[V]
+
+	readSlots []readSlot[V]
+	comps     []compSlot[V] // Snapshot only: per-component updater
+	writers   sync.Pool     // Register/MaxRegister write handles
+}
+
+// readSlot serializes one reader principal's accesses. The handle is created
+// on first use; which field is populated follows the object's kind.
+type readSlot[V comparable] struct {
+	mu      sync.Mutex
+	reader  *auditreg.Reader[V]
+	maxRd   *auditreg.MaxReader[V]
+	scanner *auditreg.SnapshotScanner[V]
+}
+
+// compSlot serializes updates of one snapshot component, upholding the
+// algorithm's single-writer-per-component regime across goroutines.
+type compSlot[V comparable] struct {
+	mu sync.Mutex
+	up *auditreg.SnapshotUpdater[V]
+}
+
+// newObject builds the object stored under name. It runs under the name
+// map's shard lock, so it only allocates — handles come later, on use.
+func (st *Store[V]) newObject(name string, kind Kind, cfg openConfig) (*Object[V], error) {
+	var pads auditreg.PadSource
+	var err error
+	if st.keyedPads {
+		pads, err = auditreg.NewKeyedPads(st.objectKey(name), st.readers)
+	} else {
+		pads, err = auditreg.NewBlockPads(st.objectKey(name), st.readers)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	obj := &Object[V]{st: st, name: name, kind: kind, readSlots: make([]readSlot[V], st.readers)}
+	switch kind {
+	case Register:
+		obj.reg, err = auditreg.NewRegister(st.readers, st.initial, pads, auditreg.WithCapacity[V](cfg.capacity))
+	case MaxRegister:
+		if st.less == nil {
+			return nil, fmt.Errorf("store: open %q: MaxRegister needs store.WithLess", name)
+		}
+		obj.max, err = auditreg.NewMaxRegister(st.readers, st.initial, st.less, pads, auditreg.WithMaxCapacity[V](cfg.capacity))
+	case Snapshot:
+		obj.snap, err = auditreg.NewSnapshot(cfg.components, st.readers, st.initial, pads, auditreg.WithSnapshotCapacity[V](cfg.capacity))
+		obj.comps = make([]compSlot[V], cfg.components)
+	default:
+		return nil, fmt.Errorf("store: open %q: unknown kind %v", name, kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+// Name returns the name the object is stored under.
+func (o *Object[V]) Name() string { return o.name }
+
+// Kind returns the object's kind.
+func (o *Object[V]) Kind() Kind { return o.kind }
+
+// Readers returns the object's reader count m.
+func (o *Object[V]) Readers() int { return len(o.readSlots) }
+
+// Components returns a Snapshot object's component count, 0 otherwise.
+func (o *Object[V]) Components() int { return len(o.comps) }
+
+// Write writes v: an overwrite for a Register, a writeMax for a
+// MaxRegister. Snapshot objects take component writes through UpdateAt.
+func (o *Object[V]) Write(v V) error {
+	switch o.kind {
+	case Register:
+		w, _ := o.writers.Get().(*auditreg.Writer[V])
+		if w == nil {
+			w = o.reg.Writer()
+		}
+		err := w.Write(v)
+		o.writers.Put(w)
+		return err
+	case MaxRegister:
+		w, _ := o.writers.Get().(*auditreg.MaxWriter[V])
+		if w == nil {
+			var err error
+			w, err = o.max.Writer(o.st.nonces(o.st.nonceID.Add(1)))
+			if err != nil {
+				return err
+			}
+		}
+		err := w.WriteMax(v)
+		o.writers.Put(w)
+		return err
+	default:
+		return fmt.Errorf("store: write %q: %v objects take UpdateAt, not Write: %w", o.name, o.kind, ErrKindMismatch)
+	}
+}
+
+// Read returns the current value as seen by the given reader index: the
+// latest write for a Register, the maximum for a MaxRegister. Snapshot
+// objects are read through Scan.
+func (o *Object[V]) Read(reader int) (V, error) {
+	var zero V
+	if reader < 0 || reader >= len(o.readSlots) {
+		return zero, fmt.Errorf("store: read %q: reader %d out of range [0, %d)", o.name, reader, len(o.readSlots))
+	}
+	s := &o.readSlots[reader]
+	switch o.kind {
+	case Register:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.reader == nil {
+			rd, err := o.reg.Reader(reader)
+			if err != nil {
+				return zero, err
+			}
+			s.reader = rd
+		}
+		return s.reader.Read(), nil
+	case MaxRegister:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.maxRd == nil {
+			rd, err := o.max.Reader(reader)
+			if err != nil {
+				return zero, err
+			}
+			s.maxRd = rd
+		}
+		return s.maxRd.Read(), nil
+	default:
+		return zero, fmt.Errorf("store: read %q: %v objects take Scan, not Read: %w", o.name, o.kind, ErrKindMismatch)
+	}
+}
+
+// Scan returns an atomic view of a Snapshot object as seen by the given
+// reader (scanner) index.
+func (o *Object[V]) Scan(reader int) ([]V, error) {
+	if o.kind != Snapshot {
+		return nil, fmt.Errorf("store: scan %q: %v objects take Read, not Scan: %w", o.name, o.kind, ErrKindMismatch)
+	}
+	if reader < 0 || reader >= len(o.readSlots) {
+		return nil, fmt.Errorf("store: scan %q: reader %d out of range [0, %d)", o.name, reader, len(o.readSlots))
+	}
+	s := &o.readSlots[reader]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.scanner == nil {
+		sc, err := o.snap.Scanner(reader)
+		if err != nil {
+			return nil, err
+		}
+		s.scanner = sc
+	}
+	return s.scanner.Scan(), nil
+}
+
+// UpdateAt sets component i of a Snapshot object to v. Updates of one
+// component are serialized by the object (the algorithm's single writer per
+// component); distinct components update concurrently.
+func (o *Object[V]) UpdateAt(i int, v V) error {
+	if o.kind != Snapshot {
+		return fmt.Errorf("store: update %q: %v objects take Write, not UpdateAt: %w", o.name, o.kind, ErrKindMismatch)
+	}
+	if i < 0 || i >= len(o.comps) {
+		return fmt.Errorf("store: update %q: component %d out of range [0, %d)", o.name, i, len(o.comps))
+	}
+	c := &o.comps[i]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.up == nil {
+		up, err := o.snap.Updater(i, o.st.nonces(o.st.nonceID.Add(1)))
+		if err != nil {
+			return err
+		}
+		c.up = up
+	}
+	return c.up.Update(v)
+}
+
+// Audit audits the object with a fresh auditor: a full scan of the history,
+// yielding the exact current audit set. This is the synchronous ground
+// truth; the batched path is AuditPool.
+func (o *Object[V]) Audit() (ObjectAudit[V], error) {
+	out := ObjectAudit[V]{Object: o.name, Kind: o.kind}
+	var err error
+	switch o.kind {
+	case Register:
+		out.Report, err = o.reg.Auditor().Audit()
+	case MaxRegister:
+		out.Report, err = o.max.Auditor().Audit()
+	case Snapshot:
+		out.Views, err = o.snap.Auditor().Audit()
+	}
+	if err != nil {
+		return ObjectAudit[V]{}, fmt.Errorf("store: audit %q: %w", o.name, err)
+	}
+	return out, nil
+}
