@@ -110,6 +110,12 @@ type Entry[V comparable] = core.Entry[V]
 // Report is an audit response: a set of Entry values.
 type Report[V comparable] = core.Report[V]
 
+// NewReport builds a report from explicit entries, deduplicated, preserving
+// first occurrence order. Producers that reconstruct reports — tests,
+// specifications, the network client unmasking an audit response — use it to
+// obtain a Report comparable with Report.Equal.
+func NewReport[V comparable](entries ...Entry[V]) Report[V] { return core.NewReport(entries...) }
+
 // HandleOption configures a process handle (instrumentation probe, pid).
 type HandleOption = core.HandleOption
 

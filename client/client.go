@@ -1,0 +1,291 @@
+// Package client is the Go client of auditd (package auditreg/server): a
+// connection pool speaking the auditreg/wire protocol, with in-flight
+// request multiplexing and typed Writer/Reader/Auditor handles mirroring the
+// local store API.
+//
+// # Roles, client-side
+//
+// The paper's principals map onto client handles:
+//
+//   - Writers and plain applications call Object.Write / Object.Read.
+//   - A Reader handle owns the reader principal's protocol state — the
+//     silent-read cache (prev_sn, prev_val) — and drives the paper's read as
+//     two pipelined wire messages: READ-FETCH (the one fetch&xor,
+//     server-side) and READ-ANNOUNCE (the helping CAS, sent without waiting).
+//     Values arrive XOR-masked under the connection's session secret; the
+//     client unmasks locally, so one principal's values are opaque to every
+//     other curious principal on the network.
+//   - An Auditor handle requires the store key (WithKey): audit responses
+//     carry reader sets XOR-masked under key-derived pads, and the client
+//     unmasks them locally. Reader sets are decrypted only client-side, and
+//     only by key holders — a client without the key cannot audit.
+//
+// # Concurrency
+//
+// A Client and its Objects are safe for concurrent use: requests from any
+// number of goroutines multiplex over the pool, matched to responses by
+// request id. Per-reader read state is serialized per (object, reader), as
+// in the local store. Dead pool connections are transparently redialed on
+// next use, so a server restart costs the requests in flight, not the
+// Client.
+package client
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"auditreg"
+	"auditreg/store"
+	"auditreg/wire"
+)
+
+// DefaultConns is the default connection pool size.
+const DefaultConns = 4
+
+// Client is a pooled connection to one auditd server. Construct with Dial.
+type Client struct {
+	addr    string
+	nconns  int
+	key     auditreg.Key
+	hasKey  bool
+	timeout time.Duration
+
+	conns []*conn
+	next  atomic.Uint64
+
+	mu      sync.Mutex
+	objects map[string]*Object
+	closed  bool
+}
+
+// Option configures a Client.
+type Option func(*Client) error
+
+// WithConns sets the connection pool size (default DefaultConns).
+func WithConns(n int) Option {
+	return func(c *Client) error {
+		if n < 1 {
+			return fmt.Errorf("client: pool size must be positive, got %d", n)
+		}
+		c.nconns = n
+		return nil
+	}
+}
+
+// WithKey provides the store key, enabling the auditor role: only a
+// key-holding client can unmask the reader sets of audit responses. Never
+// configure it on a reading principal's client.
+func WithKey(key auditreg.Key) Option {
+	return func(c *Client) error {
+		c.key = key
+		c.hasKey = true
+		return nil
+	}
+}
+
+// WithDialTimeout bounds each connection attempt (default 10s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *Client) error {
+		if d <= 0 {
+			return fmt.Errorf("client: dial timeout must be positive, got %v", d)
+		}
+		c.timeout = d
+		return nil
+	}
+}
+
+// Dial connects the pool to addr.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := &Client{
+		addr:    addr,
+		nconns:  DefaultConns,
+		timeout: 10 * time.Second,
+		objects: make(map[string]*Object),
+	}
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	c.conns = make([]*conn, c.nconns)
+	for i := range c.conns {
+		cn, err := dialConn(addr, c.timeout)
+		if err != nil {
+			for _, prev := range c.conns[:i] {
+				prev.close(err)
+			}
+			return nil, err
+		}
+		c.conns[i] = cn
+	}
+	return c, nil
+}
+
+// Close tears the pool down; in-flight requests fail with a closed-client
+// error.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := append([]*conn(nil), c.conns...)
+	c.mu.Unlock()
+	for _, cn := range conns {
+		cn.close(errClientClosed)
+	}
+	return nil
+}
+
+// pick returns the next pool connection, round robin. A connection that has
+// died (server restart, TCP reset) is transparently replaced by a fresh
+// dial, so one failure degrades a single request, not 1/nconns of all
+// future ones; the replacement connection re-learns its session secret and
+// opened objects lazily. If the redial itself fails, the dead connection is
+// returned and the caller's request surfaces its error.
+func (c *Client) pick() *conn {
+	idx := int(c.next.Add(1) % uint64(len(c.conns)))
+	c.mu.Lock()
+	cn := c.conns[idx]
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || !cn.isDead() {
+		return cn
+	}
+	// Redial outside the client lock: a blocking dial must stall only this
+	// request, never the healthy connections.
+	fresh, err := dialConn(c.addr, c.timeout)
+	if err != nil {
+		return cn
+	}
+	c.mu.Lock()
+	switch {
+	case c.closed:
+		c.mu.Unlock()
+		fresh.close(errClientClosed)
+		return cn
+	case c.conns[idx] != cn:
+		// Another goroutine already replaced the slot; use its dial.
+		cur := c.conns[idx]
+		c.mu.Unlock()
+		fresh.close(errClientClosed)
+		return cur
+	default:
+		c.conns[idx] = fresh
+		c.mu.Unlock()
+		return fresh
+	}
+}
+
+// Open returns the remote object stored under name, creating it with the
+// given kind if absent — client-side mirror of store.Store.Open. Remotable
+// kinds are store.Register and store.MaxRegister. Opening validates kind
+// agreement server-side; OpenOptions apply only if this open creates the
+// object.
+func (c *Client) Open(name string, kind store.Kind, opts ...OpenOption) (*Object, error) {
+	var cfg openConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	wk, ok := kindToWire(kind)
+	if !ok {
+		return nil, fmt.Errorf("client: open %q: kind %v is not remotable", name, kind)
+	}
+	if name == "" || len(name) > wire.MaxName {
+		return nil, fmt.Errorf("client: open: name length must be in [1, %d], got %d", wire.MaxName, len(name))
+	}
+
+	cn := c.pick()
+	resp, err := cn.open(name, wk, cfg.capacity)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClientClosed
+	}
+	if obj, ok := c.objects[name]; ok {
+		return obj, nil
+	}
+	obj := &Object{
+		c:       c,
+		name:    name,
+		kind:    kind,
+		wkind:   wk,
+		readers: int(resp.Readers),
+		slots:   make([]readSlot, resp.Readers),
+	}
+	c.objects[name] = obj
+	return obj, nil
+}
+
+// Stats fetches the server's counters, sorted by name.
+func (c *Client) Stats() ([]wire.StatPair, error) {
+	f, err := c.pick().roundTrip(wire.VerbStats, (&wire.StatsReq{}).Append(nil))
+	if err != nil {
+		return nil, err
+	}
+	var resp wire.StatsResp
+	if err := decodeResp(f, wire.VerbStats, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Pairs, nil
+}
+
+// OpenOption configures one Open call.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	capacity uint32
+}
+
+// WithObjectCapacity overrides the server's default audit-history capacity
+// if this open creates the object.
+func WithObjectCapacity(n int) OpenOption {
+	return func(c *openConfig) {
+		if n > 0 {
+			c.capacity = uint32(n)
+		}
+	}
+}
+
+// kindToWire maps a store kind to its wire byte; Snapshot has none. The
+// numeric correspondence is pinned by compile-time assertions in package
+// auditreg/server; remotability has one source of truth, wire.RemotableKind.
+func kindToWire(k store.Kind) (uint8, bool) {
+	return uint8(k), wire.RemotableKind(uint8(k))
+}
+
+// remoteErr converts an ErrResp into a Go error carrying the matching store
+// sentinel, so errors.Is works across the wire.
+func remoteErr(e *wire.ErrResp) error {
+	switch e.Code {
+	case wire.CodeNotFound:
+		return fmt.Errorf("client: %s: %w", e.Msg, store.ErrNotFound)
+	case wire.CodeKindMismatch:
+		return fmt.Errorf("client: %s: %w", e.Msg, store.ErrKindMismatch)
+	default:
+		return fmt.Errorf("client: remote error %d: %s", e.Code, e.Msg)
+	}
+}
+
+// decodeResp decodes f into msg when it carries want; an ErrResp becomes the
+// matching Go error.
+func decodeResp(f wire.Frame, want wire.Verb, msg interface{ Decode([]byte) error }) error {
+	if f.Verb == wire.VerbErr {
+		var e wire.ErrResp
+		if err := e.Decode(f.Body); err != nil {
+			return fmt.Errorf("client: malformed error response: %w", err)
+		}
+		return remoteErr(&e)
+	}
+	if f.Verb != want {
+		return fmt.Errorf("client: response verb %v, want %v", f.Verb, want)
+	}
+	return msg.Decode(f.Body)
+}

@@ -1,0 +1,183 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"auditreg/wire"
+)
+
+var errClientClosed = errors.New("client: closed")
+
+// conn is one pooled connection: a background read loop matches response
+// frames to waiting requests by id (in-flight multiplexing), writes are
+// serialized by a mutex, and the connection remembers its server-issued
+// session secret plus which objects it has opened.
+type conn struct {
+	nc net.Conn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	inflight map[uint64]chan wire.Frame // nil channel: fire-and-forget
+	dead     error
+	session  [wire.SessionLen]byte
+	hasSess  bool
+	opened   map[string]wire.OpenResp // objects opened on this conn
+}
+
+func dialConn(addr string, timeout time.Duration) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	cn := &conn{
+		nc:       nc,
+		bw:       bufio.NewWriterSize(nc, 32<<10),
+		inflight: make(map[uint64]chan wire.Frame),
+		opened:   make(map[string]wire.OpenResp),
+	}
+	go cn.readLoop()
+	return cn, nil
+}
+
+// readLoop delivers response frames to their waiters until the connection
+// dies, then fails every remaining and future request.
+func (cn *conn) readLoop() {
+	br := bufio.NewReaderSize(cn.nc, 32<<10)
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			cn.close(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		cn.mu.Lock()
+		ch, ok := cn.inflight[f.ID]
+		delete(cn.inflight, f.ID)
+		cn.mu.Unlock()
+		if ok && ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// isDead reports whether the connection has failed.
+func (cn *conn) isDead() bool {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.dead != nil
+}
+
+// close marks the connection dead with cause and wakes every waiter.
+func (cn *conn) close(cause error) {
+	cn.mu.Lock()
+	if cn.dead != nil {
+		cn.mu.Unlock()
+		return
+	}
+	cn.dead = cause
+	waiters := cn.inflight
+	cn.inflight = nil
+	cn.mu.Unlock()
+	cn.nc.Close()
+	for _, ch := range waiters {
+		if ch != nil {
+			close(ch) // receivers observe the zero Frame and consult dead
+		}
+	}
+}
+
+// send writes one request frame; when wait is true it registers a waiter and
+// returns it.
+func (cn *conn) send(verb wire.Verb, body []byte, wait bool) (uint64, chan wire.Frame, error) {
+	id := cn.nextID.Add(1)
+	var ch chan wire.Frame
+	if wait {
+		ch = make(chan wire.Frame, 1)
+	}
+	cn.mu.Lock()
+	if cn.dead != nil {
+		err := cn.dead
+		cn.mu.Unlock()
+		return 0, nil, err
+	}
+	cn.inflight[id] = ch
+	cn.mu.Unlock()
+
+	frame := wire.AppendFrame(nil, id, verb, body)
+	cn.wmu.Lock()
+	_, err := cn.bw.Write(frame)
+	if err == nil {
+		err = cn.bw.Flush()
+	}
+	cn.wmu.Unlock()
+	if err != nil {
+		cn.close(fmt.Errorf("client: write failed: %w", err))
+		return 0, nil, err
+	}
+	return id, ch, nil
+}
+
+// roundTrip sends a request and blocks for its response.
+func (cn *conn) roundTrip(verb wire.Verb, body []byte) (wire.Frame, error) {
+	_, ch, err := cn.send(verb, body, true)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	f, ok := <-ch
+	if !ok {
+		cn.mu.Lock()
+		err := cn.dead
+		cn.mu.Unlock()
+		if err == nil {
+			err = errClientClosed
+		}
+		return wire.Frame{}, err
+	}
+	return f, nil
+}
+
+// post sends a request without waiting for its response (the read loop
+// discards it on arrival). Used for READ-ANNOUNCE, which is pure helping:
+// the client pipelines it behind the fetch and moves on.
+func (cn *conn) post(verb wire.Verb, body []byte) error {
+	_, _, err := cn.send(verb, body, false)
+	return err
+}
+
+// open ensures the named object is open on this connection and returns the
+// server's OpenResp; the first open also learns the connection's session
+// secret. Subsequent opens of the same name on this connection are answered
+// locally.
+func (cn *conn) open(name string, wkind uint8, capacity uint32) (wire.OpenResp, error) {
+	cn.mu.Lock()
+	if prev, ok := cn.opened[name]; ok && prev.Kind == wkind && cn.hasSess {
+		cn.mu.Unlock()
+		return prev, nil
+	}
+	cn.mu.Unlock()
+
+	req := wire.OpenReq{Name: name, Kind: wkind, Capacity: capacity}
+	f, err := cn.roundTrip(wire.VerbOpen, req.Append(nil))
+	if err != nil {
+		return wire.OpenResp{}, err
+	}
+	var resp wire.OpenResp
+	if err := decodeResp(f, wire.VerbOpen, &resp); err != nil {
+		return wire.OpenResp{}, err
+	}
+	cn.mu.Lock()
+	cn.session = resp.Session
+	cn.hasSess = true
+	cn.opened[name] = resp
+	cn.mu.Unlock()
+	return resp, nil
+}

@@ -1,0 +1,215 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+
+	"auditreg"
+	"auditreg/store"
+	"auditreg/wire"
+)
+
+// Object is a remote auditable object: the client-side mirror of
+// store.Object for the remotable kinds (Register, MaxRegister). All methods
+// are safe for concurrent use; per-reader protocol state is serialized per
+// (object, reader), exactly as in the local store.
+type Object struct {
+	c       *Client
+	name    string
+	kind    store.Kind
+	wkind   uint8
+	readers int
+	slots   []readSlot
+}
+
+// readSlot is one reader principal's client-side protocol state: the
+// paper's prev_sn / prev_val silent-read cache, moved to the reading
+// process where it belongs. prevSeq is lazily initialized to ^uint64(0)
+// (the paper's prev_sn = -1) on first use.
+type readSlot struct {
+	mu      sync.Mutex
+	init    bool
+	prevSeq uint64
+	prevVal uint64
+}
+
+// Name returns the name the object is stored under.
+func (o *Object) Name() string { return o.name }
+
+// Kind returns the object's kind.
+func (o *Object) Kind() store.Kind { return o.kind }
+
+// Readers returns the object's reader count m.
+func (o *Object) Readers() int { return o.readers }
+
+// Write writes v: an overwrite for a Register, a writeMax for a
+// MaxRegister.
+func (o *Object) Write(v uint64) error {
+	cn := o.c.pick()
+	if _, err := cn.open(o.name, o.wkind, 0); err != nil {
+		return err
+	}
+	req := wire.WriteReq{Name: o.name, Value: v}
+	f, err := cn.roundTrip(wire.VerbWrite, req.Append(nil))
+	if err != nil {
+		return err
+	}
+	var resp ack
+	return decodeResp(f, wire.VerbWrite, &resp)
+}
+
+// Read returns the current value as seen by the given reader index, driving
+// the paper's read over the wire: at most one READ-FETCH (silent when the
+// client cache is already current server-side) and, after a fetch, one
+// pipelined READ-ANNOUNCE the call does not wait for. The value arrives
+// masked under the connection's session secret and is unmasked here,
+// locally.
+func (o *Object) Read(reader int) (uint64, error) {
+	if reader < 0 || reader >= o.readers {
+		return 0, fmt.Errorf("client: read %q: reader %d out of range [0, %d)", o.name, reader, o.readers)
+	}
+	s := &o.slots[reader]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.init {
+		s.init = true
+		s.prevSeq = ^uint64(0) // the paper's prev_sn = -1
+	}
+
+	cn := o.c.pick()
+	if _, err := cn.open(o.name, o.wkind, 0); err != nil {
+		return 0, err
+	}
+	req := wire.ReadFetchReq{Name: o.name, Reader: uint8(reader), PrevSeq: s.prevSeq}
+	f, err := cn.roundTrip(wire.VerbReadFetch, req.Append(nil))
+	if err != nil {
+		return 0, err
+	}
+	var resp wire.ReadFetchResp
+	if err := decodeResp(f, wire.VerbReadFetch, &resp); err != nil {
+		return 0, err
+	}
+	if resp.Seq != s.prevSeq {
+		// New value: unmask locally under this connection's session pad.
+		cn.mu.Lock()
+		session := cn.session
+		cn.mu.Unlock()
+		s.prevVal = resp.Value ^ wire.ValueMask(session, o.name, uint8(reader), resp.Seq)
+		s.prevSeq = resp.Seq
+	}
+	if resp.Fetched {
+		// The fetch&xor happened: help complete the write, pipelined. A
+		// failed post is dropped, not surfaced — the read already took
+		// effect (it is audited, and the value is in hand); announcing is
+		// pure helping that writers and auditors also perform.
+		ann := wire.AnnounceReq{Name: o.name, Reader: uint8(reader), Seq: resp.Seq}
+		_ = cn.post(wire.VerbReadAnnounce, ann.Append(nil))
+	}
+	return s.prevVal, nil
+}
+
+// Writer returns a write handle, mirroring the local API. Handles are
+// stateless and cheap; unlike local handles they are safe for concurrent
+// use.
+func (o *Object) Writer() *Writer { return &Writer{o: o} }
+
+// Reader returns the handle for reader j (0 <= j < m), mirroring the local
+// API. The handle shares the object's per-reader protocol state, so any
+// number of goroutines may drive one reader principal.
+func (o *Object) Reader(j int) (*Reader, error) {
+	if j < 0 || j >= o.readers {
+		return nil, fmt.Errorf("client: reader index %d out of range [0, %d)", j, o.readers)
+	}
+	return &Reader{o: o, j: j}, nil
+}
+
+// Auditor returns an audit handle, mirroring the local API. It requires the
+// client to hold the store key (WithKey): reader sets cross the wire masked
+// and are decrypted only here, client-side.
+func (o *Object) Auditor() (*Auditor, error) {
+	if !o.c.hasKey {
+		return nil, fmt.Errorf("client: auditor for %q: no store key (configure WithKey)", o.name)
+	}
+	return &Auditor{o: o}, nil
+}
+
+// Writer is a write handle of a remote object.
+type Writer struct {
+	o *Object
+}
+
+// Write writes v; see Object.Write.
+func (w *Writer) Write(v uint64) error { return w.o.Write(v) }
+
+// Reader is a read handle of one reader principal of a remote object.
+type Reader struct {
+	o *Object
+	j int
+}
+
+// Index returns the reader's index j.
+func (r *Reader) Index() int { return r.j }
+
+// Read returns the object's current value as seen by this reader; see
+// Object.Read.
+func (r *Reader) Read() (uint64, error) { return r.o.Read(r.j) }
+
+// Auditor is an audit handle of a remote object.
+type Auditor struct {
+	o *Object
+}
+
+// Audit requests a fresh audit — a report covering everything linearized
+// before the server handled the request — and unmasks its reader sets
+// locally with the store key. The report is cumulative, as audits are.
+func (a *Auditor) Audit() (store.ObjectAudit[uint64], error) { return a.audit(true) }
+
+// Latest returns the server audit pool's most recently published report for
+// the object: the cheap path, possibly slightly stale, never contending
+// with writers.
+func (a *Auditor) Latest() (store.ObjectAudit[uint64], error) { return a.audit(false) }
+
+func (a *Auditor) audit(fresh bool) (store.ObjectAudit[uint64], error) {
+	o := a.o
+	cn := o.c.pick()
+	if _, err := cn.open(o.name, o.wkind, 0); err != nil {
+		return store.ObjectAudit[uint64]{}, err
+	}
+	req := wire.AuditReq{Name: o.name, Fresh: fresh}
+	f, err := cn.roundTrip(wire.VerbAudit, req.Append(nil))
+	if err != nil {
+		return store.ObjectAudit[uint64]{}, err
+	}
+	var resp wire.AuditResp
+	if err := decodeResp(f, wire.VerbAudit, &resp); err != nil {
+		return store.ObjectAudit[uint64]{}, err
+	}
+	// Unmask each row's reader set — the only place outside the server
+	// where reader sets exist in the clear, and it requires the key.
+	var entries []auditreg.Entry[uint64]
+	for i, row := range resp.Rows {
+		readers := row.Readers ^ wire.AuditMask(o.c.key, resp.Nonce, i)
+		for j := 0; j < 64; j++ {
+			if readers&(1<<uint(j)) != 0 {
+				entries = append(entries, auditreg.Entry[uint64]{Reader: j, Value: row.Value})
+			}
+		}
+	}
+	return store.ObjectAudit[uint64]{
+		Object: o.name,
+		Kind:   o.kind,
+		Report: auditreg.NewReport(entries...),
+	}, nil
+}
+
+// ack decodes an empty response body.
+type ack struct{}
+
+func (ack) Decode(body []byte) error {
+	if len(body) != 0 {
+		return fmt.Errorf("client: unexpected %d-byte ack body", len(body))
+	}
+	return nil
+}
+
+func (*ack) Append(dst []byte) []byte { return dst }

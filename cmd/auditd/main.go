@@ -1,0 +1,92 @@
+// Command auditd runs the audit store as a network service: a TCP daemon
+// (package auditreg/server) hosting one sharded store.Store behind the
+// auditreg/wire protocol, with a shared audit pool sweeping it in the
+// background. Clients — package auditreg/client, or cmd/loadgen in -remote
+// mode — speak the OPEN/WRITE/READ-FETCH/READ-ANNOUNCE/AUDIT/STATS verbs;
+// reader sets cross the wire only in masked form (see DESIGN.md, "Network
+// layer").
+//
+// Usage:
+//
+//	go run ./cmd/auditd                          # listen on :7433
+//	go run ./cmd/auditd -addr 127.0.0.1:0 -seed 1 -readers 64
+//
+// The daemon prints "auditd: listening on ADDR" once it accepts connections
+// (scripts wait for that line) and drains gracefully on SIGINT/SIGTERM.
+//
+// The store key is derived deterministically from -seed so benchmark drivers
+// and auditor clients can share it by sharing the seed; a production
+// deployment would provision a random key out of band instead and run the
+// listener inside an authenticated encrypted channel.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"auditreg"
+	"auditreg/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7433", "TCP listen address")
+	seed := flag.Uint64("seed", 1, "store key seed (share with auditor clients)")
+	readers := flag.Int("readers", 0, "reader principals per object (0: store default)")
+	shards := flag.Int("shards", 0, "store shard count (0: store default)")
+	capacity := flag.Int("capacity", 0, "default audit-history capacity per object (0: store default)")
+	poolWorkers := flag.Int("poolworkers", 0, "audit pool worker goroutines (0: pool default)")
+	poolInterval := flag.Duration("poolinterval", 0, "audit pool sweep interval (0: pool default)")
+	drainTimeout := flag.Duration("draintimeout", 10*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Key:          auditreg.KeyFromSeed(*seed),
+		Readers:      *readers,
+		Shards:       *shards,
+		Capacity:     *capacity,
+		PoolWorkers:  *poolWorkers,
+		PoolInterval: *poolInterval,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("auditd: listening on %s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			fatalf("serve: %v", err)
+		}
+	case sig := <-sigc:
+		fmt.Printf("auditd: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatalf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			fatalf("serve: %v", err)
+		}
+		fmt.Println("auditd: drained")
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "auditd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,17 +1,18 @@
 // Command loadgen drives mixed read/write/audit traffic against the sharded
-// multi-object store (package auditreg/store): N named objects of all three
-// kinds, P client goroutines, and a background audit pool sweeping the
-// shards. It measures multi-object scaling — the dimension the per-object
-// benchmarks of cmd/benchjson cannot see — and writes results in the same
-// BENCH_*.json schema (internal/benchfmt), so workload numbers join the perf
-// trajectory alongside benchmark numbers. See EXPERIMENTS.md (series E12)
-// for the methodology.
+// multi-object store (package auditreg/store): N named objects, P client
+// goroutines, and a background audit pool sweeping the shards. It measures
+// multi-object scaling — the dimension the per-object benchmarks of
+// cmd/benchjson cannot see — and writes results in the same BENCH_*.json
+// schema (internal/benchfmt), so workload numbers join the perf trajectory
+// alongside benchmark numbers. See EXPERIMENTS.md (series E12 local, E13
+// remote) for the methodology.
 //
 // Usage:
 //
 //	go run ./cmd/loadgen                                        # default grid, text summary
 //	go run ./cmd/loadgen -objects 64,1024 -goroutines 1,8 -out BENCH_2.json
 //	go run -race ./cmd/loadgen -objects 1024 -goroutines 8      # correctness soak
+//	go run ./cmd/loadgen -remote 127.0.0.1:7433 -out BENCH_3.json
 //
 // Each (objects, goroutines) grid cell runs -ops operations split across the
 // goroutines: reads (and snapshot scans), writes (and snapshot component
@@ -20,6 +21,14 @@
 // and -verify objects are checked against a fresh synchronous per-object
 // audit — the driver doubles as an end-to-end equivalence check of the
 // batched audit pipeline.
+//
+// With -remote addr the same grid drives a live auditd daemon (cmd/auditd,
+// started with the same -seed) through the wire client instead of a local
+// store: objects are registers and max registers (snapshots are not
+// remotable), reads flow through the fetch/announce verb pair, audit
+// lookups hit the server's pool, and -verify checks that a fresh audit over
+// the wire equals, exactly, the set of (reader, value) pairs the driver
+// observed — end-to-end audit exactness across the network.
 package main
 
 import (
@@ -51,6 +60,8 @@ func main() {
 	verify := flag.Int("verify", 64, "objects per cell to check against a fresh synchronous audit (0: none)")
 	seed := flag.Uint64("seed", 1, "base seed for keys, nonces, and traffic")
 	out := flag.String("out", "", "write results as BENCH_*.json to this file")
+	remote := flag.String("remote", "", "drive a live auditd at this address instead of a local store (E13)")
+	conns := flag.Int("conns", 4, "client connection pool size in -remote mode")
 	flag.Parse()
 
 	objectCounts, err := parseInts(*objectsFlag)
@@ -75,7 +86,13 @@ func main() {
 				poolWorkers: *poolWorkers, poolInterval: *poolInterval,
 				verify: *verify, seed: *seed,
 			}
-			res, err := runCell(cfg)
+			var res benchfmt.Result
+			var err error
+			if *remote != "" {
+				res, err = runRemoteCell(cfg, *remote, *conns)
+			} else {
+				res, err = runCell(cfg)
+			}
 			if err != nil {
 				fatalf("objects=%d goroutines=%d: %v", n, p, err)
 			}
@@ -88,8 +105,12 @@ func main() {
 	}
 
 	if *out != "" {
+		series := "Loadgen"
+		if *remote != "" {
+			series = "LoadgenRemote"
+		}
 		rep := benchfmt.NewReport(
-			fmt.Sprintf("Loadgen/objects=%s/goroutines=%s", *objectsFlag, *goroutinesFlag),
+			fmt.Sprintf("%s/objects=%s/goroutines=%s", series, *objectsFlag, *goroutinesFlag),
 			fmt.Sprintf("%dx", *ops), 1, []string{"auditreg/cmd/loadgen"})
 		rep.Results = results
 		if err := rep.WriteFile(*out); err != nil {

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"auditreg"
+	"auditreg/client"
+	"auditreg/internal/benchfmt"
+	"auditreg/store"
+)
+
+// remoteKinds are the kinds the wire protocol serves; snapshots stay local.
+var remoteKinds = []store.Kind{store.Register, store.MaxRegister}
+
+// observation is one effective read the driver performed: reader j of
+// object i obtained val. The union of a cell's observations is exactly what
+// the audit of each object must report — loadgen is its own ground truth.
+type observation struct {
+	obj    int
+	reader int
+	val    uint64
+}
+
+// runRemoteCell drives one (objects, goroutines) grid cell against a live
+// auditd at addr — the E13 series. Traffic mirrors the local cell (reads,
+// writes, audit-report lookups in the same proportions) but flows through
+// the wire client, and -verify checks end-to-end audit exactness: for each
+// sampled object, a fresh remote audit must equal, as a set, the (reader,
+// value) pairs this driver actually observed. The check assumes the object
+// names are fresh on the daemon (a new daemon per loadgen run).
+func runRemoteCell(cfg cellConfig, addr string, conns int) (benchfmt.Result, error) {
+	cl, err := client.Dial(addr,
+		client.WithKey(auditreg.KeyFromSeed(cfg.seed)),
+		client.WithConns(conns))
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	defer cl.Close()
+
+	names := make([]string, cfg.objects)
+	objs := make([]*client.Object, cfg.objects)
+	auds := make([]*client.Auditor, cfg.objects)
+	for i := range names {
+		kind := remoteKinds[i%len(remoteKinds)]
+		names[i] = fmt.Sprintf("e13/o%d-g%d/%v-%05d", cfg.objects, cfg.goroutines, kind, i)
+		objs[i], err = cl.Open(names[i], kind)
+		if err != nil {
+			return benchfmt.Result{}, err
+		}
+		auds[i], err = objs[i].Auditor()
+		if err != nil {
+			return benchfmt.Result{}, err
+		}
+	}
+	m := objs[0].Readers()
+
+	before, err := statsMap(cl)
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+
+	var failOnce sync.Once
+	var firstErr error
+	fail := func(err error) { failOnce.Do(func() { firstErr = err }) }
+
+	observations := make([][]observation, cfg.goroutines)
+	var reads, writes, audits uint64
+	var counterMu sync.Mutex
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(g)*7919))
+			reader := g % m
+			n := cfg.ops / cfg.goroutines
+			if g < cfg.ops%cfg.goroutines {
+				n++
+			}
+			var gr, gw, ga uint64
+			obs := make([]observation, 0, n)
+			for i := 0; i < n; i++ {
+				idx := rng.Intn(len(objs))
+				switch roll := rng.Intn(100); {
+				case roll < cfg.writePct:
+					if err := objs[idx].Write(uint64(rng.Intn(1 << 20))); err != nil {
+						fail(err)
+						return
+					}
+					gw++
+				case roll < cfg.writePct+cfg.auditPct:
+					if _, err := auds[idx].Latest(); err != nil {
+						fail(err)
+						return
+					}
+					ga++
+				default:
+					v, err := objs[idx].Read(reader)
+					if err != nil {
+						fail(err)
+						return
+					}
+					obs = append(obs, observation{obj: idx, reader: reader, val: v})
+					gr++
+				}
+			}
+			observations[g] = obs
+			counterMu.Lock()
+			reads += gr
+			writes += gw
+			audits += ga
+			counterMu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return benchfmt.Result{}, firstErr
+	}
+
+	// Fold the per-goroutine observations into per-object expected audit
+	// sets.
+	expected := make([]map[auditreg.Entry[uint64]]bool, cfg.objects)
+	for i := range expected {
+		expected[i] = make(map[auditreg.Entry[uint64]]bool)
+	}
+	for _, obs := range observations {
+		for _, o := range obs {
+			expected[o.obj][auditreg.Entry[uint64]{Reader: o.reader, Value: o.val}] = true
+		}
+	}
+
+	// Verify: a fresh remote audit of each sampled object must equal the
+	// observed set exactly, in both directions.
+	perm := rand.New(rand.NewSource(int64(cfg.seed))).Perm(len(names))
+	if cfg.verify < len(perm) {
+		perm = perm[:max(0, cfg.verify)]
+	}
+	checked := 0
+	var pairs uint64
+	for _, i := range perm {
+		rep, err := auds[i].Audit()
+		if err != nil {
+			return benchfmt.Result{}, err
+		}
+		entries := rep.Report.Entries()
+		pairs += uint64(len(entries))
+		got := make(map[auditreg.Entry[uint64]]bool, len(entries))
+		for _, e := range entries {
+			if !expected[i][e] {
+				return benchfmt.Result{}, fmt.Errorf("verify %s: audited pair (%d, %d) was never observed by the driver", names[i], e.Reader, e.Value)
+			}
+			got[e] = true
+		}
+		for e := range expected[i] {
+			if !got[e] {
+				return benchfmt.Result{}, fmt.Errorf("verify %s: observed pair (%d, %d) missing from the remote audit", names[i], e.Reader, e.Value)
+			}
+		}
+		checked++
+	}
+
+	after, err := statsMap(cl)
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+
+	totalOps := reads + writes + audits
+	metrics, err := benchfmt.Metric(
+		"ns/op", float64(elapsed.Nanoseconds())/float64(totalOps),
+		"ops/s", float64(totalOps)/elapsed.Seconds(),
+		"reads", reads,
+		"writes", writes,
+		"audit-lookups", audits,
+		"verified-objects", checked,
+		"audited-pairs", pairs,
+		"conns", conns,
+		"srv-reads-fetched", after["reads-fetched"]-before["reads-fetched"],
+		"srv-reads-silent", after["reads-silent"]-before["reads-silent"],
+		"srv-frames-in", after["frames-in"]-before["frames-in"],
+		"srv-frames-out", after["frames-out"]-before["frames-out"],
+	)
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	return benchfmt.Result{
+		Name:    fmt.Sprintf("LoadgenRemote/objects=%d/goroutines=%d", cfg.objects, cfg.goroutines),
+		Package: "auditreg/cmd/loadgen",
+		Iters:   int64(totalOps),
+		Metrics: metrics,
+	}, nil
+}
+
+// statsMap snapshots the server counters into a map.
+func statsMap(cl *client.Client) (map[string]uint64, error) {
+	pairs, err := cl.Stats()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]uint64, len(pairs))
+	for _, p := range pairs {
+		m[p.Name] = p.Value
+	}
+	return m, nil
+}

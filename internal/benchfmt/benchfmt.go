@@ -33,19 +33,25 @@ type Result struct {
 
 // Report is the BENCH_*.json schema: the environment the numbers were taken
 // in plus one Result per benchmark. Numbers are comparable only within one
-// report (same machine, same run).
+// report (same machine, same run) — which is why every report records the
+// environment completely (Go version, CPU count, GOMAXPROCS, hostname):
+// once series are produced on different machines (a loadgen driver here, an
+// auditd server there, see series E13), the metadata is what says whether
+// two files are comparable at all.
 type Report struct {
-	Schema    string   `json:"schema"`
-	Created   string   `json:"created"`
-	GoVersion string   `json:"go"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	Bench     string   `json:"bench"`
-	Benchtime string   `json:"benchtime"`
-	Count     int      `json:"count"`
-	Packages  []string `json:"packages"`
-	Results   []Result `json:"results"`
+	Schema     string   `json:"schema"`
+	Created    string   `json:"created"`
+	GoVersion  string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Hostname   string   `json:"hostname,omitempty"`
+	Bench      string   `json:"bench"`
+	Benchtime  string   `json:"benchtime"`
+	Count      int      `json:"count"`
+	Packages   []string `json:"packages"`
+	Results    []Result `json:"results"`
 }
 
 // NewReport returns a report stamped with the current environment. bench and
@@ -53,17 +59,20 @@ type Report struct {
 // benchmark suite, a workload description for loadgen), count the number of
 // repetitions folded into each result.
 func NewReport(bench, benchtime string, count int, packages []string) Report {
+	hostname, _ := os.Hostname() // best effort; omitted when unavailable
 	return Report{
-		Schema:    Schema,
-		Created:   time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Bench:     bench,
-		Benchtime: benchtime,
-		Count:     count,
-		Packages:  packages,
+		Schema:     Schema,
+		Created:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Hostname:   hostname,
+		Bench:      bench,
+		Benchtime:  benchtime,
+		Count:      count,
+		Packages:   packages,
 	}
 }
 

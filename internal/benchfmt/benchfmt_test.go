@@ -1,6 +1,9 @@
 package benchfmt
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -116,8 +119,25 @@ func TestNewReportStampsEnvironment(t *testing.T) {
 	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" || rep.CPUs == 0 {
 		t.Errorf("environment fields missing: %+v", rep)
 	}
+	if rep.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d, want %d", rep.GoMaxProcs, runtime.GOMAXPROCS(0))
+	}
+	if host, err := os.Hostname(); err == nil && rep.Hostname != host {
+		t.Errorf("hostname = %q, want %q", rep.Hostname, host)
+	}
 	if rep.Created == "" {
 		t.Error("created timestamp missing")
+	}
+	// The metadata lands in the serialized form remote/local series are
+	// compared through.
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, field := range []string{`"gomaxprocs"`, `"cpus"`, `"go"`} {
+		if !strings.Contains(string(enc), field) {
+			t.Errorf("serialized report lacks %s: %s", field, enc)
+		}
 	}
 }
 

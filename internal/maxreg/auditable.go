@@ -211,8 +211,21 @@ type Reader[V comparable] struct {
 func (rd *Reader[V]) Index() int { return rd.j }
 
 // Read returns the largest value written so far. Wait-free; effective (and
-// auditable) as soon as the fetch&xor takes effect.
+// auditable) as soon as the fetch&xor takes effect. As in core.Reader, Read
+// is ReadFetch followed, when a fetch happened, by Announce.
 func (rd *Reader[V]) Read() V {
+	v, seq, fetched := rd.ReadFetch()
+	if fetched {
+		rd.Announce(seq)
+	}
+	return v
+}
+
+// ReadFetch performs the fetch half of a read: the silent-read check and the
+// fetch&xor on R, without the helping CAS on SN. fetched reports whether a
+// fetch&xor was applied; a silent read returns the cached value. See
+// core.Reader.ReadFetch.
+func (rd *Reader[V]) ReadFetch() (val V, seq uint64, fetched bool) {
 	reg := rd.reg
 
 	if rd.probe != nil {
@@ -223,7 +236,7 @@ func (rd *Reader[V]) Read() V {
 		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNRead, Detail: sn})
 	}
 	if sn == rd.prevSN {
-		return rd.prevVal
+		return rd.prevVal, rd.prevSN, false
 	}
 
 	if rd.probe != nil {
@@ -234,16 +247,26 @@ func (rd *Reader[V]) Read() V {
 		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.RXor, Detail: t})
 	}
 
+	rd.prevSN, rd.prevVal = t.Seq, t.Val.Val
+	return t.Val.Val, t.Seq, true
+}
+
+// Announce performs the announce half of a read: help complete the seq-th
+// writeMax by advancing SN from seq-1 to seq. As in core.Reader.Announce,
+// only the seq this reader's latest ReadFetch fetched is accepted; anything
+// else is ignored, so untrusted remote announces cannot forge SN advances.
+func (rd *Reader[V]) Announce(seq uint64) bool {
+	if seq != rd.prevSN || seq == ^uint64(0) {
+		return false
+	}
 	if rd.probe != nil {
 		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Invoke, Prim: probe.SNCAS})
 	}
-	ok := reg.sn.CompareAndSwap(t.Seq-1, t.Seq)
+	ok := rd.reg.sn.CompareAndSwap(seq-1, seq)
 	if rd.probe != nil {
 		rd.probe.Emit(probe.Event{PID: rd.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
 	}
-
-	rd.prevSN, rd.prevVal = t.Seq, t.Val.Val
-	return t.Val.Val
+	return ok
 }
 
 // Writer is the per-process writeMax handle (Algorithm 2 lines 22-35). Like

@@ -1,8 +1,11 @@
 // Package netsim is a small deterministic asynchronous message-passing
 // simulator: nodes exchange messages through a network that delivers them one
-// at a time in a seeded pseudo-random order, with optional crash faults.
+// at a time in a seeded pseudo-random order, with optional crash faults and
+// optional seeded per-link delays.
 // It hosts the replicated auditable-register baseline (internal/replicated),
-// matching the asynchronous crash-prone model of Cogo & Bessani.
+// matching the asynchronous crash-prone model of Cogo & Bessani, and is the
+// groundwork for multi-server dispersal scenarios where link asymmetry
+// matters.
 package netsim
 
 import (
@@ -28,6 +31,14 @@ type Handler interface {
 	Deliver(msg Message) []Message
 }
 
+// NodeStats counts one node's activity.
+type NodeStats struct {
+	// Sent is the number of messages the node handed to the network.
+	Sent int
+	// Delivered is the number of messages delivered to the node.
+	Delivered int
+}
+
 // Stats counts network activity.
 type Stats struct {
 	// Sent is the number of messages handed to the network.
@@ -38,23 +49,45 @@ type Stats struct {
 	Dropped int
 }
 
+// pending is one in-flight message and the virtual time it becomes
+// deliverable.
+type pending struct {
+	msg     Message
+	readyAt uint64
+}
+
 // Network is the simulator. Construct with New; not safe for concurrent use
 // (the simulation is single-threaded by design — asynchrony comes from the
 // randomized delivery order, not from goroutines).
 type Network struct {
+	seed     uint64
 	rng      *mathrand.Rand
 	handlers map[NodeID]Handler
 	crashed  map[NodeID]bool
-	inflight []Message
+	inflight []pending
 	stats    Stats
+	perNode  map[NodeID]*NodeStats
+
+	now      uint64
+	delayMax int
+	// everDelayed latches once SetLinkDelay enables delays: from then on
+	// Step must honor readyAt ordering even if delays are later disabled
+	// (delayed messages may still be in flight). While false, every
+	// in-flight message is deliverable immediately and Step picks in O(1).
+	everDelayed bool
+	// linkDelays memoizes the seeded per-link delay, so Send derives each
+	// link's delay once rather than re-seeding an RNG per message.
+	linkDelays map[[2]NodeID]uint64
 }
 
 // New returns a network with the given delivery-order seed.
 func New(seed uint64) *Network {
 	return &Network{
+		seed:     seed,
 		rng:      mathrand.New(mathrand.NewPCG(seed, 0x7e7)),
 		handlers: make(map[NodeID]Handler),
 		crashed:  make(map[NodeID]bool),
+		perNode:  make(map[NodeID]*NodeStats),
 	}
 }
 
@@ -69,6 +102,52 @@ func (n *Network) Crash(id NodeID) { n.crashed[id] = true }
 // Crashed reports whether a node is crashed.
 func (n *Network) Crashed(id NodeID) bool { return n.crashed[id] }
 
+// SetLinkDelay gives every ordered link (from, to) a fixed delay in
+// [0, max] virtual time steps, drawn deterministically from the network seed
+// — same seed, same topology of slow and fast links. One virtual step
+// elapses per delivery. Zero (the default) restores the delay-free model.
+// Delays only postpone eligibility; every message is still delivered
+// eventually, so quiescence and the crash semantics are unchanged.
+func (n *Network) SetLinkDelay(max int) {
+	if max < 0 {
+		max = 0
+	}
+	n.delayMax = max
+	if max > 0 {
+		n.everDelayed = true
+	}
+	n.linkDelays = nil // re-derive under the new bound
+}
+
+// linkDelay returns the seeded delay of the ordered link (from, to),
+// memoized per link.
+func (n *Network) linkDelay(from, to NodeID) uint64 {
+	if n.delayMax == 0 {
+		return 0
+	}
+	key := [2]NodeID{from, to}
+	if d, ok := n.linkDelays[key]; ok {
+		return d
+	}
+	r := mathrand.New(mathrand.NewPCG(n.seed^0x6c696e6b, uint64(from)<<32^uint64(uint32(to))))
+	d := uint64(r.IntN(n.delayMax + 1))
+	if n.linkDelays == nil {
+		n.linkDelays = make(map[[2]NodeID]uint64)
+	}
+	n.linkDelays[key] = d
+	return d
+}
+
+// node returns the per-node counter cell for id.
+func (n *Network) node(id NodeID) *NodeStats {
+	ns := n.perNode[id]
+	if ns == nil {
+		ns = &NodeStats{}
+		n.perNode[id] = ns
+	}
+	return ns
+}
+
 // Send queues messages for asynchronous delivery.
 func (n *Network) Send(msgs ...Message) {
 	for _, m := range msgs {
@@ -77,7 +156,8 @@ func (n *Network) Send(msgs ...Message) {
 			continue
 		}
 		n.stats.Sent++
-		n.inflight = append(n.inflight, m)
+		n.node(m.From).Sent++
+		n.inflight = append(n.inflight, pending{msg: m, readyAt: n.now + n.linkDelay(m.From, m.To)})
 	}
 }
 
@@ -87,15 +167,59 @@ func (n *Network) Pending() int { return len(n.inflight) }
 // Stats returns the activity counters.
 func (n *Network) Stats() Stats { return n.stats }
 
-// Step delivers one randomly chosen in-flight message. It reports whether a
-// message was available.
+// NodeStats returns one node's activity counters.
+func (n *Network) NodeStats(id NodeID) NodeStats {
+	if ns := n.perNode[id]; ns != nil {
+		return *ns
+	}
+	return NodeStats{}
+}
+
+// Step delivers one randomly chosen deliverable in-flight message, advancing
+// virtual time past any link delays as needed. It reports whether a message
+// was available.
 func (n *Network) Step() (bool, error) {
 	for len(n.inflight) > 0 {
-		i := n.rng.IntN(len(n.inflight))
-		m := n.inflight[i]
+		var i int
+		if !n.everDelayed {
+			// Delay-free network: every message is deliverable now; pick
+			// uniformly in O(1), as before delays existed.
+			i = n.rng.IntN(len(n.inflight))
+		} else {
+			// Advance virtual time to the earliest deliverable message,
+			// then choose uniformly among everything deliverable now.
+			minReady := n.inflight[0].readyAt
+			for _, p := range n.inflight {
+				if p.readyAt < minReady {
+					minReady = p.readyAt
+				}
+			}
+			if minReady > n.now {
+				n.now = minReady
+			}
+			ready := 0
+			for _, p := range n.inflight {
+				if p.readyAt <= n.now {
+					ready++
+				}
+			}
+			pick := n.rng.IntN(ready)
+			for j, p := range n.inflight {
+				if p.readyAt <= n.now {
+					if pick == 0 {
+						i = j
+						break
+					}
+					pick--
+				}
+			}
+		}
+
+		m := n.inflight[i].msg
 		last := len(n.inflight) - 1
 		n.inflight[i] = n.inflight[last]
 		n.inflight = n.inflight[:last]
+		n.now++
 
 		if n.crashed[m.To] {
 			n.stats.Dropped++
@@ -106,6 +230,7 @@ func (n *Network) Step() (bool, error) {
 			return false, fmt.Errorf("netsim: message to unregistered node %d", m.To)
 		}
 		n.stats.Delivered++
+		n.node(m.To).Delivered++
 		n.Send(h.Deliver(m)...)
 		return true, nil
 	}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"bufio"
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"auditreg/store"
+	"auditreg/wire"
+)
+
+// connIOBuf sizes the per-connection read and write buffers; connQueue the
+// response queue between the reader and writer goroutines.
+const (
+	connIOBuf = 32 << 10
+	connQueue = 256
+)
+
+// conn is one accepted connection: a reader goroutine decoding and executing
+// request frames in order, a writer goroutine batching response frames, and
+// the connection's session secret (the seed of every ValueMask pad applied
+// on it).
+type conn struct {
+	srv      *Server
+	nc       net.Conn
+	session  [wire.SessionLen]byte
+	writec   chan []byte
+	wdone    chan struct{} // closed by writeLoop after its final flush
+	draining atomic.Bool
+}
+
+func newConn(s *Server, nc net.Conn) (*conn, error) {
+	c := &conn{srv: s, nc: nc, writec: make(chan []byte, connQueue), wdone: make(chan struct{})}
+	if _, err := rand.Read(c.session[:]); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// beginDrain kicks the reader off its blocking socket read; it will execute
+// whatever complete frames are already buffered, then let the writer flush
+// and close.
+func (c *conn) beginDrain() {
+	c.draining.Store(true)
+	c.nc.SetReadDeadline(time.Now())
+}
+
+// serve runs the connection to completion: it returns when the peer closed,
+// a protocol error occurred, or a drain finished, with all pending responses
+// flushed.
+func (c *conn) serve() {
+	go c.writeLoop()
+	br := bufio.NewReaderSize(c.nc, connIOBuf)
+	for !c.draining.Load() {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			break
+		}
+		c.dispatch(f)
+	}
+	// Drain: execute the complete frames that were already buffered when
+	// the reader was kicked off the socket.
+	if c.draining.Load() {
+		buf, _ := br.Peek(br.Buffered())
+		for {
+			f, rest, err := wire.ParseFrame(buf)
+			if err != nil {
+				break
+			}
+			buf = rest
+			c.dispatch(f)
+		}
+	}
+	close(c.writec) // reader is the sole sender
+	// Join the writer: serve() returning is what Shutdown waits on, and
+	// the drain guarantee is that every queued response has been flushed
+	// by then.
+	<-c.wdone
+}
+
+// writeLoop batches response frames into one buffered writer, flushing
+// whenever the queue runs dry, and closes the socket once the reader is
+// done.
+func (c *conn) writeLoop() {
+	defer close(c.wdone)
+	bw := bufio.NewWriterSize(c.nc, connIOBuf)
+	for frame := range c.writec {
+		bw.Write(frame)
+		if len(c.writec) == 0 {
+			bw.Flush()
+		}
+	}
+	bw.Flush()
+	c.nc.Close()
+}
+
+// dispatch executes one request frame and queues its response.
+func (c *conn) dispatch(f wire.Frame) {
+	s := c.srv
+	s.framesIn.Add(1)
+	if s.cfg.FrameTap != nil {
+		s.cfg.FrameTap(false, wire.AppendFrame(nil, f.ID, f.Verb, f.Body))
+	}
+	var body []byte
+	verb := f.Verb
+	switch f.Verb {
+	case wire.VerbOpen:
+		body, verb = c.handleOpen(f.Body)
+	case wire.VerbWrite:
+		body, verb = c.handleWrite(f.Body)
+	case wire.VerbReadFetch:
+		body, verb = c.handleReadFetch(f.Body)
+	case wire.VerbReadAnnounce:
+		body, verb = c.handleAnnounce(f.Body)
+	case wire.VerbAudit:
+		body, verb = c.handleAudit(f.Body)
+	case wire.VerbStats:
+		body, verb = c.handleStats(f.Body)
+	default:
+		body, verb = errBody(wire.CodeBadRequest, fmt.Sprintf("unknown verb %d", uint8(f.Verb)))
+	}
+	if verb == wire.VerbErr {
+		s.errs.Add(1)
+	}
+	frame := wire.AppendFrame(nil, f.ID, verb, body)
+	s.framesOut.Add(1)
+	if s.cfg.FrameTap != nil {
+		s.cfg.FrameTap(true, frame)
+	}
+	c.writec <- frame
+}
+
+// errBody builds an ErrResp body, truncating the message to what the
+// protocol allows clients to accept.
+func errBody(code wire.ErrCode, msg string) ([]byte, wire.Verb) {
+	if len(msg) > wire.MaxErrMsg {
+		msg = msg[:wire.MaxErrMsg]
+	}
+	e := wire.ErrResp{Code: code, Msg: msg}
+	return e.Append(nil), wire.VerbErr
+}
+
+// storeErr maps a store error to an ErrResp body.
+func storeErr(err error) ([]byte, wire.Verb) {
+	return errBody(errCode(err), err.Error())
+}
+
+func (c *conn) handleOpen(body []byte) ([]byte, wire.Verb) {
+	var req wire.OpenReq
+	if err := req.Decode(body); err != nil {
+		return errBody(wire.CodeBadRequest, err.Error())
+	}
+	kind, ok := kindFromWire(req.Kind)
+	if !ok {
+		return errBody(wire.CodeUnsupported, fmt.Sprintf("kind %d is not remotable", req.Kind))
+	}
+	var openOpts []store.OpenOption
+	if req.Capacity != 0 {
+		openOpts = append(openOpts, store.WithObjectCapacity(int(req.Capacity)))
+	}
+	obj, err := c.srv.st.Open(req.Name, kind, openOpts...)
+	if err != nil {
+		return storeErr(err)
+	}
+	c.srv.opens.Add(1)
+	wk, _ := kindToWire(obj.Kind())
+	resp := wire.OpenResp{Kind: wk, Readers: uint8(obj.Readers()), Session: c.session}
+	return resp.Append(nil), wire.VerbOpen
+}
+
+func (c *conn) handleWrite(body []byte) ([]byte, wire.Verb) {
+	var req wire.WriteReq
+	if err := req.Decode(body); err != nil {
+		return errBody(wire.CodeBadRequest, err.Error())
+	}
+	if err := c.srv.st.Write(req.Name, req.Value); err != nil {
+		return storeErr(err)
+	}
+	c.srv.writes.Add(1)
+	return nil, wire.VerbWrite
+}
+
+func (c *conn) handleReadFetch(body []byte) ([]byte, wire.Verb) {
+	var req wire.ReadFetchReq
+	if err := req.Decode(body); err != nil {
+		return errBody(wire.CodeBadRequest, err.Error())
+	}
+	if int(req.Reader) >= c.srv.st.Readers() {
+		return errBody(wire.CodeBadRequest, fmt.Sprintf("read-fetch %q: reader %d out of range [0, %d)", req.Name, req.Reader, c.srv.st.Readers()))
+	}
+	obj, ok := c.srv.st.Lookup(req.Name)
+	if !ok {
+		return errBody(wire.CodeNotFound, fmt.Sprintf("read-fetch %q: object not found", req.Name))
+	}
+	val, seq, fetched, err := obj.ReadFetch(int(req.Reader))
+	if err != nil {
+		return storeErr(err)
+	}
+	if fetched {
+		c.srv.readsFetched.Add(1)
+	} else {
+		c.srv.readsSilent.Add(1)
+	}
+	resp := wire.ReadFetchResp{Fetched: fetched, Seq: seq}
+	if seq != req.PrevSeq {
+		// The client's cache is stale: ship the value, masked under this
+		// connection's session pad; the client unmasks locally.
+		resp.Value = val ^ wire.ValueMask(c.session, req.Name, req.Reader, seq)
+	}
+	return resp.Append(nil), wire.VerbReadFetch
+}
+
+func (c *conn) handleAnnounce(body []byte) ([]byte, wire.Verb) {
+	var req wire.AnnounceReq
+	if err := req.Decode(body); err != nil {
+		return errBody(wire.CodeBadRequest, err.Error())
+	}
+	if int(req.Reader) >= c.srv.st.Readers() {
+		return errBody(wire.CodeBadRequest, fmt.Sprintf("announce %q: reader %d out of range [0, %d)", req.Name, req.Reader, c.srv.st.Readers()))
+	}
+	obj, ok := c.srv.st.Lookup(req.Name)
+	if !ok {
+		return errBody(wire.CodeNotFound, fmt.Sprintf("announce %q: object not found", req.Name))
+	}
+	if err := obj.Announce(int(req.Reader), req.Seq); err != nil {
+		return storeErr(err)
+	}
+	c.srv.announces.Add(1)
+	return nil, wire.VerbReadAnnounce
+}
+
+func (c *conn) handleAudit(body []byte) ([]byte, wire.Verb) {
+	var req wire.AuditReq
+	if err := req.Decode(body); err != nil {
+		return errBody(wire.CodeBadRequest, err.Error())
+	}
+	var aud store.ObjectAudit[uint64]
+	if req.Fresh {
+		var err error
+		aud, err = c.srv.pool.AuditObject(req.Name)
+		if err != nil {
+			return storeErr(err)
+		}
+	} else {
+		var ok bool
+		aud, ok = c.srv.pool.Report(req.Name)
+		if !ok {
+			var err error
+			aud, err = c.srv.pool.AuditObject(req.Name)
+			if err != nil {
+				return storeErr(err)
+			}
+		}
+	}
+	wk, ok := kindToWire(aud.Kind)
+	if !ok {
+		return errBody(wire.CodeUnsupported, fmt.Sprintf("audit %q: %v objects are not remotable", req.Name, aud.Kind))
+	}
+	rows := auditRows(aud)
+	if len(rows) > wire.MaxAuditRows {
+		return errBody(wire.CodeTooLarge, fmt.Sprintf("audit %q: %d rows exceed the frame limit", req.Name, len(rows)))
+	}
+	resp := wire.AuditResp{Kind: wk, Rows: rows}
+	if _, err := rand.Read(resp.Nonce[:]); err != nil {
+		return errBody(wire.CodeInternal, err.Error())
+	}
+	// Mask every row's reader set under a fresh audit pad; only auditor
+	// clients — key holders — can unmask. No decrypted reader set is ever
+	// placed in a frame.
+	for i := range resp.Rows {
+		resp.Rows[i].Readers ^= wire.AuditMask(c.srv.cfg.Key, resp.Nonce, i)
+	}
+	c.srv.audits.Add(1)
+	return resp.Append(nil), wire.VerbAudit
+}
+
+func (c *conn) handleStats(body []byte) ([]byte, wire.Verb) {
+	var req wire.StatsReq
+	if err := req.Decode(body); err != nil {
+		return errBody(wire.CodeBadRequest, err.Error())
+	}
+	resp := wire.StatsResp{Pairs: c.srv.statPairs()}
+	return resp.Append(nil), wire.VerbStats
+}
+
+// auditRows flattens a report into one row per distinct value, readers as an
+// m-bit bitmask, in first-appearance order.
+func auditRows(aud store.ObjectAudit[uint64]) []wire.AuditRow {
+	entries := aud.Report.Entries()
+	rowOf := make(map[uint64]int, len(entries))
+	rows := make([]wire.AuditRow, 0, len(entries))
+	for _, e := range entries {
+		i, ok := rowOf[e.Value]
+		if !ok {
+			i = len(rows)
+			rowOf[e.Value] = i
+			rows = append(rows, wire.AuditRow{Value: e.Value})
+		}
+		rows[i].Readers |= uint64(1) << uint(e.Reader)
+	}
+	return rows
+}

@@ -1,0 +1,267 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"auditreg"
+	"auditreg/client"
+	"auditreg/server"
+	"auditreg/store"
+	"auditreg/wire"
+)
+
+// frameLog captures every frame the server transmits or receives, via the
+// server's FrameTap hook.
+type frameLog struct {
+	mu     sync.Mutex
+	frames []taggedFrame
+}
+
+type taggedFrame struct {
+	outbound bool
+	raw      []byte
+}
+
+func (l *frameLog) tap(outbound bool, frame []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.frames = append(l.frames, taggedFrame{outbound, append([]byte(nil), frame...)})
+}
+
+func (l *frameLog) snapshot() []taggedFrame {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]taggedFrame(nil), l.frames...)
+}
+
+// TestNoDecryptedReaderSetOnTheWire is the wire-level leak-freedom check:
+// after driving known traffic, it decodes every frame the server transmitted
+// and asserts that no decrypted reader set — and no cleartext read value —
+// ever appeared in any of them, while the masked fields do unmask to the
+// ground truth with the right pads. Reader sets are decrypted only
+// client-side, by key holders.
+func TestNoDecryptedReaderSetOnTheWire(t *testing.T) {
+	key := auditreg.KeyFromSeed(99)
+	log := &frameLog{}
+	srv := startServer(t, server.Config{Key: key, Readers: 8, FrameTap: log.tap})
+	addr := addrOf(t, srv)
+
+	cl, err := client.Dial(addr, client.WithKey(key), client.WithConns(1))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	const name = "secret/ledger"
+	obj, err := cl.Open(name, store.Register)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	// Known traffic: distinctive values, three reader principals.
+	written := map[uint64]bool{0: true} // 0 is the initial value
+	for i := 1; i <= 6; i++ {
+		v := 0xA1B2_0000_0000_0000 + uint64(i)
+		written[v] = true
+		if err := obj.Write(v); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		for j := 0; j < 3; j++ {
+			if _, err := obj.Read(j); err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+		}
+	}
+	aud, err := obj.Auditor()
+	if err != nil {
+		t.Fatalf("Auditor: %v", err)
+	}
+	remote, err := aud.Audit()
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+
+	// Ground truth, computed server-side without the network.
+	ground, err := srv.Store().Audit(name)
+	if err != nil {
+		t.Fatalf("local Audit: %v", err)
+	}
+	if !remote.Same(ground) {
+		t.Fatalf("remote audit %v != ground truth %v", remote.Report, ground.Report)
+	}
+	truth := map[uint64]uint64{} // value -> true reader bitmask
+	for _, e := range ground.Report.Entries() {
+		truth[e.Value] |= 1 << uint(e.Reader)
+	}
+
+	// Walk the frame log: pair requests to responses by id, collect the
+	// session secret from OPEN responses, and check every transmitted
+	// frame.
+	frames := log.snapshot()
+	var session [wire.SessionLen]byte
+	haveSession := false
+	reqs := map[uint64]wire.ReadFetchReq{}
+	auditResps, fetchResps := 0, 0
+	for _, tf := range frames {
+		f, rest, err := wire.ParseFrame(tf.raw)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("tap captured a malformed frame: %v", err)
+		}
+		if !tf.outbound {
+			if f.Verb == wire.VerbReadFetch {
+				var req wire.ReadFetchReq
+				if err := req.Decode(f.Body); err != nil {
+					t.Fatalf("request decode: %v", err)
+				}
+				reqs[f.ID] = req
+			}
+			continue
+		}
+		switch f.Verb {
+		case wire.VerbOpen:
+			var resp wire.OpenResp
+			if err := resp.Decode(f.Body); err != nil {
+				t.Fatalf("OpenResp decode: %v", err)
+			}
+			session = resp.Session
+			haveSession = true
+		case wire.VerbReadFetch:
+			fetchResps++
+			var resp wire.ReadFetchResp
+			if err := resp.Decode(f.Body); err != nil {
+				t.Fatalf("ReadFetchResp decode: %v", err)
+			}
+			req, ok := reqs[f.ID]
+			if !ok {
+				t.Fatalf("fetch response %d without a captured request", f.ID)
+			}
+			if resp.Seq == req.PrevSeq {
+				if resp.Value != 0 {
+					t.Fatalf("silent fetch response carries value %#x", resp.Value)
+				}
+				continue
+			}
+			// A value was shipped: it must be masked on the wire and
+			// unmask, under the session pad, to a genuinely written value.
+			if !haveSession {
+				t.Fatal("fetch response before any OPEN response")
+			}
+			plain := resp.Value ^ wire.ValueMask(session, name, req.Reader, resp.Seq)
+			if !written[plain] {
+				t.Fatalf("fetch response for seq %d unmasks to %#x, not a written value", resp.Seq, plain)
+			}
+			if written[resp.Value] {
+				t.Fatalf("fetch response transmitted cleartext value %#x", resp.Value)
+			}
+		case wire.VerbAudit:
+			auditResps++
+			var resp wire.AuditResp
+			if err := resp.Decode(f.Body); err != nil {
+				t.Fatalf("AuditResp decode: %v", err)
+			}
+			for i, row := range resp.Rows {
+				want, known := truth[row.Value]
+				if !known {
+					t.Fatalf("audit row for unknown value %#x", row.Value)
+				}
+				if row.Readers == want && want != 0 {
+					t.Fatalf("audit row %d transmitted the decrypted reader set %#b", i, want)
+				}
+				if got := row.Readers ^ wire.AuditMask(key, resp.Nonce, i); got != want {
+					t.Fatalf("audit row %d unmasks to %#b, want %#b", i, got, want)
+				}
+			}
+		}
+		// Raw-bytes sweep, independent of the decoders: the 16-byte
+		// cleartext (value, readers) row a naive audit response would
+		// contain must not appear anywhere in any transmitted frame.
+		for value, readers := range truth {
+			if readers == 0 {
+				continue
+			}
+			var row [16]byte
+			binary.BigEndian.PutUint64(row[:8], value)
+			binary.BigEndian.PutUint64(row[8:], readers)
+			if bytes.Contains(tf.raw, row[:]) {
+				t.Fatalf("transmitted frame (verb %v) contains cleartext audit row for value %#x", f.Verb, value)
+			}
+		}
+	}
+	if auditResps == 0 || fetchResps == 0 {
+		t.Fatalf("frame log incomplete: %d audit responses, %d fetch responses", auditResps, fetchResps)
+	}
+
+	// Sanity for the check itself: a hypothetical cleartext audit response
+	// WOULD trip the raw-bytes sweep.
+	cleartext := wire.AuditResp{Kind: wire.KindRegister}
+	for value, readers := range truth {
+		cleartext.Rows = append(cleartext.Rows, wire.AuditRow{Value: value, Readers: readers})
+	}
+	leaky := wire.AppendFrame(nil, 1, wire.VerbAudit, cleartext.Append(nil))
+	tripped := false
+	for value, readers := range truth {
+		if readers == 0 {
+			continue
+		}
+		var row [16]byte
+		binary.BigEndian.PutUint64(row[:8], value)
+		binary.BigEndian.PutUint64(row[8:], readers)
+		if bytes.Contains(leaky, row[:]) {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatal("self-check failed: the sweep cannot detect a cleartext row")
+	}
+}
+
+// TestSessionSecretsDifferPerConnection pins that two connections get
+// distinct session secrets, so one principal's masked values are opaque to
+// another principal even if frames are observed across sessions.
+func TestSessionSecretsDifferPerConnection(t *testing.T) {
+	key := auditreg.KeyFromSeed(7)
+	log := &frameLog{}
+	srv := startServer(t, server.Config{Key: key, FrameTap: log.tap})
+	addr := addrOf(t, srv)
+
+	var sessions [][wire.SessionLen]byte
+	for i := 0; i < 2; i++ {
+		cl, err := client.Dial(addr, client.WithConns(1))
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		if _, err := cl.Open("obj", store.Register); err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		cl.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(sessions) < 2 && time.Now().Before(deadline) {
+		sessions = sessions[:0]
+		for _, tf := range log.snapshot() {
+			if !tf.outbound {
+				continue
+			}
+			f, _, err := wire.ParseFrame(tf.raw)
+			if err != nil || f.Verb != wire.VerbOpen {
+				continue
+			}
+			var resp wire.OpenResp
+			if err := resp.Decode(f.Body); err != nil {
+				continue
+			}
+			sessions = append(sessions, resp.Session)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(sessions) < 2 {
+		t.Fatalf("captured %d OPEN responses, want 2", len(sessions))
+	}
+	if sessions[0] == sessions[1] {
+		t.Fatal("two connections share one session secret")
+	}
+}

@@ -1,0 +1,332 @@
+// Package server implements auditd, the network service over the sharded
+// store: a TCP server hosting one store.Store[uint64] — and one shared
+// store.AuditPool sweeping it in the background — behind the length-prefixed
+// binary protocol of package auditreg/wire.
+//
+// # Connection model
+//
+// Each accepted connection gets two goroutines: a reader that decodes and
+// executes request frames in arrival order, and a writer that batches
+// response frames through one buffered writer, flushing when the queue runs
+// dry. Requests pipeline naturally — a client may have any number of frames
+// in flight — while per-connection execution order is preserved, which is
+// what lets a client send READ-ANNOUNCE right behind READ-FETCH without
+// waiting.
+//
+// # Trust boundary
+//
+// The server sits on the writer/auditor side of the paper's trust boundary:
+// it holds the store key (it derives every object's pad stream from it), and
+// the store's writers decrypt outgoing reader sets into the audit arrays in
+// server memory. What the server never does is put a decrypted reader set on
+// the wire: READ-FETCH responses carry no reader-set bits at all, and AUDIT
+// responses carry reader sets XOR-masked under fresh pads only key-holding
+// auditor clients can remove (see the wire package and DESIGN.md's "Network
+// layer" section). Remote readers drive the paper's read algorithm through
+// the fetch/announce verb pair, and the server's persistent per-(object,
+// reader) handles enforce the at-most-one-fetch&xor-per-write invariant no
+// matter how a remote client misbehaves. Principal authentication is not
+// the protocol's job: connections do not prove which reader index they act
+// for (the deployment's authenticated channel binds identities to reader
+// indices); see DESIGN.md, "What the server does and does not enforce".
+//
+// # Shutdown
+//
+// Shutdown drains gracefully: stop accepting, kick every connection's reader
+// off its socket, execute the requests already buffered, flush every pending
+// response, then stop the audit pool. Clients see clean EOFs at frame
+// boundaries.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"auditreg"
+	"auditreg/store"
+	"auditreg/wire"
+)
+
+// Config configures a Server. The zero value of every optional field selects
+// the documented default.
+type Config struct {
+	// Key is the store master key: the writers'/auditors' secret every
+	// hosted object derives its pad stream from. Required.
+	Key auditreg.Key
+	// Readers is the reader count m of every hosted object (default
+	// store.DefaultReaders).
+	Readers int
+	// Shards is the store's shard count (default shard.DefaultShards).
+	Shards int
+	// Capacity is the default per-object audit-history capacity (default
+	// store.DefaultCapacity).
+	Capacity int
+	// PoolWorkers and PoolInterval configure the shared audit pool
+	// (defaults store.DefaultPoolWorkers, store.DefaultPoolInterval).
+	PoolWorkers  int
+	PoolInterval time.Duration
+	// FrameTap, when non-nil, is invoked synchronously with every complete
+	// frame the server transmits (outbound true) or receives (outbound
+	// false). Test instrumentation — the leak tests assert over every
+	// transmitted frame; do not set it in production.
+	FrameTap func(outbound bool, frame []byte)
+}
+
+// Server hosts a store behind a TCP listener. Construct with New; serve with
+// Serve or ListenAndServe; stop with Shutdown.
+type Server struct {
+	cfg   Config
+	st    *store.Store[uint64]
+	pool  *store.AuditPool[uint64]
+	start time.Time
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup
+
+	opens        atomic.Uint64
+	writes       atomic.Uint64
+	readsFetched atomic.Uint64
+	readsSilent  atomic.Uint64
+	announces    atomic.Uint64
+	audits       atomic.Uint64
+	errs         atomic.Uint64
+	framesIn     atomic.Uint64
+	framesOut    atomic.Uint64
+	connsTotal   atomic.Uint64
+}
+
+// New returns a server hosting a fresh store configured per cfg. The audit
+// pool starts with Serve.
+func New(cfg Config) (*Server, error) {
+	opts := []store.Option[uint64]{
+		store.WithLess[uint64](func(a, b uint64) bool { return a < b }),
+	}
+	if cfg.Readers != 0 {
+		opts = append(opts, store.WithReaders[uint64](cfg.Readers))
+	}
+	if cfg.Shards != 0 {
+		opts = append(opts, store.WithShards[uint64](cfg.Shards))
+	}
+	if cfg.Capacity != 0 {
+		opts = append(opts, store.WithCapacity[uint64](cfg.Capacity))
+	}
+	st, err := store.New(cfg.Key, opts...)
+	if err != nil {
+		return nil, err
+	}
+	var poolOpts []store.PoolOption
+	if cfg.PoolWorkers != 0 {
+		poolOpts = append(poolOpts, store.WithPoolWorkers(cfg.PoolWorkers))
+	}
+	if cfg.PoolInterval != 0 {
+		poolOpts = append(poolOpts, store.WithPoolInterval(cfg.PoolInterval))
+	}
+	pool, err := st.NewAuditPool(poolOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:   cfg,
+		st:    st,
+		pool:  pool,
+		start: time.Now(),
+		conns: make(map[*conn]struct{}),
+	}, nil
+}
+
+// Store returns the hosted store — the ground truth a test can audit
+// locally.
+func (s *Server) Store() *store.Store[uint64] { return s.st }
+
+// Pool returns the shared audit pool.
+func (s *Server) Pool() *store.AuditPool[uint64] { return s.pool }
+
+// Addr returns the listener's address, nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on addr ("host:port"; ":0" picks a free port) and
+// serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve starts the audit pool and accepts connections on ln until Shutdown
+// closes it. It always closes ln and returns nil after a Shutdown-initiated
+// stop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: Serve called twice")
+	}
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	defer ln.Close()
+	if err := s.pool.Start(); err != nil {
+		return err
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			// A spontaneous listener failure ends Serve without a
+			// Shutdown: stop the pool here so its workers don't leak
+			// (Stop is idempotent, so a later Shutdown is still safe).
+			s.pool.Stop()
+			return err
+		}
+		c, err := newConn(s, nc)
+		if err != nil {
+			nc.Close()
+			continue
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connsTotal.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.serve()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown drains the server: stop accepting, let every connection finish
+// the requests it has already received, flush pending responses, then stop
+// the audit pool (final cursor state intact — a post-shutdown Flush on the
+// pool still works). If ctx expires first, remaining connections are closed
+// forcibly and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.beginDrain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.pool.Stop()
+	return err
+}
+
+// statPairs snapshots the server counters for the STATS verb, sorted by
+// name.
+func (s *Server) statPairs() []wire.StatPair {
+	pairs := []wire.StatPair{
+		{Name: "announces", Value: s.announces.Load()},
+		{Name: "audits", Value: s.audits.Load()},
+		{Name: "conns", Value: s.connsTotal.Load()},
+		{Name: "errors", Value: s.errs.Load()},
+		{Name: "frames-in", Value: s.framesIn.Load()},
+		{Name: "frames-out", Value: s.framesOut.Load()},
+		{Name: "objects", Value: uint64(s.st.Len())},
+		{Name: "opens", Value: s.opens.Load()},
+		{Name: "pool-audits", Value: s.pool.Audited()},
+		{Name: "pool-sweeps", Value: s.pool.Sweeps()},
+		{Name: "reads-fetched", Value: s.readsFetched.Load()},
+		{Name: "reads-silent", Value: s.readsSilent.Load()},
+		{Name: "uptime-ms", Value: uint64(time.Since(s.start).Milliseconds())},
+		{Name: "writes", Value: s.writes.Load()},
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
+	return pairs
+}
+
+// The wire kind bytes coincide with store.Kind by construction, so kind
+// conversion is the identity plus wire.RemotableKind; these compile-time
+// assertions pin the correspondence (they fail to compile if either side
+// renumbers).
+var (
+	_ = [1]struct{}{}[store.Register-store.Kind(wire.KindRegister)]
+	_ = [1]struct{}{}[store.MaxRegister-store.Kind(wire.KindMaxRegister)]
+)
+
+// kindFromWire maps a wire kind byte to the store kind, reporting whether it
+// is remotable.
+func kindFromWire(k uint8) (store.Kind, bool) {
+	return store.Kind(k), wire.RemotableKind(k)
+}
+
+// kindToWire maps a store kind to its wire byte; Snapshot has none.
+func kindToWire(k store.Kind) (uint8, bool) {
+	return uint8(k), wire.RemotableKind(uint8(k))
+}
+
+// errCode classifies a store error for the wire.
+func errCode(err error) wire.ErrCode {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		return wire.CodeNotFound
+	case errors.Is(err, store.ErrKindMismatch):
+		return wire.CodeKindMismatch
+	default:
+		return wire.CodeInternal
+	}
+}

@@ -157,23 +157,30 @@ func (p *AuditPool[V]) run(w int) {
 	}
 }
 
+// auditOne advances the named object's cursor by one incremental audit,
+// with the pool's error and progress accounting; the one code path shared
+// by background sweeps and on-demand audits.
+func (p *AuditPool[V]) auditOne(name string, obj *Object[V]) (*auditCursor[V], error) {
+	cur, _, _ := p.cursors.GetOrCreate(name, func() (*auditCursor[V], error) {
+		return newAuditCursor(obj), nil
+	})
+	if err := cur.audit(); err != nil {
+		p.errs.Add(1)
+		p.lastErr.Store(&err)
+		return nil, err
+	}
+	p.audited.Add(1)
+	return cur, nil
+}
+
 // sweepShard incrementally audits every object of shard s, returning the
 // first error (audits fail only when an object outgrew its history
 // capacity).
 func (p *AuditPool[V]) sweepShard(s int) error {
 	var first error
 	p.st.objects.RangeShard(s, func(name string, obj *Object[V]) bool {
-		cur, _, _ := p.cursors.GetOrCreate(name, func() (*auditCursor[V], error) {
-			return newAuditCursor(obj), nil
-		})
-		if err := cur.audit(); err != nil {
-			p.errs.Add(1)
-			p.lastErr.Store(&err)
-			if first == nil {
-				first = err
-			}
-		} else {
-			p.audited.Add(1)
+		if _, err := p.auditOne(name, obj); err != nil && first == nil {
+			first = err
 		}
 		return true
 	})
@@ -192,6 +199,24 @@ func (p *AuditPool[V]) Flush() error {
 		}
 	}
 	return first
+}
+
+// AuditObject synchronously advances the named object's audit cursor by one
+// incremental audit and returns the freshly published cumulative report. It
+// is the on-demand counterpart of a background sweep — same cursor, same
+// report chain — for callers (the network layer's AUDIT verb) that need a
+// report covering everything linearized before the call, without paying a
+// full-store Flush.
+func (p *AuditPool[V]) AuditObject(name string) (ObjectAudit[V], error) {
+	obj, ok := p.st.objects.Get(name)
+	if !ok {
+		return ObjectAudit[V]{}, fmt.Errorf("store: pool audit %q: %w", name, ErrNotFound)
+	}
+	cur, err := p.auditOne(name, obj)
+	if err != nil {
+		return ObjectAudit[V]{}, err
+	}
+	return *cur.rep.Load(), nil
 }
 
 // Report returns the named object's latest published audit, if the pool has

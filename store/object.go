@@ -122,6 +122,32 @@ func (o *Object[V]) Write(v V) error {
 	}
 }
 
+// ensureRegReader lazily creates the slot's Register read handle. The slot's
+// mutex must be held.
+func (s *readSlot[V]) ensureRegReader(o *Object[V], reader int) (*auditreg.Reader[V], error) {
+	if s.reader == nil {
+		rd, err := o.reg.Reader(reader)
+		if err != nil {
+			return nil, err
+		}
+		s.reader = rd
+	}
+	return s.reader, nil
+}
+
+// ensureMaxReader lazily creates the slot's MaxRegister read handle. The
+// slot's mutex must be held.
+func (s *readSlot[V]) ensureMaxReader(o *Object[V], reader int) (*auditreg.MaxReader[V], error) {
+	if s.maxRd == nil {
+		rd, err := o.max.Reader(reader)
+		if err != nil {
+			return nil, err
+		}
+		s.maxRd = rd
+	}
+	return s.maxRd, nil
+}
+
 // Read returns the current value as seen by the given reader index: the
 // latest write for a Register, the maximum for a MaxRegister. Snapshot
 // objects are read through Scan.
@@ -135,27 +161,98 @@ func (o *Object[V]) Read(reader int) (V, error) {
 	case Register:
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if s.reader == nil {
-			rd, err := o.reg.Reader(reader)
-			if err != nil {
-				return zero, err
-			}
-			s.reader = rd
+		rd, err := s.ensureRegReader(o, reader)
+		if err != nil {
+			return zero, err
 		}
-		return s.reader.Read(), nil
+		return rd.Read(), nil
 	case MaxRegister:
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if s.maxRd == nil {
-			rd, err := o.max.Reader(reader)
-			if err != nil {
-				return zero, err
-			}
-			s.maxRd = rd
+		rd, err := s.ensureMaxReader(o, reader)
+		if err != nil {
+			return zero, err
 		}
-		return s.maxRd.Read(), nil
+		return rd.Read(), nil
 	default:
 		return zero, fmt.Errorf("store: read %q: %v objects take Scan, not Read: %w", o.name, o.kind, ErrKindMismatch)
+	}
+}
+
+// ReadFetch performs the fetch half of a read for the given reader index:
+// the silent-read check and — only when a new write is visible — exactly one
+// fetch&xor on the object's register R, through the same persistent
+// per-(object, reader) handle Read uses. fetched reports whether a fetch&xor
+// was applied; either way val/seq are the reader's current view.
+//
+// Together with Announce this is the read path the network layer drives: the
+// server executes the two shared-memory halves on behalf of a remote reader,
+// one request frame per half, and the handle's silent-read cache keeps the
+// at-most-one-fetch&xor-per-write invariant enforced server-side no matter
+// how a remote client behaves. Snapshot objects have no split read (scans go
+// through Scan) and return ErrKindMismatch.
+func (o *Object[V]) ReadFetch(reader int) (val V, seq uint64, fetched bool, err error) {
+	var zero V
+	if reader < 0 || reader >= len(o.readSlots) {
+		return zero, 0, false, fmt.Errorf("store: read-fetch %q: reader %d out of range [0, %d)", o.name, reader, len(o.readSlots))
+	}
+	s := &o.readSlots[reader]
+	switch o.kind {
+	case Register:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		rd, err := s.ensureRegReader(o, reader)
+		if err != nil {
+			return zero, 0, false, err
+		}
+		val, seq, fetched = rd.ReadFetch()
+		return val, seq, fetched, nil
+	case MaxRegister:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		rd, err := s.ensureMaxReader(o, reader)
+		if err != nil {
+			return zero, 0, false, err
+		}
+		val, seq, fetched = rd.ReadFetch()
+		return val, seq, fetched, nil
+	default:
+		return zero, 0, false, fmt.Errorf("store: read-fetch %q: %v objects take Scan, not ReadFetch: %w", o.name, o.kind, ErrKindMismatch)
+	}
+}
+
+// Announce performs the announce half of a read: help complete the seq-th
+// write on behalf of the given reader index. Only the seq the slot's latest
+// ReadFetch fetched is acted on; stale, duplicated, or forged seqs are
+// ignored (the reader handle enforces this — see core.Reader.Announce), so
+// Announce is safe to drive from untrusted remote clients and ignores the
+// outcome of the underlying CAS.
+func (o *Object[V]) Announce(reader int, seq uint64) error {
+	if reader < 0 || reader >= len(o.readSlots) {
+		return fmt.Errorf("store: announce %q: reader %d out of range [0, %d)", o.name, reader, len(o.readSlots))
+	}
+	s := &o.readSlots[reader]
+	switch o.kind {
+	case Register:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		rd, err := s.ensureRegReader(o, reader)
+		if err != nil {
+			return err
+		}
+		rd.Announce(seq)
+		return nil
+	case MaxRegister:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		rd, err := s.ensureMaxReader(o, reader)
+		if err != nil {
+			return err
+		}
+		rd.Announce(seq)
+		return nil
+	default:
+		return fmt.Errorf("store: announce %q: %v objects take Scan, not Announce: %w", o.name, o.kind, ErrKindMismatch)
 	}
 }
 

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Masking pads. Both sides of the protocol derive 64-bit pads from SHA-256
+// over a domain tag and the inputs that bind the pad to its plaintext,
+// exactly like the pad sources of internal/otp derive the register's
+// tracking pads:
+//
+//   - ValueMask pads the value of a READ-FETCH response. A connection may
+//     apply the same (session, name, reader, seq) pad more than once — a
+//     client whose cache lags the server's handle receives the value again
+//     without a fresh fetch — but the plaintext it covers is fixed: the
+//     register value installed at a given sequence number never changes
+//     (one CAS installs each seq), so reuse produces an identical
+//     ciphertext and reveals nothing. Distinct values always sit under
+//     distinct pads because seq (and name, reader, session) is part of the
+//     derivation. Any protocol extension that breaks value-determined-by-
+//     seq must switch to a nonce-fresh pad, as AuditMask does.
+//   - AuditMask pads the reader-set bitmask of one AUDIT response row.
+//     Audit rows do change between responses (sets only grow), so here
+//     freshness is mandatory: the nonce is fresh per response.
+//
+// Domain tags keep the two pad families — and the store's own pad streams —
+// disjoint.
+
+const (
+	valueMaskTag = "auditreg/wire/value-mask/v1\x00"
+	auditMaskTag = "auditreg/wire/audit-mask/v1\x00"
+)
+
+// ValueMask derives the pad XOR-applied to the value of a READ-FETCH
+// response: the first 8 bytes of SHA-256(tag, session, name, reader, seq).
+// The server masks with it; the reading client unmasks with it.
+func ValueMask(session [SessionLen]byte, name string, reader uint8, seq uint64) uint64 {
+	h := sha256.New()
+	h.Write([]byte(valueMaskTag))
+	h.Write(session[:])
+	var num [9]byte
+	num[0] = reader
+	binary.BigEndian.PutUint64(num[1:], seq)
+	h.Write(num[:])
+	h.Write([]byte(name))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// AuditMask derives the pad XOR-applied to the reader-set bitmask of row i
+// of an AUDIT response: the first 8 bytes of SHA-256(tag, key, nonce, i).
+// The server masks with the store key; only a key-holding auditor client can
+// unmask — readers, by the paper's trust model, cannot.
+func AuditMask(key [32]byte, nonce [NonceLen]byte, row int) uint64 {
+	h := sha256.New()
+	h.Write([]byte(auditMaskTag))
+	h.Write(key[:])
+	h.Write(nonce[:])
+	var num [8]byte
+	binary.BigEndian.PutUint64(num[:], uint64(row))
+	h.Write(num[:])
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}

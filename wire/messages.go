@@ -1,0 +1,352 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Object kinds on the wire. The values coincide with auditreg/store.Kind
+// (the server pins the correspondence with compile-time assertions);
+// Snapshot objects are not remotable (their scans have no fetch/announce
+// split), so the protocol only ever carries these two.
+const (
+	KindRegister    uint8 = 1
+	KindMaxRegister uint8 = 2
+)
+
+// RemotableKind reports whether k is a kind byte the protocol serves. It is
+// the single source of truth for remotability — server and client both
+// consult it, so they cannot drift apart.
+func RemotableKind(k uint8) bool {
+	return k == KindRegister || k == KindMaxRegister
+}
+
+// ErrCode classifies an ErrResp, so clients can map protocol failures back
+// to the store's sentinel errors.
+type ErrCode uint16
+
+// Error codes carried by ErrResp.
+const (
+	CodeBadRequest   ErrCode = 1 // malformed or out-of-range request
+	CodeNotFound     ErrCode = 2 // maps to store.ErrNotFound
+	CodeKindMismatch ErrCode = 3 // maps to store.ErrKindMismatch
+	CodeUnsupported  ErrCode = 4 // e.g. opening a Snapshot remotely
+	CodeTooLarge     ErrCode = 5 // response exceeds frame limits
+	CodeInternal     ErrCode = 6 // server-side failure
+	CodeShutdown     ErrCode = 7 // server is draining
+)
+
+// SessionLen is the size of the per-connection session secret carried in
+// OpenResp; NonceLen the size of the per-AUDIT-response nonce.
+const (
+	SessionLen = 32
+	NonceLen   = 24
+)
+
+// MaxErrMsg bounds the message of an ErrResp: long enough for any server
+// error embedding a MaxName-sized object name plus context, short enough to
+// bound hostile frames. Servers truncate, clients reject beyond it.
+const MaxErrMsg = 4096
+
+// MaxAuditRows bounds the rows of one AuditResp such that the frame always
+// fits MaxFrame: the length prefix covers HeaderLen plus the fixed body
+// bytes (kind 1 + nonce NonceLen + row count 4 = 29) plus 16 per row; the
+// divisor reserves 64 — the 29 plus slack for future fixed fields — so the
+// bound never needs to move in lockstep with small body changes. One row
+// per distinct audited value; a server whose report outgrows this answers
+// CodeTooLarge instead of emitting an unreadable frame.
+const MaxAuditRows = (MaxFrame - HeaderLen - 64) / 16
+
+// OpenReq asks the server to open (creating if absent) the named object.
+// Capacity 0 selects the server's default history capacity.
+type OpenReq struct {
+	Name     string
+	Kind     uint8
+	Capacity uint32
+}
+
+// Append serializes the message body onto dst.
+func (m *OpenReq) Append(dst []byte) []byte {
+	dst = appendStr(dst, m.Name)
+	dst = append(dst, m.Kind)
+	return binary.BigEndian.AppendUint32(dst, m.Capacity)
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *OpenReq) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Name = c.str(MaxName)
+	m.Kind = c.u8()
+	m.Capacity = c.u32()
+	return c.done()
+}
+
+// OpenResp acknowledges an open: the object's actual kind and reader count,
+// plus the connection's session secret — the seed of every ValueMask pad the
+// server will apply on this connection. The secret is fixed per connection;
+// every OpenResp on a connection repeats the same one. In production the
+// handshake (like the rest of the stream) runs inside an authenticated
+// encrypted channel; the session secret separates principals from each other
+// within the protocol itself.
+type OpenResp struct {
+	Kind    uint8
+	Readers uint8
+	Session [SessionLen]byte
+}
+
+// Append serializes the message body onto dst.
+func (m *OpenResp) Append(dst []byte) []byte {
+	dst = append(dst, m.Kind, m.Readers)
+	return append(dst, m.Session[:]...)
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *OpenResp) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Kind = c.u8()
+	m.Readers = c.u8()
+	copy(m.Session[:], c.take(SessionLen))
+	return c.done()
+}
+
+// WriteReq writes a value: an overwrite for a register, a writeMax for a max
+// register. The response is an empty body under VerbWrite.
+type WriteReq struct {
+	Name  string
+	Value uint64
+}
+
+// Append serializes the message body onto dst.
+func (m *WriteReq) Append(dst []byte) []byte {
+	dst = appendStr(dst, m.Name)
+	return binary.BigEndian.AppendUint64(dst, m.Value)
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *WriteReq) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Name = c.str(MaxName)
+	m.Value = c.u64()
+	return c.done()
+}
+
+// ReadFetchReq performs the fetch half of a read for reader index Reader.
+// PrevSeq is the sequence number of the client's cached value (the paper's
+// prev_sn; ^uint64(0) when the client has never read), so the server can
+// omit the value from the response when the client is already current.
+type ReadFetchReq struct {
+	Name    string
+	Reader  uint8
+	PrevSeq uint64
+}
+
+// Append serializes the message body onto dst.
+func (m *ReadFetchReq) Append(dst []byte) []byte {
+	dst = appendStr(dst, m.Name)
+	dst = append(dst, m.Reader)
+	return binary.BigEndian.AppendUint64(dst, m.PrevSeq)
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *ReadFetchReq) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Name = c.str(MaxName)
+	m.Reader = c.u8()
+	m.PrevSeq = c.u64()
+	return c.done()
+}
+
+// ReadFetchResp answers a READ-FETCH. Fetched reports whether a fetch&xor
+// was applied to R (false: the read was silent server-side). When Seq equals
+// the request's PrevSeq the client's cache is current and Value is zero;
+// otherwise Value is the register value XOR-masked with
+// ValueMask(session, name, reader, Seq) — the client unmasks locally. The
+// response never carries reader-set bits.
+type ReadFetchResp struct {
+	Fetched bool
+	Seq     uint64
+	Value   uint64
+}
+
+// Append serializes the message body onto dst.
+func (m *ReadFetchResp) Append(dst []byte) []byte {
+	dst = appendBool(dst, m.Fetched)
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	return binary.BigEndian.AppendUint64(dst, m.Value)
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *ReadFetchResp) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Fetched = c.bool()
+	m.Seq = c.u64()
+	m.Value = c.u64()
+	return c.done()
+}
+
+// AnnounceReq performs the announce half of a read: help complete the Seq-th
+// write. Clients pipeline it behind the fetch; the response is an empty body
+// under VerbReadAnnounce.
+type AnnounceReq struct {
+	Name   string
+	Reader uint8
+	Seq    uint64
+}
+
+// Append serializes the message body onto dst.
+func (m *AnnounceReq) Append(dst []byte) []byte {
+	dst = appendStr(dst, m.Name)
+	dst = append(dst, m.Reader)
+	return binary.BigEndian.AppendUint64(dst, m.Seq)
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *AnnounceReq) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Name = c.str(MaxName)
+	m.Reader = c.u8()
+	m.Seq = c.u64()
+	return c.done()
+}
+
+// AuditReq requests the named object's audit report. Fresh forces a
+// synchronous incremental audit through the server's shared pool cursor (a
+// report covering everything linearized before the call); otherwise the
+// server returns the pool's latest published report, falling back to a fresh
+// one when the pool has not audited the object yet.
+type AuditReq struct {
+	Name  string
+	Fresh bool
+}
+
+// Append serializes the message body onto dst.
+func (m *AuditReq) Append(dst []byte) []byte {
+	dst = appendStr(dst, m.Name)
+	return appendBool(dst, m.Fresh)
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *AuditReq) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Name = c.str(MaxName)
+	m.Fresh = c.bool()
+	return c.done()
+}
+
+// AuditRow is one audited value and the set of readers that effectively read
+// it, as an m-bit bitmask. On the wire Readers is XOR-masked with
+// AuditMask(key, nonce, row); it is never transmitted in the clear.
+type AuditRow struct {
+	Value   uint64
+	Readers uint64
+}
+
+// AuditResp answers an AUDIT: the object's kind and one masked row per
+// audited value. Nonce is fresh per response, so audit pads are never
+// reused across responses.
+type AuditResp struct {
+	Kind  uint8
+	Nonce [NonceLen]byte
+	Rows  []AuditRow
+}
+
+// Append serializes the message body onto dst.
+func (m *AuditResp) Append(dst []byte) []byte {
+	dst = append(dst, m.Kind)
+	dst = append(dst, m.Nonce[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Rows)))
+	for _, r := range m.Rows {
+		dst = binary.BigEndian.AppendUint64(dst, r.Value)
+		dst = binary.BigEndian.AppendUint64(dst, r.Readers)
+	}
+	return dst
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *AuditResp) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Kind = c.u8()
+	copy(m.Nonce[:], c.take(NonceLen))
+	n := c.u32()
+	if n > MaxAuditRows {
+		return fmt.Errorf("wire: audit response with %d rows exceeds MaxAuditRows %d", n, MaxAuditRows)
+	}
+	m.Rows = nil
+	if n > 0 && !c.bad {
+		m.Rows = make([]AuditRow, 0, min(int(n), len(c.b)/16))
+		for i := uint32(0); i < n; i++ {
+			m.Rows = append(m.Rows, AuditRow{Value: c.u64(), Readers: c.u64()})
+		}
+	}
+	return c.done()
+}
+
+// StatsReq requests the server's counters. The body is empty.
+type StatsReq struct{}
+
+// Append serializes the message body onto dst.
+func (m *StatsReq) Append(dst []byte) []byte { return dst }
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *StatsReq) Decode(body []byte) error {
+	c := cursor{b: body}
+	return c.done()
+}
+
+// StatPair is one named counter.
+type StatPair struct {
+	Name  string
+	Value uint64
+}
+
+// StatsResp carries the server's counters, sorted by name.
+type StatsResp struct {
+	Pairs []StatPair
+}
+
+// Append serializes the message body onto dst.
+func (m *StatsResp) Append(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Pairs)))
+	for _, p := range m.Pairs {
+		dst = appendStr(dst, p.Name)
+		dst = binary.BigEndian.AppendUint64(dst, p.Value)
+	}
+	return dst
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *StatsResp) Decode(body []byte) error {
+	c := cursor{b: body}
+	n := c.u16()
+	m.Pairs = nil
+	for i := uint16(0); i < n && !c.bad; i++ {
+		m.Pairs = append(m.Pairs, StatPair{Name: c.str(MaxName), Value: c.u64()})
+	}
+	return c.done()
+}
+
+// ErrResp reports a failed request under VerbErr.
+type ErrResp struct {
+	Code ErrCode
+	Msg  string
+}
+
+// Append serializes the message body onto dst.
+func (m *ErrResp) Append(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.Code))
+	return appendStr(dst, m.Msg)
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *ErrResp) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Code = ErrCode(c.u16())
+	m.Msg = c.str(MaxErrMsg)
+	return c.done()
+}
+
+// Error renders the remote failure; ErrResp is returned as a Go error by
+// clients.
+func (m *ErrResp) Error() string {
+	return fmt.Sprintf("wire: remote error %d: %s", m.Code, m.Msg)
+}

@@ -1,0 +1,276 @@
+// Package wire defines the binary protocol of auditd, the network service
+// over the sharded store (package auditreg/store): compact length-prefixed
+// frames carrying request-id-tagged messages, so clients can pipeline many
+// requests down one connection and match responses out of band.
+//
+// # Framing
+//
+// Every frame is
+//
+//	u32 length | u64 request id | u8 verb | body
+//
+// with all integers big-endian and length covering everything after itself
+// (so a frame occupies length+4 bytes on the wire, and length is at least
+// HeaderLen). Frames larger than MaxFrame are a protocol error: a reader can
+// always bound its buffer. Responses carry the verb of the request they
+// answer, or VerbErr with an ErrResp body.
+//
+// # Verbs
+//
+// OPEN, WRITE, READ-FETCH, READ-ANNOUNCE, AUDIT, STATS. The READ verb of the
+// local API deliberately splits in two on the wire, mirroring the two
+// shared-memory steps of the paper's read (Algorithm 1 lines 4 and 5):
+//
+//   - READ-FETCH performs the silent-read check and (at most) one atomic
+//     fetch&xor on the object's register R, through the server's persistent
+//     per-(object, reader) handle — the at-most-one-fetch&xor-per-write
+//     invariant of store/object.go is enforced server-side, whatever a
+//     remote client does.
+//   - READ-ANNOUNCE performs the helping CAS on SN. It is pure helping, so
+//     clients pipeline it behind the fetch without waiting.
+//
+// # What crosses the wire encrypted
+//
+// Reader sets never cross the wire in the clear — not in either direction,
+// not in any verb:
+//
+//   - READ-FETCH responses carry no reader-set bits at all (a reader needs
+//     only seq and value), and the value itself is XOR-masked with a pad
+//     derived from the connection's session secret (ValueMask), so one
+//     principal's traffic is opaque to every other curious principal.
+//     The client unmasks locally.
+//   - AUDIT responses carry each row's reader set XOR-masked with a pad
+//     derived from the store key and a fresh per-response nonce (AuditMask).
+//     Only auditors hold the key — that is the paper's trust model — so only
+//     the auditor client can unmask, locally.
+//
+// See the "Network layer" section of DESIGN.md for the full invariant.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol limits. MaxFrame bounds reader buffers; MaxName keeps object
+// names (which recur in every request) short.
+const (
+	// HeaderLen is the number of bytes covered by the length prefix before
+	// the body: request id (8) + verb (1).
+	HeaderLen = 9
+	// MaxFrame is the largest legal value of the length prefix.
+	MaxFrame = 1 << 20
+	// MaxName is the largest legal object name length.
+	MaxName = 1024
+)
+
+// Verb identifies a message type. Responses reuse the request's verb;
+// failures answer with VerbErr.
+type Verb uint8
+
+// The protocol's verbs.
+const (
+	VerbErr          Verb = 0
+	VerbOpen         Verb = 1
+	VerbWrite        Verb = 2
+	VerbReadFetch    Verb = 3
+	VerbReadAnnounce Verb = 4
+	VerbAudit        Verb = 5
+	VerbStats        Verb = 6
+)
+
+// String returns the verb's protocol name.
+func (v Verb) String() string {
+	switch v {
+	case VerbErr:
+		return "ERR"
+	case VerbOpen:
+		return "OPEN"
+	case VerbWrite:
+		return "WRITE"
+	case VerbReadFetch:
+		return "READ-FETCH"
+	case VerbReadAnnounce:
+		return "READ-ANNOUNCE"
+	case VerbAudit:
+		return "AUDIT"
+	case VerbStats:
+		return "STATS"
+	default:
+		return fmt.Sprintf("Verb(%d)", uint8(v))
+	}
+}
+
+// Frame is one decoded frame: the request id, the verb, and the undecoded
+// message body (sliced from the input, not copied).
+type Frame struct {
+	ID   uint64
+	Verb Verb
+	Body []byte
+}
+
+// AppendFrame appends a complete frame to dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, id uint64, verb Verb, body []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(HeaderLen+len(body)))
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = append(dst, byte(verb))
+	return append(dst, body...)
+}
+
+// ParseFrame decodes the first frame of b, returning it and the unconsumed
+// remainder. io.ErrUnexpectedEOF reports a truncated frame (read more and
+// retry); any other error is a protocol violation.
+func ParseFrame(b []byte) (Frame, []byte, error) {
+	if len(b) < 4 {
+		return Frame{}, b, io.ErrUnexpectedEOF
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n < HeaderLen {
+		return Frame{}, b, fmt.Errorf("wire: frame length %d shorter than header", n)
+	}
+	if n > MaxFrame {
+		return Frame{}, b, fmt.Errorf("wire: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if len(b) < int(4+n) {
+		return Frame{}, b, io.ErrUnexpectedEOF
+	}
+	return Frame{
+		ID:   binary.BigEndian.Uint64(b[4:]),
+		Verb: Verb(b[12]),
+		Body: b[13 : 4+n],
+	}, b[4+n:], nil
+}
+
+// ReadFrame reads exactly one frame from br, blocking as needed. The body is
+// freshly allocated. It returns io.EOF only on a clean boundary (no bytes
+// read); a frame cut short mid-way returns io.ErrUnexpectedEOF.
+func ReadFrame(br *bufio.Reader) (Frame, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(br, head[:1]); err != nil {
+		return Frame{}, err // io.EOF on a clean boundary
+	}
+	if _, err := io.ReadFull(br, head[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(head[:])
+	if n < HeaderLen {
+		return Frame{}, fmt.Errorf("wire: frame length %d shorter than header", n)
+	}
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("wire: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{
+		ID:   binary.BigEndian.Uint64(payload),
+		Verb: Verb(payload[8]),
+		Body: payload[9:],
+	}, nil
+}
+
+// cursor is a little-state decoder over a message body. Every getter
+// degrades to zero values once the input is exhausted or malformed; the
+// caller checks done() exactly once at the end. This keeps message Decode
+// methods linear and makes truncated input a single error path, which is
+// what the fuzzer exercises hardest.
+type cursor struct {
+	b   []byte
+	bad bool
+}
+
+func (c *cursor) fail() {
+	c.bad = true
+	c.b = nil
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.bad || len(c.b) < n {
+		c.fail()
+		return nil
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+func (c *cursor) u8() uint8 {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) bool() bool { return c.u8() != 0 }
+
+func (c *cursor) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// str decodes a u16-length-prefixed string of at most max bytes.
+func (c *cursor) str(max int) string {
+	n := int(c.u16())
+	if n > max {
+		c.fail()
+		return ""
+	}
+	b := c.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// done returns an error if the body was malformed or not fully consumed.
+func (c *cursor) done() error {
+	if c.bad {
+		return fmt.Errorf("wire: truncated or malformed body")
+	}
+	if len(c.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after body", len(c.b))
+	}
+	return nil
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}

@@ -1,0 +1,196 @@
+package wire_test
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"auditreg/wire"
+)
+
+// message is the common shape of every wire message, for table-driven
+// round-trip tests.
+type message interface {
+	Append(dst []byte) []byte
+	Decode(body []byte) error
+}
+
+// sampleMessages returns one populated instance of every message type.
+func sampleMessages() []message {
+	session := [wire.SessionLen]byte{}
+	for i := range session {
+		session[i] = byte(i * 7)
+	}
+	nonce := [wire.NonceLen]byte{}
+	for i := range nonce {
+		nonce[i] = byte(255 - i)
+	}
+	return []message{
+		&wire.OpenReq{Name: "acct/42", Kind: wire.KindRegister, Capacity: 1 << 16},
+		&wire.OpenResp{Kind: wire.KindMaxRegister, Readers: 64, Session: session},
+		&wire.WriteReq{Name: "acct/42", Value: 0xdeadbeefcafe},
+		&wire.ReadFetchReq{Name: "acct/42", Reader: 63, PrevSeq: ^uint64(0)},
+		&wire.ReadFetchResp{Fetched: true, Seq: 12, Value: 0x1234},
+		&wire.AnnounceReq{Name: "acct/42", Reader: 0, Seq: 12},
+		&wire.AuditReq{Name: "acct/42", Fresh: true},
+		&wire.AuditResp{Kind: wire.KindRegister, Nonce: nonce, Rows: []wire.AuditRow{
+			{Value: 7, Readers: 0b101}, {Value: 9, Readers: 1 << 63},
+		}},
+		&wire.StatsReq{},
+		&wire.StatsResp{Pairs: []wire.StatPair{{Name: "writes", Value: 3}, {Name: "reads-fetched", Value: 9}}},
+		&wire.ErrResp{Code: wire.CodeKindMismatch, Msg: "open \"x\" as register: object is a maxregister"},
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		body := msg.Append(nil)
+		fresh := reflect.New(reflect.TypeOf(msg).Elem()).Interface().(message)
+		if err := fresh.Decode(body); err != nil {
+			t.Fatalf("%T: Decode: %v", msg, err)
+		}
+		if !reflect.DeepEqual(msg, fresh) {
+			t.Fatalf("%T: round trip %+v -> %+v", msg, msg, fresh)
+		}
+		// Strictness: any trailing byte must be rejected.
+		if err := fresh.Decode(append(append([]byte{}, body...), 0)); err == nil {
+			t.Fatalf("%T: decode accepted a trailing byte", msg)
+		}
+		// Truncations must error, never panic.
+		for cut := 0; cut < len(body); cut++ {
+			if err := fresh.Decode(body[:cut]); err == nil &&
+				// An empty StatsResp/AuditResp prefix can be a valid
+				// shorter message only if it consumes everything; the
+				// cursor's done() guarantees that, so err == nil means a
+				// genuinely self-delimiting prefix — only legal when the
+				// re-encoding matches the prefix.
+				!bytes.Equal(fresh.(message).Append(nil), body[:cut]) {
+				t.Fatalf("%T: decode accepted a non-canonical %d-byte truncation", msg, cut)
+			}
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var stream []byte
+	msgs := sampleMessages()
+	verbs := []wire.Verb{
+		wire.VerbOpen, wire.VerbOpen, wire.VerbWrite, wire.VerbReadFetch,
+		wire.VerbReadFetch, wire.VerbReadAnnounce, wire.VerbAudit,
+		wire.VerbAudit, wire.VerbStats, wire.VerbStats, wire.VerbErr,
+	}
+	for i, msg := range msgs {
+		stream = wire.AppendFrame(stream, uint64(i+1), verbs[i], msg.Append(nil))
+	}
+
+	// ParseFrame walks the concatenation.
+	rest := stream
+	for i := range msgs {
+		var f wire.Frame
+		var err error
+		f, rest, err = wire.ParseFrame(rest)
+		if err != nil {
+			t.Fatalf("ParseFrame %d: %v", i, err)
+		}
+		if f.ID != uint64(i+1) || f.Verb != verbs[i] {
+			t.Fatalf("frame %d: id=%d verb=%v", i, f.ID, f.Verb)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after parsing all frames", len(rest))
+	}
+
+	// ReadFrame sees the same frames through a reader.
+	br := bufio.NewReader(bytes.NewReader(stream))
+	for i, msg := range msgs {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if f.ID != uint64(i+1) || f.Verb != verbs[i] {
+			t.Fatalf("frame %d: id=%d verb=%v", i, f.ID, f.Verb)
+		}
+		fresh := reflect.New(reflect.TypeOf(msg).Elem()).Interface().(message)
+		if err := fresh.Decode(f.Body); err != nil {
+			t.Fatalf("frame %d body: %v", i, err)
+		}
+		if !reflect.DeepEqual(msg, fresh) {
+			t.Fatalf("frame %d: %+v -> %+v", i, msg, fresh)
+		}
+	}
+	if _, err := wire.ReadFrame(br); err != io.EOF {
+		t.Fatalf("ReadFrame at end = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	// Truncated prefix: need more bytes.
+	frame := wire.AppendFrame(nil, 1, wire.VerbStats, nil)
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := wire.ParseFrame(frame[:cut]); err != io.ErrUnexpectedEOF {
+			t.Fatalf("ParseFrame(%d-byte prefix) err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// Mid-frame EOF through a reader is ErrUnexpectedEOF, not EOF.
+	br := bufio.NewReader(bytes.NewReader(frame[:len(frame)-1]))
+	if _, err := wire.ReadFrame(br); err != io.ErrUnexpectedEOF {
+		t.Fatalf("ReadFrame(truncated) err = %v, want ErrUnexpectedEOF", err)
+	}
+	// Undersized and oversized length prefixes are protocol errors.
+	under := []byte{0, 0, 0, wire.HeaderLen - 1}
+	if _, _, err := wire.ParseFrame(under); err == nil || err == io.ErrUnexpectedEOF {
+		t.Fatalf("undersized length err = %v", err)
+	}
+	over := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, _, err := wire.ParseFrame(over); err == nil || err == io.ErrUnexpectedEOF {
+		t.Fatalf("oversized length err = %v", err)
+	}
+	if _, err := wire.ReadFrame(bufio.NewReader(bytes.NewReader(over))); err == nil {
+		t.Fatal("ReadFrame accepted an oversized length")
+	}
+	// Overlong names are rejected.
+	long := &wire.OpenReq{Name: strings.Repeat("x", wire.MaxName+1), Kind: wire.KindRegister}
+	var dec wire.OpenReq
+	if err := dec.Decode(long.Append(nil)); err == nil {
+		t.Fatal("Decode accepted an overlong name")
+	}
+}
+
+func TestMasksAreDeterministicAndDistinct(t *testing.T) {
+	var session [wire.SessionLen]byte
+	session[0] = 1
+	var key [32]byte
+	key[0] = 2
+	var nonce [wire.NonceLen]byte
+
+	if wire.ValueMask(session, "a", 3, 7) != wire.ValueMask(session, "a", 3, 7) {
+		t.Fatal("ValueMask is not deterministic")
+	}
+	if wire.AuditMask(key, nonce, 5) != wire.AuditMask(key, nonce, 5) {
+		t.Fatal("AuditMask is not deterministic")
+	}
+	seen := map[uint64]string{}
+	put := func(tag string, v uint64) {
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("mask collision between %s and %s", prev, tag)
+		}
+		seen[v] = tag
+	}
+	put("base", wire.ValueMask(session, "a", 3, 7))
+	put("name", wire.ValueMask(session, "b", 3, 7))
+	put("reader", wire.ValueMask(session, "a", 4, 7))
+	put("seq", wire.ValueMask(session, "a", 3, 8))
+	var session2 [wire.SessionLen]byte
+	put("session", wire.ValueMask(session2, "a", 3, 7))
+	// A name/reader boundary shift must not alias ("ab", r=3 vs "b" with
+	// different framing): numbers are hashed before the name.
+	put("shift", wire.ValueMask(session, "ab", 3, 7))
+	put("audit-base", wire.AuditMask(key, nonce, 5))
+	put("audit-row", wire.AuditMask(key, nonce, 6))
+	var nonce2 [wire.NonceLen]byte
+	nonce2[0] = 9
+	put("audit-nonce", wire.AuditMask(key, nonce2, 5))
+}
