@@ -14,6 +14,13 @@ import (
 
 var errClientClosed = errors.New("client: closed")
 
+// ErrConnLost reports that a pool connection died — server restart, TCP
+// reset, write failure — with requests in flight. Every such request fails
+// fast with an error wrapping ErrConnLost (test with errors.Is) instead of
+// hanging; the pool transparently redials on next use, so the Client itself
+// survives.
+var ErrConnLost = errors.New("client: connection lost")
+
 // conn is one pooled connection: a background read loop matches response
 // frames to waiting requests by id (in-flight multiplexing), writes are
 // serialized by a mutex, and the connection remembers its server-issued
@@ -31,6 +38,7 @@ type conn struct {
 	dead     error
 	session  [wire.SessionLen]byte
 	hasSess  bool
+	epoch    uint64                   // server boot epoch, from OPEN responses
 	opened   map[string]wire.OpenResp // objects opened on this conn
 }
 
@@ -56,7 +64,7 @@ func (cn *conn) readLoop() {
 	for {
 		f, err := wire.ReadFrame(br)
 		if err != nil {
-			cn.close(fmt.Errorf("client: connection lost: %w", err))
+			cn.close(fmt.Errorf("%w: %v", ErrConnLost, err))
 			return
 		}
 		cn.mu.Lock()
@@ -120,7 +128,8 @@ func (cn *conn) send(verb wire.Verb, body []byte, wait bool) (uint64, chan wire.
 	}
 	cn.wmu.Unlock()
 	if err != nil {
-		cn.close(fmt.Errorf("client: write failed: %w", err))
+		err = fmt.Errorf("%w: write failed: %v", ErrConnLost, err)
+		cn.close(err)
 		return 0, nil, err
 	}
 	return id, ch, nil
@@ -177,7 +186,19 @@ func (cn *conn) open(name string, wkind uint8, capacity uint32) (wire.OpenResp, 
 	cn.mu.Lock()
 	cn.session = resp.Session
 	cn.hasSess = true
+	cn.epoch = resp.Epoch
 	cn.opened[name] = resp
 	cn.mu.Unlock()
 	return resp, nil
+}
+
+// epochValue returns the server boot epoch this connection observed. A TCP
+// connection can only ever talk to one server process, so the value is
+// stable for the connection's lifetime — which is what makes it a safe
+// staleness signal for read caches (a process-wide "latest epoch" could be
+// overwritten by a delayed callback from a pre-restart connection).
+func (cn *conn) epochValue() uint64 {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.epoch
 }

@@ -25,10 +25,14 @@ type Object struct {
 // readSlot is one reader principal's client-side protocol state: the
 // paper's prev_sn / prev_val silent-read cache, moved to the reading
 // process where it belongs. prevSeq is lazily initialized to ^uint64(0)
-// (the paper's prev_sn = -1) on first use.
+// (the paper's prev_sn = -1) on first use. epoch remembers which server
+// boot the cache was filled under; when the server restarts (recovery
+// renumbers sequence numbers) the cache is dropped rather than risk a
+// seq collision serving a stale value.
 type readSlot struct {
 	mu      sync.Mutex
 	init    bool
+	epoch   uint64
 	prevSeq uint64
 	prevVal uint64
 }
@@ -79,6 +83,14 @@ func (o *Object) Read(reader int) (uint64, error) {
 	cn := o.c.pick()
 	if _, err := cn.open(o.name, o.wkind, 0); err != nil {
 		return 0, err
+	}
+	// The open (fresh or cached) pinned this connection's server boot
+	// epoch. A connection only ever speaks to one server process, so a
+	// slot cache filled under a different epoch was filled against a
+	// different process generation — recovery renumbers, so drop it.
+	if e := cn.epochValue(); s.epoch != e {
+		s.epoch = e
+		s.prevSeq = ^uint64(0)
 	}
 	req := wire.ReadFetchReq{Name: o.name, Reader: uint8(reader), PrevSeq: s.prevSeq}
 	f, err := cn.roundTrip(wire.VerbReadFetch, req.Append(nil))

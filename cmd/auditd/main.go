@@ -6,10 +6,18 @@
 // reader sets cross the wire only in masked form (see DESIGN.md, "Network
 // layer").
 //
+// With -data-dir the daemon is durable (package auditreg/persist): every
+// mutation lands in a write-ahead log whose records are encrypted under a
+// key derived from the store key — held only in memory, never on disk — and
+// a restart recovers the store so a fresh audit reports exactly the
+// effective reads acknowledged before the crash. SIGHUP compacts the log
+// into a snapshot; -fsync picks the durability/latency trade.
+//
 // Usage:
 //
-//	go run ./cmd/auditd                          # listen on :7433
+//	go run ./cmd/auditd                          # listen on :7433, memory only
 //	go run ./cmd/auditd -addr 127.0.0.1:0 -seed 1 -readers 64
+//	go run ./cmd/auditd -data-dir /var/lib/auditd -fsync always
 //
 // The daemon prints "auditd: listening on ADDR" once it accepts connections
 // (scripts wait for that line) and drains gracefully on SIGINT/SIGTERM.
@@ -31,6 +39,7 @@ import (
 	"time"
 
 	"auditreg"
+	"auditreg/persist"
 	"auditreg/server"
 )
 
@@ -43,18 +52,41 @@ func main() {
 	poolWorkers := flag.Int("poolworkers", 0, "audit pool worker goroutines (0: pool default)")
 	poolInterval := flag.Duration("poolinterval", 0, "audit pool sweep interval (0: pool default)")
 	drainTimeout := flag.Duration("draintimeout", 10*time.Second, "graceful shutdown budget")
+	dataDir := flag.String("data-dir", "", "durable data directory (empty: memory only)")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "fsync cadence under -fsync interval (0: persist default)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "WAL segment rotation size (0: persist default)")
 	flag.Parse()
 
+	policy, ok := persist.ParsePolicy(*fsync)
+	if !ok {
+		fatalf("bad -fsync %q: want always, interval, or never", *fsync)
+	}
 	srv, err := server.New(server.Config{
-		Key:          auditreg.KeyFromSeed(*seed),
-		Readers:      *readers,
-		Shards:       *shards,
-		Capacity:     *capacity,
-		PoolWorkers:  *poolWorkers,
-		PoolInterval: *poolInterval,
+		Key:           auditreg.KeyFromSeed(*seed),
+		Readers:       *readers,
+		Shards:        *shards,
+		Capacity:      *capacity,
+		PoolWorkers:   *poolWorkers,
+		PoolInterval:  *poolInterval,
+		DataDir:       *dataDir,
+		Fsync:         policy,
+		FsyncInterval: *fsyncInterval,
+		SegmentBytes:  *segmentBytes,
 	})
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if rec := srv.Recovery(); rec != nil {
+		fmt.Printf("auditd: recovered %s: %d objects, %d writes, %d reads (%d synthesized), %d records",
+			*dataDir, rec.Replay.Objects, rec.Replay.Writes, rec.Replay.Fetches, rec.Replay.Synthesized, rec.Records)
+		if rec.SnapshotCut > 0 {
+			fmt.Printf(", snapshot cut %d", rec.SnapshotCut)
+		}
+		if rec.TornBytes > 0 {
+			fmt.Printf(", %d torn bytes discarded", rec.TornBytes)
+		}
+		fmt.Println()
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -62,27 +94,45 @@ func main() {
 	}
 	fmt.Printf("auditd: listening on %s\n", ln.Addr())
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
-	select {
-	case err := <-done:
-		if err != nil {
-			fatalf("serve: %v", err)
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				fatalf("serve: %v", err)
+			}
+			return
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				if *dataDir == "" {
+					fmt.Println("auditd: SIGHUP ignored (no data dir)")
+					continue
+				}
+				cut, err := srv.Snapshot()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "auditd: snapshot: %v\n", err)
+					continue
+				}
+				fmt.Printf("auditd: snapshot taken at cut %d\n", cut)
+				continue
+			}
+			fmt.Printf("auditd: %v, draining\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			err := srv.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				fatalf("shutdown: %v", err)
+			}
+			if err := <-done; err != nil {
+				fatalf("serve: %v", err)
+			}
+			fmt.Println("auditd: drained")
+			return
 		}
-	case sig := <-sigc:
-		fmt.Printf("auditd: %v, draining\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			fatalf("shutdown: %v", err)
-		}
-		if err := <-done; err != nil {
-			fatalf("serve: %v", err)
-		}
-		fmt.Println("auditd: drained")
 	}
 }
 

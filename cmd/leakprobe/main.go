@@ -1,16 +1,19 @@
 // Command leakprobe regenerates the attack experiment tables of
-// EXPERIMENTS.md (E3, E4, E5): honest-but-curious attackers against
-// Algorithm 1, Algorithm 2, and the Section 3.1 strawman.
+// EXPERIMENTS.md (E3, E4, E5, E15): honest-but-curious attackers against
+// Algorithm 1, Algorithm 2, and the Section 3.1 strawman, plus the
+// disk-access attacker sweeping auditd's durable data directory (or any
+// directory named with -data-dir) for plaintext reader sets and values.
 //
 // Usage:
 //
-//	leakprobe [-trials N] [-seed S]
+//	leakprobe [-trials N] [-seed S] [-data-dir DIR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"auditreg/internal/attacker"
 )
@@ -18,6 +21,7 @@ import (
 func main() {
 	trials := flag.Int("trials", 1000, "trials per attack experiment")
 	seed := flag.Uint64("seed", 42, "experiment seed")
+	dataDir := flag.String("data-dir", "", "scratch directory for the E15 disk sweep (default: a temp dir)")
 	flag.Parse()
 
 	fmt.Println("E3  crash-simulating read (stop right after learning the value)")
@@ -56,4 +60,27 @@ func main() {
 	fmt.Printf("    %-28s accuracy %.3f   false-claim rate %.3f\n",
 		"algorithm-2 (random nonces):", nonced.Rate(), nonced.FalseClaimRate())
 	fmt.Println("    (sound inference = zero false claims; nonces make the gap signal unsound)")
+	fmt.Println()
+
+	fmt.Println("E15 disk-access attacker (raw-byte sweep of the durable data dir)")
+	dir := *dataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "leakprobe-e15-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	sweep, err := attacker.RunDiskSweep(dir, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    files scanned: %d   bytes scanned: %d\n", sweep.FilesScanned, sweep.BytesScanned)
+	fmt.Printf("    plaintext findings in the encrypted WAL/snapshots:  %d\n", len(sweep.Findings))
+	for _, f := range sweep.Findings {
+		fmt.Printf("      LEAK: %s at %s+%d\n", f.Desc, f.File, f.Offset)
+	}
+	fmt.Printf("    findings in the cleartext shadow log (self-check):  %d\n", sweep.SelfCheckFindings)
+	fmt.Println("    (0 findings + a tripping self-check: disk access teaches the attacker nothing)")
 }

@@ -1,0 +1,356 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"auditreg"
+	"auditreg/client"
+	"auditreg/internal/benchfmt"
+)
+
+// daemon is one spawned auditd process.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startDaemon execs the auditd binary against dataDir and waits for its
+// "listening on" line.
+func startDaemon(bin, addr, dataDir string, seed uint64, readers int) (*daemon, error) {
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-seed", fmt.Sprint(seed),
+		"-readers", fmt.Sprint(readers),
+		"-data-dir", dataDir,
+		"-fsync", "always",
+		"-poolinterval", "2ms",
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	d := &daemon{cmd: cmd}
+	listening := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "auditd: listening on "); ok {
+				select {
+				case listening <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case got := <-listening:
+		d.addr = got
+		return d, nil
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("auditd did not report listening within 15s")
+	}
+}
+
+// kill9 delivers SIGKILL and reaps the process: the crash the WAL must
+// survive.
+func (d *daemon) kill9() {
+	d.cmd.Process.Signal(syscall.SIGKILL)
+	d.cmd.Wait()
+}
+
+func (d *daemon) terminate() error {
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	return d.cmd.Wait()
+}
+
+// freePort reserves an ephemeral port and releases it for the daemon; the
+// same port is reused across the restart so one client pool spans the kill.
+func freePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// ambiguousKey marks a (object, reader) pair whose read failed around the
+// kill: the server may have performed (and audited) the fetch without the
+// driver ever seeing the value.
+type ambiguousKey struct {
+	obj    int
+	reader int
+}
+
+// runDurableCell is one grid cell of the E14 durability series: drive
+// traffic against a spawned auditd with a data dir, SIGKILL it mid-cell,
+// restart it from the same directory, finish the traffic through the same
+// client pool (which redials and drops its caches on the new boot epoch),
+// and verify that a fresh audit matches exactly what the driver observed —
+// the paper's guarantee, now across a crash.
+//
+// Verification is two-sided with a precise concession to physics: every
+// pair the driver observed must be audited (fsync=always: an acknowledged
+// effective read is durable), and every audited pair must either have been
+// observed or be attributable to a read that failed in the kill window on
+// that same (object, reader), with a value some write attempted.
+func runDurableCell(cfg cellConfig, auditdBin, baseDir string, conns int) (benchfmt.Result, error) {
+	m := cfg.readers
+	if m == 0 {
+		m = cfg.goroutines
+		if m > auditreg.MaxReaders {
+			m = auditreg.MaxReaders
+		}
+	}
+	dataDir := filepath.Join(baseDir, fmt.Sprintf("cell-o%d-g%d", cfg.objects, cfg.goroutines))
+	addr, err := freePort()
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	d, err := startDaemon(auditdBin, addr, dataDir, cfg.seed, m)
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	defer func() {
+		if d != nil {
+			d.kill9()
+		}
+	}()
+
+	cl, err := client.Dial(addr,
+		client.WithKey(auditreg.KeyFromSeed(cfg.seed)),
+		client.WithConns(conns))
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	defer cl.Close()
+
+	names := make([]string, cfg.objects)
+	objs := make([]*client.Object, cfg.objects)
+	auds := make([]*client.Auditor, cfg.objects)
+	for i := range names {
+		kind := remoteKinds[i%len(remoteKinds)]
+		names[i] = fmt.Sprintf("e14/o%d-g%d/%v-%05d", cfg.objects, cfg.goroutines, kind, i)
+		if objs[i], err = cl.Open(names[i], kind); err != nil {
+			return benchfmt.Result{}, err
+		}
+		if auds[i], err = objs[i].Auditor(); err != nil {
+			return benchfmt.Result{}, err
+		}
+	}
+
+	var mu sync.Mutex
+	observed := make(map[int]map[auditreg.Entry[uint64]]bool, cfg.objects)
+	for i := range names {
+		observed[i] = make(map[auditreg.Entry[uint64]]bool)
+	}
+	attempted := make([]map[uint64]bool, cfg.objects)
+	for i := range attempted {
+		attempted[i] = map[uint64]bool{0: true} // 0 is the initial value
+	}
+	ambiguous := make(map[ambiguousKey]bool)
+	var reads, writes, audits, failedOps uint64
+
+	// phase drives each goroutine for its share of quota ops; onError
+	// "stop" makes workers bail at the first failure (the kill window),
+	// "retry" keeps them going with small backoff (daemon restarting). The
+	// tag folds into the rng seed so the two phases draw distinct op
+	// streams (both quotas are ops/2 whenever -ops is even).
+	phase := func(quota int, tag int64, stopOnError bool) {
+		var wg sync.WaitGroup
+		for g := 0; g < cfg.goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(g)*7919 + tag*104729))
+				reader := g % m
+				n := quota / cfg.goroutines
+				if g < quota%cfg.goroutines {
+					n++
+				}
+				for i := 0; i < n; i++ {
+					idx := rng.Intn(len(objs))
+					var err error
+					var isRead bool
+					var val uint64
+					switch roll := rng.Intn(100); {
+					case roll < cfg.writePct:
+						v := uint64(rng.Intn(1 << 20))
+						mu.Lock()
+						attempted[idx][v] = true
+						mu.Unlock()
+						err = objs[idx].Write(v)
+						if err == nil {
+							mu.Lock()
+							writes++
+							mu.Unlock()
+						}
+					case roll < cfg.writePct+cfg.auditPct:
+						_, err = auds[idx].Latest()
+						if err == nil {
+							mu.Lock()
+							audits++
+							mu.Unlock()
+						}
+					default:
+						isRead = true
+						val, err = objs[idx].Read(reader)
+						if err == nil {
+							mu.Lock()
+							observed[idx][auditreg.Entry[uint64]{Reader: reader, Value: val}] = true
+							reads++
+							mu.Unlock()
+						}
+					}
+					if err != nil {
+						mu.Lock()
+						failedOps++
+						if isRead {
+							ambiguous[ambiguousKey{obj: idx, reader: reader}] = true
+						}
+						mu.Unlock()
+						if stopOnError {
+							return
+						}
+						time.Sleep(50 * time.Millisecond)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+
+	start := time.Now()
+	half := cfg.ops / 2
+
+	// Phase 1 with a mid-flight SIGKILL: a watcher kills the daemon once
+	// roughly half the phase's operations have completed — or when the
+	// phase ends early (workers bailing on a pre-kill error) or a deadline
+	// passes, so the cell can never hang waiting for an op count that will
+	// not arrive.
+	killDone := make(chan struct{})
+	phase1Done := make(chan struct{})
+	go func() {
+		defer close(killDone)
+		defer d.kill9()
+		target := uint64(half / 2)
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			select {
+			case <-phase1Done:
+				return
+			default:
+			}
+			mu.Lock()
+			done := reads + writes + audits
+			mu.Unlock()
+			if done >= target || time.Now().After(deadline) {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	phase(half, 1, true)
+	close(phase1Done)
+	<-killDone
+
+	// Restart from the same data directory on the same address; the same
+	// client pool redials into the recovered daemon.
+	if d, err = startDaemon(auditdBin, addr, dataDir, cfg.seed, m); err != nil {
+		return benchfmt.Result{}, fmt.Errorf("restart: %w", err)
+	}
+	phase(cfg.ops-half, 2, false)
+	elapsed := time.Since(start)
+
+	// Verify end-to-end audit exactness across the crash.
+	perm := rand.New(rand.NewSource(int64(cfg.seed))).Perm(len(names))
+	if cfg.verify < len(perm) {
+		perm = perm[:max(0, cfg.verify)]
+	}
+	checked := 0
+	var pairs, ambiguousPairs uint64
+	for _, i := range perm {
+		rep, err := auds[i].Audit()
+		if err != nil {
+			return benchfmt.Result{}, fmt.Errorf("verify %s: %w", names[i], err)
+		}
+		entries := rep.Report.Entries()
+		pairs += uint64(len(entries))
+		got := make(map[auditreg.Entry[uint64]]bool, len(entries))
+		for _, e := range entries {
+			got[e] = true
+			if observed[i][e] {
+				continue
+			}
+			if !attempted[i][e.Value] {
+				return benchfmt.Result{}, fmt.Errorf("verify %s: audited pair (%d, %#x) has a value no write ever attempted", names[i], e.Reader, e.Value)
+			}
+			if !ambiguous[ambiguousKey{obj: i, reader: e.Reader}] {
+				return benchfmt.Result{}, fmt.Errorf("verify %s: audited pair (%d, %#x) was never observed and no read by that reader failed", names[i], e.Reader, e.Value)
+			}
+			ambiguousPairs++
+		}
+		for e := range observed[i] {
+			if !got[e] {
+				return benchfmt.Result{}, fmt.Errorf("verify %s: observed pair (%d, %#x) missing from the post-recovery audit — an acknowledged effective read was lost", names[i], e.Reader, e.Value)
+			}
+		}
+		checked++
+	}
+
+	srvStats, err := statsMap(cl)
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	if err := cl.Close(); err != nil {
+		return benchfmt.Result{}, err
+	}
+	if err := d.terminate(); err != nil {
+		return benchfmt.Result{}, fmt.Errorf("drain restarted daemon: %w", err)
+	}
+	d = nil
+
+	totalOps := reads + writes + audits
+	metrics, err := benchfmt.Metric(
+		"ns/op", float64(elapsed.Nanoseconds())/float64(totalOps),
+		"ops/s", float64(totalOps)/elapsed.Seconds(),
+		"reads", reads,
+		"writes", writes,
+		"audit-lookups", audits,
+		"failed-ops", failedOps,
+		"verified-objects", checked,
+		"audited-pairs", pairs,
+		"ambiguous-pairs", ambiguousPairs,
+		"kills", 1,
+		"conns", conns,
+		"srv-wal-records", srvStats["wal-records"],
+		"srv-wal-syncs", srvStats["wal-syncs"],
+	)
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	return benchfmt.Result{
+		Name:    fmt.Sprintf("LoadgenDurable/objects=%d/goroutines=%d", cfg.objects, cfg.goroutines),
+		Package: "auditreg/cmd/loadgen",
+		Iters:   int64(totalOps),
+		Metrics: metrics,
+	}, nil
+}

@@ -29,6 +29,20 @@
 // lookups hit the server's pool, and -verify checks that a fresh audit over
 // the wire equals, exactly, the set of (reader, value) pairs the driver
 // observed — end-to-end audit exactness across the network.
+//
+// With -durable (series E14) loadgen owns the daemon's whole life cycle: it
+// spawns the auditd binary named by -auditd with a per-cell -data-dir and
+// -fsync always, SIGKILLs it once roughly a quarter of the cell's
+// operations have completed, restarts it from the same directory on the
+// same address, finishes the traffic through the same client pool (which
+// redials and drops its silent-read caches on the new boot epoch), and
+// -verify-checks audit exactness across the crash: every acknowledged
+// effective read must appear in the post-recovery audit, and every audited
+// pair must be observed or attributable to a read that failed in the kill
+// window.
+//
+//	go build -o /tmp/auditd ./cmd/auditd
+//	go run ./cmd/loadgen -durable -auditd /tmp/auditd -objects 64 -goroutines 8 -out BENCH_4.json
 package main
 
 import (
@@ -62,6 +76,9 @@ func main() {
 	out := flag.String("out", "", "write results as BENCH_*.json to this file")
 	remote := flag.String("remote", "", "drive a live auditd at this address instead of a local store (E13)")
 	conns := flag.Int("conns", 4, "client connection pool size in -remote mode")
+	durable := flag.Bool("durable", false, "durability mode (E14): spawn auditd with a data dir, kill -9 it mid-cell, restart, verify audit exactness")
+	auditdBin := flag.String("auditd", "", "path to a prebuilt auditd binary (required with -durable)")
+	dataDir := flag.String("data-dir", "", "base directory for -durable data dirs (default: a temp dir)")
 	flag.Parse()
 
 	objectCounts, err := parseInts(*objectsFlag)
@@ -74,6 +91,19 @@ func main() {
 	}
 	if *writePct < 0 || *auditPct < 0 || *writePct+*auditPct > 100 {
 		fatalf("-writepct + -auditpct must fit in [0, 100]")
+	}
+	if *durable {
+		if *auditdBin == "" {
+			fatalf("-durable needs -auditd (path to a prebuilt auditd binary)")
+		}
+		if *dataDir == "" {
+			dir, err := os.MkdirTemp("", "loadgen-durable-*")
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer os.RemoveAll(dir)
+			*dataDir = dir
+		}
 	}
 
 	var results []benchfmt.Result
@@ -88,9 +118,12 @@ func main() {
 			}
 			var res benchfmt.Result
 			var err error
-			if *remote != "" {
+			switch {
+			case *durable:
+				res, err = runDurableCell(cfg, *auditdBin, *dataDir, *conns)
+			case *remote != "":
 				res, err = runRemoteCell(cfg, *remote, *conns)
-			} else {
+			default:
 				res, err = runCell(cfg)
 			}
 			if err != nil {
@@ -106,7 +139,10 @@ func main() {
 
 	if *out != "" {
 		series := "Loadgen"
-		if *remote != "" {
+		switch {
+		case *durable:
+			series = "LoadgenDurable"
+		case *remote != "":
 			series = "LoadgenRemote"
 		}
 		rep := benchfmt.NewReport(

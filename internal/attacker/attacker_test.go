@@ -135,3 +135,22 @@ func TestEffectiveReadSilentPath(t *testing.T) {
 		t.Fatalf("second EffectiveRead: %v", err)
 	}
 }
+
+// TestRunDiskSweep pins experiment E15: the disk-access attacker finds no
+// plaintext in a durable data directory, while the cleartext shadow log
+// (self-check) trips the very same sweep.
+func TestRunDiskSweep(t *testing.T) {
+	res, err := attacker.RunDiskSweep(t.TempDir(), 42)
+	if err != nil {
+		t.Fatalf("RunDiskSweep: %v", err)
+	}
+	if res.FilesScanned < 2 || res.BytesScanned == 0 {
+		t.Fatalf("sweep degenerate: %d files, %d bytes", res.FilesScanned, res.BytesScanned)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("plaintext on disk: %s at %s+%d", f.Desc, f.File, f.Offset)
+	}
+	if res.SelfCheckFindings == 0 {
+		t.Fatal("self-check found nothing in the cleartext shadow")
+	}
+}

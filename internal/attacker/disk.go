@@ -1,0 +1,152 @@
+package attacker
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"auditreg"
+	"auditreg/persist"
+	"auditreg/store"
+)
+
+// DiskSweepResult reports experiment E15: a curious party with access to
+// auditd's data directory (or a stolen snapshot of it) sweeps every raw byte
+// for the plaintext a naive durable log would contain.
+type DiskSweepResult struct {
+	// FilesScanned and BytesScanned size the sweep.
+	FilesScanned int
+	BytesScanned int64
+	// Findings are plaintext hits in the real data directory. Leak-freedom
+	// at rest means zero.
+	Findings []persist.Finding
+	// SelfCheckFindings are the hits against a deliberately unencrypted
+	// shadow of the same records: nonzero, or the sweep proves nothing.
+	SelfCheckFindings int
+}
+
+// RunDiskSweep drives known traffic — distinctive values, three reader
+// principals, a register and a max register, audits, a snapshot, a crash
+// and a recovery — through a journaled store rooted at dir, then plays the
+// honest-but-curious disk attacker: scan every file for the object names,
+// the written values in either byte order, and the (value, reader-set)
+// audit rows. It shares its scanner (persist.ScanPlaintext) with persist's
+// own leak test and cmd/leakprobe.
+func RunDiskSweep(dir string, seed uint64) (DiskSweepResult, error) {
+	var res DiskSweepResult
+	dataDir := filepath.Join(dir, "data")
+	key := auditreg.KeyFromSeed(seed)
+
+	newStore := func() (*store.Store[uint64], error) {
+		return store.New[uint64](key,
+			store.WithReaders[uint64](4),
+			store.WithLess[uint64](func(a, b uint64) bool { return a < b }),
+		)
+	}
+	st, err := newStore()
+	if err != nil {
+		return res, err
+	}
+	w, _, err := persist.Open(dataDir, persist.DeriveKey(key), st, persist.Options{SegmentBytes: 4 << 10})
+	if err != nil {
+		return res, err
+	}
+	st.SetJournal(w)
+
+	names := []string{"patients/records", "payroll/maximum"}
+	kinds := []store.Kind{store.Register, store.MaxRegister}
+	var values []uint64
+	for i, name := range names {
+		obj, err := st.Open(name, kinds[i])
+		if err != nil {
+			return res, err
+		}
+		for k := 1; k <= 16; k++ {
+			v := 0xC0DE_0000_0000_0000 + uint64(i)<<32 + uint64(k)*0x0107_0b0d
+			values = append(values, v)
+			if err := obj.Write(v); err != nil {
+				return res, err
+			}
+			for j := 0; j < 3; j++ {
+				if _, err := obj.Read(j); err != nil {
+					return res, err
+				}
+			}
+		}
+	}
+	pool, err := st.NewAuditPool()
+	if err != nil {
+		return res, err
+	}
+	if err := pool.Flush(); err != nil {
+		return res, err
+	}
+	readerSets := make(map[uint64]uint64)
+	for _, name := range names {
+		aud, err := st.Audit(name)
+		if err != nil {
+			return res, err
+		}
+		for _, e := range aud.Report.Entries() {
+			readerSets[e.Value] |= 1 << uint(e.Reader)
+		}
+	}
+	if _, err := w.Snapshot(); err != nil {
+		return res, err
+	}
+	if err := w.Close(); err != nil {
+		return res, err
+	}
+	// A recovery cycle, so recovery-written bytes are swept too.
+	st2, err := newStore()
+	if err != nil {
+		return res, err
+	}
+	w2, _, err := persist.Open(dataDir, persist.DeriveKey(key), st2, persist.Options{})
+	if err != nil {
+		return res, err
+	}
+	if err := w2.Close(); err != nil {
+		return res, err
+	}
+
+	needles := persist.BuildNeedles(names, values, readerSets)
+	findings, files, bytes, err := persist.ScanPlaintext(dataDir, needles)
+	if err != nil {
+		return res, err
+	}
+	res.Findings = findings
+	res.FilesScanned = files
+	res.BytesScanned = bytes
+
+	// Self-check: the same records written in the clear must trip the
+	// sweep, or the zero above is meaningless.
+	shadow := filepath.Join(dir, "cleartext")
+	if err := os.MkdirAll(shadow, 0o700); err != nil {
+		return res, err
+	}
+	var leaky []byte
+	for _, name := range names {
+		leaky = append(leaky, name...)
+	}
+	for _, v := range values {
+		leaky = binary.BigEndian.AppendUint64(leaky, v)
+	}
+	for v, readers := range readerSets {
+		leaky = binary.BigEndian.AppendUint64(leaky, v)
+		leaky = binary.BigEndian.AppendUint64(leaky, readers)
+	}
+	if err := os.WriteFile(filepath.Join(shadow, "wal-cleartext.seg"), leaky, 0o600); err != nil {
+		return res, err
+	}
+	tripped, _, _, err := persist.ScanPlaintext(shadow, needles)
+	if err != nil {
+		return res, err
+	}
+	res.SelfCheckFindings = len(tripped)
+	if res.SelfCheckFindings == 0 {
+		return res, fmt.Errorf("attacker: disk sweep self-check found nothing in a cleartext log")
+	}
+	return res, nil
+}

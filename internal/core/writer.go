@@ -33,6 +33,23 @@ type Writer[V comparable] struct {
 //
 // The only possible error is history-capacity exhaustion (see WithCapacity).
 func (w *Writer[V]) Write(v V) error {
+	_, _, err := w.WriteSeq(v)
+	return err
+}
+
+// WriteSeq performs Write and additionally reports where the write landed in
+// the register's history. installed is true when this write's CAS placed
+// (seq, v) into R itself; then seq is the write's sequence number, and
+// installed sequence numbers are exactly the consecutive integers 1, 2, 3...
+// (a successful CAS always advances R.seq by one). installed is false when a
+// concurrent write absorbed this one — the write is linearized immediately
+// before the write that installed seq, so v was never observable in R and no
+// read can ever return it.
+//
+// Durability layers use the pair to journal writes in replayable order:
+// installed writes replayed in seq order reconstruct the register history,
+// and absorbed writes may be dropped without any observer noticing.
+func (w *Writer[V]) WriteSeq(v V) (seq uint64, installed bool, err error) {
 	reg := w.reg
 
 	// Line 8: sn <- SN.read() + 1.
@@ -57,6 +74,7 @@ func (w *Writer[V]) Write(v V) error {
 		// Line 11: a concurrent write already installed sn or later;
 		// this write may be linearized immediately before it.
 		if t.Seq >= sn {
+			seq, installed = t.Seq, false
 			break
 		}
 
@@ -65,7 +83,7 @@ func (w *Writer[V]) Write(v V) error {
 			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.VStore})
 		}
 		if err := reg.vals.Store(t.Seq, t.Val); err != nil {
-			return err
+			return 0, false, err
 		}
 		if w.probe != nil {
 			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.VStore})
@@ -77,7 +95,7 @@ func (w *Writer[V]) Write(v V) error {
 			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Invoke, Prim: probe.BSet, Detail: readers})
 		}
 		if err := reg.bits.Or(t.Seq, readers); err != nil {
-			return err
+			return 0, false, err
 		}
 		if w.probe != nil {
 			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.BSet})
@@ -93,6 +111,7 @@ func (w *Writer[V]) Write(v V) error {
 			w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.RCAS, Detail: ok})
 		}
 		if ok {
+			seq, installed = sn, true
 			break
 		}
 	}
@@ -105,5 +124,5 @@ func (w *Writer[V]) Write(v V) error {
 	if w.probe != nil {
 		w.probe.Emit(probe.Event{PID: w.pid, Kind: probe.Return, Prim: probe.SNCAS, Detail: ok})
 	}
-	return nil
+	return seq, installed, nil
 }

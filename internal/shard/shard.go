@@ -60,6 +60,11 @@ func (m *Map[T]) Shards() int { return len(m.buckets) }
 // ShardOf returns the index of the shard holding name.
 func (m *Map[T]) ShardOf(name string) int { return int(fnv1a(name) & m.mask) }
 
+// Hash exposes the map's name hash (64-bit FNV-1a) for layers that must
+// stripe by object name the same way — persist's WAL append buffers use it
+// so there is exactly one hash to keep in sync.
+func Hash(name string) uint64 { return fnv1a(name) }
+
 // fnv1a is the 64-bit FNV-1a hash; inlined to keep Get allocation-free
 // (hash/fnv would force the string through an io.Writer).
 func fnv1a(s string) uint64 {

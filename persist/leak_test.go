@@ -1,0 +1,142 @@
+package persist
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"auditreg/store"
+)
+
+// TestNoPlaintextOnDisk is the at-rest counterpart of the wire-level
+// server/leak_test.go: drive known traffic — distinctive values, several
+// reader principals, audits — through a journaled store, snapshot, crash,
+// recover, close; then sweep the raw bytes of every file the data directory
+// ever held for the plaintext a naive log would contain: object names,
+// values in either byte order, and (value, reader-set) audit rows. The pads
+// derive from a key held outside the directory, so a curious party with
+// disk access must find nothing.
+func TestNoPlaintextOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	w, _, st := openWAL(t, dir, Options{SegmentBytes: 4 << 10})
+
+	names := []string{"secret/ledger", "secret/peak"}
+	var values []uint64
+	reg, err := st.Open(names[0], store.Register)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	max, err := st.Open(names[1], store.MaxRegister)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 1; i <= 24; i++ {
+		v := 0xA1B2_0000_0000_0000 + uint64(i)*0x0101_0101
+		values = append(values, v)
+		if err := reg.Write(v); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := max.Write(v); err != nil {
+			t.Fatalf("WriteMax: %v", err)
+		}
+		for j := 0; j < 3; j++ {
+			if _, err := reg.Read(j); err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if _, err := max.Read(j); err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+		}
+	}
+	pool, err := st.NewAuditPool()
+	if err != nil {
+		t.Fatalf("NewAuditPool: %v", err)
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if _, err := w.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// More traffic after the snapshot so segments and snapshot both carry
+	// secrets, then a crash and a recovery cycle so recovery-written state
+	// is swept too.
+	for i := range values {
+		if err := reg.Write(values[i]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	readerSets := make(map[uint64]uint64)
+	for _, name := range names {
+		aud, err := st.Audit(name)
+		if err != nil {
+			t.Fatalf("Audit: %v", err)
+		}
+		for _, e := range aud.Report.Entries() {
+			readerSets[e.Value] |= 1 << uint(e.Reader)
+		}
+	}
+	w.abandon()
+	w2, _, _ := openWAL(t, dir, Options{})
+	if err := w2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	needles := BuildNeedles(names, values, readerSets)
+	findings, files, bytesScanned, err := ScanPlaintext(dir, needles)
+	if err != nil {
+		t.Fatalf("ScanPlaintext: %v", err)
+	}
+	if files < 2 || bytesScanned == 0 {
+		t.Fatalf("sweep degenerate: %d files, %d bytes", files, bytesScanned)
+	}
+	for _, fd := range findings {
+		t.Errorf("plaintext on disk: %s at %s+%d", fd.Desc, fd.File, fd.Offset)
+	}
+
+	// Self-check: the sweep must be able to find what it looks for. A
+	// hypothetical unencrypted record — name, value, audit row in the clear
+	// — trips it.
+	leakDir := t.TempDir()
+	var leaky []byte
+	leaky = append(leaky, []byte(names[0])...)
+	leaky = binary.BigEndian.AppendUint64(leaky, values[0])
+	var row [16]byte
+	binary.BigEndian.PutUint64(row[:8], values[3])
+	binary.BigEndian.PutUint64(row[8:], readerSets[values[3]])
+	leaky = append(leaky, row[:]...)
+	if err := os.WriteFile(filepath.Join(leakDir, "wal-cleartext.seg"), leaky, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	tripped, _, _, err := ScanPlaintext(leakDir, needles)
+	if err != nil {
+		t.Fatalf("self-check sweep: %v", err)
+	}
+	if len(tripped) < 3 {
+		t.Fatalf("self-check found %d findings, want >= 3 (name, value, audit row)", len(tripped))
+	}
+}
+
+// TestScanPlaintextReportsOffsets pins the finding coordinates the shared
+// scanner reports (cmd/leakprobe prints them verbatim).
+func TestScanPlaintextReportsOffsets(t *testing.T) {
+	dir := t.TempDir()
+	content := []byte("....SENTINELVALUE....")
+	if err := os.WriteFile(filepath.Join(dir, "blob"), content, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	findings, _, _, err := ScanPlaintext(dir, []Needle{{Desc: "sentinel", Pattern: []byte("SENTINELVALUE")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1", len(findings))
+	}
+	if findings[0].Offset != 4 || findings[0].Desc != "sentinel" {
+		t.Fatalf("finding = %+v", findings[0])
+	}
+	if want := filepath.Join(dir, "blob"); findings[0].File != want {
+		t.Fatalf("finding file = %s, want %s", findings[0].File, want)
+	}
+}

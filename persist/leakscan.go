@@ -1,0 +1,90 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+)
+
+// Needle is one plaintext pattern a curious party with disk access would
+// look for. BuildNeedles derives the standard set from known traffic; tests
+// and cmd/leakprobe add their own.
+type Needle struct {
+	// Desc says what the pattern is, for reporting ("value 0xA1B2... LE").
+	Desc string
+	// Pattern is the raw byte pattern.
+	Pattern []byte
+}
+
+// Finding is one needle located in one file: the on-disk leak a masked log
+// must never produce.
+type Finding struct {
+	File   string
+	Offset int64
+	Desc   string
+}
+
+// BuildNeedles derives the standard plaintext patterns for known traffic:
+// every value in both byte orders, every object name, and — the paper's
+// cardinal sin — the 16-byte (value, reader-set) row a naive audit log would
+// contain, for every value with a non-empty reader set.
+func BuildNeedles(names []string, values []uint64, readerSets map[uint64]uint64) []Needle {
+	var out []Needle
+	for _, name := range names {
+		if len(name) >= 4 { // shorter strings would false-positive on random bytes
+			out = append(out, Needle{Desc: "object name " + name, Pattern: []byte(name)})
+		}
+	}
+	for _, v := range values {
+		var be, le [8]byte
+		binary.BigEndian.PutUint64(be[:], v)
+		binary.LittleEndian.PutUint64(le[:], v)
+		out = append(out, Needle{Desc: "value (big-endian)", Pattern: be[:]})
+		out = append(out, Needle{Desc: "value (little-endian)", Pattern: le[:]})
+	}
+	for v, readers := range readerSets {
+		if readers == 0 {
+			continue
+		}
+		var row [16]byte
+		binary.BigEndian.PutUint64(row[:8], v)
+		binary.BigEndian.PutUint64(row[8:], readers)
+		out = append(out, Needle{Desc: "audit row (value, reader set)", Pattern: row[:]})
+	}
+	return out
+}
+
+// ScanPlaintext sweeps the raw bytes of every regular file under dir
+// (recursively) for the needles. It is decoder-independent by design — the
+// same sweep the wire-level leak test runs over transmitted frames, aimed
+// at the data directory — and it is shared by persist's own leak test,
+// internal/attacker, and cmd/leakprobe.
+func ScanPlaintext(dir string, needles []Needle) (findings []Finding, filesScanned int, bytesScanned int64, err error) {
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || !info.Mode().IsRegular() {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		filesScanned++
+		bytesScanned += int64(len(b))
+		for _, n := range needles {
+			if len(n.Pattern) == 0 {
+				continue
+			}
+			for off := 0; ; {
+				i := bytes.Index(b[off:], n.Pattern)
+				if i < 0 {
+					break
+				}
+				findings = append(findings, Finding{File: path, Offset: int64(off + i), Desc: n.Desc})
+				off += i + 1
+			}
+		}
+		return nil
+	})
+	return findings, filesScanned, bytesScanned, err
+}

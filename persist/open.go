@@ -1,0 +1,324 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"auditreg"
+	"auditreg/store"
+)
+
+// RecoverResult summarizes what Open reconstructed from a data directory.
+type RecoverResult struct {
+	// Replay counts what was re-executed against the store.
+	Replay ReplayStats
+	// Records is the number of durable records scanned (snapshot + tail).
+	Records int
+	// Segments is the number of WAL segments scanned.
+	Segments int
+	// SnapshotCut is the cut LSN of the snapshot that seeded recovery, 0
+	// when the directory had none.
+	SnapshotCut uint64
+	// TornBytes is the size of the torn tail discarded from the active
+	// segment (records never acknowledged as durable).
+	TornBytes int64
+	// AuditedNames lists the objects whose audit cursors had published
+	// reports before the crash; the server re-audits them on boot.
+	AuditedNames []string
+	// UnknownFiles lists directory entries persist does not recognize.
+	UnknownFiles []string
+}
+
+// Open recovers the data directory into st — which must be fresh and
+// journal-less — and returns a running WAL ready to be attached with
+// st.SetJournal. A directory that cannot be replayed exactly (corrupt
+// snapshot, corrupt sealed segment, impossible record structure) fails with
+// an explicit error; the only damage Open repairs silently is a torn tail
+// at the end of the active segment, whose byte count it reports.
+//
+// The directory is created if absent and held under an advisory lock for
+// the WAL's lifetime (released by Close, or by the operating system on
+// process death).
+func Open(dir string, key auditreg.Key, st *store.Store[uint64], opts Options) (*WAL, *RecoverResult, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, nil, err
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, res, err := open(dir, key, st, opts, lock)
+	if err != nil {
+		lock.Close()
+		return nil, nil, err
+	}
+	return w, res, nil
+}
+
+func open(dir string, key auditreg.Key, st *store.Store[uint64], opts Options, lock *os.File) (*WAL, *RecoverResult, error) {
+	ds, err := readDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &RecoverResult{UnknownFiles: ds.others}
+	model := newRecoverModel()
+	nextLSN := uint64(1)
+	var stale []string // fully covered files to delete after replay
+
+	// Seed from the newest snapshot, which must be complete: it was
+	// published by an atomic rename and sealed, so anything less is
+	// corruption, and the segments it replaced are gone.
+	var cut uint64
+	if n := len(ds.snapshots); n > 0 {
+		cut = ds.snapshots[n-1]
+		path := filepath.Join(dir, snapshotName(cut))
+		fr, err := readRecordFile(path, snapMagic, key)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !fr.sealed || fr.tornBytes > 0 {
+			return nil, nil, fmt.Errorf("persist: snapshot %s is not sealed", path)
+		}
+		for i := range fr.recs {
+			if err := model.add(&fr.recs[i]); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+		}
+		res.SnapshotCut = cut
+		if cut > nextLSN {
+			nextLSN = cut
+		}
+		for _, old := range ds.snapshots[:n-1] {
+			stale = append(stale, snapshotName(old))
+		}
+	}
+
+	// Scan the segment tail. Segments below the cut are fully covered by
+	// the snapshot (a crash interrupted their deletion); every tail segment
+	// but the last must be sealed; the last may end in a torn tail.
+	var tail []uint64
+	for _, base := range ds.segments {
+		if base < cut {
+			stale = append(stale, segmentName(base))
+			continue
+		}
+		tail = append(tail, base)
+	}
+	var activeFR *fileRecords
+	var activeBase uint64
+	for i, base := range tail {
+		path := filepath.Join(dir, segmentName(base))
+		fr, err := readRecordFile(path, segMagic, key)
+		if err != nil {
+			return nil, nil, err
+		}
+		last := i == len(tail)-1
+		if !last && (!fr.sealed || fr.tornBytes > 0) {
+			return nil, nil, fmt.Errorf("persist: non-final segment %s is not sealed", path)
+		}
+		res.Segments++
+		if base > nextLSN {
+			nextLSN = base
+		}
+		for k := range fr.recs {
+			if err := model.add(&fr.recs[k]); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			if fr.lsns[k] >= nextLSN {
+				nextLSN = fr.lsns[k] + 1
+			}
+		}
+		if fr.sealed {
+			// The seal record consumed an LSN too.
+			nextLSN++
+		}
+		if last {
+			res.TornBytes = fr.tornBytes
+			if !fr.sealed {
+				frCopy := fr
+				activeFR = &frCopy
+				activeBase = base
+			}
+		}
+	}
+	res.Records = model.records
+
+	stats, err := model.replayInto(st)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Replay = stats
+	seqBase := make(map[string]uint64, len(model.objects))
+	for name, om := range model.objects {
+		if om.maxSeq > 0 {
+			seqBase[name] = om.maxSeq
+		}
+	}
+	for name := range model.audited {
+		res.AuditedNames = append(res.AuditedNames, name)
+	}
+	sort.Strings(res.AuditedNames)
+
+	// Finish any interrupted cleanup before going live.
+	for _, name := range stale {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return nil, nil, err
+		}
+	}
+	if len(stale) > 0 {
+		if err := syncDir(dir); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	w := &WAL{
+		dir:     dir,
+		key:     key,
+		opts:    opts,
+		lock:    lock,
+		stripes: make([]stripe, opts.Stripes),
+		mask:    uint64(opts.Stripes - 1),
+		notify:  make(chan struct{}, 1),
+		stopc:   make(chan struct{}),
+		killc:   make(chan struct{}),
+		rotatec: make(chan chan rotateReply),
+		flushc:  make(chan chan error),
+		done:    make(chan struct{}),
+		nextLSN: nextLSN,
+		seqBase: seqBase,
+	}
+	if activeFR != nil {
+		// The crashed run's active segment is never appended to again: its
+		// torn tail may hold a partial frame whose keystream prefix already
+		// reached an attacker's disk image, so reusing its (nonce, lsn)
+		// stream would be a two-time pad. Rewrite the valid records into a
+		// sealed replacement under a fresh nonce (atomic rename), or drop
+		// the file entirely when it holds none, and start a fresh segment.
+		path := filepath.Join(dir, segmentName(activeBase))
+		if len(activeFR.recs) > 0 {
+			if err := writeSealedFile(dir, segmentName(activeBase), segMagic, activeBase, key, activeFR.recs, activeFR.lsns); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			if err := os.Remove(path); err != nil {
+				return nil, nil, err
+			}
+			if err := syncDir(dir); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if err := w.openSegment(w.nextLSN); err != nil {
+		return nil, nil, err
+	}
+	w.lastSync = time.Now()
+	go w.run()
+	return w, res, nil
+}
+
+// Snapshot compacts the log: it flushes and seals the active segment (the
+// cut), scans everything sealed into the minimal audit-equivalent record
+// sequence, publishes it as a snapshot file via atomic rename, and deletes
+// the covered segments and older snapshots. Traffic keeps flowing while the
+// scan runs; only the flush-and-rotate moment synchronizes with the writer.
+// It returns the cut LSN.
+func (w *WAL) Snapshot() (uint64, error) {
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	if err := w.err(); err != nil {
+		return 0, err
+	}
+	reply := make(chan rotateReply, 1)
+	select {
+	case w.rotatec <- reply:
+	case <-w.done:
+		return 0, w.err()
+	}
+	rr := <-reply
+	if rr.err != nil {
+		return 0, rr.err
+	}
+	cut := rr.cutLSN
+
+	ds, err := readDir(w.dir)
+	if err != nil {
+		return 0, err
+	}
+	model := newRecoverModel()
+	var prevCut uint64
+	var covered []string
+	for _, sc := range ds.snapshots {
+		if sc >= cut {
+			return 0, fmt.Errorf("persist: snapshot %d already covers cut %d", sc, cut)
+		}
+		prevCut = sc
+	}
+	if prevCut > 0 {
+		path := filepath.Join(w.dir, snapshotName(prevCut))
+		fr, err := readRecordFile(path, snapMagic, w.key)
+		if err != nil {
+			return 0, err
+		}
+		if !fr.sealed || fr.tornBytes > 0 {
+			return 0, fmt.Errorf("persist: snapshot %s is not sealed", path)
+		}
+		for i := range fr.recs {
+			if err := model.add(&fr.recs[i]); err != nil {
+				return 0, fmt.Errorf("%s: %w", path, err)
+			}
+		}
+	}
+	for _, sc := range ds.snapshots {
+		if sc < cut {
+			covered = append(covered, snapshotName(sc))
+		}
+	}
+	for _, base := range ds.segments {
+		if base >= cut {
+			continue
+		}
+		covered = append(covered, segmentName(base))
+		if base < prevCut {
+			continue // already inside the previous snapshot
+		}
+		path := filepath.Join(w.dir, segmentName(base))
+		fr, err := readRecordFile(path, segMagic, w.key)
+		if err != nil {
+			return 0, err
+		}
+		if !fr.sealed || fr.tornBytes > 0 {
+			return 0, fmt.Errorf("persist: segment %s is not sealed at snapshot time", path)
+		}
+		for i := range fr.recs {
+			if err := model.add(&fr.recs[i]); err != nil {
+				return 0, fmt.Errorf("%s: %w", path, err)
+			}
+		}
+	}
+
+	recs, err := model.compact()
+	if err != nil {
+		return 0, err
+	}
+	lsns := make([]uint64, len(recs))
+	for i := range lsns {
+		lsns[i] = uint64(i)
+	}
+	if err := writeSealedFile(w.dir, snapshotName(cut), snapMagic, cut, w.key, recs, lsns); err != nil {
+		return 0, err
+	}
+	for _, name := range covered {
+		if err := os.Remove(filepath.Join(w.dir, name)); err != nil && !os.IsNotExist(err) {
+			return 0, err
+		}
+	}
+	if err := syncDir(w.dir); err != nil {
+		return 0, err
+	}
+	w.snaps.Add(1)
+	return cut, nil
+}

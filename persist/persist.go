@@ -1,0 +1,160 @@
+// Package persist is the durability layer of auditd: a segmented,
+// append-only, CRC-framed write-ahead log over the mutations of a sharded
+// store (package auditreg/store), with group commit, compacting snapshots,
+// and deterministic crash recovery.
+//
+// # No leaks at rest
+//
+// PR 3 pinned the wire invariant — no transmitted frame ever carries a
+// decrypted reader set. This package extends the same invariant to stable
+// storage: every record body (object names, values, reader indices, sequence
+// numbers — everything after the fixed CRC frame) is XOR-encrypted under a
+// per-record pad stream derived from a persist key that lives only in server
+// memory, never in the data directory. A curious party with disk access, or
+// a stolen snapshot, learns no more than a curious network observer: record
+// counts, sizes, and types, but no reader set, no register value, no object
+// name. persist's leak test sweeps the raw bytes of every file in a data
+// directory for exactly the plaintext patterns a naive log would contain,
+// mirroring server/leak_test.go; cmd/leakprobe and internal/attacker share
+// the same scanner (ScanPlaintext).
+//
+// # Write path
+//
+// The WAL implements store.Journal[uint64]: store mutations append encoded
+// records to one of a set of striped buffers (chosen by object name, so one
+// object's records stay ordered) and a single writer goroutine drains the
+// stripes, assigns log sequence numbers, encrypts, appends to the active
+// segment, and fsyncs per policy — SyncAlways (group commit: mutators block
+// until their batch is stable), SyncInterval (bounded data loss window), or
+// SyncNever (page cache only). The sharded hot path is never serialized
+// through a single lock: stripes contend only within themselves, and only
+// SyncAlways mutators wait.
+//
+// # Recovery and snapshots
+//
+// Recovery replays a data directory into a fresh store: the newest snapshot
+// first, then every sealed segment, then the torn tail of the active
+// segment. Replay is ordered per object by the sequence numbers recorded at
+// journal time (concurrent writers may journal out of install order), and a
+// fetch record can stand in for the write it observed when that write's own
+// record missed the final group commit — an acknowledged effective read is
+// therefore never silently dropped. Anything that cannot be replayed exactly
+// halts recovery with an explicit error; the only tolerated damage is a torn
+// tail at the very end of the active segment.
+//
+// Snapshot compacts: it seals the active segment, scans everything sealed
+// into the minimal record sequence that reproduces an audit-equivalent store
+// (one write per audited value, one fetch per audited pair, the final
+// value), writes it as a snapshot file via atomic rename, and deletes the
+// covered segments and older snapshots. auditd triggers it on SIGHUP.
+package persist
+
+import (
+	"crypto/sha256"
+	"time"
+
+	"auditreg"
+)
+
+// Policy selects when the WAL writer calls fsync.
+type Policy uint8
+
+const (
+	// SyncAlways fsyncs every batch; mutations with durability semantics
+	// (open, write, fetch) block until their record is stable. The paper's
+	// guarantee survives kill -9: every acknowledged effective read is in
+	// the log.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs at least every Options.Interval; mutations never
+	// block on the disk. A crash loses at most one interval of
+	// acknowledged operations.
+	SyncInterval
+	// SyncNever leaves flushing to the operating system. A crash of the
+	// process alone loses nothing (the page cache survives); a machine
+	// crash may lose anything unflushed.
+	SyncNever
+)
+
+// String returns the policy's flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return "Policy(?)"
+	}
+}
+
+// ParsePolicy parses the -fsync flag spellings.
+func ParsePolicy(s string) (Policy, bool) {
+	switch s {
+	case "always":
+		return SyncAlways, true
+	case "interval":
+		return SyncInterval, true
+	case "never":
+		return SyncNever, true
+	default:
+		return 0, false
+	}
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultInterval     = 50 * time.Millisecond
+	DefaultSegmentBytes = 64 << 20
+	DefaultStripes      = 16
+)
+
+// Options configures a WAL. The zero value of every field selects the
+// documented default (policy SyncAlways).
+type Options struct {
+	// Policy selects the fsync policy (default SyncAlways).
+	Policy Policy
+	// Interval is the flush+fsync cadence under SyncInterval (default
+	// DefaultInterval). Ignored by the other policies.
+	Interval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// Stripes is the number of append buffers (default DefaultStripes,
+	// rounded up to a power of two). One object's records always land in
+	// one stripe, preserving their order.
+	Stripes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.Stripes <= 0 {
+		o.Stripes = DefaultStripes
+	}
+	n := 1
+	for n < o.Stripes {
+		n <<= 1
+	}
+	o.Stripes = n
+	return o
+}
+
+// DeriveKey derives the persist key from the store master key: SHA-256 over
+// a domain tag and the key, so the on-disk pad streams are disjoint from
+// every pad family the store and the wire derive from the same secret. The
+// derived key must be held outside the data directory — it is what makes a
+// stolen data directory worthless.
+func DeriveKey(storeKey auditreg.Key) auditreg.Key {
+	h := sha256.New()
+	h.Write([]byte("auditreg/persist/key/v1\x00"))
+	h.Write(storeKey[:])
+	var out auditreg.Key
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,278 @@
+package persist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"auditreg"
+	"auditreg/store"
+)
+
+// Op identifies a durable record type. The type byte is part of the
+// encrypted body: a curious party with disk access cannot even distinguish
+// a fetch from a write.
+type Op uint8
+
+// The record types. OpOpen..OpAudit mirror store.JournalOp one-to-one;
+// OpSeal is persist's own: the last record of every cleanly finished file.
+const (
+	OpOpen Op = iota + 1
+	OpWrite
+	OpFetch
+	OpAnnounce
+	OpAudit
+	OpSeal
+)
+
+// String returns the op's name.
+func (op Op) String() string {
+	switch op {
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpFetch:
+		return "fetch"
+	case OpAnnounce:
+		return "announce"
+	case OpAudit:
+		return "audit"
+	case OpSeal:
+		return "seal"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(op))
+	}
+}
+
+// Record is the decoded form of one WAL or snapshot record. Which fields are
+// meaningful depends on Op, exactly as in store.JournalRecord.
+type Record struct {
+	Op       Op
+	Name     string
+	Kind     uint8 // store.Kind byte
+	Capacity uint32
+	Reader   uint8
+	Seq      uint64
+	Value    uint64
+	Pairs    uint32
+}
+
+// Limits. maxName matches the store's practical name sizes (the wire bounds
+// names at 1024); maxPlain bounds any record body, so a reader can always
+// bound its buffer.
+const (
+	maxName  = 1024
+	maxPlain = maxName + 64
+)
+
+// appendPlain serializes the record body (unencrypted) onto dst.
+func (r *Record) appendPlain(dst []byte) []byte {
+	dst = append(dst, byte(r.Op))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Name)))
+	dst = append(dst, r.Name...)
+	switch r.Op {
+	case OpOpen:
+		dst = append(dst, r.Kind)
+		dst = binary.BigEndian.AppendUint32(dst, r.Capacity)
+	case OpWrite:
+		dst = append(dst, r.Kind)
+		dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+		dst = binary.BigEndian.AppendUint64(dst, r.Value)
+	case OpFetch:
+		dst = append(dst, r.Kind, r.Reader)
+		dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+		dst = binary.BigEndian.AppendUint64(dst, r.Value)
+	case OpAnnounce:
+		dst = append(dst, r.Kind, r.Reader)
+		dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+	case OpAudit:
+		dst = append(dst, r.Kind)
+		dst = binary.BigEndian.AppendUint32(dst, r.Pairs)
+	case OpSeal:
+	}
+	return dst
+}
+
+// decodePlain parses a record body. The body must be fully consumed.
+func decodePlain(b []byte) (Record, error) {
+	var r Record
+	if len(b) < 3 {
+		return r, fmt.Errorf("persist: record body of %d bytes", len(b))
+	}
+	r.Op = Op(b[0])
+	n := int(binary.BigEndian.Uint16(b[1:]))
+	b = b[3:]
+	if n > maxName {
+		return r, fmt.Errorf("persist: record name of %d bytes exceeds %d", n, maxName)
+	}
+	if len(b) < n {
+		return r, fmt.Errorf("persist: record name truncated")
+	}
+	r.Name = string(b[:n])
+	b = b[n:]
+	need := func(k int) bool { return len(b) >= k }
+	switch r.Op {
+	case OpOpen:
+		if !need(5) {
+			return r, fmt.Errorf("persist: open record truncated")
+		}
+		r.Kind = b[0]
+		r.Capacity = binary.BigEndian.Uint32(b[1:])
+		b = b[5:]
+	case OpWrite:
+		if !need(17) {
+			return r, fmt.Errorf("persist: write record truncated")
+		}
+		r.Kind = b[0]
+		r.Seq = binary.BigEndian.Uint64(b[1:])
+		r.Value = binary.BigEndian.Uint64(b[9:])
+		b = b[17:]
+	case OpFetch:
+		if !need(18) {
+			return r, fmt.Errorf("persist: fetch record truncated")
+		}
+		r.Kind = b[0]
+		r.Reader = b[1]
+		r.Seq = binary.BigEndian.Uint64(b[2:])
+		r.Value = binary.BigEndian.Uint64(b[10:])
+		b = b[18:]
+	case OpAnnounce:
+		if !need(10) {
+			return r, fmt.Errorf("persist: announce record truncated")
+		}
+		r.Kind = b[0]
+		r.Reader = b[1]
+		r.Seq = binary.BigEndian.Uint64(b[2:])
+		b = b[10:]
+	case OpAudit:
+		if !need(5) {
+			return r, fmt.Errorf("persist: audit record truncated")
+		}
+		r.Kind = b[0]
+		r.Pairs = binary.BigEndian.Uint32(b[1:])
+		b = b[5:]
+	case OpSeal:
+	default:
+		return r, fmt.Errorf("persist: unknown record op %d", uint8(r.Op))
+	}
+	if len(b) != 0 {
+		return r, fmt.Errorf("persist: %d trailing bytes after record body", len(b))
+	}
+	return r, nil
+}
+
+// Frame layout. Every record is framed as
+//
+//	u32 frameLen | u32 crc32c | u64 lsn | ciphertext
+//
+// with frameLen covering everything after the crc field (so a frame occupies
+// frameLen+8 bytes on disk) and crc32c (Castagnoli) covering the lsn and the
+// ciphertext — corruption is detected without decrypting. The ciphertext is
+// the record body XORed with a keystream bound to (key, file nonce, lsn):
+// pads never repeat across records or files, and moving a record to a
+// different position or file breaks its decryption.
+const (
+	frameOverhead = 16 // len + crc + lsn
+	maxFrame      = frameOverhead + maxPlain
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// fileNonceLen is the size of the random per-file nonce in every file
+// header.
+const fileNonceLen = 16
+
+const recTag = "auditreg/persist/rec/v1\x00"
+
+// xorStream XORs buf in place with the keystream for (key, nonce, lsn):
+// 32-byte SHA-256 blocks over the domain tag, key, file nonce, lsn, and a
+// block counter.
+func xorStream(key auditreg.Key, nonce *[fileNonceLen]byte, lsn uint64, buf []byte) {
+	var in [len(recTag) + 32 + fileNonceLen + 16]byte
+	n := copy(in[:], recTag)
+	n += copy(in[n:], key[:])
+	n += copy(in[n:], nonce[:])
+	binary.LittleEndian.PutUint64(in[n:], lsn)
+	ctrOff := n + 8
+	for blk, off := uint64(0), 0; off < len(buf); blk, off = blk+1, off+32 {
+		binary.LittleEndian.PutUint64(in[ctrOff:], blk)
+		sum := sha256.Sum256(in[:])
+		for i := 0; i < 32 && off+i < len(buf); i++ {
+			buf[off+i] ^= sum[i]
+		}
+	}
+}
+
+// appendFrame appends the complete encrypted frame for rec at lsn onto dst.
+func appendFrame(dst []byte, key auditreg.Key, nonce *[fileNonceLen]byte, lsn uint64, rec *Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frameLen + crc placeholders
+	dst = binary.BigEndian.AppendUint64(dst, lsn)
+	body := len(dst)
+	dst = rec.appendPlain(dst)
+	xorStream(key, nonce, lsn, dst[body:])
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-8))
+	binary.BigEndian.PutUint32(dst[start+4:], crc32.Checksum(dst[start+8:], castagnoli))
+	return dst
+}
+
+// errTornFrame reports a frame cut short by the end of the input: the one
+// kind of damage recovery tolerates, and only at the very tail of the active
+// segment.
+var errTornFrame = fmt.Errorf("persist: torn frame")
+
+// parseFrame decodes the first frame of b, returning the record, its lsn,
+// and the unconsumed remainder. errTornFrame (possibly wrapped) reports that
+// the input ends mid-frame; any other error is corruption.
+func parseFrame(b []byte, key auditreg.Key, nonce *[fileNonceLen]byte) (rec Record, lsn uint64, rest []byte, err error) {
+	if len(b) < 8 {
+		return rec, 0, b, fmt.Errorf("%w: %d header bytes", errTornFrame, len(b))
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n < 8 || n > maxFrame-8 {
+		return rec, 0, b, fmt.Errorf("persist: frame length %d out of range", n)
+	}
+	if len(b) < int(8+n) {
+		return rec, 0, b, fmt.Errorf("%w: frame of %d bytes, %d available", errTornFrame, 8+n, len(b))
+	}
+	payload := b[8 : 8+n]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.BigEndian.Uint32(b[4:]); got != want {
+		return rec, 0, b, fmt.Errorf("persist: frame crc mismatch (%08x != %08x)", got, want)
+	}
+	lsn = binary.BigEndian.Uint64(payload)
+	plain := append([]byte(nil), payload[8:]...)
+	xorStream(key, nonce, lsn, plain)
+	rec, err = decodePlain(plain)
+	if err != nil {
+		return rec, lsn, b, err
+	}
+	return rec, lsn, b[8+n:], nil
+}
+
+// fromJournal converts a store journal record into a durable record.
+func fromJournal(r *store.JournalRecord[uint64]) Record {
+	rec := Record{
+		Name:     r.Name,
+		Kind:     uint8(r.Kind),
+		Capacity: uint32(r.Capacity),
+		Reader:   uint8(r.Reader),
+		Seq:      r.Seq,
+		Value:    r.Value,
+		Pairs:    uint32(r.Pairs),
+	}
+	switch r.Op {
+	case store.JournalOpen:
+		rec.Op = OpOpen
+	case store.JournalWrite:
+		rec.Op = OpWrite
+	case store.JournalFetch:
+		rec.Op = OpFetch
+	case store.JournalAnnounce:
+		rec.Op = OpAnnounce
+	case store.JournalAudit:
+		rec.Op = OpAudit
+	}
+	return rec
+}

@@ -1,0 +1,451 @@
+package persist
+
+import (
+	"fmt"
+	"sort"
+
+	"auditreg/store"
+)
+
+// recoverModel accumulates the logical content of a record stream (snapshot
+// plus segment tail) before it is replayed into a store or compacted into a
+// fresh snapshot. Records may arrive in any interleaving across objects;
+// within one object the model keeps arrival order and sorts by sequence
+// number where replay demands it.
+type recoverModel struct {
+	objects map[string]*objModel
+	order   []string
+	audited map[string]bool
+
+	records   int
+	announces int
+}
+
+type objModel struct {
+	name     string
+	kind     store.Kind
+	capacity uint32
+	openSeen bool   // an explicit OpOpen record arrived
+	maxSeq   uint64 // highest sequence number any record carries
+	writes   []writeEv
+	fetches  []fetchEv
+}
+
+type writeEv struct {
+	seq   uint64 // Register install seq; 0 for MaxRegister
+	value uint64
+}
+
+type fetchEv struct {
+	reader int
+	seq    uint64
+	value  uint64
+}
+
+func newRecoverModel() *recoverModel {
+	return &recoverModel{objects: make(map[string]*objModel), audited: make(map[string]bool)}
+}
+
+// obj returns (creating if needed) the model of the named object. A missing
+// open record — possible when the open missed the final group commit but a
+// later mutation record survived — synthesizes one from the mutation's kind.
+func (m *recoverModel) obj(name string, kind store.Kind) (*objModel, error) {
+	om, ok := m.objects[name]
+	if !ok {
+		om = &objModel{name: name, kind: kind}
+		m.objects[name] = om
+		m.order = append(m.order, name)
+		return om, nil
+	}
+	if om.kind != kind {
+		return nil, fmt.Errorf("persist: object %q recorded as both %v and %v", name, om.kind, kind)
+	}
+	return om, nil
+}
+
+// add folds one record into the model.
+func (m *recoverModel) add(rec *Record) error {
+	m.records++
+	kind := store.Kind(rec.Kind)
+	switch rec.Op {
+	case OpOpen:
+		if kind != store.Register && kind != store.MaxRegister {
+			return fmt.Errorf("persist: open record for %q with unreplayable kind %d", rec.Name, rec.Kind)
+		}
+		om, err := m.obj(rec.Name, kind)
+		if err != nil {
+			return err
+		}
+		if om.openSeen {
+			return fmt.Errorf("persist: duplicate open record for %q", rec.Name)
+		}
+		om.openSeen = true
+		om.capacity = rec.Capacity
+	case OpWrite:
+		om, err := m.obj(rec.Name, kind)
+		if err != nil {
+			return err
+		}
+		if kind == store.Register && rec.Seq == 0 {
+			return fmt.Errorf("persist: register write record for %q with seq 0", rec.Name)
+		}
+		if rec.Seq > om.maxSeq {
+			om.maxSeq = rec.Seq
+		}
+		om.writes = append(om.writes, writeEv{seq: rec.Seq, value: rec.Value})
+	case OpFetch:
+		om, err := m.obj(rec.Name, kind)
+		if err != nil {
+			return err
+		}
+		if rec.Seq > om.maxSeq {
+			om.maxSeq = rec.Seq
+		}
+		om.fetches = append(om.fetches, fetchEv{reader: int(rec.Reader), seq: rec.Seq, value: rec.Value})
+	case OpAnnounce:
+		m.announces++
+	case OpAudit:
+		m.audited[rec.Name] = true
+	case OpSeal:
+		// Seals are consumed by the file reader; one here is corruption.
+		return fmt.Errorf("persist: seal record in record stream")
+	default:
+		return fmt.Errorf("persist: unknown record op %d", uint8(rec.Op))
+	}
+	return nil
+}
+
+// regEvent is one sequence-number slot of a Register's replay schedule: the
+// write that installed it (possibly absent — then the slot's fetches testify
+// to its value) and the effective reads that observed it.
+type regEvent struct {
+	seq      uint64
+	value    uint64
+	hasWrite bool
+	fetches  []fetchEv
+}
+
+// registerSchedule validates and orders a Register object's events: writes
+// sorted by install seq, fetches attached to the seq they observed. It
+// returns the schedule and the final register value (the value of the
+// highest slot), hasFinal false when the object saw no events.
+func (om *objModel) registerSchedule() (events []regEvent, finalValue uint64, hasFinal bool, err error) {
+	slots := make(map[uint64]*regEvent)
+	slot := func(seq uint64) *regEvent {
+		ev, ok := slots[seq]
+		if !ok {
+			ev = &regEvent{seq: seq}
+			slots[seq] = ev
+		}
+		return ev
+	}
+	for _, wr := range om.writes {
+		ev := slot(wr.seq)
+		if ev.hasWrite && ev.value != wr.value {
+			return nil, 0, false, fmt.Errorf("persist: %q: conflicting writes at seq %d (%d and %d)", om.name, wr.seq, ev.value, wr.value)
+		}
+		ev.hasWrite = true
+		ev.value = wr.value
+	}
+	seen := make(map[[2]uint64]bool) // (reader, seq) pairs
+	for _, f := range om.fetches {
+		k := [2]uint64{uint64(f.reader), f.seq}
+		if seen[k] {
+			return nil, 0, false, fmt.Errorf("persist: %q: duplicate fetch record for reader %d at seq %d", om.name, f.reader, f.seq)
+		}
+		seen[k] = true
+		if f.seq == 0 {
+			// Seq 0 is the initial value: no write slot to check against.
+			ev := slot(0)
+			ev.value = f.value
+			ev.fetches = append(ev.fetches, f)
+			continue
+		}
+		ev := slot(f.seq)
+		if ev.hasWrite && ev.value != f.value {
+			return nil, 0, false, fmt.Errorf("persist: %q: fetch at seq %d observed %d but the write installed %d", om.name, f.seq, f.value, ev.value)
+		}
+		if !ev.hasWrite && len(ev.fetches) > 0 && ev.value != f.value {
+			return nil, 0, false, fmt.Errorf("persist: %q: fetches at seq %d observed both %d and %d", om.name, f.seq, ev.value, f.value)
+		}
+		ev.value = f.value
+		ev.fetches = append(ev.fetches, f)
+	}
+	events = make([]regEvent, 0, len(slots))
+	for _, ev := range slots {
+		events = append(events, *ev)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].seq < events[j].seq })
+	// Per-reader fetch seqs must be strictly increasing — they are in any
+	// real history (SN is monotone and a reader fetches a seq at most once).
+	last := make(map[int]uint64)
+	for _, ev := range events {
+		for _, f := range ev.fetches {
+			if prev, ok := last[f.reader]; ok && f.seq <= prev {
+				return nil, 0, false, fmt.Errorf("persist: %q: reader %d fetch seqs not increasing (%d after %d)", om.name, f.reader, f.seq, prev)
+			}
+			last[f.reader] = f.seq
+		}
+	}
+	if n := len(events); n > 0 {
+		lastEv := events[n-1]
+		if lastEv.seq > 0 || lastEv.hasWrite {
+			finalValue, hasFinal = lastEv.value, true
+		}
+	}
+	return events, finalValue, hasFinal, nil
+}
+
+// maxSchedule validates and orders a MaxRegister object's events: fetches in
+// seq (chronological) order — whose observed values must be nondecreasing,
+// as a max register's reads are — and writes in value order.
+func (om *objModel) maxSchedule() (writes []writeEv, fetches []fetchEv, err error) {
+	writes = append([]writeEv(nil), om.writes...)
+	sort.SliceStable(writes, func(i, j int) bool { return writes[i].value < writes[j].value })
+	fetches = append([]fetchEv(nil), om.fetches...)
+	sort.SliceStable(fetches, func(i, j int) bool { return fetches[i].seq < fetches[j].seq })
+	seen := make(map[[2]uint64]bool)
+	var lastVal uint64
+	for i, f := range fetches {
+		k := [2]uint64{uint64(f.reader), f.seq}
+		if seen[k] {
+			return nil, nil, fmt.Errorf("persist: %q: duplicate fetch record for reader %d at seq %d", om.name, f.reader, f.seq)
+		}
+		seen[k] = true
+		if i > 0 && f.value < lastVal {
+			return nil, nil, fmt.Errorf("persist: %q: fetched values not nondecreasing (%d after %d)", om.name, f.value, lastVal)
+		}
+		lastVal = f.value
+	}
+	return writes, fetches, nil
+}
+
+// ReplayStats summarizes what recovery reconstructed.
+type ReplayStats struct {
+	Objects     int // objects re-opened
+	Writes      int // write records replayed
+	Fetches     int // effective reads replayed (and re-audited)
+	Synthesized int // writes re-created from the fetch records that observed them
+}
+
+// replayInto re-executes the model against a fresh store. The store must be
+// journal-less (recovery must not re-journal itself); the caller attaches
+// the WAL afterwards. Replay is serial, so every operation completes and
+// the resulting audit state is exactly the model's pair set; any observation
+// that cannot be reproduced — a fetch whose value the replayed object does
+// not return — halts with an error rather than dropping an audited read.
+func (m *recoverModel) replayInto(st *store.Store[uint64]) (ReplayStats, error) {
+	var stats ReplayStats
+	if st.Journaled() {
+		return stats, fmt.Errorf("persist: replay target store already has a journal attached")
+	}
+	for _, name := range m.order {
+		om := m.objects[name]
+		var opts []store.OpenOption
+		if om.capacity > 0 {
+			opts = append(opts, store.WithObjectCapacity(int(om.capacity)))
+		}
+		obj, err := st.Open(name, om.kind, opts...)
+		if err != nil {
+			return stats, fmt.Errorf("persist: replay open %q: %w", name, err)
+		}
+		stats.Objects++
+		switch om.kind {
+		case store.Register:
+			err = replayRegister(obj, om, &stats)
+		case store.MaxRegister:
+			err = replayMax(obj, om, &stats)
+		default:
+			err = fmt.Errorf("persist: replay %q: unreplayable kind %v", name, om.kind)
+		}
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+func replayRegister(obj *store.Object[uint64], om *objModel, stats *ReplayStats) error {
+	events, _, _, err := om.registerSchedule()
+	if err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if ev.seq > 0 {
+			if err := obj.Write(ev.value); err != nil {
+				return fmt.Errorf("persist: replay write %q: %w", om.name, err)
+			}
+			if ev.hasWrite {
+				stats.Writes++
+			} else {
+				stats.Synthesized++
+			}
+		}
+		for _, f := range ev.fetches {
+			if err := replayFetch(obj, om.name, f, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func replayMax(obj *store.Object[uint64], om *objModel, stats *ReplayStats) error {
+	writes, fetches, err := om.maxSchedule()
+	if err != nil {
+		return err
+	}
+	var appliedMax uint64
+	hasApplied := false
+	apply := func(v uint64, synth bool) error {
+		if err := obj.Write(v); err != nil {
+			return fmt.Errorf("persist: replay writeMax %q: %w", om.name, err)
+		}
+		if !hasApplied || v > appliedMax {
+			appliedMax, hasApplied = v, true
+		}
+		if synth {
+			stats.Synthesized++
+		} else {
+			stats.Writes++
+		}
+		return nil
+	}
+	wi := 0
+	for _, f := range fetches {
+		for wi < len(writes) && writes[wi].value <= f.value {
+			if err := apply(writes[wi].value, false); err != nil {
+				return err
+			}
+			wi++
+		}
+		// Seq 0 observes the initial value; nothing to synthesize for it.
+		if f.seq > 0 && (!hasApplied || appliedMax < f.value) {
+			if err := apply(f.value, true); err != nil {
+				return err
+			}
+		}
+		if err := replayFetch(obj, om.name, f, stats); err != nil {
+			return err
+		}
+	}
+	for ; wi < len(writes); wi++ {
+		if err := apply(writes[wi].value, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayFetch re-executes one effective read and verifies it observes the
+// recorded value.
+func replayFetch(obj *store.Object[uint64], name string, f fetchEv, stats *ReplayStats) error {
+	val, _, _, err := obj.ReadFetch(f.reader)
+	if err != nil {
+		return fmt.Errorf("persist: replay fetch %q reader %d: %w", name, f.reader, err)
+	}
+	if val != f.value {
+		return fmt.Errorf("persist: replay fetch %q reader %d at seq %d observed %d, log recorded %d — refusing to drop an audited read", name, f.reader, f.seq, val, f.value)
+	}
+	stats.Fetches++
+	return nil
+}
+
+// compact emits the minimal record sequence that reproduces the model's
+// audit state: per object, one open record, one write per value that must be
+// observable, one fetch per audited (reader, value) pair, and a final write
+// restoring the current value; plus one audit record per object that had a
+// published report. Original sequence numbers are preserved so records in
+// segment tails beyond the snapshot keep interleaving correctly.
+func (m *recoverModel) compact() ([]Record, error) {
+	var out []Record
+	for _, name := range m.order {
+		om := m.objects[name]
+		out = append(out, Record{Op: OpOpen, Name: name, Kind: uint8(om.kind), Capacity: om.capacity})
+		var err error
+		switch om.kind {
+		case store.Register:
+			out, err = om.compactRegister(out)
+		case store.MaxRegister:
+			out, err = om.compactMax(out)
+		default:
+			err = fmt.Errorf("persist: compact %q: unreplayable kind %v", name, om.kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range m.order {
+		if m.audited[name] {
+			out = append(out, Record{Op: OpAudit, Name: name, Kind: uint8(m.objects[name].kind)})
+		}
+	}
+	return out, nil
+}
+
+func (om *objModel) compactRegister(out []Record) ([]Record, error) {
+	events, finalValue, hasFinal, err := om.registerSchedule()
+	if err != nil {
+		return nil, err
+	}
+	paired := make(map[[2]uint64]bool) // (reader, value) pairs already emitted
+	var lastEmitted uint64
+	hasEmitted := false
+	for _, ev := range events {
+		for _, f := range ev.fetches {
+			k := [2]uint64{uint64(f.reader), f.value}
+			if paired[k] {
+				continue
+			}
+			paired[k] = true
+			if ev.seq > 0 && (!hasEmitted || lastEmitted != ev.value) {
+				out = append(out, Record{Op: OpWrite, Name: om.name, Kind: uint8(store.Register), Seq: ev.seq, Value: ev.value})
+				lastEmitted, hasEmitted = ev.value, true
+			}
+			out = append(out, Record{Op: OpFetch, Name: om.name, Kind: uint8(store.Register), Reader: uint8(f.reader), Seq: ev.seq, Value: f.value})
+		}
+	}
+	if hasFinal && (!hasEmitted || lastEmitted != finalValue) {
+		out = append(out, Record{Op: OpWrite, Name: om.name, Kind: uint8(store.Register), Seq: events[len(events)-1].seq, Value: finalValue})
+	}
+	return out, nil
+}
+
+func (om *objModel) compactMax(out []Record) ([]Record, error) {
+	writes, fetches, err := om.maxSchedule()
+	if err != nil {
+		return nil, err
+	}
+	var finalMax uint64
+	hasMax := false
+	note := func(v uint64) {
+		if !hasMax || v > finalMax {
+			finalMax, hasMax = v, true
+		}
+	}
+	for _, wr := range writes {
+		note(wr.value)
+	}
+	paired := make(map[[2]uint64]bool)
+	var lastEmitted uint64
+	hasEmitted := false
+	for _, f := range fetches {
+		if f.seq > 0 {
+			note(f.value)
+		}
+		k := [2]uint64{uint64(f.reader), f.value}
+		if paired[k] {
+			continue
+		}
+		paired[k] = true
+		if f.seq > 0 && (!hasEmitted || lastEmitted < f.value) {
+			out = append(out, Record{Op: OpWrite, Name: om.name, Kind: uint8(store.MaxRegister), Value: f.value})
+			lastEmitted, hasEmitted = f.value, true
+		}
+		out = append(out, Record{Op: OpFetch, Name: om.name, Kind: uint8(store.MaxRegister), Reader: uint8(f.reader), Seq: f.seq, Value: f.value})
+	}
+	if hasMax && (!hasEmitted || lastEmitted < finalMax) {
+		out = append(out, Record{Op: OpWrite, Name: om.name, Kind: uint8(store.MaxRegister), Value: finalMax})
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package persist
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"auditreg"
+)
+
+// File layout. Both file kinds — WAL segments and snapshots — share one
+// shape: a fixed header, then frames, the last of which is an OpSeal record
+// in every cleanly finished file.
+//
+//	magic[8] | u32 version | u64 meta | nonce[16]
+//
+// meta is the segment's base LSN (the LSN of its first record) or the
+// snapshot's cut LSN (the snapshot covers every record with lsn < cut). The
+// nonce is random per file and feeds every record pad, so pad streams never
+// repeat across files.
+const (
+	segMagic    = "AWLSEG1\x00"
+	snapMagic   = "AWLSNP1\x00"
+	fileVersion = 1
+	headerLen   = 8 + 4 + 8 + fileNonceLen
+)
+
+// segmentName and snapshotName render the canonical file names; their
+// numeric part keeps lexicographic and numeric order aligned.
+func segmentName(baseLSN uint64) string { return fmt.Sprintf("wal-%016x.seg", baseLSN) }
+func snapshotName(cutLSN uint64) string { return fmt.Sprintf("snap-%016x.snap", cutLSN) }
+
+// parseFileName recognizes the two canonical names, yielding the numeric
+// part.
+func parseFileName(name string) (meta uint64, isSeg, isSnap bool) {
+	switch {
+	case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+		n, err := strconv.ParseUint(name[4:len(name)-4], 16, 64)
+		return n, err == nil, false
+	case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+		n, err := strconv.ParseUint(name[5:len(name)-5], 16, 64)
+		return n, false, err == nil
+	default:
+		return 0, false, false
+	}
+}
+
+// newHeader builds a file header with a fresh random nonce.
+func newHeader(magic string, meta uint64) ([]byte, [fileNonceLen]byte, error) {
+	var nonce [fileNonceLen]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, nonce, fmt.Errorf("persist: file nonce: %w", err)
+	}
+	hdr := make([]byte, 0, headerLen)
+	hdr = append(hdr, magic...)
+	hdr = binary.BigEndian.AppendUint32(hdr, fileVersion)
+	hdr = binary.BigEndian.AppendUint64(hdr, meta)
+	hdr = append(hdr, nonce[:]...)
+	return hdr, nonce, nil
+}
+
+// parseHeader validates a file header against the expected magic.
+func parseHeader(b []byte, magic string) (meta uint64, nonce [fileNonceLen]byte, err error) {
+	if len(b) < headerLen {
+		return 0, nonce, fmt.Errorf("persist: %d-byte file shorter than header", len(b))
+	}
+	if string(b[:8]) != magic {
+		return 0, nonce, fmt.Errorf("persist: bad magic %q", b[:8])
+	}
+	if v := binary.BigEndian.Uint32(b[8:]); v != fileVersion {
+		return 0, nonce, fmt.Errorf("persist: unsupported file version %d", v)
+	}
+	meta = binary.BigEndian.Uint64(b[12:])
+	copy(nonce[:], b[20:])
+	return meta, nonce, nil
+}
+
+// fileRecords is the parse result of one record file.
+type fileRecords struct {
+	meta      uint64 // base LSN (segment) or cut LSN (snapshot)
+	nonce     [fileNonceLen]byte
+	recs      []Record
+	lsns      []uint64
+	sealed    bool  // the file ends with an OpSeal record
+	tornBytes int64 // bytes discarded at a torn tail (unsealed files only)
+	validLen  int64 // offset one past the last valid frame
+}
+
+// readRecordFile parses a whole segment or snapshot file. A torn tail —
+// the input ending mid-frame — is tolerated and reported via tornBytes;
+// every other malformation (CRC mismatch, bad record body, data after a
+// seal) is corruption and returns an error naming the file and offset.
+// Callers enforce their own sealing policy: recovery requires every file
+// except the active segment to be sealed.
+func readRecordFile(path, magic string, key auditreg.Key) (fileRecords, error) {
+	var fr fileRecords
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fr, err
+	}
+	meta, nonce, err := parseHeader(b, magic)
+	if err != nil {
+		return fr, fmt.Errorf("%s: %w", path, err)
+	}
+	fr.meta = meta
+	fr.nonce = nonce
+	rest := b[headerLen:]
+	off := int64(headerLen)
+	for len(rest) > 0 {
+		if fr.sealed {
+			return fr, fmt.Errorf("persist: %s: %d bytes after seal at offset %d", path, len(rest), off)
+		}
+		rec, lsn, after, err := parseFrame(rest, key, &nonce)
+		if err != nil {
+			if errors.Is(err, errTornFrame) {
+				fr.tornBytes = int64(len(rest))
+				fr.validLen = off
+				return fr, nil
+			}
+			return fr, fmt.Errorf("persist: %s: offset %d: %w", path, off, err)
+		}
+		off += int64(len(rest) - len(after))
+		rest = after
+		if rec.Op == OpSeal {
+			fr.sealed = true
+			continue
+		}
+		fr.recs = append(fr.recs, rec)
+		fr.lsns = append(fr.lsns, lsn)
+	}
+	fr.validLen = off
+	return fr, nil
+}
+
+// dirState is the classified content of a data directory.
+type dirState struct {
+	segments  []uint64 // base LSNs, ascending
+	snapshots []uint64 // cut LSNs, ascending
+	others    []string // unrecognized entries (lock file excluded)
+}
+
+// readDir classifies the data directory's entries.
+func readDir(dir string) (dirState, error) {
+	var st dirState
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return st, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == lockFileName || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		meta, isSeg, isSnap := parseFileName(name)
+		switch {
+		case isSeg:
+			st.segments = append(st.segments, meta)
+		case isSnap:
+			st.snapshots = append(st.snapshots, meta)
+		default:
+			st.others = append(st.others, name)
+		}
+	}
+	sort.Slice(st.segments, func(i, j int) bool { return st.segments[i] < st.segments[j] })
+	sort.Slice(st.snapshots, func(i, j int) bool { return st.snapshots[i] < st.snapshots[j] })
+	return st, nil
+}
+
+// syncDir fsyncs the directory itself, making renames and removals durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeSealedFile writes a complete record file — header, records, seal —
+// through a temp file and an atomic rename. Record i is encrypted at lsn
+// lsns[i] under the file's fresh nonce; the seal takes the first lsn past
+// them, so no (nonce, lsn) pad is ever applied twice within the file.
+func writeSealedFile(dir, name, magic string, meta uint64, key auditreg.Key, recs []Record, lsns []uint64) error {
+	hdr, nonce, err := newHeader(magic, meta)
+	if err != nil {
+		return err
+	}
+	buf := hdr
+	sealLSN := uint64(0)
+	for i := range recs {
+		buf = appendFrame(buf, key, &nonce, lsns[i], &recs[i])
+		if lsns[i] >= sealLSN {
+			sealLSN = lsns[i] + 1
+		}
+	}
+	seal := Record{Op: OpSeal}
+	buf = appendFrame(buf, key, &nonce, sealLSN, &seal)
+
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}

@@ -1,0 +1,482 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"auditreg"
+	"auditreg/internal/shard"
+	"auditreg/store"
+)
+
+// lockFileName is the advisory-lock file guarding a data directory against
+// two daemons. flock releases it on process death, so a kill -9 never wedges
+// the directory.
+const lockFileName = "wal.lock"
+
+// pending is one record awaiting the group-commit writer; done is non-nil
+// when the mutator blocks for durability (SyncAlways opens, writes, and
+// fetches).
+type pending struct {
+	rec  Record
+	done chan error
+}
+
+// stripe is one append buffer. An object's records always land in the
+// stripe its name hashes to, so per-object order survives the fan-in.
+type stripe struct {
+	mu   sync.Mutex
+	recs []pending
+}
+
+// WAL is the write-ahead log over one data directory. It implements
+// store.Journal[uint64]: attach it with store.Store.SetJournal (after
+// recovery) or store.WithJournal (fresh store). Construct with Open; all
+// methods are safe for concurrent use.
+type WAL struct {
+	dir  string
+	key  auditreg.Key
+	opts Options
+
+	// seqBase maps each recovered object to the highest sequence number
+	// its on-disk records carry. Replay renumbers in-memory sequence
+	// numbers from 1 (compaction and synthesis drop unobservable writes),
+	// so journaled seqs are shifted above the base to keep every object's
+	// on-disk seqs strictly increasing across process generations —
+	// otherwise a later recovery would see two different writes claiming
+	// one seq and halt on perfectly healthy data. Built once before the
+	// writer starts; read-only afterwards.
+	seqBase map[string]uint64
+
+	lock    *os.File
+	stripes []stripe
+	mask    uint64
+	notify  chan struct{}
+	stopc   chan struct{}
+	killc   chan struct{}
+	rotatec chan chan rotateReply
+	flushc  chan chan error
+	done    chan struct{}
+	closed  atomic.Bool
+
+	failed atomic.Pointer[error]
+
+	// Writer-goroutine state; untouched by other goroutines.
+	active      *os.File
+	activeNonce [fileNonceLen]byte
+	activeBase  uint64
+	activeSize  int64
+	nextLSN     uint64
+	lastSync    time.Time
+	dirty       bool
+
+	snapMu sync.Mutex // serializes Snapshot
+
+	records   atomic.Uint64
+	batches   atomic.Uint64
+	syncs     atomic.Uint64
+	rotations atomic.Uint64
+	snaps     atomic.Uint64
+	bytes     atomic.Uint64
+}
+
+type rotateReply struct {
+	cutLSN uint64
+	err    error
+}
+
+var _ store.Journal[uint64] = (*WAL)(nil)
+
+// lockDir takes the directory's advisory lock.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: data dir %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// stripeOf picks the append buffer for an object name, hashing exactly as
+// the store's shard map does.
+func (w *WAL) stripeOf(name string) *stripe {
+	return &w.stripes[shard.Hash(name)&w.mask]
+}
+
+// Record implements store.Journal: encode the mutation, append it to the
+// name's stripe, and — under SyncAlways, for records with durability
+// semantics — block until the group-commit writer reports the record
+// stable. Announce and audit records never block: they are pure helping and
+// derived state.
+func (w *WAL) Record(r store.JournalRecord[uint64]) error {
+	if err := w.err(); err != nil {
+		return err
+	}
+	rec := fromJournal(&r)
+	if rec.Op == 0 {
+		return fmt.Errorf("persist: unknown journal op %d", r.Op)
+	}
+	if len(r.Name) > maxName {
+		// Refuse rather than write a frame the decoder must reject: one
+		// oversized record would make every future recovery halt.
+		return fmt.Errorf("persist: object name of %d bytes exceeds %d", len(r.Name), maxName)
+	}
+	if base := w.seqBase[r.Name]; base > 0 {
+		switch rec.Op {
+		case OpFetch, OpAnnounce:
+			rec.Seq += base
+		case OpWrite:
+			if rec.Seq > 0 { // register installs; max-register writes carry no seq
+				rec.Seq += base
+			}
+		}
+	}
+	blocking := w.opts.Policy == SyncAlways &&
+		(rec.Op == OpOpen || rec.Op == OpWrite || rec.Op == OpFetch)
+	p := pending{rec: rec}
+	if blocking {
+		p.done = make(chan error, 1)
+	}
+	s := w.stripeOf(r.Name)
+	s.mu.Lock()
+	// Re-check under the stripe lock: Close's final drain takes every
+	// stripe lock after setting closed, so a record appended while closed
+	// is still false here is guaranteed to be in that drain — no record
+	// can be acknowledged and then stranded in a buffer.
+	if w.closed.Load() {
+		s.mu.Unlock()
+		return fmt.Errorf("persist: wal is closed")
+	}
+	s.recs = append(s.recs, p)
+	s.mu.Unlock()
+	w.kick()
+	if !blocking {
+		return nil
+	}
+	select {
+	case err := <-p.done:
+		return err
+	case <-w.done:
+		// The writer exited (Close racing this append). It may still have
+		// committed the record in its final drain; prefer that verdict.
+		select {
+		case err := <-p.done:
+			return err
+		default:
+			return fmt.Errorf("persist: wal closed before the record committed")
+		}
+	}
+}
+
+// err returns the sticky failure, if any.
+func (w *WAL) err() error {
+	if w.closed.Load() {
+		return fmt.Errorf("persist: wal is closed")
+	}
+	if e := w.failed.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// kick nudges the writer without blocking.
+func (w *WAL) kick() {
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+}
+
+// run is the group-commit writer: drain the stripes, assign LSNs, encrypt,
+// append, fsync per policy, wake the waiters.
+func (w *WAL) run() {
+	defer close(w.done)
+	tick := time.NewTicker(w.opts.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.killc:
+			// Crash simulation (tests): stop dead, no drain, no seal.
+			return
+		case <-w.stopc:
+			w.commit(w.drain(), true)
+			w.sealActive()
+			return
+		case reply := <-w.rotatec:
+			w.commit(w.drain(), true)
+			var rr rotateReply
+			rr.err = w.rotate()
+			rr.cutLSN = w.activeBase
+			if e := w.failed.Load(); rr.err == nil && e != nil {
+				rr.err = *e
+			}
+			reply <- rr
+		case reply := <-w.flushc:
+			w.commit(w.drain(), true)
+			var err error
+			if e := w.failed.Load(); e != nil {
+				err = *e
+			}
+			reply <- err
+		case <-w.notify:
+			w.commit(w.drain(), w.opts.Policy == SyncAlways)
+		case <-tick.C:
+			w.commit(w.drain(), false)
+		}
+	}
+}
+
+// drain steals every stripe's pending records.
+func (w *WAL) drain() []pending {
+	var batch []pending
+	for i := range w.stripes {
+		s := &w.stripes[i]
+		s.mu.Lock()
+		if len(s.recs) > 0 {
+			batch = append(batch, s.recs...)
+			s.recs = nil
+		}
+		s.mu.Unlock()
+	}
+	return batch
+}
+
+// commit writes one batch to the active segment and fsyncs when the policy
+// (or force) calls for it, then completes the batch's waiters.
+func (w *WAL) commit(batch []pending, force bool) {
+	if e := w.failed.Load(); e != nil {
+		fail(batch, *e)
+		return
+	}
+	var err error
+	if len(batch) > 0 {
+		if w.activeSize > w.opts.SegmentBytes {
+			err = w.rotate()
+		}
+		if err == nil {
+			buf := make([]byte, 0, len(batch)*96)
+			for i := range batch {
+				buf = appendFrame(buf, w.key, &w.activeNonce, w.nextLSN, &batch[i].rec)
+				w.nextLSN++
+			}
+			var n int
+			n, err = w.active.Write(buf)
+			w.activeSize += int64(n)
+			w.bytes.Add(uint64(n))
+			if err == nil {
+				w.dirty = true
+				w.records.Add(uint64(len(batch)))
+				w.batches.Add(1)
+			}
+		}
+	}
+	if err == nil && w.dirty {
+		sync := force
+		if !sync {
+			switch w.opts.Policy {
+			case SyncAlways:
+				// Whatever drained this batch (notify, tick), a waiter must
+				// never be released before its record is stable.
+				for i := range batch {
+					if batch[i].done != nil {
+						sync = true
+						break
+					}
+				}
+			case SyncInterval:
+				if time.Since(w.lastSync) >= w.opts.Interval {
+					sync = true
+				}
+			}
+		}
+		if sync {
+			err = w.active.Sync()
+			if err == nil {
+				w.dirty = false
+				w.lastSync = time.Now()
+				w.syncs.Add(1)
+			}
+		}
+	}
+	if err != nil {
+		err = fmt.Errorf("persist: wal append: %w", err)
+		w.failed.CompareAndSwap(nil, &err)
+		fail(batch, err)
+		return
+	}
+	for i := range batch {
+		if batch[i].done != nil {
+			batch[i].done <- nil
+		}
+	}
+}
+
+func fail(batch []pending, err error) {
+	for i := range batch {
+		if batch[i].done != nil {
+			batch[i].done <- err
+		}
+	}
+}
+
+// rotate seals the active segment and opens a fresh one whose base is the
+// next LSN.
+func (w *WAL) rotate() error {
+	if err := w.sealActive(); err != nil {
+		return err
+	}
+	if err := w.openSegment(w.nextLSN); err != nil {
+		return err
+	}
+	w.rotations.Add(1)
+	return nil
+}
+
+// sealActive appends the seal record, fsyncs, and closes the active
+// segment.
+func (w *WAL) sealActive() error {
+	if w.active == nil {
+		return nil
+	}
+	if e := w.failed.Load(); e != nil {
+		// A sticky failure may have left a partial frame at the tail.
+		// Appending a valid seal after it would turn auto-repairable torn
+		// damage into hard corruption the next recovery must refuse; leave
+		// the segment unsealed and let recovery truncate the tail.
+		err := w.active.Close()
+		w.active = nil
+		w.dirty = false
+		return err
+	}
+	seal := Record{Op: OpSeal}
+	buf := appendFrame(nil, w.key, &w.activeNonce, w.nextLSN, &seal)
+	w.nextLSN++
+	if _, err := w.active.Write(buf); err != nil {
+		return err
+	}
+	if err := w.active.Sync(); err != nil {
+		return err
+	}
+	err := w.active.Close()
+	w.active = nil
+	w.dirty = false
+	return err
+}
+
+// openSegment creates and syncs a fresh active segment with the given base
+// LSN.
+func (w *WAL) openSegment(base uint64) error {
+	hdr, nonce, err := newHeader(segMagic, base)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(base)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.active = f
+	w.activeNonce = nonce
+	w.activeBase = base
+	w.activeSize = headerLen
+	return nil
+}
+
+// Sync forces everything appended so far onto stable storage, regardless of
+// policy: drain, write, fsync. It returns once the log is stable.
+func (w *WAL) Sync() error {
+	if err := w.err(); err != nil {
+		return err
+	}
+	reply := make(chan error, 1)
+	select {
+	case w.flushc <- reply:
+		return <-reply
+	case <-w.done:
+		return w.err()
+	}
+}
+
+// Close drains and seals the log, then releases the directory lock. The WAL
+// is unusable afterwards; a clean Close leaves every segment sealed, so the
+// next recovery finds no torn tail.
+func (w *WAL) Close() error {
+	if !w.closed.CompareAndSwap(false, true) {
+		<-w.done
+		return nil
+	}
+	close(w.stopc)
+	<-w.done
+	var err error
+	if e := w.failed.Load(); e != nil {
+		err = *e
+	}
+	if w.lock != nil {
+		syscall.Flock(int(w.lock.Fd()), syscall.LOCK_UN)
+		w.lock.Close()
+	}
+	return err
+}
+
+// abandon simulates kill -9 for in-process tests: the writer stops without
+// draining its stripes or sealing the active segment, and the directory
+// lock is released so the "restarted" process can take it. Everything the
+// OS already has (every completed Write syscall) stays on disk, exactly as
+// after a real SIGKILL on one machine.
+func (w *WAL) abandon() {
+	if !w.closed.CompareAndSwap(false, true) {
+		<-w.done
+		return
+	}
+	close(w.killc)
+	<-w.done
+	if w.active != nil {
+		w.active.Close()
+		w.active = nil
+	}
+	if w.lock != nil {
+		syscall.Flock(int(w.lock.Fd()), syscall.LOCK_UN)
+		w.lock.Close()
+	}
+}
+
+// Stats is a point-in-time snapshot of the WAL's counters.
+type Stats struct {
+	Records   uint64 // records appended
+	Batches   uint64 // group commits
+	Syncs     uint64 // fsync calls on segment data
+	Rotations uint64 // segment rotations
+	Snapshots uint64 // snapshots taken
+	Bytes     uint64 // record bytes appended
+}
+
+// Stats returns the WAL's counters.
+func (w *WAL) Stats() Stats {
+	return Stats{
+		Records:   w.records.Load(),
+		Batches:   w.batches.Load(),
+		Syncs:     w.syncs.Load(),
+		Rotations: w.rotations.Load(),
+		Snapshots: w.snaps.Load(),
+		Bytes:     w.bytes.Load(),
+	}
+}

@@ -167,7 +167,7 @@ func (c *conn) handleOpen(body []byte) ([]byte, wire.Verb) {
 	}
 	c.srv.opens.Add(1)
 	wk, _ := kindToWire(obj.Kind())
-	resp := wire.OpenResp{Kind: wk, Readers: uint8(obj.Readers()), Session: c.session}
+	resp := wire.OpenResp{Kind: wk, Readers: uint8(obj.Readers()), Epoch: c.srv.epoch, Session: c.session}
 	return resp.Append(nil), wire.VerbOpen
 }
 

@@ -40,6 +40,8 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -49,6 +51,7 @@ import (
 	"time"
 
 	"auditreg"
+	"auditreg/persist"
 	"auditreg/store"
 	"auditreg/wire"
 )
@@ -71,6 +74,17 @@ type Config struct {
 	// (defaults store.DefaultPoolWorkers, store.DefaultPoolInterval).
 	PoolWorkers  int
 	PoolInterval time.Duration
+	// DataDir, when non-empty, makes the store durable: on construction the
+	// directory is recovered into the store (package auditreg/persist), and
+	// every subsequent mutation is journaled to its write-ahead log. All
+	// durable state stays masked under pads derived from a key held only in
+	// server memory — never in the directory.
+	DataDir string
+	// Fsync selects the WAL durability policy (default persist.SyncAlways);
+	// FsyncInterval and SegmentBytes tune it (defaults in persist).
+	Fsync         persist.Policy
+	FsyncInterval time.Duration
+	SegmentBytes  int64
 	// FrameTap, when non-nil, is invoked synchronously with every complete
 	// frame the server transmits (outbound true) or receives (outbound
 	// false). Test instrumentation — the leak tests assert over every
@@ -84,6 +98,9 @@ type Server struct {
 	cfg   Config
 	st    *store.Store[uint64]
 	pool  *store.AuditPool[uint64]
+	wal   *persist.WAL
+	recov *persist.RecoverResult
+	epoch uint64
 	start time.Time
 
 	mu       sync.Mutex
@@ -105,8 +122,11 @@ type Server struct {
 	connsTotal   atomic.Uint64
 }
 
-// New returns a server hosting a fresh store configured per cfg. The audit
-// pool starts with Serve.
+// New returns a server hosting a fresh store configured per cfg. With a
+// DataDir the store is first recovered from disk — the write-ahead log
+// replays into it and the pool re-audits every object that had a published
+// report before the crash — and then journaled for the server's lifetime.
+// The audit pool starts with Serve.
 func New(cfg Config) (*Server, error) {
 	opts := []store.Option[uint64]{
 		store.WithLess[uint64](func(a, b uint64) bool { return a < b }),
@@ -124,6 +144,19 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var wal *persist.WAL
+	var recov *persist.RecoverResult
+	if cfg.DataDir != "" {
+		wal, recov, err = persist.Open(cfg.DataDir, persist.DeriveKey(cfg.Key), st, persist.Options{
+			Policy:       cfg.Fsync,
+			Interval:     cfg.FsyncInterval,
+			SegmentBytes: cfg.SegmentBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.SetJournal(wal)
+	}
 	var poolOpts []store.PoolOption
 	if cfg.PoolWorkers != 0 {
 		poolOpts = append(poolOpts, store.WithPoolWorkers(cfg.PoolWorkers))
@@ -133,15 +166,52 @@ func New(cfg Config) (*Server, error) {
 	}
 	pool, err := st.NewAuditPool(poolOpts...)
 	if err != nil {
+		if wal != nil {
+			wal.Close()
+		}
+		return nil, err
+	}
+	if recov != nil {
+		// Re-publish a report for every object that had one pre-crash, so
+		// a client's first post-recovery Latest() is never emptier than its
+		// last pre-crash one.
+		for _, name := range recov.AuditedNames {
+			if _, err := pool.AuditObject(name); err != nil {
+				wal.Close()
+				return nil, fmt.Errorf("server: re-audit %q after recovery: %w", name, err)
+			}
+		}
+	}
+	var eb [8]byte
+	if _, err := rand.Read(eb[:]); err != nil {
+		if wal != nil {
+			wal.Close()
+		}
 		return nil, err
 	}
 	return &Server{
 		cfg:   cfg,
 		st:    st,
 		pool:  pool,
+		wal:   wal,
+		recov: recov,
+		epoch: binary.BigEndian.Uint64(eb[:]),
 		start: time.Now(),
 		conns: make(map[*conn]struct{}),
 	}, nil
+}
+
+// Recovery returns what boot-time recovery reconstructed, nil when the
+// server runs without a data dir.
+func (s *Server) Recovery() *persist.RecoverResult { return s.recov }
+
+// Snapshot compacts the write-ahead log (see persist.WAL.Snapshot); cmd/
+// auditd triggers it on SIGHUP. It fails when the server has no data dir.
+func (s *Server) Snapshot() (uint64, error) {
+	if s.wal == nil {
+		return 0, fmt.Errorf("server: no data dir configured")
+	}
+	return s.wal.Snapshot()
 }
 
 // Store returns the hosted store — the ground truth a test can audit
@@ -204,8 +274,12 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			// A spontaneous listener failure ends Serve without a
 			// Shutdown: stop the pool here so its workers don't leak
-			// (Stop is idempotent, so a later Shutdown is still safe).
+			// (Stop and wal.Close are idempotent, so a later Shutdown is
+			// still safe).
 			s.pool.Stop()
+			if s.wal != nil {
+				s.wal.Close()
+			}
 			return err
 		}
 		c, err := newConn(s, nc)
@@ -273,6 +347,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.pool.Stop()
+	if s.wal != nil {
+		// Last: every drained request has journaled by now. A clean close
+		// seals the active segment, so the next boot finds no torn tail.
+		if cerr := s.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -294,6 +375,17 @@ func (s *Server) statPairs() []wire.StatPair {
 		{Name: "reads-silent", Value: s.readsSilent.Load()},
 		{Name: "uptime-ms", Value: uint64(time.Since(s.start).Milliseconds())},
 		{Name: "writes", Value: s.writes.Load()},
+	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		pairs = append(pairs,
+			wire.StatPair{Name: "wal-records", Value: ws.Records},
+			wire.StatPair{Name: "wal-batches", Value: ws.Batches},
+			wire.StatPair{Name: "wal-syncs", Value: ws.Syncs},
+			wire.StatPair{Name: "wal-rotations", Value: ws.Rotations},
+			wire.StatPair{Name: "wal-snapshots", Value: ws.Snapshots},
+			wire.StatPair{Name: "wal-bytes", Value: ws.Bytes},
+		)
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
 	return pairs

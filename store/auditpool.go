@@ -59,7 +59,11 @@ type auditCursor[V comparable] struct {
 	regAud  *auditreg.Auditor[V]
 	maxAud  *auditreg.MaxAuditor[V]
 	snapAud *auditreg.SnapshotAuditor[V]
-	rep     atomic.Pointer[ObjectAudit[V]]
+	// journaled is the pair count at the last journaled cursor advance.
+	// The zero value doubles as "never journaled": empty reports are not
+	// worth a record, so only growth to a nonzero count emits one.
+	journaled int
+	rep       atomic.Pointer[ObjectAudit[V]]
 }
 
 // PoolOption configures an AuditPool.
@@ -296,5 +300,16 @@ func (c *auditCursor[V]) audit() error {
 		return fmt.Errorf("store: pool audit %q: %w", c.obj.name, err)
 	}
 	c.rep.Store(&rep)
+	// Journal the cursor advance so recovery knows which objects had
+	// published reports — but only when the report actually grew (audit
+	// sets only grow, so an unchanged pair count is an unchanged set):
+	// idle sweeps must not trickle-fill the log. Journals never block on
+	// these (derived state).
+	if j := c.obj.st.journal; j != nil && rep.Len() != c.journaled {
+		if err := j.Record(JournalRecord[V]{Op: JournalAudit, Name: c.obj.name, Kind: c.obj.kind, Pairs: rep.Len()}); err != nil {
+			return fmt.Errorf("store: pool audit %q: journal: %w", c.obj.name, err)
+		}
+		c.journaled = rep.Len()
+	}
 	return nil
 }

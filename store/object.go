@@ -47,8 +47,18 @@ type compSlot[V comparable] struct {
 }
 
 // newObject builds the object stored under name. It runs under the name
-// map's shard lock, so it only allocates — handles come later, on use.
+// map's shard lock, so it only allocates — handles come later, on use, and
+// journaling (which may block on an fsync) happens in Open, after the lock
+// is released.
 func (st *Store[V]) newObject(name string, kind Kind, cfg openConfig) (*Object[V], error) {
+	if st.journal != nil {
+		if kind == Snapshot {
+			return nil, fmt.Errorf("store: open %q: %v objects have no replayable journal form: %w", name, kind, ErrNotJournaled)
+		}
+		if len(name) > maxJournaledName {
+			return nil, fmt.Errorf("store: open: name of %d bytes exceeds the journaled limit %d: %w", len(name), maxJournaledName, ErrNotJournaled)
+		}
+	}
 	var pads auditreg.PadSource
 	var err error
 	if st.keyedPads {
@@ -95,6 +105,12 @@ func (o *Object[V]) Components() int { return len(o.comps) }
 
 // Write writes v: an overwrite for a Register, a writeMax for a
 // MaxRegister. Snapshot objects take component writes through UpdateAt.
+//
+// On a journaled store the write is recorded after it takes effect in
+// memory: Register records carry the install seq (absorbed writes — never
+// observable — are not recorded), MaxRegister records carry the value alone.
+// Under a blocking durability policy Write returns only once the record is
+// stable.
 func (o *Object[V]) Write(v V) error {
 	switch o.kind {
 	case Register:
@@ -102,9 +118,12 @@ func (o *Object[V]) Write(v V) error {
 		if w == nil {
 			w = o.reg.Writer()
 		}
-		err := w.Write(v)
+		seq, installed, err := w.WriteSeq(v)
 		o.writers.Put(w)
-		return err
+		if err != nil || !installed {
+			return err
+		}
+		return o.journal(JournalRecord[V]{Op: JournalWrite, Name: o.name, Kind: Register, Seq: seq, Value: v})
 	case MaxRegister:
 		w, _ := o.writers.Get().(*auditreg.MaxWriter[V])
 		if w == nil {
@@ -116,10 +135,23 @@ func (o *Object[V]) Write(v V) error {
 		}
 		err := w.WriteMax(v)
 		o.writers.Put(w)
-		return err
+		if err != nil {
+			return err
+		}
+		return o.journal(JournalRecord[V]{Op: JournalWrite, Name: o.name, Kind: MaxRegister, Value: v})
 	default:
 		return fmt.Errorf("store: write %q: %v objects take UpdateAt, not Write: %w", o.name, o.kind, ErrKindMismatch)
 	}
+}
+
+// journal hands a record to the store's journal, if one is attached.
+func (o *Object[V]) journal(r JournalRecord[V]) error {
+	if j := o.st.journal; j != nil {
+		if err := j.Record(r); err != nil {
+			return fmt.Errorf("store: %v %q: journal: %w", r.Op, o.name, err)
+		}
+	}
+	return nil
 }
 
 // ensureRegReader lazily creates the slot's Register read handle. The slot's
@@ -151,32 +183,28 @@ func (s *readSlot[V]) ensureMaxReader(o *Object[V], reader int) (*auditreg.MaxRe
 // Read returns the current value as seen by the given reader index: the
 // latest write for a Register, the maximum for a MaxRegister. Snapshot
 // objects are read through Scan.
+//
+// Read is ReadFetch followed, when a fetch happened, by Announce — the same
+// decomposition the algorithms and the network layer use — so on a journaled
+// store a local read leaves exactly the records a remote read would: one
+// fetch record per effective read (an announce failure is not surfaced; like
+// the network client's pipelined announce, it is pure helping).
 func (o *Object[V]) Read(reader int) (V, error) {
 	var zero V
+	if o.kind != Register && o.kind != MaxRegister {
+		return zero, fmt.Errorf("store: read %q: %v objects take Scan, not Read: %w", o.name, o.kind, ErrKindMismatch)
+	}
 	if reader < 0 || reader >= len(o.readSlots) {
 		return zero, fmt.Errorf("store: read %q: reader %d out of range [0, %d)", o.name, reader, len(o.readSlots))
 	}
-	s := &o.readSlots[reader]
-	switch o.kind {
-	case Register:
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		rd, err := s.ensureRegReader(o, reader)
-		if err != nil {
-			return zero, err
-		}
-		return rd.Read(), nil
-	case MaxRegister:
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		rd, err := s.ensureMaxReader(o, reader)
-		if err != nil {
-			return zero, err
-		}
-		return rd.Read(), nil
-	default:
-		return zero, fmt.Errorf("store: read %q: %v objects take Scan, not Read: %w", o.name, o.kind, ErrKindMismatch)
+	val, seq, fetched, err := o.ReadFetch(reader)
+	if err != nil {
+		return zero, err
 	}
+	if fetched {
+		_ = o.Announce(reader, seq)
+	}
+	return val, nil
 }
 
 // ReadFetch performs the fetch half of a read for the given reader index:
@@ -206,7 +234,6 @@ func (o *Object[V]) ReadFetch(reader int) (val V, seq uint64, fetched bool, err 
 			return zero, 0, false, err
 		}
 		val, seq, fetched = rd.ReadFetch()
-		return val, seq, fetched, nil
 	case MaxRegister:
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -215,10 +242,19 @@ func (o *Object[V]) ReadFetch(reader int) (val V, seq uint64, fetched bool, err 
 			return zero, 0, false, err
 		}
 		val, seq, fetched = rd.ReadFetch()
-		return val, seq, fetched, nil
 	default:
 		return zero, 0, false, fmt.Errorf("store: read-fetch %q: %v objects take Scan, not ReadFetch: %w", o.name, o.kind, ErrKindMismatch)
 	}
+	if fetched {
+		// The read just became effective; make its audit trace durable
+		// before acknowledging it. The record carries the observed value, so
+		// it can stand in for the write it observed should that write's own
+		// record miss the final group commit of a crashing server.
+		if err := o.journal(JournalRecord[V]{Op: JournalFetch, Name: o.name, Kind: o.kind, Reader: reader, Seq: seq, Value: val}); err != nil {
+			return val, seq, fetched, err
+		}
+	}
+	return val, seq, fetched, nil
 }
 
 // Announce performs the announce half of a read: help complete the seq-th
@@ -241,7 +277,6 @@ func (o *Object[V]) Announce(reader int, seq uint64) error {
 			return err
 		}
 		rd.Announce(seq)
-		return nil
 	case MaxRegister:
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -250,10 +285,12 @@ func (o *Object[V]) Announce(reader int, seq uint64) error {
 			return err
 		}
 		rd.Announce(seq)
-		return nil
 	default:
 		return fmt.Errorf("store: announce %q: %v objects take Scan, not Announce: %w", o.name, o.kind, ErrKindMismatch)
 	}
+	// Journaled for operational fidelity only: announcing is pure helping,
+	// so recovery ignores these records and journals never block on them.
+	return o.journal(JournalRecord[V]{Op: JournalAnnounce, Name: o.name, Kind: o.kind, Reader: reader, Seq: seq})
 }
 
 // Scan returns an atomic view of a Snapshot object as seen by the given

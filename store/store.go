@@ -91,6 +91,9 @@ var (
 	// ErrKindMismatch reports an Open or operation whose kind disagrees
 	// with the object's.
 	ErrKindMismatch = errors.New("store: object kind mismatch")
+	// ErrNotJournaled reports an Open of an object kind a journaled store
+	// cannot make durable (Snapshot scans have no replayable fetch record).
+	ErrNotJournaled = errors.New("store: object kind cannot be journaled")
 )
 
 // Store hosts named auditable objects of value type V. All methods are safe
@@ -104,6 +107,7 @@ type Store[V comparable] struct {
 	initial    V
 	keyedPads  bool
 	nonces     func(id uint64) auditreg.NonceSource
+	journal    Journal[V]
 
 	objects *shard.Map[*Object[V]]
 	nonceID atomic.Uint64 // store-unique ids for created nonce sources
@@ -281,7 +285,7 @@ func (st *Store[V]) Open(name string, kind Kind, opts ...OpenOption) (*Object[V]
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	obj, _, err := st.objects.GetOrCreate(name, func() (*Object[V], error) {
+	obj, created, err := st.objects.GetOrCreate(name, func() (*Object[V], error) {
 		return st.newObject(name, kind, cfg)
 	})
 	if err != nil {
@@ -289,6 +293,17 @@ func (st *Store[V]) Open(name string, kind Kind, opts ...OpenOption) (*Object[V]
 	}
 	if obj.kind != kind {
 		return nil, fmt.Errorf("store: open %q as %v: object is a %v: %w", name, kind, obj.kind, ErrKindMismatch)
+	}
+	// The creator journals the creation after the shard lock is released
+	// (the journal may block on an fsync; GetOrCreate's create callback
+	// must stay quick). Recovery does not rely on the open record leading
+	// the object's mutation records — it is order-independent and
+	// synthesizes a missing open from any mutation's kind — so a
+	// concurrent Lookup+mutate slipping in front is harmless.
+	if created && st.journal != nil {
+		if err := st.journal.Record(JournalRecord[V]{Op: JournalOpen, Name: name, Kind: kind, Capacity: cfg.capacity}); err != nil {
+			return nil, fmt.Errorf("store: open %q: journal: %w", name, err)
+		}
 	}
 	return obj, nil
 }

@@ -82,21 +82,29 @@ func (m *OpenReq) Decode(body []byte) error {
 }
 
 // OpenResp acknowledges an open: the object's actual kind and reader count,
-// plus the connection's session secret — the seed of every ValueMask pad the
-// server will apply on this connection. The secret is fixed per connection;
-// every OpenResp on a connection repeats the same one. In production the
-// handshake (like the rest of the stream) runs inside an authenticated
-// encrypted channel; the session secret separates principals from each other
-// within the protocol itself.
+// the server's boot epoch, plus the connection's session secret — the seed
+// of every ValueMask pad the server will apply on this connection. The
+// secret is fixed per connection; every OpenResp on a connection repeats the
+// same one. In production the handshake (like the rest of the stream) runs
+// inside an authenticated encrypted channel; the session secret separates
+// principals from each other within the protocol itself.
+//
+// Epoch is a random value drawn once per server process. A server restarted
+// from a data dir replays its history with renumbered sequence numbers, so
+// a client's cached (prev_sn, prev_val) from the previous epoch could
+// collide with a fresh seq and silently serve a stale value; clients reset
+// their per-reader caches whenever the epoch changes.
 type OpenResp struct {
 	Kind    uint8
 	Readers uint8
+	Epoch   uint64
 	Session [SessionLen]byte
 }
 
 // Append serializes the message body onto dst.
 func (m *OpenResp) Append(dst []byte) []byte {
 	dst = append(dst, m.Kind, m.Readers)
+	dst = binary.BigEndian.AppendUint64(dst, m.Epoch)
 	return append(dst, m.Session[:]...)
 }
 
@@ -105,6 +113,7 @@ func (m *OpenResp) Decode(body []byte) error {
 	c := cursor{b: body}
 	m.Kind = c.u8()
 	m.Readers = c.u8()
+	m.Epoch = c.u64()
 	copy(m.Session[:], c.take(SessionLen))
 	return c.done()
 }

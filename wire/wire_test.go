@@ -30,7 +30,7 @@ func sampleMessages() []message {
 	}
 	return []message{
 		&wire.OpenReq{Name: "acct/42", Kind: wire.KindRegister, Capacity: 1 << 16},
-		&wire.OpenResp{Kind: wire.KindMaxRegister, Readers: 64, Session: session},
+		&wire.OpenResp{Kind: wire.KindMaxRegister, Readers: 64, Epoch: 0xFEED_BEEF_0042_1111, Session: session},
 		&wire.WriteReq{Name: "acct/42", Value: 0xdeadbeefcafe},
 		&wire.ReadFetchReq{Name: "acct/42", Reader: 63, PrevSeq: ^uint64(0)},
 		&wire.ReadFetchResp{Fetched: true, Seq: 12, Value: 0x1234},
