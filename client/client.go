@@ -226,15 +226,17 @@ func (c *Client) Open(name string, kind store.Kind, opts ...OpenOption) (*Object
 
 // Stats fetches the server's counters, sorted by name.
 func (c *Client) Stats() ([]wire.StatPair, error) {
-	f, err := c.pick().roundTrip(wire.VerbStats, (&wire.StatsReq{}).Append(nil))
+	r, err := c.pick().roundTrip(wire.VerbStats, (&wire.StatsReq{}).Append(nil))
 	if err != nil {
 		return nil, err
 	}
-	var resp wire.StatsResp
-	if err := decodeResp(f, wire.VerbStats, &resp); err != nil {
+	var statsResp wire.StatsResp
+	err = decodeResp(r, wire.VerbStats, &statsResp)
+	wire.PutBuf(r.buf)
+	if err != nil {
 		return nil, err
 	}
-	return resp.Pairs, nil
+	return statsResp.Pairs, nil
 }
 
 // OpenOption configures one Open call.
@@ -274,18 +276,27 @@ func remoteErr(e *wire.ErrResp) error {
 	}
 }
 
-// decodeResp decodes f into msg when it carries want; an ErrResp becomes the
-// matching Go error.
-func decodeResp(f wire.Frame, want wire.Verb, msg interface{ Decode([]byte) error }) error {
-	if f.Verb == wire.VerbErr {
+// decodeResp decodes r's body into msg when it carries want; an ErrResp
+// becomes the matching Go error. The caller still owns (and recycles)
+// r.buf.
+func decodeResp(r resp, want wire.Verb, msg interface{ Decode([]byte) error }) error {
+	if r.verb != want {
+		return respError(r, want)
+	}
+	return msg.Decode(r.buf.B)
+}
+
+// respError turns an unexpected response — an ErrResp, or a verb mismatch —
+// into the error the caller surfaces. Split from decodeResp so hot callers
+// can decode their expected response inline (no interface indirection) and
+// fall back here only on the cold failure path.
+func respError(r resp, want wire.Verb) error {
+	if r.verb == wire.VerbErr {
 		var e wire.ErrResp
-		if err := e.Decode(f.Body); err != nil {
+		if err := e.Decode(r.buf.B); err != nil {
 			return fmt.Errorf("client: malformed error response: %w", err)
 		}
 		return remoteErr(&e)
 	}
-	if f.Verb != want {
-		return fmt.Errorf("client: response verb %v, want %v", f.Verb, want)
-	}
-	return msg.Decode(f.Body)
+	return fmt.Errorf("client: response verb %v, want %v", r.verb, want)
 }

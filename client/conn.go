@@ -1,7 +1,6 @@
 package client
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -21,26 +20,53 @@ var errClientClosed = errors.New("client: closed")
 // survives.
 var ErrConnLost = errors.New("client: connection lost")
 
+// connWriteQueue bounds the request queue between callers and a
+// connection's writer goroutine; senders block (backpressure) when the
+// writer falls this far behind.
+const connWriteQueue = 256
+
 // conn is one pooled connection: a background read loop matches response
-// frames to waiting requests by id (in-flight multiplexing), writes are
-// serialized by a mutex, and the connection remembers its server-issued
-// session secret plus which objects it has opened.
+// frames to waiting requests by id (in-flight multiplexing), a writer
+// goroutine coalesces queued request frames into scatter-gather flushes —
+// one writev per wakeup, so pipelined requests (a fetch and its announce, or
+// many goroutines' requests) share syscalls — and the connection remembers
+// its server-issued session secret plus which objects it has opened.
+//
+// Requests and responses travel in pooled wire.Buf frames: the caller
+// encodes into a buffer it got from the arena, the writer recycles it after
+// the flush; the read loop copies each response body into a pooled buffer
+// that the waiting caller recycles after decoding. Steady-state traffic
+// allocates nothing per request beyond the in-flight bookkeeping.
 type conn struct {
 	nc net.Conn
 
-	wmu sync.Mutex
-	bw  *bufio.Writer
+	writec chan *wire.Buf
+	wquit  chan struct{} // closed by close(); stops the writer
 
 	nextID atomic.Uint64
 
 	mu       sync.Mutex
-	inflight map[uint64]chan wire.Frame // nil channel: fire-and-forget
+	inflight map[uint64]chan resp // nil channel: fire-and-forget
 	dead     error
 	session  [wire.SessionLen]byte
 	hasSess  bool
 	epoch    uint64                   // server boot epoch, from OPEN responses
 	opened   map[string]wire.OpenResp // objects opened on this conn
 }
+
+// resp is one matched response: the verb and a pooled copy of the body. The
+// receiver owns buf and recycles it after decoding; a nil buf reports the
+// connection died before the response arrived.
+type resp struct {
+	verb wire.Verb
+	buf  *wire.Buf
+}
+
+// respChans pools the one-shot waiter channels of roundTrip, so a request
+// costs no channel allocation at steady state. A pooled channel is always
+// empty: its single send is consumed by the waiter before the channel is
+// returned.
+var respChans = sync.Pool{New: func() any { return make(chan resp, 1) }}
 
 func dialConn(addr string, timeout time.Duration) (*conn, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
@@ -49,20 +75,78 @@ func dialConn(addr string, timeout time.Duration) (*conn, error) {
 	}
 	cn := &conn{
 		nc:       nc,
-		bw:       bufio.NewWriterSize(nc, 32<<10),
-		inflight: make(map[uint64]chan wire.Frame),
+		writec:   make(chan *wire.Buf, connWriteQueue),
+		wquit:    make(chan struct{}),
+		inflight: make(map[uint64]chan resp),
 		opened:   make(map[string]wire.OpenResp),
 	}
+	go cn.writeLoop()
 	go cn.readLoop()
 	return cn, nil
 }
 
-// readLoop delivers response frames to their waiters until the connection
-// dies, then fails every remaining and future request.
-func (cn *conn) readLoop() {
-	br := bufio.NewReaderSize(cn.nc, 32<<10)
+// writeLoop coalesces queued request frames into one scatter-gather flush
+// per wakeup and recycles their buffers; a write failure kills the
+// connection. It keeps draining (and recycling) queued frames after death so
+// senders never block on a full queue.
+func (cn *conn) writeLoop() {
+	var pend []*wire.Buf
+	var fl wire.Flusher
 	for {
-		f, err := wire.ReadFrame(br)
+		var first *wire.Buf
+		select {
+		case first = <-cn.writec:
+		case <-cn.wquit:
+			cn.recycleQueued()
+			return
+		}
+		pend = append(pend[:0], first)
+	collect:
+		for {
+			select {
+			case more := <-cn.writec:
+				pend = append(pend, more)
+			default:
+				break collect
+			}
+		}
+		if err := fl.Flush(cn.nc, pend); err != nil {
+			cn.close(fmt.Errorf("%w: write failed: %v", ErrConnLost, err))
+			cn.recycleQueued()
+			return
+		}
+	}
+}
+
+// recycleQueued returns every queued request buffer to the arena until the
+// quit signal has been observed and the queue is empty. Only called on the
+// way out of writeLoop, after the connection is dead (no new senders pass
+// the dead check).
+func (cn *conn) recycleQueued() {
+	for {
+		select {
+		case b := <-cn.writec:
+			wire.PutBuf(b)
+		case <-cn.wquit:
+			for {
+				select {
+				case b := <-cn.writec:
+					wire.PutBuf(b)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// readLoop delivers response frames to their waiters until the connection
+// dies, then fails every remaining and future request. Bodies are copied out
+// of the scanner's reused buffer into pooled buffers owned by the waiters.
+func (cn *conn) readLoop() {
+	sc := wire.NewFrameScanner(cn.nc, 32<<10)
+	for {
+		f, err := sc.Next()
 		if err != nil {
 			cn.close(fmt.Errorf("%w: %v", ErrConnLost, err))
 			return
@@ -72,7 +156,9 @@ func (cn *conn) readLoop() {
 		delete(cn.inflight, f.ID)
 		cn.mu.Unlock()
 		if ok && ch != nil {
-			ch <- f
+			rb := wire.GetBuf(len(f.Body))
+			rb.B = append(rb.B[:0], f.Body...)
+			ch <- resp{verb: f.Verb, buf: rb}
 		}
 	}
 }
@@ -84,7 +170,8 @@ func (cn *conn) isDead() bool {
 	return cn.dead != nil
 }
 
-// close marks the connection dead with cause and wakes every waiter.
+// close marks the connection dead with cause, stops the writer, and wakes
+// every waiter with a dead-connection resp.
 func (cn *conn) close(cause error) {
 	cn.mu.Lock()
 	if cn.dead != nil {
@@ -95,70 +182,111 @@ func (cn *conn) close(cause error) {
 	waiters := cn.inflight
 	cn.inflight = nil
 	cn.mu.Unlock()
+	close(cn.wquit)
 	cn.nc.Close()
 	for _, ch := range waiters {
 		if ch != nil {
-			close(ch) // receivers observe the zero Frame and consult dead
+			select {
+			case ch <- resp{}: // nil buf: consult dead
+			default: // a response beat us; the waiter takes that instead
+			}
 		}
 	}
 }
 
-// send writes one request frame; when wait is true it registers a waiter and
-// returns it.
-func (cn *conn) send(verb wire.Verb, body []byte, wait bool) (uint64, chan wire.Frame, error) {
-	id := cn.nextID.Add(1)
-	var ch chan wire.Frame
+// deadErr returns the recorded cause of death, or a generic closed error.
+func (cn *conn) deadErr() error {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.dead != nil {
+		return cn.dead
+	}
+	return errClientClosed
+}
+
+// enqueue registers the request id (wait selects a pooled waiter channel)
+// and hands the complete frame buffer to the writer, taking ownership of b
+// in every outcome.
+func (cn *conn) enqueue(b *wire.Buf, id uint64, wait bool) (chan resp, error) {
+	var ch chan resp
 	if wait {
-		ch = make(chan wire.Frame, 1)
+		ch = respChans.Get().(chan resp)
 	}
 	cn.mu.Lock()
 	if cn.dead != nil {
 		err := cn.dead
 		cn.mu.Unlock()
-		return 0, nil, err
+		if ch != nil {
+			respChans.Put(ch)
+		}
+		wire.PutBuf(b)
+		return nil, err
 	}
 	cn.inflight[id] = ch
 	cn.mu.Unlock()
 
-	frame := wire.AppendFrame(nil, id, verb, body)
-	cn.wmu.Lock()
-	_, err := cn.bw.Write(frame)
-	if err == nil {
-		err = cn.bw.Flush()
-	}
-	cn.wmu.Unlock()
-	if err != nil {
-		err = fmt.Errorf("%w: write failed: %v", ErrConnLost, err)
-		cn.close(err)
-		return 0, nil, err
-	}
-	return id, ch, nil
-}
-
-// roundTrip sends a request and blocks for its response.
-func (cn *conn) roundTrip(verb wire.Verb, body []byte) (wire.Frame, error) {
-	_, ch, err := cn.send(verb, body, true)
-	if err != nil {
-		return wire.Frame{}, err
-	}
-	f, ok := <-ch
-	if !ok {
+	select {
+	case cn.writec <- b:
+		return ch, nil
+	case <-cn.wquit:
 		cn.mu.Lock()
-		err := cn.dead
-		cn.mu.Unlock()
-		if err == nil {
-			err = errClientClosed
+		if _, still := cn.inflight[id]; still {
+			delete(cn.inflight, id)
+			if ch != nil {
+				respChans.Put(ch)
+				ch = nil
+			}
 		}
-		return wire.Frame{}, err
+		cn.mu.Unlock()
+		wire.PutBuf(b)
+		// The waiter entry may already have been snapped up by close();
+		// either way the request is dead.
+		return nil, cn.deadErr()
 	}
-	return f, nil
 }
 
-// post sends a request without waiting for its response (the read loop
-// discards it on arrival). Used for READ-ANNOUNCE, which is pure helping:
-// the client pipelines it behind the fetch and moves on.
-func (cn *conn) post(verb wire.Verb, body []byte) error {
-	_, _, err := cn.send(verb, body, false)
+// roundTripBuf sends the frame in b — encoded with wire.BeginFrame and the
+// message's Append, prefix still unpatched — and blocks for its response.
+// It owns b; the returned resp's buffer is owned by the caller, who recycles
+// it with wire.PutBuf after decoding.
+func (cn *conn) roundTripBuf(verb wire.Verb, b *wire.Buf) (resp, error) {
+	id := cn.nextID.Add(1)
+	if err := wire.EndFrame(b.B, 0, id, verb); err != nil {
+		wire.PutBuf(b)
+		return resp{}, err
+	}
+	ch, err := cn.enqueue(b, id, true)
+	if err != nil {
+		return resp{}, err
+	}
+	r := <-ch
+	respChans.Put(ch)
+	if r.buf == nil {
+		return resp{}, cn.deadErr()
+	}
+	return r, nil
+}
+
+// roundTrip is roundTripBuf over a plain body: the convenience path for cold
+// verbs.
+func (cn *conn) roundTrip(verb wire.Verb, body []byte) (resp, error) {
+	b := wire.GetBuf(wire.FramePrefix + len(body))
+	b.B = append(wire.BeginFrame(b.B[:0]), body...)
+	return cn.roundTripBuf(verb, b)
+}
+
+// postBuf sends the frame in b without waiting for its response (the read
+// loop discards it on arrival). Used for READ-ANNOUNCE, which is pure
+// helping: the client pipelines it behind the fetch and moves on — the
+// writer coalesces the two frames into one flush when they are queued
+// together.
+func (cn *conn) postBuf(verb wire.Verb, b *wire.Buf) error {
+	id := cn.nextID.Add(1)
+	if err := wire.EndFrame(b.B, 0, id, verb); err != nil {
+		wire.PutBuf(b)
+		return err
+	}
+	_, err := cn.enqueue(b, id, false)
 	return err
 }
 
@@ -175,21 +303,23 @@ func (cn *conn) open(name string, wkind uint8, capacity uint32) (wire.OpenResp, 
 	cn.mu.Unlock()
 
 	req := wire.OpenReq{Name: name, Kind: wkind, Capacity: capacity}
-	f, err := cn.roundTrip(wire.VerbOpen, req.Append(nil))
+	r, err := cn.roundTrip(wire.VerbOpen, req.Append(nil))
 	if err != nil {
 		return wire.OpenResp{}, err
 	}
-	var resp wire.OpenResp
-	if err := decodeResp(f, wire.VerbOpen, &resp); err != nil {
+	var openResp wire.OpenResp
+	err = decodeResp(r, wire.VerbOpen, &openResp)
+	wire.PutBuf(r.buf)
+	if err != nil {
 		return wire.OpenResp{}, err
 	}
 	cn.mu.Lock()
-	cn.session = resp.Session
+	cn.session = openResp.Session
 	cn.hasSess = true
-	cn.epoch = resp.Epoch
-	cn.opened[name] = resp
+	cn.epoch = openResp.Epoch
+	cn.opened[name] = openResp
 	cn.mu.Unlock()
-	return resp, nil
+	return openResp, nil
 }
 
 // epochValue returns the server boot epoch this connection observed. A TCP
@@ -201,4 +331,11 @@ func (cn *conn) epochValue() uint64 {
 	cn.mu.Lock()
 	defer cn.mu.Unlock()
 	return cn.epoch
+}
+
+// sessionValue returns the connection's session secret.
+func (cn *conn) sessionValue() [wire.SessionLen]byte {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.session
 }

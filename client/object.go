@@ -47,19 +47,28 @@ func (o *Object) Kind() store.Kind { return o.kind }
 func (o *Object) Readers() int { return o.readers }
 
 // Write writes v: an overwrite for a Register, a writeMax for a
-// MaxRegister.
+// MaxRegister. The request frame is encoded into (and recycled through) the
+// wire buffer arena — steady-state writes allocate nothing per call.
 func (o *Object) Write(v uint64) error {
 	cn := o.c.pick()
 	if _, err := cn.open(o.name, o.wkind, 0); err != nil {
 		return err
 	}
 	req := wire.WriteReq{Name: o.name, Value: v}
-	f, err := cn.roundTrip(wire.VerbWrite, req.Append(nil))
+	b := wire.GetBuf(wire.FramePrefix + 16 + len(o.name))
+	b.B = req.Append(wire.BeginFrame(b.B[:0]))
+	r, err := cn.roundTripBuf(wire.VerbWrite, b)
 	if err != nil {
 		return err
 	}
-	var resp ack
-	return decodeResp(f, wire.VerbWrite, &resp)
+	switch {
+	case r.verb != wire.VerbWrite:
+		err = respError(r, wire.VerbWrite)
+	case len(r.buf.B) != 0:
+		err = fmt.Errorf("client: unexpected %d-byte ack body", len(r.buf.B))
+	}
+	wire.PutBuf(r.buf)
+	return err
 }
 
 // Read returns the current value as seen by the given reader index, driving
@@ -93,29 +102,38 @@ func (o *Object) Read(reader int) (uint64, error) {
 		s.prevSeq = ^uint64(0)
 	}
 	req := wire.ReadFetchReq{Name: o.name, Reader: uint8(reader), PrevSeq: s.prevSeq}
-	f, err := cn.roundTrip(wire.VerbReadFetch, req.Append(nil))
+	b := wire.GetBuf(wire.FramePrefix + 24 + len(o.name))
+	b.B = req.Append(wire.BeginFrame(b.B[:0]))
+	r, err := cn.roundTripBuf(wire.VerbReadFetch, b)
 	if err != nil {
 		return 0, err
 	}
-	var resp wire.ReadFetchResp
-	if err := decodeResp(f, wire.VerbReadFetch, &resp); err != nil {
+	if r.verb != wire.VerbReadFetch {
+		err = respError(r, wire.VerbReadFetch)
+		wire.PutBuf(r.buf)
 		return 0, err
 	}
-	if resp.Seq != s.prevSeq {
-		// New value: unmask locally under this connection's session pad.
-		cn.mu.Lock()
-		session := cn.session
-		cn.mu.Unlock()
-		s.prevVal = resp.Value ^ wire.ValueMask(session, o.name, uint8(reader), resp.Seq)
-		s.prevSeq = resp.Seq
+	var fetchResp wire.ReadFetchResp
+	err = fetchResp.Decode(r.buf.B)
+	wire.PutBuf(r.buf)
+	if err != nil {
+		return 0, err
 	}
-	if resp.Fetched {
+	if fetchResp.Seq != s.prevSeq {
+		// New value: unmask locally under this connection's session pad.
+		session := cn.sessionValue()
+		s.prevVal = fetchResp.Value ^ wire.ValueMask(session, o.name, uint8(reader), fetchResp.Seq)
+		s.prevSeq = fetchResp.Seq
+	}
+	if fetchResp.Fetched {
 		// The fetch&xor happened: help complete the write, pipelined. A
 		// failed post is dropped, not surfaced — the read already took
 		// effect (it is audited, and the value is in hand); announcing is
 		// pure helping that writers and auditors also perform.
-		ann := wire.AnnounceReq{Name: o.name, Reader: uint8(reader), Seq: resp.Seq}
-		_ = cn.post(wire.VerbReadAnnounce, ann.Append(nil))
+		ann := wire.AnnounceReq{Name: o.name, Reader: uint8(reader), Seq: fetchResp.Seq}
+		ab := wire.GetBuf(wire.FramePrefix + 24 + len(o.name))
+		ab.B = ann.Append(wire.BeginFrame(ab.B[:0]))
+		_ = cn.postBuf(wire.VerbReadAnnounce, ab)
 	}
 	return s.prevVal, nil
 }
@@ -188,12 +206,14 @@ func (a *Auditor) audit(fresh bool) (store.ObjectAudit[uint64], error) {
 		return store.ObjectAudit[uint64]{}, err
 	}
 	req := wire.AuditReq{Name: o.name, Fresh: fresh}
-	f, err := cn.roundTrip(wire.VerbAudit, req.Append(nil))
+	r, err := cn.roundTrip(wire.VerbAudit, req.Append(nil))
 	if err != nil {
 		return store.ObjectAudit[uint64]{}, err
 	}
 	var resp wire.AuditResp
-	if err := decodeResp(f, wire.VerbAudit, &resp); err != nil {
+	err = decodeResp(r, wire.VerbAudit, &resp)
+	wire.PutBuf(r.buf)
+	if err != nil {
 		return store.ObjectAudit[uint64]{}, err
 	}
 	// Unmask each row's reader set — the only place outside the server
@@ -213,15 +233,3 @@ func (a *Auditor) audit(fresh bool) (store.ObjectAudit[uint64], error) {
 		Report: auditreg.NewReport(entries...),
 	}, nil
 }
-
-// ack decodes an empty response body.
-type ack struct{}
-
-func (ack) Decode(body []byte) error {
-	if len(body) != 0 {
-		return fmt.Errorf("client: unexpected %d-byte ack body", len(body))
-	}
-	return nil
-}
-
-func (*ack) Append(dst []byte) []byte { return dst }

@@ -56,6 +56,8 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "fsync cadence under -fsync interval (0: persist default)")
 	segmentBytes := flag.Int64("segment-bytes", 0, "WAL segment rotation size (0: persist default)")
+	walBatchDelay := flag.Duration("wal-batch-delay", 0, "adaptive group-commit window under -fsync always (0: persist default, negative: disabled)")
+	walBatchBytes := flag.Int("wal-batch-bytes", 0, "group-commit batch size cap in bytes (0: persist default)")
 	flag.Parse()
 
 	policy, ok := persist.ParsePolicy(*fsync)
@@ -73,6 +75,8 @@ func main() {
 		Fsync:         policy,
 		FsyncInterval: *fsyncInterval,
 		SegmentBytes:  *segmentBytes,
+		WALBatchDelay: *walBatchDelay,
+		WALBatchBytes: *walBatchBytes,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -30,19 +30,25 @@
 // the wire equals, exactly, the set of (reader, value) pairs the driver
 // observed — end-to-end audit exactness across the network.
 //
-// With -durable (series E14) loadgen owns the daemon's whole life cycle: it
-// spawns the auditd binary named by -auditd with a per-cell -data-dir and
-// -fsync always, SIGKILLs it once roughly a quarter of the cell's
-// operations have completed, restarts it from the same directory on the
-// same address, finishes the traffic through the same client pool (which
-// redials and drops its silent-read caches on the new boot epoch), and
-// -verify-checks audit exactness across the crash: every acknowledged
-// effective read must appear in the post-recovery audit, and every audited
-// pair must be observed or attributable to a read that failed in the kill
-// window.
+// With -durable (series E14/E16) loadgen owns the daemon's whole life
+// cycle: it spawns the auditd binary named by -auditd with a per-cell
+// -data-dir and -fsync always, SIGKILLs it once roughly a quarter of the
+// cell's operations have completed, restarts it from the same directory on
+// the same address while the workers retry their failed ops through the
+// same client pool (which redials and drops its silent-read caches on the
+// new boot epoch), and -verify-checks audit exactness across the crash:
+// every acknowledged effective read must appear in the post-recovery
+// audit, and every audited pair must be observed or attributable to a read
+// that failed on that (object, reader). failed-ops counts ops that never
+// completed (expected 0); retried-ops the ops whose first ack the kill
+// lost.
+//
+// -cpuprofile/-memprofile write driver-side pprof profiles; -baseline
+// gates a run against a checked-in BENCH_*.json, failing beyond
+// -max-regress-pct ops/s regression (the CI bench-smoke job).
 //
 //	go build -o /tmp/auditd ./cmd/auditd
-//	go run ./cmd/loadgen -durable -auditd /tmp/auditd -objects 64 -goroutines 8 -out BENCH_4.json
+//	go run ./cmd/loadgen -durable -auditd /tmp/auditd -objects 64 -goroutines 8 -conns 1 -out BENCH_5.json
 package main
 
 import (
@@ -50,6 +56,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -76,9 +84,14 @@ func main() {
 	out := flag.String("out", "", "write results as BENCH_*.json to this file")
 	remote := flag.String("remote", "", "drive a live auditd at this address instead of a local store (E13)")
 	conns := flag.Int("conns", 4, "client connection pool size in -remote mode")
-	durable := flag.Bool("durable", false, "durability mode (E14): spawn auditd with a data dir, kill -9 it mid-cell, restart, verify audit exactness")
+	durable := flag.Bool("durable", false, "durability mode (E14/E16): spawn auditd with a data dir, kill -9 it mid-cell, restart, verify audit exactness")
 	auditdBin := flag.String("auditd", "", "path to a prebuilt auditd binary (required with -durable)")
 	dataDir := flag.String("data-dir", "", "base directory for -durable data dirs (default: a temp dir)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole grid to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	walBatchDelay := flag.Duration("wal-batch-delay", 0, "forwarded to spawned auditd daemons in -durable mode (0: daemon default)")
+	baseline := flag.String("baseline", "", "BENCH_*.json to gate against: fail on ops/s regression beyond -max-regress-pct")
+	maxRegress := flag.Float64("max-regress-pct", 20, "largest tolerated ops/s regression vs -baseline, in percent")
 	flag.Parse()
 
 	objectCounts, err := parseInts(*objectsFlag)
@@ -105,6 +118,32 @@ func main() {
 			*dataDir = dir
 		}
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	var results []benchfmt.Result
 	for _, n := range objectCounts {
@@ -120,7 +159,7 @@ func main() {
 			var err error
 			switch {
 			case *durable:
-				res, err = runDurableCell(cfg, *auditdBin, *dataDir, *conns)
+				res, err = runDurableCell(cfg, *auditdBin, *dataDir, *conns, daemonTuning{walBatchDelay: *walBatchDelay})
 			case *remote != "":
 				res, err = runRemoteCell(cfg, *remote, *conns)
 			default:
@@ -135,6 +174,14 @@ func main() {
 				res.Metrics["reads"], res.Metrics["writes"], res.Metrics["audit-lookups"],
 				res.Metrics["pool-audits"], res.Metrics["audited-pairs"])
 		}
+	}
+
+	if *baseline != "" {
+		if err := checkBaseline(results, *baseline, *maxRegress); err != nil {
+			pprof.StopCPUProfile() // flush before the hard exit
+			fatalf("%v", err)
+		}
+		fmt.Printf("loadgen: within %.0f%% of baseline %s\n", *maxRegress, *baseline)
 	}
 
 	if *out != "" {
@@ -154,6 +201,52 @@ func main() {
 		}
 		fmt.Printf("loadgen: %d configurations -> %s\n", len(results), *out)
 	}
+}
+
+// checkBaseline compares each result's ops/s against the same-named result
+// of a checked-in baseline report, failing on a regression beyond
+// maxRegressPct. Results absent from the baseline pass (new cells enter the
+// trajectory freely), but at least one must match — a gate that compares
+// nothing protects nothing. Cross-machine caveat: BENCH numbers are
+// comparable only on similar hardware; the CI gate pairs this with a wide
+// tolerance.
+func checkBaseline(results []benchfmt.Result, path string, maxRegressPct float64) error {
+	rep, err := benchfmt.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	base := make(map[string]float64, len(rep.Results))
+	for _, r := range rep.Results {
+		if v, ok := r.Metrics["ops/s"]; ok {
+			base[r.Name] = v
+		}
+	}
+	matched := 0
+	for _, r := range results {
+		want, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		got := r.Metrics["ops/s"]
+		floor := want * (1 - maxRegressPct/100)
+		if got < floor {
+			return fmt.Errorf("%s: %.0f ops/s is a >%.0f%% regression vs baseline %.0f (floor %.0f)",
+				r.Name, got, maxRegressPct, want, floor)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("baseline %s shares no result names with this run", path)
+	}
+	return nil
+}
+
+// memCounters snapshots the runtime allocation counters behind the
+// client-side allocs/op and bytes/op metrics of every cell.
+func memCounters() (mallocs, bytes uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs, ms.TotalAlloc
 }
 
 type cellConfig struct {
@@ -213,6 +306,7 @@ func runCell(cfg cellConfig) (benchfmt.Result, error) {
 		firstErr.CompareAndSwap(nil, &err)
 	}
 
+	mallocs0, bytes0 := memCounters()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for g := 0; g < cfg.goroutines; g++ {
@@ -263,6 +357,7 @@ func runCell(cfg cellConfig) (benchfmt.Result, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	mallocs1, bytes1 := memCounters()
 	pool.Stop()
 
 	if errp := firstErr.Load(); errp != nil {
@@ -311,6 +406,8 @@ func runCell(cfg cellConfig) (benchfmt.Result, error) {
 	metrics, err := benchfmt.Metric(
 		"ns/op", float64(elapsed.Nanoseconds())/float64(totalOps),
 		"ops/s", float64(totalOps)/elapsed.Seconds(),
+		"allocs/op", float64(mallocs1-mallocs0)/float64(totalOps),
+		"bytes/op", float64(bytes1-bytes0)/float64(totalOps),
 		"reads", reads.Load(),
 		"writes", writes.Load(),
 		"audit-lookups", audits.Load(),

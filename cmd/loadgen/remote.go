@@ -70,6 +70,7 @@ func runRemoteCell(cfg cellConfig, addr string, conns int) (benchfmt.Result, err
 	var reads, writes, audits uint64
 	var counterMu sync.Mutex
 
+	mallocs0, bytes0 := memCounters()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for g := 0; g < cfg.goroutines; g++ {
@@ -119,6 +120,7 @@ func runRemoteCell(cfg cellConfig, addr string, conns int) (benchfmt.Result, err
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	mallocs1, bytes1 := memCounters()
 	if firstErr != nil {
 		return benchfmt.Result{}, firstErr
 	}
@@ -174,6 +176,8 @@ func runRemoteCell(cfg cellConfig, addr string, conns int) (benchfmt.Result, err
 	metrics, err := benchfmt.Metric(
 		"ns/op", float64(elapsed.Nanoseconds())/float64(totalOps),
 		"ops/s", float64(totalOps)/elapsed.Seconds(),
+		"allocs/op", float64(mallocs1-mallocs0)/float64(totalOps),
+		"bytes/op", float64(bytes1-bytes0)/float64(totalOps),
 		"reads", reads,
 		"writes", writes,
 		"audit-lookups", audits,
@@ -184,6 +188,8 @@ func runRemoteCell(cfg cellConfig, addr string, conns int) (benchfmt.Result, err
 		"srv-reads-silent", after["reads-silent"]-before["reads-silent"],
 		"srv-frames-in", after["frames-in"]-before["frames-in"],
 		"srv-frames-out", after["frames-out"]-before["frames-out"],
+		"srv-conn-flushes", after["conn-flushes"]-before["conn-flushes"],
+		"srv-conn-flushed-frames", after["conn-flushed-frames"]-before["conn-flushed-frames"],
 	)
 	if err != nil {
 		return benchfmt.Result{}, err

@@ -85,6 +85,24 @@ func (r *Report) WriteFile(path string) error {
 	return os.WriteFile(path, append(enc, '\n'), 0o644)
 }
 
+// ReadFile loads a BENCH_*.json report, validating the schema tag. It is
+// how regression gates (cmd/loadgen -baseline, CI's bench-smoke job) load
+// the checked-in baseline.
+func ReadFile(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return r, fmt.Errorf("benchfmt: %s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	return r, nil
+}
+
 // Parse reads `go test -bench` output, attributing benchmarks to the package
 // announced by the preceding "pkg:" line and folding repeated runs of one
 // benchmark into their per-metric best (see Better). Results come back
@@ -128,7 +146,7 @@ func Parse(r io.Reader) ([]Result, error) {
 			if err != nil {
 				continue
 			}
-			unit := fields[i+1]
+			unit := NormalizeUnit(fields[i+1])
 			prev, seen := res.Metrics[unit]
 			if !seen || Better(unit, v, prev) {
 				res.Metrics[unit] = v
@@ -151,7 +169,19 @@ func Parse(r io.Reader) ([]Result, error) {
 	return out, nil
 }
 
-// throughputUnits are higher-is-better; every other unit is a cost.
+// NormalizeUnit maps go test's memory-metric spellings onto the schema's
+// canonical names, so `-benchmem` output and loadgen's runtime.MemStats
+// deltas land under the same keys: "B/op" becomes "bytes/op"; "allocs/op"
+// is already canonical. Every other unit passes through unchanged.
+func NormalizeUnit(unit string) string {
+	if unit == "B/op" {
+		return "bytes/op"
+	}
+	return unit
+}
+
+// throughputUnits are higher-is-better; every other unit is a cost
+// (ns/op, bytes/op, allocs/op, ...).
 var throughputUnits = map[string]bool{
 	"MB/s":  true,
 	"ops/s": true,

@@ -3,6 +3,7 @@ package benchfmt
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -157,5 +158,56 @@ func TestMetric(t *testing.T) {
 	}
 	if _, err := Metric("u", "not-a-number"); err == nil {
 		t.Error("unsupported value type must fail")
+	}
+}
+
+func TestParseCarriesMemMetrics(t *testing.T) {
+	out := `
+pkg: auditreg/wire
+BenchmarkEncode-8   1000000   95.2 ns/op   0 B/op   0 allocs/op
+`
+	results, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results", len(results))
+	}
+	m := results[0].Metrics
+	if _, ok := m["B/op"]; ok {
+		t.Error("B/op must be normalized away")
+	}
+	if v, ok := m["bytes/op"]; !ok || v != 0 {
+		t.Errorf("bytes/op = %v, %v", v, ok)
+	}
+	if v, ok := m["allocs/op"]; !ok || v != 0 {
+		t.Errorf("allocs/op = %v, %v", v, ok)
+	}
+	// Both are costs: lower is better.
+	if !Better("bytes/op", 1, 2) || Better("allocs/op", 2, 1) {
+		t.Error("mem metrics must compare lower-is-better")
+	}
+}
+
+func TestReadFileRoundTrip(t *testing.T) {
+	rep := NewReport("X", "1x", 1, []string{"p"})
+	rep.Results = []Result{{Name: "A", Package: "p", Iters: 1,
+		Metrics: map[string]float64{"ops/s": 1000, "allocs/op": 0.5}}}
+	path := filepath.Join(t.TempDir(), "BENCH_T.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(got.Results) != 1 || got.Results[0].Metrics["ops/s"] != 1000 {
+		t.Fatalf("round trip lost data: %+v", got.Results)
+	}
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("foreign schema must be rejected")
 	}
 }

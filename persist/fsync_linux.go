@@ -1,0 +1,20 @@
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// fdatasync makes f's appended data durable: fdatasync(2), which skips the
+// inode timestamp flush fsync pays but — per POSIX — still flushes the
+// metadata required to retrieve the data (the size, for an append). That is
+// exactly the WAL's need: a record is durable when its bytes can be read
+// back after a crash, and recovery already tolerates a torn tail.
+func fdatasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package persist
+
+import "os"
+
+// fdatasync falls back to a full fsync where fdatasync(2) is unavailable
+// (darwin et al.) — strictly stronger, just slower.
+func fdatasync(f *os.File) error { return f.Sync() }

@@ -30,12 +30,13 @@ func fuzzSeeds() [][]byte {
 		{Op: OpAudit, Name: "acct/1", Kind: uint8(store.Register), Pairs: 12},
 		{Op: OpSeal},
 	}
+	ps := newPadStream(key, &fuzzNonce)
 	var out [][]byte
 	for i := range recs {
-		out = append(out, appendFrame(nil, key, &fuzzNonce, uint64(i+1), &recs[i]))
+		out = append(out, appendFrame(nil, ps, 0, uint64(i+1), &recs[i]))
 	}
-	stream := appendFrame(nil, key, &fuzzNonce, 10, &recs[1])
-	stream = appendFrame(stream, key, &fuzzNonce, 11, &recs[2])
+	stream := appendFrame(nil, ps, 0, 10, &recs[1])
+	stream = appendFrame(stream, ps, int64(len(stream)), 11, &recs[2])
 	out = append(out, stream)
 	return out
 }
@@ -49,9 +50,9 @@ func FuzzWALRecord(f *testing.F) {
 	for _, seed := range fuzzSeeds() {
 		f.Add(seed)
 	}
-	key := fuzzKey()
+	ps := newPadStream(fuzzKey(), &fuzzNonce)
 	f.Fuzz(func(t *testing.T, b []byte) {
-		rec, lsn, rest, err := parseFrame(b, key, &fuzzNonce)
+		rec, lsn, rest, err := parseFrame(b, ps, 0)
 		if err != nil {
 			if errors.Is(err, errTornFrame) && len(b) >= maxFrame {
 				t.Fatalf("%d bytes reported as torn frame", len(b))
@@ -59,7 +60,7 @@ func FuzzWALRecord(f *testing.F) {
 			return
 		}
 		consumed := b[:len(b)-len(rest)]
-		re := appendFrame(nil, key, &fuzzNonce, lsn, &rec)
+		re := appendFrame(nil, ps, 0, lsn, &rec)
 		if !bytes.Equal(re, consumed) {
 			t.Fatalf("accepted frame does not round-trip:\n in  %x\n out %x", consumed, re)
 		}
@@ -88,12 +89,13 @@ func TestWriteSeedCorpus(t *testing.T) {
 // TestFuzzSeedsParse pins that every checked-in seed is a valid frame (the
 // fuzzer's corpus must start from the accepting path).
 func TestFuzzSeedsParse(t *testing.T) {
-	key := fuzzKey()
+	ps := newPadStream(fuzzKey(), &fuzzNonce)
 	for i, seed := range fuzzSeeds() {
 		rest := seed
 		for len(rest) > 0 {
+			off := int64(len(seed) - len(rest))
 			var err error
-			_, _, rest, err = parseFrame(rest, key, &fuzzNonce)
+			_, _, rest, err = parseFrame(rest, ps, off)
 			if err != nil {
 				t.Fatalf("seed %d does not parse: %v", i, err)
 			}

@@ -176,20 +176,25 @@ func open(dir string, key auditreg.Key, st *store.Store[uint64], opts Options, l
 	}
 
 	w := &WAL{
-		dir:     dir,
-		key:     key,
-		opts:    opts,
-		lock:    lock,
-		stripes: make([]stripe, opts.Stripes),
-		mask:    uint64(opts.Stripes - 1),
-		notify:  make(chan struct{}, 1),
-		stopc:   make(chan struct{}),
-		killc:   make(chan struct{}),
-		rotatec: make(chan chan rotateReply),
-		flushc:  make(chan chan error),
-		done:    make(chan struct{}),
-		nextLSN: nextLSN,
-		seqBase: seqBase,
+		dir:      dir,
+		key:      key,
+		opts:     opts,
+		lock:     lock,
+		stripes:  make([]stripe, opts.Stripes),
+		mask:     uint64(opts.Stripes - 1),
+		notify:   make(chan struct{}, 1),
+		stopc:    make(chan struct{}),
+		killc:    make(chan struct{}),
+		rotatec:  make(chan chan rotateReply),
+		flushc:   make(chan chan error),
+		done:     make(chan struct{}),
+		syncc:    make(chan syncJob),
+		syncack:  make(chan syncAck, 1),
+		syncdone: make(chan struct{}),
+		cur:      make([]pending, 0, 256),
+		spare:    make([]pending, 0, 256),
+		nextLSN:  nextLSN,
+		seqBase:  seqBase,
 	}
 	if activeFR != nil {
 		// The crashed run's active segment is never appended to again: its
@@ -217,6 +222,7 @@ func open(dir string, key auditreg.Key, st *store.Store[uint64], opts Options, l
 	}
 	w.lastSync = time.Now()
 	go w.run()
+	go w.syncLoop()
 	return w, res, nil
 }
 

@@ -23,12 +23,18 @@
 // The WAL implements store.Journal[uint64]: store mutations append encoded
 // records to one of a set of striped buffers (chosen by object name, so one
 // object's records stay ordered) and a single writer goroutine drains the
-// stripes, assigns log sequence numbers, encrypts, appends to the active
-// segment, and fsyncs per policy — SyncAlways (group commit: mutators block
-// until their batch is stable), SyncInterval (bounded data loss window), or
-// SyncNever (page cache only). The sharded hot path is never serialized
-// through a single lock: stripes contend only within themselves, and only
-// SyncAlways mutators wait.
+// stripes, assigns log sequence numbers, encrypts the whole batch against
+// the segment's block-derived pad stream, appends to the active segment,
+// and fsyncs per policy — SyncAlways (adaptive group commit: mutators block
+// until their batch is stable, and the writer holds the fsync open up to
+// Options.BatchDelay while more blocked mutators are in flight, so one
+// fsync absorbs them all; announce and audit records ride along without
+// ever paying for, or causing, a sync), SyncInterval (bounded data loss
+// window), or SyncNever (page cache only). The sharded hot path is never
+// serialized through a single lock: stripes contend only within themselves,
+// and only SyncAlways mutators wait. Stats.SyncHist — surfaced through the
+// server's STATS verb — histograms records-per-fsync, making the batching
+// observable rather than inferred.
 //
 // # Recovery and snapshots
 //
@@ -108,6 +114,8 @@ const (
 	DefaultInterval     = 50 * time.Millisecond
 	DefaultSegmentBytes = 64 << 20
 	DefaultStripes      = 16
+	DefaultBatchDelay   = 500 * time.Microsecond
+	DefaultBatchBytes   = 1 << 20
 )
 
 // Options configures a WAL. The zero value of every field selects the
@@ -125,6 +133,17 @@ type Options struct {
 	// rounded up to a power of two). One object's records always land in
 	// one stripe, preserving their order.
 	Stripes int
+	// BatchDelay bounds the adaptive group-commit window under SyncAlways:
+	// when more blocking mutators are in flight than the drained batch
+	// already holds, the writer waits up to this long for their records
+	// before the one fsync that makes the whole batch stable. The window
+	// closes as soon as every known waiter is absorbed, so an uncontended
+	// log pays none of it. 0 selects DefaultBatchDelay; negative disables
+	// the window. Ignored by the other policies.
+	BatchDelay time.Duration
+	// BatchBytes closes the window early once the pending batch's encoded
+	// size exceeds it (default DefaultBatchBytes).
+	BatchBytes int
 }
 
 func (o Options) withDefaults() Options {
@@ -142,6 +161,12 @@ func (o Options) withDefaults() Options {
 		n <<= 1
 	}
 	o.Stripes = n
+	if o.BatchDelay == 0 {
+		o.BatchDelay = DefaultBatchDelay
+	}
+	if o.BatchBytes <= 0 {
+		o.BatchBytes = DefaultBatchBytes
+	}
 	return o
 }
 

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 
 	"auditreg"
+	"auditreg/internal/otp"
 	"auditreg/store"
 )
 
@@ -169,10 +170,22 @@ func decodePlain(b []byte) (Record, error) {
 //
 // with frameLen covering everything after the crc field (so a frame occupies
 // frameLen+8 bytes on disk) and crc32c (Castagnoli) covering the lsn and the
-// ciphertext — corruption is detected without decrypting. The ciphertext is
-// the record body XORed with a keystream bound to (key, file nonce, lsn):
-// pads never repeat across records or files, and moving a record to a
-// different position or file breaks its decryption.
+// ciphertext — corruption is detected without decrypting.
+//
+// The ciphertext is the record body XORed with the file's pad stream: a
+// per-file otp.BlockPads instance — one 41-byte SHA-256 digest yields 32
+// keystream bytes, against the two compression calls the v1 per-record
+// derivation paid for the same coverage — keyed by SHA-256(tag, key, file
+// nonce) and indexed by the byte offset of the ciphertext within the file.
+// A group commit therefore encrypts its whole batch against one dense,
+// shared pad stream (adjacent records share pad blocks; the BlockPads window
+// makes the reuse one cache hit, not a re-derivation).
+//
+// Pads never repeat: offsets are unique within a file (frames are written
+// sequentially, and a crashed active segment is never appended to — see
+// open.go), and the per-file random nonce makes streams disjoint across
+// files. Relocating a frame breaks its decryption twice over: to a different
+// offset (the pad index moves) and to a different file (the pad key moves).
 const (
 	frameOverhead = 16 // len + crc + lsn
 	maxFrame      = frameOverhead + maxPlain
@@ -184,35 +197,57 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // header.
 const fileNonceLen = 16
 
-const recTag = "auditreg/persist/rec/v1\x00"
+const padTag = "auditreg/persist/pads/v2\x00"
 
-// xorStream XORs buf in place with the keystream for (key, nonce, lsn):
-// 32-byte SHA-256 blocks over the domain tag, key, file nonce, lsn, and a
-// block counter.
-func xorStream(key auditreg.Key, nonce *[fileNonceLen]byte, lsn uint64, buf []byte) {
-	var in [len(recTag) + 32 + fileNonceLen + 16]byte
-	n := copy(in[:], recTag)
-	n += copy(in[n:], key[:])
-	n += copy(in[n:], nonce[:])
-	binary.LittleEndian.PutUint64(in[n:], lsn)
-	ctrOff := n + 8
-	for blk, off := uint64(0), 0; off < len(buf); blk, off = blk+1, off+32 {
-		binary.LittleEndian.PutUint64(in[ctrOff:], blk)
-		sum := sha256.Sum256(in[:])
-		for i := 0; i < 32 && off+i < len(buf); i++ {
-			buf[off+i] ^= sum[i]
+// padStream is the keystream of one record file, derived in blocks from
+// otp.BlockPads. Safe for concurrent use (distinct files are scanned
+// concurrently with the writer appending to the active one; each has its
+// own stream).
+type padStream struct {
+	pads *otp.BlockPads
+}
+
+// newPadStream derives the file's pad stream from the persist key and the
+// file's nonce.
+func newPadStream(key auditreg.Key, nonce *[fileNonceLen]byte) padStream {
+	h := sha256.New()
+	h.Write([]byte(padTag))
+	h.Write(key[:])
+	h.Write(nonce[:])
+	var fileKey auditreg.Key
+	h.Sum(fileKey[:0])
+	// MaxReaders-wide pads are full 64-bit words: the stream is a general
+	// keystream here, not an m-bit reader-set mask.
+	pads, err := otp.NewBlockPads(fileKey, otp.MaxReaders)
+	if err != nil {
+		// Unreachable: MaxReaders is a valid reader count by definition.
+		panic(fmt.Sprintf("persist: pad stream: %v", err))
+	}
+	return padStream{pads: pads}
+}
+
+// xor XORs buf in place with the pad stream covering file bytes
+// [off, off+len(buf)).
+func (p padStream) xor(buf []byte, off int64) {
+	q := uint64(off)
+	for i := 0; i < len(buf); {
+		w := p.pads.Mask(q / 8)
+		for b := q % 8; b < 8 && i < len(buf); b, q, i = b+1, q+1, i+1 {
+			buf[i] ^= byte(w >> (8 * b))
 		}
 	}
 }
 
-// appendFrame appends the complete encrypted frame for rec at lsn onto dst.
-func appendFrame(dst []byte, key auditreg.Key, nonce *[fileNonceLen]byte, lsn uint64, rec *Record) []byte {
+// appendFrame appends the complete encrypted frame for rec at lsn onto dst,
+// where off is the file offset the frame starts at (that is, where
+// dst[len(dst)] will land on disk).
+func appendFrame(dst []byte, ps padStream, off int64, lsn uint64, rec *Record) []byte {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frameLen + crc placeholders
 	dst = binary.BigEndian.AppendUint64(dst, lsn)
 	body := len(dst)
 	dst = rec.appendPlain(dst)
-	xorStream(key, nonce, lsn, dst[body:])
+	ps.xor(dst[body:], off+frameOverhead)
 	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-8))
 	binary.BigEndian.PutUint32(dst[start+4:], crc32.Checksum(dst[start+8:], castagnoli))
 	return dst
@@ -223,10 +258,11 @@ func appendFrame(dst []byte, key auditreg.Key, nonce *[fileNonceLen]byte, lsn ui
 // segment.
 var errTornFrame = fmt.Errorf("persist: torn frame")
 
-// parseFrame decodes the first frame of b, returning the record, its lsn,
-// and the unconsumed remainder. errTornFrame (possibly wrapped) reports that
-// the input ends mid-frame; any other error is corruption.
-func parseFrame(b []byte, key auditreg.Key, nonce *[fileNonceLen]byte) (rec Record, lsn uint64, rest []byte, err error) {
+// parseFrame decodes the first frame of b — located at file offset off —
+// returning the record, its lsn, and the unconsumed remainder. errTornFrame
+// (possibly wrapped) reports that the input ends mid-frame; any other error
+// is corruption.
+func parseFrame(b []byte, ps padStream, off int64) (rec Record, lsn uint64, rest []byte, err error) {
 	if len(b) < 8 {
 		return rec, 0, b, fmt.Errorf("%w: %d header bytes", errTornFrame, len(b))
 	}
@@ -243,7 +279,7 @@ func parseFrame(b []byte, key auditreg.Key, nonce *[fileNonceLen]byte) (rec Reco
 	}
 	lsn = binary.BigEndian.Uint64(payload)
 	plain := append([]byte(nil), payload[8:]...)
-	xorStream(key, nonce, lsn, plain)
+	ps.xor(plain, off+frameOverhead)
 	rec, err = decodePlain(plain)
 	if err != nil {
 		return rec, lsn, b, err

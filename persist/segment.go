@@ -25,9 +25,12 @@ import (
 // nonce is random per file and feeds every record pad, so pad streams never
 // repeat across files.
 const (
-	segMagic    = "AWLSEG1\x00"
-	snapMagic   = "AWLSNP1\x00"
-	fileVersion = 1
+	segMagic  = "AWLSEG1\x00"
+	snapMagic = "AWLSNP1\x00"
+	// fileVersion 2 switched the record keystream from per-record SHA-256
+	// derivation to the offset-indexed block pad stream (see record.go);
+	// version 1 files fail loudly here instead of decrypting to garbage.
+	fileVersion = 2
 	headerLen   = 8 + 4 + 8 + fileNonceLen
 )
 
@@ -110,13 +113,14 @@ func readRecordFile(path, magic string, key auditreg.Key) (fileRecords, error) {
 	}
 	fr.meta = meta
 	fr.nonce = nonce
+	ps := newPadStream(key, &nonce)
 	rest := b[headerLen:]
 	off := int64(headerLen)
 	for len(rest) > 0 {
 		if fr.sealed {
 			return fr, fmt.Errorf("persist: %s: %d bytes after seal at offset %d", path, len(rest), off)
 		}
-		rec, lsn, after, err := parseFrame(rest, key, &nonce)
+		rec, lsn, after, err := parseFrame(rest, ps, off)
 		if err != nil {
 			if errors.Is(err, errTornFrame) {
 				fr.tornBytes = int64(len(rest))
@@ -183,24 +187,26 @@ func syncDir(dir string) error {
 }
 
 // writeSealedFile writes a complete record file — header, records, seal —
-// through a temp file and an atomic rename. Record i is encrypted at lsn
-// lsns[i] under the file's fresh nonce; the seal takes the first lsn past
-// them, so no (nonce, lsn) pad is ever applied twice within the file.
+// through a temp file and an atomic rename. Record i carries lsn lsns[i] and
+// is encrypted against the file's pad stream at its own offset under the
+// fresh nonce; the seal takes the first lsn past them. Offsets are unique
+// within the file, so no pad is ever applied twice.
 func writeSealedFile(dir, name, magic string, meta uint64, key auditreg.Key, recs []Record, lsns []uint64) error {
 	hdr, nonce, err := newHeader(magic, meta)
 	if err != nil {
 		return err
 	}
+	ps := newPadStream(key, &nonce)
 	buf := hdr
 	sealLSN := uint64(0)
 	for i := range recs {
-		buf = appendFrame(buf, key, &nonce, lsns[i], &recs[i])
+		buf = appendFrame(buf, ps, int64(len(buf)), lsns[i], &recs[i])
 		if lsns[i] >= sealLSN {
 			sealLSN = lsns[i] + 1
 		}
 	}
 	seal := Record{Op: OpSeal}
-	buf = appendFrame(buf, key, &nonce, sealLSN, &seal)
+	buf = appendFrame(buf, ps, int64(len(buf)), sealLSN, &seal)
 
 	tmp := filepath.Join(dir, name+".tmp")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"auditreg"
+	"auditreg/store"
+	"auditreg/wire"
+)
+
+// newBenchConn builds a server and a bare conn over it — no sockets; the
+// handlers are exercised directly, exactly as dispatch drives them.
+func newBenchConn(t testing.TB) (*Server, *conn) {
+	t.Helper()
+	srv, err := New(Config{Key: auditreg.KeyFromSeed(5), Readers: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv, &conn{srv: srv}
+}
+
+// TestServerFastPathAllocationFree pins the server's request fast path at
+// zero heap allocations per op: decode-in-place request views, in-place
+// store operations, and response encodes into a reused buffer. The silent
+// read — the paper's common case — and the announce are exactly zero; the
+// write and effective fetch paths are bounded below one allocation per op
+// (the store's block pad derivation amortizes one small block over four
+// sequence numbers; see internal/core's alloc tests).
+func TestServerFastPathAllocationFree(t *testing.T) {
+	srv, c := newBenchConn(t)
+	const name = "alloc/reg"
+	if _, err := srv.Store().Open(name, store.Register); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	dst := make([]byte, 0, 256)
+	wbody := (&wire.WriteReq{Name: name, Value: 1}).Append(nil)
+	fbody := (&wire.ReadFetchReq{Name: name, Reader: 0, PrevSeq: ^uint64(0)}).Append(nil)
+	abody := (&wire.AnnounceReq{Name: name, Reader: 0, Seq: 1}).Append(nil)
+
+	// Warm every path: handles, history chunks, pad windows.
+	for i := 0; i < 8; i++ {
+		if _, v, commit := c.handleWrite(wbody, dst[:0]); v != wire.VerbWrite || commit != nil {
+			t.Fatalf("warm write answered %v", v)
+		}
+		c.handleReadFetch(fbody, dst[:0])
+		c.handleAnnounce(abody, dst[:0])
+	}
+
+	// Silent read: the reader's cache is current (same PrevSeq resend), no
+	// fetch&xor, no journal — the paper's hot path. Exactly zero.
+	var resp wire.ReadFetchResp
+	out, v, _ := c.handleReadFetch(fbody, dst[:0])
+	if v != wire.VerbReadFetch {
+		t.Fatalf("fetch answered %v", v)
+	}
+	if err := resp.Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	silent := (&wire.ReadFetchReq{Name: name, Reader: 0, PrevSeq: resp.Seq}).Append(nil)
+	c.handleReadFetch(silent, dst[:0])
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, v, _ := c.handleReadFetch(silent, dst[:0]); v != wire.VerbReadFetch {
+			t.Fatal("silent fetch failed")
+		}
+	}); n != 0 {
+		t.Fatalf("silent read-fetch allocated %v times per run", n)
+	}
+
+	// Announce of an already-announced seq: pure helping no-op. Zero.
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, v := c.handleAnnounce(abody, dst[:0]); v != wire.VerbReadAnnounce {
+			t.Fatal("announce failed")
+		}
+	}); n != 0 {
+		t.Fatalf("announce allocated %v times per run", n)
+	}
+
+	// Repeated same-value writes: the handler and wire layers add zero; the
+	// register's pad stream amortizes one block per four sequence numbers.
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, v, _ := c.handleWrite(wbody, dst[:0]); v != wire.VerbWrite {
+			t.Fatal("write failed")
+		}
+	}); n >= 1 {
+		t.Fatalf("write allocated %v times per run, want < 1 (amortized pad blocks only)", n)
+	}
+
+	// Effective fetch: reader 1 lags, fetch&xor plus masked response. Same
+	// amortized bound. The request body is patched in place (PrevSeq is its
+	// last 8 bytes), as a pipelining client's encoder would reuse its
+	// buffer.
+	f1body := (&wire.ReadFetchReq{Name: name, Reader: 1, PrevSeq: 0}).Append(nil)
+	fetch1 := func(prev uint64) uint64 {
+		binary.BigEndian.PutUint64(f1body[len(f1body)-8:], prev)
+		out, v, _ := c.handleReadFetch(f1body, dst[:0])
+		if v != wire.VerbReadFetch {
+			t.Fatalf("fetch answered %v", v)
+		}
+		var r wire.ReadFetchResp
+		if err := r.Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return r.Seq
+	}
+	seq := fetch1(^uint64(0))
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, v, _ := c.handleWrite(wbody, dst[:0]); v != wire.VerbWrite {
+			t.Fatal("write failed")
+		}
+		seq = fetch1(seq)
+	}); n >= 2 {
+		t.Fatalf("write+fetch pair allocated %v times per run, want < 2", n)
+	}
+}

@@ -1,161 +1,257 @@
 package server
 
 import (
-	"bufio"
 	"crypto/rand"
 	"fmt"
 	"net"
-	"sync/atomic"
 	"time"
 
 	"auditreg/store"
 	"auditreg/wire"
 )
 
-// connIOBuf sizes the per-connection read and write buffers; connQueue the
-// response queue between the reader and writer goroutines.
+// connIOBuf sizes the per-connection read buffer; connQueue bounds the
+// response queue between the reader and writer goroutines (the dispatcher
+// blocks when the writer falls this far behind — backpressure, not
+// unbounded buffering).
 const (
 	connIOBuf = 32 << 10
 	connQueue = 256
 )
 
 // conn is one accepted connection: a reader goroutine decoding and executing
-// request frames in order, a writer goroutine batching response frames, and
-// the connection's session secret (the seed of every ValueMask pad applied
-// on it).
+// request frames in order, a writer goroutine coalescing response frames
+// into scatter-gather flushes, and the connection's session secret (the seed
+// of every ValueMask pad applied on it).
+//
+// The request path is allocation-free at steady state: requests are decoded
+// in place from the scanner's reused read buffer (hot verbs via DecodeView —
+// their name strings alias the buffer and die with the dispatch), responses
+// are encoded into pooled frame buffers that the writer recycles right after
+// the writev. See DESIGN.md, "Wire hot path", for the ownership rules.
 type conn struct {
-	srv      *Server
-	nc       net.Conn
-	session  [wire.SessionLen]byte
-	writec   chan []byte
-	wdone    chan struct{} // closed by writeLoop after its final flush
-	draining atomic.Bool
+	srv     *Server
+	nc      net.Conn
+	session [wire.SessionLen]byte
+	writec  chan *wire.Buf
+	wdone   chan struct{}    // closed by writeLoop after its final flush
+	donec   chan pendingResp // dispatch → completion: responses awaiting a durability verdict
+	cdone   chan struct{}    // closed by completionLoop when drained
+}
+
+// pendingResp is one encoded response whose request's durability commit is
+// still outstanding: the completion goroutine collects the verdict and only
+// then releases the frame to the writer — so a connection's dispatch loop
+// never parks on an fsync, and every mutation in flight on the connection
+// rides the same group commit.
+type pendingResp struct {
+	id     uint64
+	buf    *wire.Buf
+	commit func() error
 }
 
 func newConn(s *Server, nc net.Conn) (*conn, error) {
-	c := &conn{srv: s, nc: nc, writec: make(chan []byte, connQueue), wdone: make(chan struct{})}
+	c := &conn{
+		srv:    s,
+		nc:     nc,
+		writec: make(chan *wire.Buf, connQueue),
+		wdone:  make(chan struct{}),
+		donec:  make(chan pendingResp, connQueue),
+		cdone:  make(chan struct{}),
+	}
 	if _, err := rand.Read(c.session[:]); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// beginDrain kicks the reader off its blocking socket read; it will execute
-// whatever complete frames are already buffered, then let the writer flush
-// and close.
+// beginDrain kicks the reader off its blocking socket read; the frame
+// scanner will yield the complete frames already buffered, then surface the
+// deadline error, and the completion and writer stages flush and close.
 func (c *conn) beginDrain() {
-	c.draining.Store(true)
 	c.nc.SetReadDeadline(time.Now())
 }
 
 // serve runs the connection to completion: it returns when the peer closed,
 // a protocol error occurred, or a drain finished, with all pending responses
-// flushed.
+// flushed. The drain guarantee rides on the scanner: Next always drains
+// buffered complete frames before surfacing a socket error, so every request
+// that had fully arrived when the drain began is still executed.
 func (c *conn) serve() {
 	go c.writeLoop()
-	br := bufio.NewReaderSize(c.nc, connIOBuf)
-	for !c.draining.Load() {
-		f, err := wire.ReadFrame(br)
+	go c.completionLoop()
+	sc := wire.NewFrameScanner(c.nc, connIOBuf)
+	for {
+		f, err := sc.Next()
 		if err != nil {
 			break
 		}
 		c.dispatch(f)
 	}
-	// Drain: execute the complete frames that were already buffered when
-	// the reader was kicked off the socket.
-	if c.draining.Load() {
-		buf, _ := br.Peek(br.Buffered())
-		for {
-			f, rest, err := wire.ParseFrame(buf)
-			if err != nil {
-				break
-			}
-			buf = rest
-			c.dispatch(f)
-		}
-	}
-	close(c.writec) // reader is the sole sender
+	close(c.donec) // reader is the sole sender
+	<-c.cdone      // every pending durability verdict collected
+	close(c.writec)
 	// Join the writer: serve() returning is what Shutdown waits on, and
 	// the drain guarantee is that every queued response has been flushed
 	// by then.
 	<-c.wdone
 }
 
-// writeLoop batches response frames into one buffered writer, flushing
-// whenever the queue runs dry, and closes the socket once the reader is
-// done.
+// completionLoop collects durability verdicts in dispatch order and
+// releases the finished responses to the writer. A failed commit turns the
+// already-encoded success response back into an error frame: the mutation
+// took effect in memory, but its durability was never acknowledged.
+// Non-durable responses bypass this stage entirely (dispatch sends them
+// straight to the writer), so a silent read is never queued behind an
+// fsync.
+func (c *conn) completionLoop() {
+	defer close(c.cdone)
+	for pr := range c.donec {
+		if err := pr.commit(); err != nil {
+			b, verb := storeErr(wire.BeginFrame(pr.buf.B[:0]), err)
+			if e := wire.EndFrame(b, 0, pr.id, verb); e != nil {
+				b = wire.BeginFrame(pr.buf.B[:0])
+				b, verb = errBody(b, wire.CodeInternal, "durability verdict lost")
+				wire.EndFrame(b, 0, pr.id, verb)
+			}
+			pr.buf.B = b
+			c.srv.errs.Add(1)
+		}
+		c.emit(pr.buf)
+	}
+}
+
+// emit taps and queues one finished response frame.
+func (c *conn) emit(out *wire.Buf) {
+	c.srv.framesOut.Add(1)
+	if c.srv.cfg.FrameTap != nil {
+		// The tap observes the pooled frame in place; taps copy what they
+		// keep (test instrumentation — see Config.FrameTap).
+		c.srv.cfg.FrameTap(true, out.B)
+	}
+	c.writec <- out
+}
+
+// writeLoop coalesces queued response frames into one scatter-gather flush
+// per wakeup — a single writev however many frames are pending — recycles
+// their buffers, and closes the socket once the reader is done.
 func (c *conn) writeLoop() {
 	defer close(c.wdone)
-	bw := bufio.NewWriterSize(c.nc, connIOBuf)
-	for frame := range c.writec {
-		bw.Write(frame)
-		if len(c.writec) == 0 {
-			bw.Flush()
+	var pend []*wire.Buf
+	var fl wire.Flusher
+	for b := range c.writec {
+		pend = append(pend[:0], b)
+	collect:
+		for {
+			select {
+			case more, ok := <-c.writec:
+				if !ok {
+					break collect
+				}
+				pend = append(pend, more)
+			default:
+				break collect
+			}
+		}
+		err := fl.Flush(c.nc, pend)
+		c.srv.connFlushes.Add(1)
+		c.srv.connFlushFrames.Add(uint64(len(pend)))
+		if err != nil {
+			// Broken socket: keep recycling queued responses so the reader
+			// never blocks on a full queue, until it closes the channel.
+			for b := range c.writec {
+				wire.PutBuf(b)
+			}
+			break
 		}
 	}
-	bw.Flush()
 	c.nc.Close()
 }
 
-// dispatch executes one request frame and queues its response.
+// dispatch executes one request frame and queues its response. The frame's
+// body is a view into the connection's read buffer; every handler is done
+// with it when dispatch returns. Mutations execute in arrival order here,
+// but their durability wait — when the WAL has one — is handed to the
+// completion goroutine, so the next request starts executing immediately
+// and the group commit absorbs everything this connection has in flight.
 func (c *conn) dispatch(f wire.Frame) {
 	s := c.srv
 	s.framesIn.Add(1)
 	if s.cfg.FrameTap != nil {
 		s.cfg.FrameTap(false, wire.AppendFrame(nil, f.ID, f.Verb, f.Body))
 	}
-	var body []byte
-	verb := f.Verb
+	// Size the response buffer by verb so big cold-path responses draw from
+	// the arena class they will be recycled into, instead of growing a
+	// small-class buffer through reallocations.
+	hint := 256
+	if f.Verb == wire.VerbAudit || f.Verb == wire.VerbStats {
+		hint = 4 << 10
+	}
+	out := wire.GetBuf(hint)
+	b := wire.BeginFrame(out.B[:0])
+	var verb wire.Verb
+	var commit func() error
 	switch f.Verb {
 	case wire.VerbOpen:
-		body, verb = c.handleOpen(f.Body)
+		b, verb = c.handleOpen(f.Body, b)
 	case wire.VerbWrite:
-		body, verb = c.handleWrite(f.Body)
+		b, verb, commit = c.handleWrite(f.Body, b)
 	case wire.VerbReadFetch:
-		body, verb = c.handleReadFetch(f.Body)
+		b, verb, commit = c.handleReadFetch(f.Body, b)
 	case wire.VerbReadAnnounce:
-		body, verb = c.handleAnnounce(f.Body)
+		b, verb = c.handleAnnounce(f.Body, b)
 	case wire.VerbAudit:
-		body, verb = c.handleAudit(f.Body)
+		b, verb = c.handleAudit(f.Body, b)
 	case wire.VerbStats:
-		body, verb = c.handleStats(f.Body)
+		b, verb = c.handleStats(f.Body, b)
 	default:
-		body, verb = errBody(wire.CodeBadRequest, fmt.Sprintf("unknown verb %d", uint8(f.Verb)))
+		b, verb = errBody(b, wire.CodeBadRequest, fmt.Sprintf("unknown verb %d", uint8(f.Verb)))
+	}
+	if err := wire.EndFrame(b, 0, f.ID, verb); err != nil {
+		// The response outgrew the protocol (handlers guard against this;
+		// belt and braces): replace it with a bounded error frame.
+		b = wire.BeginFrame(b[:0])
+		b, verb = errBody(b, wire.CodeTooLarge, err.Error())
+		if err := wire.EndFrame(b, 0, f.ID, verb); err != nil {
+			panic(fmt.Sprintf("server: error frame does not fit a frame: %v", err))
+		}
 	}
 	if verb == wire.VerbErr {
 		s.errs.Add(1)
 	}
-	frame := wire.AppendFrame(nil, f.ID, verb, body)
-	s.framesOut.Add(1)
-	if s.cfg.FrameTap != nil {
-		s.cfg.FrameTap(true, frame)
+	out.B = b
+	if commit != nil {
+		c.donec <- pendingResp{id: f.ID, buf: out, commit: commit}
+		return
 	}
-	c.writec <- frame
+	c.emit(out)
 }
 
-// errBody builds an ErrResp body, truncating the message to what the
-// protocol allows clients to accept.
-func errBody(code wire.ErrCode, msg string) ([]byte, wire.Verb) {
+// errBody appends an ErrResp body onto dst, truncating the message to what
+// the protocol allows clients to accept.
+func errBody(dst []byte, code wire.ErrCode, msg string) ([]byte, wire.Verb) {
 	if len(msg) > wire.MaxErrMsg {
 		msg = msg[:wire.MaxErrMsg]
 	}
 	e := wire.ErrResp{Code: code, Msg: msg}
-	return e.Append(nil), wire.VerbErr
+	return e.Append(dst), wire.VerbErr
 }
 
-// storeErr maps a store error to an ErrResp body.
-func storeErr(err error) ([]byte, wire.Verb) {
-	return errBody(errCode(err), err.Error())
+// storeErr appends an ErrResp body for a store error onto dst.
+func storeErr(dst []byte, err error) ([]byte, wire.Verb) {
+	return errBody(dst, errCode(err), err.Error())
 }
 
-func (c *conn) handleOpen(body []byte) ([]byte, wire.Verb) {
+func (c *conn) handleOpen(body, dst []byte) ([]byte, wire.Verb) {
+	// Open retains the name (the store registers the object under it), so it
+	// uses the copying decoder, not a view.
 	var req wire.OpenReq
 	if err := req.Decode(body); err != nil {
-		return errBody(wire.CodeBadRequest, err.Error())
+		return errBody(dst, wire.CodeBadRequest, err.Error())
 	}
 	kind, ok := kindFromWire(req.Kind)
 	if !ok {
-		return errBody(wire.CodeUnsupported, fmt.Sprintf("kind %d is not remotable", req.Kind))
+		return errBody(dst, wire.CodeUnsupported, fmt.Sprintf("kind %d is not remotable", req.Kind))
 	}
 	var openOpts []store.OpenOption
 	if req.Capacity != 0 {
@@ -163,41 +259,56 @@ func (c *conn) handleOpen(body []byte) ([]byte, wire.Verb) {
 	}
 	obj, err := c.srv.st.Open(req.Name, kind, openOpts...)
 	if err != nil {
-		return storeErr(err)
+		return storeErr(dst, err)
 	}
 	c.srv.opens.Add(1)
 	wk, _ := kindToWire(obj.Kind())
 	resp := wire.OpenResp{Kind: wk, Readers: uint8(obj.Readers()), Epoch: c.srv.epoch, Session: c.session}
-	return resp.Append(nil), wire.VerbOpen
+	return resp.Append(dst), wire.VerbOpen
 }
 
-func (c *conn) handleWrite(body []byte) ([]byte, wire.Verb) {
+func (c *conn) handleWrite(body, dst []byte) ([]byte, wire.Verb, func() error) {
 	var req wire.WriteReq
-	if err := req.Decode(body); err != nil {
-		return errBody(wire.CodeBadRequest, err.Error())
-	}
-	if err := c.srv.st.Write(req.Name, req.Value); err != nil {
-		return storeErr(err)
-	}
-	c.srv.writes.Add(1)
-	return nil, wire.VerbWrite
-}
-
-func (c *conn) handleReadFetch(body []byte) ([]byte, wire.Verb) {
-	var req wire.ReadFetchReq
-	if err := req.Decode(body); err != nil {
-		return errBody(wire.CodeBadRequest, err.Error())
-	}
-	if int(req.Reader) >= c.srv.st.Readers() {
-		return errBody(wire.CodeBadRequest, fmt.Sprintf("read-fetch %q: reader %d out of range [0, %d)", req.Name, req.Reader, c.srv.st.Readers()))
+	if err := req.DecodeView(body); err != nil {
+		b, v := errBody(dst, wire.CodeBadRequest, err.Error())
+		return b, v, nil
 	}
 	obj, ok := c.srv.st.Lookup(req.Name)
 	if !ok {
-		return errBody(wire.CodeNotFound, fmt.Sprintf("read-fetch %q: object not found", req.Name))
+		b, v := errBody(dst, wire.CodeNotFound, fmt.Sprintf("write %q: object not found", req.Name))
+		return b, v, nil
 	}
-	val, seq, fetched, err := obj.ReadFetch(int(req.Reader))
+	commit, err := obj.WriteAsync(req.Value)
 	if err != nil {
-		return storeErr(err)
+		b, v := storeErr(dst, err)
+		return b, v, nil
+	}
+	c.srv.writes.Add(1)
+	return dst, wire.VerbWrite, commit
+}
+
+func (c *conn) handleReadFetch(body, dst []byte) ([]byte, wire.Verb, func() error) {
+	var req wire.ReadFetchReq
+	if err := req.DecodeView(body); err != nil {
+		b, v := errBody(dst, wire.CodeBadRequest, err.Error())
+		return b, v, nil
+	}
+	if int(req.Reader) >= c.srv.st.Readers() {
+		b, v := errBody(dst, wire.CodeBadRequest, fmt.Sprintf("read-fetch %q: reader %d out of range [0, %d)", req.Name, req.Reader, c.srv.st.Readers()))
+		return b, v, nil
+	}
+	obj, ok := c.srv.st.Lookup(req.Name)
+	if !ok {
+		b, v := errBody(dst, wire.CodeNotFound, fmt.Sprintf("read-fetch %q: object not found", req.Name))
+		return b, v, nil
+	}
+	// The fetch record is appended before ReadFetchAsync returns; the
+	// completion stage withholds the response until the record is stable,
+	// so an acknowledged effective read is still always durable.
+	val, seq, fetched, commit, err := obj.ReadFetchAsync(int(req.Reader))
+	if err != nil {
+		b, v := storeErr(dst, err)
+		return b, v, nil
 	}
 	if fetched {
 		c.srv.readsFetched.Add(1)
@@ -210,39 +321,41 @@ func (c *conn) handleReadFetch(body []byte) ([]byte, wire.Verb) {
 		// connection's session pad; the client unmasks locally.
 		resp.Value = val ^ wire.ValueMask(c.session, req.Name, req.Reader, seq)
 	}
-	return resp.Append(nil), wire.VerbReadFetch
+	return resp.Append(dst), wire.VerbReadFetch, commit
 }
 
-func (c *conn) handleAnnounce(body []byte) ([]byte, wire.Verb) {
+func (c *conn) handleAnnounce(body, dst []byte) ([]byte, wire.Verb) {
 	var req wire.AnnounceReq
-	if err := req.Decode(body); err != nil {
-		return errBody(wire.CodeBadRequest, err.Error())
+	if err := req.DecodeView(body); err != nil {
+		return errBody(dst, wire.CodeBadRequest, err.Error())
 	}
 	if int(req.Reader) >= c.srv.st.Readers() {
-		return errBody(wire.CodeBadRequest, fmt.Sprintf("announce %q: reader %d out of range [0, %d)", req.Name, req.Reader, c.srv.st.Readers()))
+		return errBody(dst, wire.CodeBadRequest, fmt.Sprintf("announce %q: reader %d out of range [0, %d)", req.Name, req.Reader, c.srv.st.Readers()))
 	}
 	obj, ok := c.srv.st.Lookup(req.Name)
 	if !ok {
-		return errBody(wire.CodeNotFound, fmt.Sprintf("announce %q: object not found", req.Name))
+		return errBody(dst, wire.CodeNotFound, fmt.Sprintf("announce %q: object not found", req.Name))
 	}
 	if err := obj.Announce(int(req.Reader), req.Seq); err != nil {
-		return storeErr(err)
+		return storeErr(dst, err)
 	}
 	c.srv.announces.Add(1)
-	return nil, wire.VerbReadAnnounce
+	return dst, wire.VerbReadAnnounce
 }
 
-func (c *conn) handleAudit(body []byte) ([]byte, wire.Verb) {
+func (c *conn) handleAudit(body, dst []byte) ([]byte, wire.Verb) {
+	// Cold path; the audit pool may retain the name in its cursors, so use
+	// the copying decoder.
 	var req wire.AuditReq
 	if err := req.Decode(body); err != nil {
-		return errBody(wire.CodeBadRequest, err.Error())
+		return errBody(dst, wire.CodeBadRequest, err.Error())
 	}
 	var aud store.ObjectAudit[uint64]
 	if req.Fresh {
 		var err error
 		aud, err = c.srv.pool.AuditObject(req.Name)
 		if err != nil {
-			return storeErr(err)
+			return storeErr(dst, err)
 		}
 	} else {
 		var ok bool
@@ -251,21 +364,21 @@ func (c *conn) handleAudit(body []byte) ([]byte, wire.Verb) {
 			var err error
 			aud, err = c.srv.pool.AuditObject(req.Name)
 			if err != nil {
-				return storeErr(err)
+				return storeErr(dst, err)
 			}
 		}
 	}
 	wk, ok := kindToWire(aud.Kind)
 	if !ok {
-		return errBody(wire.CodeUnsupported, fmt.Sprintf("audit %q: %v objects are not remotable", req.Name, aud.Kind))
+		return errBody(dst, wire.CodeUnsupported, fmt.Sprintf("audit %q: %v objects are not remotable", req.Name, aud.Kind))
 	}
 	rows := auditRows(aud)
 	if len(rows) > wire.MaxAuditRows {
-		return errBody(wire.CodeTooLarge, fmt.Sprintf("audit %q: %d rows exceed the frame limit", req.Name, len(rows)))
+		return errBody(dst, wire.CodeTooLarge, fmt.Sprintf("audit %q: %d rows exceed the frame limit", req.Name, len(rows)))
 	}
 	resp := wire.AuditResp{Kind: wk, Rows: rows}
 	if _, err := rand.Read(resp.Nonce[:]); err != nil {
-		return errBody(wire.CodeInternal, err.Error())
+		return errBody(dst, wire.CodeInternal, err.Error())
 	}
 	// Mask every row's reader set under a fresh audit pad; only auditor
 	// clients — key holders — can unmask. No decrypted reader set is ever
@@ -274,16 +387,16 @@ func (c *conn) handleAudit(body []byte) ([]byte, wire.Verb) {
 		resp.Rows[i].Readers ^= wire.AuditMask(c.srv.cfg.Key, resp.Nonce, i)
 	}
 	c.srv.audits.Add(1)
-	return resp.Append(nil), wire.VerbAudit
+	return resp.Append(dst), wire.VerbAudit
 }
 
-func (c *conn) handleStats(body []byte) ([]byte, wire.Verb) {
+func (c *conn) handleStats(body, dst []byte) ([]byte, wire.Verb) {
 	var req wire.StatsReq
 	if err := req.Decode(body); err != nil {
-		return errBody(wire.CodeBadRequest, err.Error())
+		return errBody(dst, wire.CodeBadRequest, err.Error())
 	}
 	resp := wire.StatsResp{Pairs: c.srv.statPairs()}
-	return resp.Append(nil), wire.VerbStats
+	return resp.Append(dst), wire.VerbStats
 }
 
 // auditRows flattens a report into one row per distinct value, readers as an

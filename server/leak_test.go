@@ -3,6 +3,7 @@ package server_test
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -217,6 +218,148 @@ func TestNoDecryptedReaderSetOnTheWire(t *testing.T) {
 	if !tripped {
 		t.Fatal("self-check failed: the sweep cannot detect a cleartext row")
 	}
+}
+
+// TestRecycledBuffersHoldNoPlaintextReaderSets extends the wire-level sweep
+// to the frame-buffer arena: pooled buffers keep their contents between
+// uses, so if any layer ever placed a decrypted reader set (or a cleartext
+// audit row) in a frame, the secret would linger in recycled memory beyond
+// the request that produced it. After driving audit-heavy traffic, the test
+// drains the arena and sweeps every recycled buffer's full capacity — the
+// bytes past len() included — for the cleartext rows of the ground truth.
+func TestRecycledBuffersHoldNoPlaintextReaderSets(t *testing.T) {
+	key := auditreg.KeyFromSeed(123)
+	srv := startServer(t, server.Config{Key: key, Readers: 8})
+	addr := addrOf(t, srv)
+
+	cl, err := client.Dial(addr, client.WithKey(key), client.WithConns(2))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	const name = "secret/arena"
+	obj, err := cl.Open(name, store.Register)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	aud, err := obj.Auditor()
+	if err != nil {
+		t.Fatalf("Auditor: %v", err)
+	}
+	for i := 1; i <= 8; i++ {
+		if err := obj.Write(0xBEEF_0000_0000_0000 + uint64(i)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		for j := 0; j < 4; j++ {
+			if _, err := obj.Read(j); err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+		}
+		if _, err := aud.Audit(); err != nil {
+			t.Fatalf("Audit: %v", err)
+		}
+	}
+	ground, err := srv.Store().Audit(name)
+	if err != nil {
+		t.Fatalf("local Audit: %v", err)
+	}
+	truth := map[uint64]uint64{}
+	for _, e := range ground.Report.Entries() {
+		truth[e.Value] |= 1 << uint(e.Reader)
+	}
+	if len(truth) < 8 {
+		t.Fatalf("ground truth too small: %d rows", len(truth))
+	}
+
+	// Drain the arena: every buffer the traffic above recycled comes back
+	// out with its stale contents intact. Sweep the full capacity.
+	var bufs []*wire.Buf
+	for _, class := range []int{64, 2 << 10, 32 << 10} {
+		for i := 0; i < 64; i++ {
+			bufs = append(bufs, wire.GetBuf(class))
+		}
+	}
+	swept := 0
+	for _, b := range bufs {
+		raw := b.B[:cap(b.B)]
+		swept += len(raw)
+		for value, readers := range truth {
+			var row [16]byte
+			binary.BigEndian.PutUint64(row[:8], value)
+			binary.BigEndian.PutUint64(row[8:], readers)
+			if bytes.Contains(raw, row[:]) {
+				t.Fatalf("recycled buffer retains cleartext audit row for value %#x", value)
+			}
+		}
+	}
+	for _, b := range bufs {
+		wire.PutBuf(b)
+	}
+	if swept == 0 {
+		t.Fatal("swept no recycled bytes")
+	}
+}
+
+// TestPooledBufferRetention drives heavily concurrent mixed traffic through
+// the pooled request path; under -race (CI runs it so) any frame buffer
+// retained past its PutBuf — a reuse-after-recycle, which would also be a
+// confidentiality hazard — shows up as a data race between the retaining
+// goroutine and the buffer's next owner.
+func TestPooledBufferRetention(t *testing.T) {
+	key := auditreg.KeyFromSeed(321)
+	srv := startServer(t, server.Config{Key: key, Readers: 8})
+	addr := addrOf(t, srv)
+
+	cl, err := client.Dial(addr, client.WithKey(key), client.WithConns(4))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	objs := make([]*client.Object, 8)
+	for i := range objs {
+		kind := store.Register
+		if i%2 == 1 {
+			kind = store.MaxRegister
+		}
+		if objs[i], err = cl.Open(fmt.Sprintf("stress/%d", i), kind); err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			obj := objs[g]
+			aud, err := obj.Auditor()
+			if err != nil {
+				t.Errorf("Auditor: %v", err)
+				return
+			}
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					if err := obj.Write(uint64(g)<<32 + uint64(i)); err != nil {
+						t.Errorf("Write: %v", err)
+						return
+					}
+				case 3:
+					if _, err := aud.Latest(); err != nil {
+						t.Errorf("Latest: %v", err)
+						return
+					}
+				default:
+					if _, err := obj.Read(g % obj.Readers()); err != nil {
+						t.Errorf("Read: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 // TestSessionSecretsDifferPerConnection pins that two connections get

@@ -82,6 +82,20 @@ type Journal[V comparable] interface {
 	Record(r JournalRecord[V]) error
 }
 
+// AsyncJournal is an optional Journal extension for pipelined callers: a
+// network server should not park a whole connection's dispatch loop on one
+// record's fsync when the group-commit writer could be absorbing every
+// in-flight mutation into the same batch. RecordAsync returns as soon as
+// the record is appended (same ordering guarantees as Record); the returned
+// commit blocks until the record's durability verdict and must be called
+// exactly once. A nil commit means the record has no pending verdict (a
+// non-blocking record under the journal's policy): the mutation is as
+// settled as Record would have left it.
+type AsyncJournal[V comparable] interface {
+	Journal[V]
+	RecordAsync(r JournalRecord[V]) (commit func() error, err error)
+}
+
 // maxJournaledName bounds object names on a journaled store. It matches
 // both the wire protocol's name cap and the durable record format's
 // (persist), so an object a journaled store accepts can always be recorded

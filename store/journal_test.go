@@ -202,3 +202,114 @@ func TestJournalAuditCursorAdvance(t *testing.T) {
 		t.Errorf("audit record = %+v, want acct/1 with 1 pair", audits[0])
 	}
 }
+
+// asyncMemJournal is memJournal plus the AsyncJournal extension: records
+// append immediately; commits report against a programmable verdict and
+// count their invocations.
+type asyncMemJournal struct {
+	memJournal
+	commitErr error
+	commits   int
+}
+
+func (j *asyncMemJournal) RecordAsync(r JournalRecord[uint64]) (func() error, error) {
+	if err := j.Record(r); err != nil {
+		return nil, err
+	}
+	if r.Op == JournalAnnounce || r.Op == JournalAudit {
+		return nil, nil // non-blocking records have no pending verdict
+	}
+	return func() error {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.commits++
+		return j.commitErr
+	}, nil
+}
+
+// TestWriteAsyncSplitsDurabilityWait pins the async contract: the record is
+// appended before WriteAsync returns, the commit carries the verdict
+// (including failure, wrapped like the synchronous path), and callers
+// against a plain Journal fall back to synchronous semantics with a nil
+// commit.
+func TestWriteAsyncSplitsDurabilityWait(t *testing.T) {
+	j := &asyncMemJournal{}
+	st := newJournaledStore(t, j)
+	obj, err := st.Open("acct/a", Register)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	commit, err := obj.WriteAsync(7)
+	if err != nil {
+		t.Fatalf("WriteAsync: %v", err)
+	}
+	if commit == nil {
+		t.Fatal("WriteAsync against an AsyncJournal returned a nil commit")
+	}
+	recs := j.records()
+	if got := recs[len(recs)-1]; got.Op != JournalWrite || got.Value != 7 {
+		t.Fatalf("record not appended before WriteAsync returned: %+v", got)
+	}
+	if err := commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	// A failing verdict surfaces through commit, wrapped like journal errors.
+	j.mu.Lock()
+	j.commitErr = errors.New("fsync exploded")
+	j.mu.Unlock()
+	commit, err = obj.WriteAsync(8)
+	if err != nil {
+		t.Fatalf("WriteAsync: %v", err)
+	}
+	err = commit()
+	if err == nil || !strings.Contains(err.Error(), "journal") || !strings.Contains(err.Error(), "fsync exploded") {
+		t.Fatalf("commit error = %v, want wrapped fsync failure", err)
+	}
+
+	// The effective read's fetch record is appended before ReadFetchAsync
+	// returns; its commit reports the verdict too.
+	j.mu.Lock()
+	j.commitErr = nil
+	j.mu.Unlock()
+	_, _, fetched, rcommit, err := obj.ReadFetchAsync(1)
+	if err != nil {
+		t.Fatalf("ReadFetchAsync: %v", err)
+	}
+	if !fetched || rcommit == nil {
+		t.Fatalf("fetched=%v commit-nil=%v, want an effective read with a pending verdict", fetched, rcommit == nil)
+	}
+	recs = j.records()
+	if got := recs[len(recs)-1]; got.Op != JournalFetch || got.Reader != 1 {
+		t.Fatalf("fetch record not appended before return: %+v", got)
+	}
+	if err := rcommit(); err != nil {
+		t.Fatalf("fetch commit: %v", err)
+	}
+
+	// A silent read has no record and no verdict.
+	_, _, fetched, rcommit, err = obj.ReadFetchAsync(1)
+	if err != nil || fetched || rcommit != nil {
+		t.Fatalf("silent read: fetched=%v commit-nil=%v err=%v, want nothing pending", fetched, rcommit == nil, err)
+	}
+
+	// Plain (non-async) journals degrade to the synchronous path.
+	sj := &memJournal{}
+	st2 := newJournaledStore(t, sj)
+	obj2, err := st2.Open("acct/b", Register)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	commit, err = obj2.WriteAsync(9)
+	if err != nil {
+		t.Fatalf("WriteAsync (sync fallback): %v", err)
+	}
+	if commit != nil {
+		t.Fatal("sync-journal fallback must return a nil commit (already settled)")
+	}
+	recs2 := sj.records()
+	if got := recs2[len(recs2)-1]; got.Op != JournalWrite || got.Value != 9 {
+		t.Fatalf("sync fallback did not record: %+v", got)
+	}
+}

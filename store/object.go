@@ -112,36 +112,11 @@ func (o *Object[V]) Components() int { return len(o.comps) }
 // Under a blocking durability policy Write returns only once the record is
 // stable.
 func (o *Object[V]) Write(v V) error {
-	switch o.kind {
-	case Register:
-		w, _ := o.writers.Get().(*auditreg.Writer[V])
-		if w == nil {
-			w = o.reg.Writer()
-		}
-		seq, installed, err := w.WriteSeq(v)
-		o.writers.Put(w)
-		if err != nil || !installed {
-			return err
-		}
-		return o.journal(JournalRecord[V]{Op: JournalWrite, Name: o.name, Kind: Register, Seq: seq, Value: v})
-	case MaxRegister:
-		w, _ := o.writers.Get().(*auditreg.MaxWriter[V])
-		if w == nil {
-			var err error
-			w, err = o.max.Writer(o.st.nonces(o.st.nonceID.Add(1)))
-			if err != nil {
-				return err
-			}
-		}
-		err := w.WriteMax(v)
-		o.writers.Put(w)
-		if err != nil {
-			return err
-		}
-		return o.journal(JournalRecord[V]{Op: JournalWrite, Name: o.name, Kind: MaxRegister, Value: v})
-	default:
-		return fmt.Errorf("store: write %q: %v objects take UpdateAt, not Write: %w", o.name, o.kind, ErrKindMismatch)
+	commit, err := o.WriteAsync(v)
+	if err != nil || commit == nil {
+		return err
 	}
+	return commit()
 }
 
 // journal hands a record to the store's journal, if one is attached.
@@ -152,6 +127,126 @@ func (o *Object[V]) journal(r JournalRecord[V]) error {
 		}
 	}
 	return nil
+}
+
+// journalAsync hands a record to the store's journal without waiting for
+// its durability verdict when the journal supports that (AsyncJournal);
+// otherwise it falls back to the blocking path. The returned commit (nil
+// when there is nothing to wait for) reports the verdict, wrapped exactly
+// as journal would have.
+func (o *Object[V]) journalAsync(r JournalRecord[V]) (func() error, error) {
+	j := o.st.journal
+	if j == nil {
+		return nil, nil
+	}
+	aj, ok := j.(AsyncJournal[V])
+	if !ok {
+		return nil, o.journal(r)
+	}
+	commit, err := aj.RecordAsync(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: %v %q: journal: %w", r.Op, o.name, err)
+	}
+	if commit == nil {
+		return nil, nil
+	}
+	op, name := r.Op, o.name
+	return func() error {
+		if err := commit(); err != nil {
+			return fmt.Errorf("store: %v %q: journal: %w", op, name, err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteAsync is Write with the durability wait split off: the write takes
+// effect in memory and its record is appended to the journal, but instead
+// of blocking for the fsync, WriteAsync returns a commit the caller invokes
+// (exactly once) to collect the verdict. commit is nil when there is
+// nothing to wait for — no journal, or a non-blocking policy. The network
+// server uses this to keep executing a connection's requests while a whole
+// batch of mutations rides one group commit; Write is WriteAsync plus the
+// immediate commit.
+func (o *Object[V]) WriteAsync(v V) (commit func() error, err error) {
+	switch o.kind {
+	case Register:
+		w, _ := o.writers.Get().(*auditreg.Writer[V])
+		if w == nil {
+			w = o.reg.Writer()
+		}
+		seq, installed, err := w.WriteSeq(v)
+		o.writers.Put(w)
+		if err != nil || !installed {
+			return nil, err
+		}
+		return o.journalAsync(JournalRecord[V]{Op: JournalWrite, Name: o.name, Kind: Register, Seq: seq, Value: v})
+	case MaxRegister:
+		w, _ := o.writers.Get().(*auditreg.MaxWriter[V])
+		if w == nil {
+			var werr error
+			w, werr = o.max.Writer(o.st.nonces(o.st.nonceID.Add(1)))
+			if werr != nil {
+				return nil, werr
+			}
+		}
+		err := w.WriteMax(v)
+		o.writers.Put(w)
+		if err != nil {
+			return nil, err
+		}
+		return o.journalAsync(JournalRecord[V]{Op: JournalWrite, Name: o.name, Kind: MaxRegister, Value: v})
+	default:
+		return nil, fmt.Errorf("store: write %q: %v objects take UpdateAt, not Write: %w", o.name, o.kind, ErrKindMismatch)
+	}
+}
+
+// ReadFetchAsync is ReadFetch with the durability wait split off, exactly
+// as WriteAsync splits Write: an effective read's fetch record is appended
+// before the call returns, and commit (nil when there is nothing to wait
+// for) blocks until it is stable. The caller must not acknowledge the read
+// to anyone before commit returns nil.
+//
+// Unlike ReadFetch — which holds the reader slot across its journal wait,
+// so concurrent goroutines driving one reader index can never complete a
+// silent read ahead of a pending fetch record — ReadFetchAsync releases
+// the slot after the append. A caller whose reader principals are
+// sequential (the paper's model, and the network protocol's: one response
+// withheld per in-flight fetch) is unaffected; a caller that fans one
+// reader index out across goroutines and needs the stronger ordering must
+// keep using ReadFetch.
+func (o *Object[V]) ReadFetchAsync(reader int) (val V, seq uint64, fetched bool, commit func() error, err error) {
+	var zero V
+	if reader < 0 || reader >= len(o.readSlots) {
+		return zero, 0, false, nil, fmt.Errorf("store: read-fetch %q: reader %d out of range [0, %d)", o.name, reader, len(o.readSlots))
+	}
+	s := &o.readSlots[reader]
+	switch o.kind {
+	case Register:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		rd, err := s.ensureRegReader(o, reader)
+		if err != nil {
+			return zero, 0, false, nil, err
+		}
+		val, seq, fetched = rd.ReadFetch()
+	case MaxRegister:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		rd, err := s.ensureMaxReader(o, reader)
+		if err != nil {
+			return zero, 0, false, nil, err
+		}
+		val, seq, fetched = rd.ReadFetch()
+	default:
+		return zero, 0, false, nil, fmt.Errorf("store: read-fetch %q: %v objects take Scan, not ReadFetch: %w", o.name, o.kind, ErrKindMismatch)
+	}
+	if fetched {
+		commit, err = o.journalAsync(JournalRecord[V]{Op: JournalFetch, Name: o.name, Kind: o.kind, Reader: reader, Seq: seq, Value: val})
+		if err != nil {
+			return val, seq, fetched, nil, err
+		}
+	}
+	return val, seq, fetched, commit, nil
 }
 
 // ensureRegReader lazily creates the slot's Register read handle. The slot's

@@ -1,0 +1,32 @@
+package wire
+
+import (
+	"io"
+	"net"
+)
+
+// Flusher turns a slice of pooled frame buffers into one scatter-gather
+// write, reusing its iovec across flushes. Both conn writers — server and
+// client — drain their bounded queue into a Flusher, so a wakeup costs one
+// writev however many frames are pending; the ownership rule is uniform:
+// Flush consumes the frames, recycling every buffer whatever the outcome.
+type Flusher struct {
+	iov [][]byte
+}
+
+// Flush writes every frame in pend to w with a single writev (net.Buffers
+// falls back to sequential writes on non-socket writers) and returns the
+// buffers to the arena. On error the frames are still recycled; the caller
+// owns the connection's fate.
+func (f *Flusher) Flush(w io.Writer, pend []*Buf) error {
+	f.iov = f.iov[:0]
+	for _, p := range pend {
+		f.iov = append(f.iov, p.B)
+	}
+	bufs := net.Buffers(f.iov)
+	_, err := bufs.WriteTo(w)
+	for _, p := range pend {
+		PutBuf(p)
+	}
+	return err
+}

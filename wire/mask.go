@@ -34,34 +34,49 @@ const (
 
 // ValueMask derives the pad XOR-applied to the value of a READ-FETCH
 // response: the first 8 bytes of SHA-256(tag, session, name, reader, seq).
-// The server masks with it; the reading client unmasks with it.
+// The server masks with it; the reading client unmasks with it. The digest
+// input is assembled in one stack buffer (MaxName bounds the name), so the
+// derivation performs no heap allocation — it sits on the server's
+// per-fetch fast path.
 func ValueMask(session [SessionLen]byte, name string, reader uint8, seq uint64) uint64 {
-	h := sha256.New()
-	h.Write([]byte(valueMaskTag))
-	h.Write(session[:])
-	var num [9]byte
-	num[0] = reader
-	binary.BigEndian.PutUint64(num[1:], seq)
-	h.Write(num[:])
-	h.Write([]byte(name))
-	var sum [sha256.Size]byte
-	h.Sum(sum[:0])
+	if len(name) > MaxName {
+		// Out-of-protocol input (decoders reject such names); fall back to
+		// the streaming equivalent rather than silently truncate the digest.
+		h := sha256.New()
+		h.Write([]byte(valueMaskTag))
+		h.Write(session[:])
+		var num [9]byte
+		num[0] = reader
+		binary.BigEndian.PutUint64(num[1:], seq)
+		h.Write(num[:])
+		h.Write([]byte(name))
+		var sum [sha256.Size]byte
+		h.Sum(sum[:0])
+		return binary.BigEndian.Uint64(sum[:8])
+	}
+	var in [len(valueMaskTag) + SessionLen + 9 + MaxName]byte
+	n := copy(in[:], valueMaskTag)
+	n += copy(in[n:], session[:])
+	in[n] = reader
+	binary.BigEndian.PutUint64(in[n+1:], seq)
+	n += 9
+	n += copy(in[n:], name)
+	sum := sha256.Sum256(in[:n])
 	return binary.BigEndian.Uint64(sum[:8])
 }
 
 // AuditMask derives the pad XOR-applied to the reader-set bitmask of row i
 // of an AUDIT response: the first 8 bytes of SHA-256(tag, key, nonce, i).
 // The server masks with the store key; only a key-holding auditor client can
-// unmask — readers, by the paper's trust model, cannot.
+// unmask — readers, by the paper's trust model, cannot. Allocation-free,
+// like ValueMask.
 func AuditMask(key [32]byte, nonce [NonceLen]byte, row int) uint64 {
-	h := sha256.New()
-	h.Write([]byte(auditMaskTag))
-	h.Write(key[:])
-	h.Write(nonce[:])
-	var num [8]byte
-	binary.BigEndian.PutUint64(num[:], uint64(row))
-	h.Write(num[:])
-	var sum [sha256.Size]byte
-	h.Sum(sum[:0])
+	var in [len(auditMaskTag) + 32 + NonceLen + 8]byte
+	n := copy(in[:], auditMaskTag)
+	n += copy(in[n:], key[:])
+	n += copy(in[n:], nonce[:])
+	binary.BigEndian.PutUint64(in[n:], uint64(row))
+	n += 8
+	sum := sha256.Sum256(in[:n])
 	return binary.BigEndian.Uint64(sum[:8])
 }

@@ -1,0 +1,77 @@
+package wire
+
+import "sync"
+
+// Frame-buffer arena: a size-classed sync.Pool of reusable byte buffers, so
+// the steady-state request path — client encode, server decode, server
+// encode, client decode — recycles a small working set of buffers instead of
+// allocating per message.
+//
+// # Buffer ownership rules
+//
+// A *Buf has exactly one owner at a time. GetBuf transfers ownership to the
+// caller; PutBuf transfers it back to the arena and the caller must not
+// touch the buffer afterwards — not even to read. Whoever holds a frame or
+// decode view into a buffer (Frame.Body from a FrameScanner, a DecodeView
+// string) holds it by grace of the buffer's owner and must be done with the
+// view before the owner recycles it. The compiled-in users follow one
+// pattern: the producing side encodes into a pooled buffer, the consuming
+// side (a conn writer goroutine, a response waiter) recycles it immediately
+// after the bytes hit the socket or the decoded struct — nothing retains a
+// pooled buffer across requests. See DESIGN.md, "Wire hot path".
+//
+// Recycled buffers keep their byte contents until reuse. Everything the
+// protocol places in them is already masked (values under session pads,
+// reader sets under audit pads), so a recycled buffer holds no plaintext
+// secrets — server/leak_test.go sweeps the arena to pin exactly that.
+
+// Buf is one pooled frame buffer. B has length zero and nonzero capacity
+// when fresh from GetBuf; append to it freely — PutBuf re-classes the buffer
+// by its final capacity.
+type Buf struct {
+	B []byte
+}
+
+// bufClasses are the arena's capacity classes. The smallest covers every
+// fixed-size request and response frame; the middle classes cover stats and
+// small audit responses; the largest covers any legal frame (MaxFrame plus
+// the length prefix).
+var bufClasses = [...]int{256, 4 << 10, 64 << 10, MaxFrame + 4}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+func init() {
+	for i := range bufPools {
+		size := bufClasses[i]
+		bufPools[i].New = func() any { return &Buf{B: make([]byte, 0, size)} }
+	}
+}
+
+// GetBuf returns a buffer with len(B) == 0 and cap(B) >= n from the arena.
+// For n beyond the largest class a fresh unpooled buffer is returned (PutBuf
+// will drop it).
+func GetBuf(n int) *Buf {
+	for i, size := range bufClasses {
+		if n <= size {
+			return bufPools[i].Get().(*Buf)
+		}
+	}
+	return &Buf{B: make([]byte, 0, n)}
+}
+
+// PutBuf returns b to the arena. The caller yields ownership: b and every
+// view into it are invalid afterwards. Buffers that outgrew the largest
+// class are dropped.
+func PutBuf(b *Buf) {
+	c := cap(b.B)
+	for i := len(bufClasses) - 1; i >= 0; i-- {
+		if c >= bufClasses[i] {
+			b.B = b.B[:0]
+			bufPools[i].Put(b)
+			return
+		}
+	}
+	// A buffer below the smallest class can only have been constructed
+	// outside the arena; drop it rather than poison a class with undersized
+	// capacity.
+}

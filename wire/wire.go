@@ -120,6 +120,36 @@ func AppendFrame(dst []byte, id uint64, verb Verb, body []byte) []byte {
 	return append(dst, body...)
 }
 
+// FramePrefix is the number of bytes BeginFrame reserves in front of the
+// body: the length prefix plus the frame header.
+const FramePrefix = 4 + HeaderLen
+
+// BeginFrame reserves the frame prefix on dst and returns the extended
+// slice; the caller appends the message body and then patches the prefix
+// with EndFrame. The two calls let an encoder build a frame front to back in
+// one caller-owned buffer — no body staging, no copy.
+func BeginFrame(dst []byte) []byte {
+	var prefix [FramePrefix]byte
+	return append(dst, prefix[:]...)
+}
+
+// EndFrame patches the prefix of a frame started at offset start in buf with
+// the id and verb, completing it. It fails when the finished frame would
+// exceed MaxFrame.
+func EndFrame(buf []byte, start int, id uint64, verb Verb) error {
+	n := len(buf) - start - 4
+	if n < HeaderLen {
+		return fmt.Errorf("wire: EndFrame on a frame of %d bytes", len(buf)-start)
+	}
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(n))
+	binary.BigEndian.PutUint64(buf[start+4:], id)
+	buf[start+12] = byte(verb)
+	return nil
+}
+
 // ParseFrame decodes the first frame of b, returning it and the unconsumed
 // remainder. io.ErrUnexpectedEOF reports a truncated frame (read more and
 // retry); any other error is a protocol violation.
@@ -177,6 +207,99 @@ func ReadFrame(br *bufio.Reader) (Frame, error) {
 		Verb: Verb(payload[8]),
 		Body: payload[9:],
 	}, nil
+}
+
+// FrameScanner reads frames from a stream through one growable, reusable
+// buffer: the allocation-free replacement for per-frame ReadFrame on hot
+// read loops. Next returns frames whose Body aliases the internal buffer —
+// a decode view, valid only until the next Next call; a caller that hands
+// the body to another goroutine must copy it first (into a pooled Buf).
+//
+// Next always drains buffered complete frames before touching the
+// underlying reader, so a connection being drained — its socket reads
+// failing after a deadline kick — still yields every frame that had fully
+// arrived before surfacing the read error.
+type FrameScanner struct {
+	r          io.Reader
+	buf        []byte
+	start, end int
+}
+
+// NewFrameScanner returns a scanner over r with the given initial buffer
+// size (minimum 4 KiB; the buffer grows as needed up to one maximal frame).
+func NewFrameScanner(r io.Reader, size int) *FrameScanner {
+	if size < 4<<10 {
+		size = 4 << 10
+	}
+	return &FrameScanner{r: r, buf: make([]byte, size)}
+}
+
+// Next returns the next frame. The frame's Body aliases the scanner's
+// buffer and is valid only until the next call. io.EOF reports a clean end
+// of stream at a frame boundary; io.ErrUnexpectedEOF a stream cut short
+// mid-frame; any other error is a protocol violation or a read failure.
+func (s *FrameScanner) Next() (Frame, error) {
+	for {
+		if s.end > s.start {
+			f, rest, err := ParseFrame(s.buf[s.start:s.end])
+			if err == nil {
+				s.start = s.end - len(rest)
+				return f, nil
+			}
+			if err != io.ErrUnexpectedEOF {
+				return Frame{}, err
+			}
+		}
+		if err := s.fill(); err != nil {
+			if err == io.EOF && s.end > s.start {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+	}
+}
+
+// fill reads more bytes after compacting or growing the buffer as needed.
+func (s *FrameScanner) fill() error {
+	if s.start == s.end {
+		s.start, s.end = 0, 0
+	}
+	if s.end == len(s.buf) {
+		if s.start > 0 {
+			// Slide the partial frame to the front; its views are dead (the
+			// previous Next returned long ago).
+			s.end = copy(s.buf, s.buf[s.start:s.end])
+			s.start = 0
+		} else {
+			// One frame larger than the whole buffer: grow toward the frame's
+			// own size when known, bounded by the protocol limit.
+			need := 2 * len(s.buf)
+			if s.end >= 4 {
+				if n := binary.BigEndian.Uint32(s.buf); n <= MaxFrame && int(4+n) > need {
+					need = int(4 + n)
+				}
+			}
+			if need > MaxFrame+4 {
+				need = MaxFrame + 4
+			}
+			if need <= len(s.buf) {
+				return fmt.Errorf("wire: frame exceeds scanner limit %d", len(s.buf))
+			}
+			grown := make([]byte, need)
+			s.end = copy(grown, s.buf[s.start:s.end])
+			s.start = 0
+			s.buf = grown
+		}
+	}
+	n, err := s.r.Read(s.buf[s.end:])
+	s.end += n
+	if n > 0 {
+		return nil // surface err on the next fill, after the bytes are parsed
+	}
+	if err == nil {
+		err = io.ErrNoProgress
+	}
+	return err
 }
 
 // cursor is a little-state decoder over a message body. Every getter
