@@ -31,7 +31,9 @@
 package client
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -198,9 +200,12 @@ func (c *Client) Open(name string, kind store.Kind, opts ...OpenOption) (*Object
 		return nil, fmt.Errorf("client: open: name length must be in [1, %d], got %d", wire.MaxName, len(name))
 	}
 
-	cn := c.pick()
-	resp, err := cn.open(name, wk, cfg.capacity)
-	if err != nil {
+	var resp wire.OpenResp
+	if err := retryBusy(func() error {
+		var err error
+		resp, err = c.pick().open(name, wk, cfg.capacity)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 
@@ -263,7 +268,7 @@ func kindToWire(k store.Kind) (uint8, bool) {
 	return uint8(k), wire.RemotableKind(uint8(k))
 }
 
-// remoteErr converts an ErrResp into a Go error carrying the matching store
+// remoteErr converts an ErrResp into a Go error carrying the matching
 // sentinel, so errors.Is works across the wire.
 func remoteErr(e *wire.ErrResp) error {
 	switch e.Code {
@@ -271,8 +276,47 @@ func remoteErr(e *wire.ErrResp) error {
 		return fmt.Errorf("client: %s: %w", e.Msg, store.ErrNotFound)
 	case wire.CodeKindMismatch:
 		return fmt.Errorf("client: %s: %w", e.Msg, store.ErrKindMismatch)
+	case wire.CodeBusy:
+		return fmt.Errorf("client: %w", wire.ErrBusy)
 	default:
 		return fmt.Errorf("client: remote error %d: %s", e.Code, e.Msg)
+	}
+}
+
+// Busy-retry backoff bounds: the first retry waits about busyBaseDelay,
+// doubling (with jitter) up to busyMaxDelay, and an op that stays shed past
+// busyRetryWindow surfaces wire.ErrBusy to the caller.
+const (
+	busyBaseDelay   = 100 * time.Microsecond
+	busyMaxDelay    = 10 * time.Millisecond
+	busyRetryWindow = 2 * time.Second
+)
+
+// retryBusy runs op, retrying with jittered exponential backoff while the
+// server sheds it under admission control (wire.ErrBusy). Every retry
+// re-encodes and may land on a different pool connection; ops that are not
+// idempotent-safe to repeat (none — every verb here is) would not use this.
+func retryBusy(op func() error) error {
+	delay := busyBaseDelay
+	var deadline time.Time
+	for {
+		err := op()
+		if err == nil || !errors.Is(err, wire.ErrBusy) {
+			return err
+		}
+		now := time.Now()
+		if deadline.IsZero() {
+			deadline = now.Add(busyRetryWindow)
+		} else if now.After(deadline) {
+			return err
+		}
+		// Full jitter: a uniform draw in (0, delay], so shed clients
+		// desynchronize instead of stampeding the shard back to its
+		// watermark in lockstep.
+		time.Sleep(time.Duration(rand.Int63n(int64(delay))) + time.Microsecond)
+		if delay *= 2; delay > busyMaxDelay {
+			delay = busyMaxDelay
+		}
 	}
 }
 

@@ -48,27 +48,32 @@ func (o *Object) Readers() int { return o.readers }
 
 // Write writes v: an overwrite for a Register, a writeMax for a
 // MaxRegister. The request frame is encoded into (and recycled through) the
-// wire buffer arena — steady-state writes allocate nothing per call.
+// wire buffer arena — steady-state writes allocate nothing per call. A
+// write the server sheds under admission control is retried with jittered
+// backoff (see retryBusy); writes are idempotent per value, so a repeat is
+// always safe.
 func (o *Object) Write(v uint64) error {
-	cn := o.c.pick()
-	if _, err := cn.open(o.name, o.wkind, 0); err != nil {
+	return retryBusy(func() error {
+		cn := o.c.pick()
+		if _, err := cn.open(o.name, o.wkind, 0); err != nil {
+			return err
+		}
+		req := wire.WriteReq{Name: o.name, Value: v}
+		b := wire.GetBuf(wire.FramePrefix + 16 + len(o.name))
+		b.B = req.Append(wire.BeginFrame(b.B[:0]))
+		r, err := cn.roundTripBuf(wire.VerbWrite, b)
+		if err != nil {
+			return err
+		}
+		switch {
+		case r.verb != wire.VerbWrite:
+			err = respError(r, wire.VerbWrite)
+		case len(r.buf.B) != 0:
+			err = fmt.Errorf("client: unexpected %d-byte ack body", len(r.buf.B))
+		}
+		wire.PutBuf(r.buf)
 		return err
-	}
-	req := wire.WriteReq{Name: o.name, Value: v}
-	b := wire.GetBuf(wire.FramePrefix + 16 + len(o.name))
-	b.B = req.Append(wire.BeginFrame(b.B[:0]))
-	r, err := cn.roundTripBuf(wire.VerbWrite, b)
-	if err != nil {
-		return err
-	}
-	switch {
-	case r.verb != wire.VerbWrite:
-		err = respError(r, wire.VerbWrite)
-	case len(r.buf.B) != 0:
-		err = fmt.Errorf("client: unexpected %d-byte ack body", len(r.buf.B))
-	}
-	wire.PutBuf(r.buf)
-	return err
+	})
 }
 
 // Read returns the current value as seen by the given reader index, driving
@@ -89,33 +94,39 @@ func (o *Object) Read(reader int) (uint64, error) {
 		s.prevSeq = ^uint64(0) // the paper's prev_sn = -1
 	}
 
-	cn := o.c.pick()
-	if _, err := cn.open(o.name, o.wkind, 0); err != nil {
-		return 0, err
-	}
-	// The open (fresh or cached) pinned this connection's server boot
-	// epoch. A connection only ever speaks to one server process, so a
-	// slot cache filled under a different epoch was filled against a
-	// different process generation — recovery renumbers, so drop it.
-	if e := cn.epochValue(); s.epoch != e {
-		s.epoch = e
-		s.prevSeq = ^uint64(0)
-	}
-	req := wire.ReadFetchReq{Name: o.name, Reader: uint8(reader), PrevSeq: s.prevSeq}
-	b := wire.GetBuf(wire.FramePrefix + 24 + len(o.name))
-	b.B = req.Append(wire.BeginFrame(b.B[:0]))
-	r, err := cn.roundTripBuf(wire.VerbReadFetch, b)
-	if err != nil {
-		return 0, err
-	}
-	if r.verb != wire.VerbReadFetch {
-		err = respError(r, wire.VerbReadFetch)
-		wire.PutBuf(r.buf)
-		return 0, err
-	}
+	// A shed fetch never reached the store — no fetch&xor happened, so a
+	// backoff retry repeats a request that had no effect (see retryBusy).
+	var cn *conn
 	var fetchResp wire.ReadFetchResp
-	err = fetchResp.Decode(r.buf.B)
-	wire.PutBuf(r.buf)
+	err := retryBusy(func() error {
+		cn = o.c.pick()
+		if _, err := cn.open(o.name, o.wkind, 0); err != nil {
+			return err
+		}
+		// The open (fresh or cached) pinned this connection's server boot
+		// epoch. A connection only ever speaks to one server process, so a
+		// slot cache filled under a different epoch was filled against a
+		// different process generation — recovery renumbers, so drop it.
+		if e := cn.epochValue(); s.epoch != e {
+			s.epoch = e
+			s.prevSeq = ^uint64(0)
+		}
+		req := wire.ReadFetchReq{Name: o.name, Reader: uint8(reader), PrevSeq: s.prevSeq}
+		b := wire.GetBuf(wire.FramePrefix + 24 + len(o.name))
+		b.B = req.Append(wire.BeginFrame(b.B[:0]))
+		r, err := cn.roundTripBuf(wire.VerbReadFetch, b)
+		if err != nil {
+			return err
+		}
+		if r.verb != wire.VerbReadFetch {
+			err = respError(r, wire.VerbReadFetch)
+			wire.PutBuf(r.buf)
+			return err
+		}
+		err = fetchResp.Decode(r.buf.B)
+		wire.PutBuf(r.buf)
+		return err
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -201,18 +212,22 @@ func (a *Auditor) Latest() (store.ObjectAudit[uint64], error) { return a.audit(f
 
 func (a *Auditor) audit(fresh bool) (store.ObjectAudit[uint64], error) {
 	o := a.o
-	cn := o.c.pick()
-	if _, err := cn.open(o.name, o.wkind, 0); err != nil {
-		return store.ObjectAudit[uint64]{}, err
-	}
-	req := wire.AuditReq{Name: o.name, Fresh: fresh}
-	r, err := cn.roundTrip(wire.VerbAudit, req.Append(nil))
-	if err != nil {
-		return store.ObjectAudit[uint64]{}, err
-	}
 	var resp wire.AuditResp
-	err = decodeResp(r, wire.VerbAudit, &resp)
-	wire.PutBuf(r.buf)
+	err := retryBusy(func() error {
+		cn := o.c.pick()
+		if _, err := cn.open(o.name, o.wkind, 0); err != nil {
+			return err
+		}
+		req := wire.AuditReq{Name: o.name, Fresh: fresh}
+		r, err := cn.roundTrip(wire.VerbAudit, req.Append(nil))
+		if err != nil {
+			return err
+		}
+		resp = wire.AuditResp{}
+		err = decodeResp(r, wire.VerbAudit, &resp)
+		wire.PutBuf(r.buf)
+		return err
+	})
 	if err != nil {
 		return store.ObjectAudit[uint64]{}, err
 	}

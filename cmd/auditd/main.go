@@ -4,7 +4,11 @@
 // background. Clients — package auditreg/client, or cmd/loadgen in -remote
 // mode — speak the OPEN/WRITE/READ-FETCH/READ-ANNOUNCE/AUDIT/STATS verbs;
 // reader sets cross the wire only in masked form (see DESIGN.md, "Network
-// layer").
+// layer"). Requests are executed shard-per-core: -shards dispatch lanes
+// routed by object-name hash, each a single goroutine owning its slice of
+// the store, with bounded queues that shed (CodeBusy) at the high
+// watermark; -wal-stripes gives the WAL the matching number of
+// independently committing stripe groups.
 //
 // With -data-dir the daemon is durable (package auditreg/persist): every
 // mutation lands in a write-ahead log whose records are encrypted under a
@@ -47,7 +51,8 @@ func main() {
 	addr := flag.String("addr", ":7433", "TCP listen address")
 	seed := flag.Uint64("seed", 1, "store key seed (share with auditor clients)")
 	readers := flag.Int("readers", 0, "reader principals per object (0: store default)")
-	shards := flag.Int("shards", 0, "store shard count (0: store default)")
+	shards := flag.Int("shards", 0, "shard executors: dispatch lanes requests are routed to by object-name hash (0: GOMAXPROCS)")
+	shardQueue := flag.Int("shard-queue", 0, "per-executor queue depth; the admission-control high watermark (0: server default)")
 	capacity := flag.Int("capacity", 0, "default audit-history capacity per object (0: store default)")
 	poolWorkers := flag.Int("poolworkers", 0, "audit pool worker goroutines (0: pool default)")
 	poolInterval := flag.Duration("poolinterval", 0, "audit pool sweep interval (0: pool default)")
@@ -58,6 +63,7 @@ func main() {
 	segmentBytes := flag.Int64("segment-bytes", 0, "WAL segment rotation size (0: persist default)")
 	walBatchDelay := flag.Duration("wal-batch-delay", 0, "adaptive group-commit window under -fsync always (0: persist default, negative: disabled)")
 	walBatchBytes := flag.Int("wal-batch-bytes", 0, "group-commit batch size cap in bytes (0: persist default)")
+	walStripes := flag.Int("wal-stripes", 0, "WAL stripe groups, each with its own writer and fsync pipeline (0: GOMAXPROCS; a non-empty -data-dir pins its own count)")
 	flag.Parse()
 
 	policy, ok := persist.ParsePolicy(*fsync)
@@ -67,7 +73,8 @@ func main() {
 	srv, err := server.New(server.Config{
 		Key:           auditreg.KeyFromSeed(*seed),
 		Readers:       *readers,
-		Shards:        *shards,
+		ExecShards:    *shards,
+		ShardQueue:    *shardQueue,
 		Capacity:      *capacity,
 		PoolWorkers:   *poolWorkers,
 		PoolInterval:  *poolInterval,
@@ -77,6 +84,7 @@ func main() {
 		SegmentBytes:  *segmentBytes,
 		WALBatchDelay: *walBatchDelay,
 		WALBatchBytes: *walBatchBytes,
+		WALStripes:    *walStripes,
 	})
 	if err != nil {
 		fatalf("%v", err)

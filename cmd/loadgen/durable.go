@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,26 @@ type daemon struct {
 // daemons it spawns (zero values: the daemon's defaults).
 type daemonTuning struct {
 	walBatchDelay time.Duration
+	shards        int // shard executors (-shards)
+	walStripes    int // WAL stripe groups (-wal-stripes)
+	shardQueue    int // per-executor queue depth (-shard-queue)
+}
+
+// suffix renders the non-default tuning knobs as extra benchmark name
+// dimensions, so cells measured under different daemon tunings keep
+// distinct names when several runs are merged into one BENCH_*.json.
+func (t daemonTuning) suffix() string {
+	var s string
+	if t.shards != 0 {
+		s += fmt.Sprintf("/shards=%d", t.shards)
+	}
+	if t.walStripes != 0 {
+		s += fmt.Sprintf("/stripes=%d", t.walStripes)
+	}
+	if t.shardQueue != 0 {
+		s += fmt.Sprintf("/queue=%d", t.shardQueue)
+	}
+	return s
 }
 
 // startDaemon execs the auditd binary against dataDir and waits for its
@@ -44,6 +65,15 @@ func startDaemon(bin, addr, dataDir string, seed uint64, readers int, tune daemo
 	}
 	if tune.walBatchDelay != 0 {
 		args = append(args, "-wal-batch-delay", tune.walBatchDelay.String())
+	}
+	if tune.shards != 0 {
+		args = append(args, "-shards", fmt.Sprint(tune.shards))
+	}
+	if tune.walStripes != 0 {
+		args = append(args, "-wal-stripes", fmt.Sprint(tune.walStripes))
+	}
+	if tune.shardQueue != 0 {
+		args = append(args, "-shard-queue", fmt.Sprint(tune.shardQueue))
 	}
 	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
@@ -192,6 +222,11 @@ func runDurableCell(cfg cellConfig, auditdBin, baseDir string, conns int, tune d
 	// mutex — writes and failures are the rarer events.
 	var mu sync.Mutex
 	obsLogs := make([][]observation, cfg.goroutines)
+	// Per-goroutine op latencies (retry-inclusive: first attempt to final
+	// ack), folded and sorted after the traffic for the p50/p99 metrics the
+	// admission-control cells gate on. Kept per-goroutine for the same
+	// reason as obsLogs: no shared state on the measured path.
+	latLogs := make([][]int64, cfg.goroutines)
 	attempted := make([]map[uint64]bool, cfg.objects)
 	for i := range attempted {
 		attempted[i] = map[uint64]bool{0: true} // 0 is the initial value
@@ -257,6 +292,7 @@ func runDurableCell(cfg cellConfig, auditdBin, baseDir string, conns int, tune d
 				n++
 			}
 			obs := make([]observation, 0, n)
+			lats := make([]int64, 0, n)
 			for i := 0; i < n; i++ {
 				idx := rng.Intn(len(objs))
 				roll := rng.Intn(100)
@@ -273,7 +309,8 @@ func runDurableCell(cfg cellConfig, auditdBin, baseDir string, conns int, tune d
 					isRead = true
 				}
 				failures := 0
-				deadline := time.Now().Add(90 * time.Second)
+				opStart := time.Now()
+				deadline := opStart.Add(90 * time.Second)
 				for {
 					var err error
 					var rval uint64
@@ -298,6 +335,7 @@ func runDurableCell(cfg cellConfig, auditdBin, baseDir string, conns int, tune d
 						if failures > 0 {
 							retriedOps.Add(1)
 						}
+						lats = append(lats, int64(time.Since(opStart)))
 						break
 					}
 					failures++
@@ -325,6 +363,7 @@ func runDurableCell(cfg cellConfig, auditdBin, baseDir string, conns int, tune d
 				}
 			}
 			obsLogs[g] = obs
+			latLogs[g] = lats
 		}(g)
 	}
 	wg.Wait()
@@ -334,6 +373,21 @@ func runDurableCell(cfg cellConfig, auditdBin, baseDir string, conns int, tune d
 	if err := <-watcher; err != nil {
 		return benchfmt.Result{}, err
 	}
+
+	// Fold and sort the latency logs; quantiles over completed ops.
+	var lats []int64
+	for _, l := range latLogs {
+		lats = append(lats, l...)
+	}
+	slices.Sort(lats)
+	quantile := func(q float64) int64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	p50, p99 := quantile(0.50), quantile(0.99)
 
 	// Fold the per-goroutine observation logs into per-object sets.
 	observed := make(map[int]map[auditreg.Entry[uint64]]bool, cfg.objects)
@@ -418,6 +472,8 @@ func runDurableCell(cfg cellConfig, auditdBin, baseDir string, conns int, tune d
 		"audit-lookups", audits.Load(),
 		"failed-ops", failedOps.Load(),
 		"retried-ops", retriedOps.Load(),
+		"p50-ns", p50,
+		"p99-ns", p99,
 		"verified-objects", checked,
 		"audited-pairs", pairs,
 		"ambiguous-pairs", ambiguousPairs,
@@ -428,12 +484,15 @@ func runDurableCell(cfg cellConfig, auditdBin, baseDir string, conns int, tune d
 		"srv-wal-sync-batch-gt-2", bigBatchSyncs,
 		"srv-conn-flushes", srvStats["conn-flushes"],
 		"srv-conn-flushed-frames", srvStats["conn-flushed-frames"],
+		"srv-shards", srvStats["shards"],
+		"srv-shard-enqueues", srvStats["shard-enqueues"],
+		"srv-shard-sheds", srvStats["shard-sheds"],
 	)
 	if err != nil {
 		return benchfmt.Result{}, err
 	}
 	return benchfmt.Result{
-		Name:    fmt.Sprintf("LoadgenDurable/objects=%d/goroutines=%d", cfg.objects, cfg.goroutines),
+		Name:    fmt.Sprintf("LoadgenDurable/objects=%d/goroutines=%d%s", cfg.objects, cfg.goroutines, tune.suffix()),
 		Package: "auditreg/cmd/loadgen",
 		Iters:   int64(totalOps),
 		Metrics: metrics,

@@ -65,6 +65,18 @@ func (m *Map[T]) ShardOf(name string) int { return int(fnv1a(name) & m.mask) }
 // so there is exactly one hash to keep in sync.
 func Hash(name string) uint64 { return fnv1a(name) }
 
+// HashBytes is Hash over a byte slice, for callers that hold an object name
+// as bytes inside a larger frame and must not allocate a string to route it
+// (the server's shard dispatcher). HashBytes(b) == Hash(string(b)) always.
+func HashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // fnv1a is the 64-bit FNV-1a hash; inlined to keep Get allocation-free
 // (hash/fnv would force the string through an io.Writer).
 func fnv1a(s string) uint64 {

@@ -5,7 +5,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"time"
 
 	"auditreg"
 	"auditreg/store"
@@ -15,15 +14,18 @@ import (
 type RecoverResult struct {
 	// Replay counts what was re-executed against the store.
 	Replay ReplayStats
-	// Records is the number of durable records scanned (snapshot + tail).
+	// Records is the number of durable records scanned (snapshots + tails).
 	Records int
 	// Segments is the number of WAL segments scanned.
 	Segments int
-	// SnapshotCut is the cut LSN of the snapshot that seeded recovery, 0
-	// when the directory had none.
+	// Stripes is the stripe-group count the directory runs at (pinned by
+	// the files on disk once the directory is non-empty).
+	Stripes int
+	// SnapshotCut is the highest cut LSN among the snapshots that seeded
+	// recovery, 0 when the directory had none.
 	SnapshotCut uint64
-	// TornBytes is the size of the torn tail discarded from the active
-	// segment (records never acknowledged as durable).
+	// TornBytes is the total size of the torn tails discarded from the
+	// stripes' active segments (records never acknowledged as durable).
 	TornBytes int64
 	// AuditedNames lists the objects whose audit cursors had published
 	// reports before the crash; the server re-audits them on boot.
@@ -32,16 +34,29 @@ type RecoverResult struct {
 	UnknownFiles []string
 }
 
+// stripeBoot is what recovery hands each stripe group before its writer
+// starts: where its LSN space continues, and its crashed active segment (if
+// any) awaiting a rewrite.
+type stripeBoot struct {
+	nextLSN    uint64
+	activeFR   *fileRecords
+	activeBase uint64
+	activeName string
+}
+
 // Open recovers the data directory into st — which must be fresh and
 // journal-less — and returns a running WAL ready to be attached with
 // st.SetJournal. A directory that cannot be replayed exactly (corrupt
 // snapshot, corrupt sealed segment, impossible record structure) fails with
 // an explicit error; the only damage Open repairs silently is a torn tail
-// at the end of the active segment, whose byte count it reports.
+// at the end of each stripe's active segment, whose byte count it reports.
 //
 // The directory is created if absent and held under an advisory lock for
 // the WAL's lifetime (released by Close, or by the operating system on
-// process death).
+// process death). A non-empty directory pins its stripe count (see
+// Options.Stripes): recovery infers it from the files on disk, so the
+// name→stripe mapping survives restarts under a different configuration and
+// every stripe's files always hold whole per-object histories.
 func Open(dir string, key auditreg.Key, st *store.Store[uint64], opts Options) (*WAL, *RecoverResult, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o700); err != nil {
@@ -64,84 +79,105 @@ func open(dir string, key auditreg.Key, st *store.Store[uint64], opts Options, l
 	if err != nil {
 		return nil, nil, err
 	}
-	res := &RecoverResult{UnknownFiles: ds.others}
+	if ds.maxStripe >= 0 {
+		// Pin the stripe count to the files on disk. Every run creates an
+		// active segment per stripe at startup, so the highest stripe id
+		// present reconstructs the previous run's count exactly.
+		pinned := 1
+		for pinned <= ds.maxStripe {
+			pinned <<= 1
+		}
+		opts.Stripes = pinned
+	}
+	res := &RecoverResult{UnknownFiles: ds.others, Stripes: opts.Stripes}
 	model := newRecoverModel()
-	nextLSN := uint64(1)
 	var stale []string // fully covered files to delete after replay
+	boots := make([]stripeBoot, opts.Stripes)
 
-	// Seed from the newest snapshot, which must be complete: it was
-	// published by an atomic rename and sealed, so anything less is
-	// corruption, and the segments it replaced are gone.
-	var cut uint64
-	if n := len(ds.snapshots); n > 0 {
-		cut = ds.snapshots[n-1]
-		path := filepath.Join(dir, snapshotName(cut))
-		fr, err := readRecordFile(path, snapMagic, key)
-		if err != nil {
-			return nil, nil, err
-		}
-		if !fr.sealed || fr.tornBytes > 0 {
-			return nil, nil, fmt.Errorf("persist: snapshot %s is not sealed", path)
-		}
-		for i := range fr.recs {
-			if err := model.add(&fr.recs[i]); err != nil {
-				return nil, nil, fmt.Errorf("%s: %w", path, err)
+	// Scan each stripe: seed from its newest snapshot — which must be
+	// complete: it was published by an atomic rename and sealed, so
+	// anything less is corruption, and the segments it replaced are gone —
+	// then its segment tail. Every record lands in ONE shared model: the
+	// model is order-insensitive per object, and one object's records all
+	// live in one stripe, so the cross-stripe merge is exactly the
+	// single-log replay re-partitioned.
+	for sid := range boots {
+		b := &boots[sid]
+		b.nextLSN = 1
+		var cut uint64
+		if snaps := ds.snapshots[sid]; len(snaps) > 0 {
+			newest := snaps[len(snaps)-1]
+			cut = newest.meta
+			path := filepath.Join(dir, newest.name)
+			fr, err := readRecordFile(path, snapMagic, key)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !fr.sealed || fr.tornBytes > 0 {
+				return nil, nil, fmt.Errorf("persist: snapshot %s is not sealed", path)
+			}
+			for i := range fr.recs {
+				if err := model.add(&fr.recs[i]); err != nil {
+					return nil, nil, fmt.Errorf("%s: %w", path, err)
+				}
+			}
+			if cut > res.SnapshotCut {
+				res.SnapshotCut = cut
+			}
+			if cut > b.nextLSN {
+				b.nextLSN = cut
+			}
+			for _, old := range snaps[:len(snaps)-1] {
+				stale = append(stale, old.name)
 			}
 		}
-		res.SnapshotCut = cut
-		if cut > nextLSN {
-			nextLSN = cut
-		}
-		for _, old := range ds.snapshots[:n-1] {
-			stale = append(stale, snapshotName(old))
-		}
-	}
 
-	// Scan the segment tail. Segments below the cut are fully covered by
-	// the snapshot (a crash interrupted their deletion); every tail segment
-	// but the last must be sealed; the last may end in a torn tail.
-	var tail []uint64
-	for _, base := range ds.segments {
-		if base < cut {
-			stale = append(stale, segmentName(base))
-			continue
-		}
-		tail = append(tail, base)
-	}
-	var activeFR *fileRecords
-	var activeBase uint64
-	for i, base := range tail {
-		path := filepath.Join(dir, segmentName(base))
-		fr, err := readRecordFile(path, segMagic, key)
-		if err != nil {
-			return nil, nil, err
-		}
-		last := i == len(tail)-1
-		if !last && (!fr.sealed || fr.tornBytes > 0) {
-			return nil, nil, fmt.Errorf("persist: non-final segment %s is not sealed", path)
-		}
-		res.Segments++
-		if base > nextLSN {
-			nextLSN = base
-		}
-		for k := range fr.recs {
-			if err := model.add(&fr.recs[k]); err != nil {
-				return nil, nil, fmt.Errorf("%s: %w", path, err)
+		// The stripe's segment tail. Segments below the cut are fully
+		// covered by the snapshot (a crash interrupted their deletion);
+		// every tail segment but the last must be sealed; the last may end
+		// in a torn tail.
+		var tail []walFile
+		for _, sf := range ds.segments[sid] {
+			if sf.meta < cut {
+				stale = append(stale, sf.name)
+				continue
 			}
-			if fr.lsns[k] >= nextLSN {
-				nextLSN = fr.lsns[k] + 1
+			tail = append(tail, sf)
+		}
+		for i, sf := range tail {
+			path := filepath.Join(dir, sf.name)
+			fr, err := readRecordFile(path, segMagic, key)
+			if err != nil {
+				return nil, nil, err
 			}
-		}
-		if fr.sealed {
-			// The seal record consumed an LSN too.
-			nextLSN++
-		}
-		if last {
-			res.TornBytes = fr.tornBytes
-			if !fr.sealed {
-				frCopy := fr
-				activeFR = &frCopy
-				activeBase = base
+			last := i == len(tail)-1
+			if !last && (!fr.sealed || fr.tornBytes > 0) {
+				return nil, nil, fmt.Errorf("persist: non-final segment %s is not sealed", path)
+			}
+			res.Segments++
+			if sf.meta > b.nextLSN {
+				b.nextLSN = sf.meta
+			}
+			for k := range fr.recs {
+				if err := model.add(&fr.recs[k]); err != nil {
+					return nil, nil, fmt.Errorf("%s: %w", path, err)
+				}
+				if fr.lsns[k] >= b.nextLSN {
+					b.nextLSN = fr.lsns[k] + 1
+				}
+			}
+			if fr.sealed {
+				// The seal record consumed an LSN too.
+				b.nextLSN++
+			}
+			if last {
+				res.TornBytes += fr.tornBytes
+				if !fr.sealed {
+					frCopy := fr
+					b.activeFR = &frCopy
+					b.activeBase = sf.meta
+					b.activeName = sf.name
+				}
 			}
 		}
 	}
@@ -176,73 +212,100 @@ func open(dir string, key auditreg.Key, st *store.Store[uint64], opts Options, l
 	}
 
 	w := &WAL{
-		dir:      dir,
-		key:      key,
-		opts:     opts,
-		lock:     lock,
-		stripes:  make([]stripe, opts.Stripes),
-		mask:     uint64(opts.Stripes - 1),
-		notify:   make(chan struct{}, 1),
-		stopc:    make(chan struct{}),
-		killc:    make(chan struct{}),
-		rotatec:  make(chan chan rotateReply),
-		flushc:   make(chan chan error),
-		done:     make(chan struct{}),
-		syncc:    make(chan syncJob),
-		syncack:  make(chan syncAck, 1),
-		syncdone: make(chan struct{}),
-		cur:      make([]pending, 0, 256),
-		spare:    make([]pending, 0, 256),
-		nextLSN:  nextLSN,
-		seqBase:  seqBase,
+		dir:     dir,
+		key:     key,
+		opts:    opts,
+		lock:    lock,
+		gmask:   uint64(opts.Stripes - 1),
+		stopc:   make(chan struct{}),
+		killc:   make(chan struct{}),
+		seqBase: seqBase,
 	}
-	if activeFR != nil {
-		// The crashed run's active segment is never appended to again: its
-		// torn tail may hold a partial frame whose keystream prefix already
-		// reached an attacker's disk image, so reusing its (nonce, lsn)
-		// stream would be a two-time pad. Rewrite the valid records into a
-		// sealed replacement under a fresh nonce (atomic rename), or drop
-		// the file entirely when it holds none, and start a fresh segment.
-		path := filepath.Join(dir, segmentName(activeBase))
-		if len(activeFR.recs) > 0 {
-			if err := writeSealedFile(dir, segmentName(activeBase), segMagic, activeBase, key, activeFR.recs, activeFR.lsns); err != nil {
-				return nil, nil, err
-			}
-		} else {
-			if err := os.Remove(path); err != nil {
-				return nil, nil, err
-			}
-			if err := syncDir(dir); err != nil {
-				return nil, nil, err
+	w.groups = make([]*walStripe, opts.Stripes)
+	fail := func(err error) (*WAL, *RecoverResult, error) {
+		for _, s := range w.groups {
+			if s != nil && s.active != nil {
+				s.active.Close()
 			}
 		}
-	}
-	if err := w.openSegment(w.nextLSN); err != nil {
 		return nil, nil, err
 	}
-	w.lastSync = time.Now()
-	go w.run()
-	go w.syncLoop()
+	for sid := range w.groups {
+		s := newStripe(w, sid)
+		b := &boots[sid]
+		s.nextLSN = b.nextLSN
+		if b.activeFR != nil {
+			// The crashed run's active segment is never appended to again:
+			// its torn tail may hold a partial frame whose keystream prefix
+			// already reached an attacker's disk image, so reusing its
+			// (nonce, lsn) stream would be a two-time pad. Rewrite the valid
+			// records into a sealed replacement under a fresh nonce (atomic
+			// rename), or drop the file entirely when it holds none, and
+			// start a fresh segment.
+			path := filepath.Join(dir, b.activeName)
+			if len(b.activeFR.recs) > 0 {
+				if err := writeSealedFile(dir, b.activeName, segMagic, b.activeBase, key, b.activeFR.recs, b.activeFR.lsns); err != nil {
+					return fail(err)
+				}
+			} else {
+				if err := os.Remove(path); err != nil {
+					return fail(err)
+				}
+				if err := syncDir(dir); err != nil {
+					return fail(err)
+				}
+			}
+		}
+		if err := s.openSegment(s.nextLSN); err != nil {
+			return fail(err)
+		}
+		w.groups[sid] = s
+	}
+	for _, s := range w.groups {
+		s.start()
+	}
 	return w, res, nil
 }
 
-// Snapshot compacts the log: it flushes and seals the active segment (the
-// cut), scans everything sealed into the minimal audit-equivalent record
-// sequence, publishes it as a snapshot file via atomic rename, and deletes
-// the covered segments and older snapshots. Traffic keeps flowing while the
-// scan runs; only the flush-and-rotate moment synchronizes with the writer.
-// It returns the cut LSN.
+// Snapshot compacts the log, one stripe at a time: flush and seal the
+// stripe's active segment (the stripe's cut), scan everything sealed in
+// that stripe into the minimal audit-equivalent record sequence, publish it
+// as a snapshot file via atomic rename, and delete the covered segments and
+// older snapshots. The per-stripe compaction is sound because one object's
+// records all live in one stripe, so each scan sees whole per-object
+// histories. Traffic keeps flowing while the scans run; only each stripe's
+// flush-and-rotate moment synchronizes with its writer. It returns the
+// highest cut LSN among the stripes.
 func (w *WAL) Snapshot() (uint64, error) {
 	w.snapMu.Lock()
 	defer w.snapMu.Unlock()
 	if err := w.err(); err != nil {
 		return 0, err
 	}
+	var maxCut uint64
+	for _, s := range w.groups {
+		cut, err := s.snapshot()
+		if err != nil {
+			return 0, err
+		}
+		if cut > maxCut {
+			maxCut = cut
+		}
+	}
+	w.snaps.Add(1)
+	return maxCut, nil
+}
+
+// snapshot compacts one stripe; see WAL.Snapshot.
+func (s *walStripe) snapshot() (uint64, error) {
 	reply := make(chan rotateReply, 1)
 	select {
-	case w.rotatec <- reply:
-	case <-w.done:
-		return 0, w.err()
+	case s.rotatec <- reply:
+	case <-s.done:
+		if e := s.failed.Load(); e != nil {
+			return 0, *e
+		}
+		return 0, fmt.Errorf("persist: wal is closed")
 	}
 	rr := <-reply
 	if rr.err != nil {
@@ -250,22 +313,23 @@ func (w *WAL) Snapshot() (uint64, error) {
 	}
 	cut := rr.cutLSN
 
-	ds, err := readDir(w.dir)
+	ds, err := readDir(s.dir)
 	if err != nil {
 		return 0, err
 	}
 	model := newRecoverModel()
 	var prevCut uint64
+	var prevName string
 	var covered []string
-	for _, sc := range ds.snapshots {
-		if sc >= cut {
-			return 0, fmt.Errorf("persist: snapshot %d already covers cut %d", sc, cut)
+	for _, sf := range ds.snapshots[s.id] {
+		if sf.meta >= cut {
+			return 0, fmt.Errorf("persist: stripe %d snapshot %d already covers cut %d", s.id, sf.meta, cut)
 		}
-		prevCut = sc
+		prevCut, prevName = sf.meta, sf.name
 	}
 	if prevCut > 0 {
-		path := filepath.Join(w.dir, snapshotName(prevCut))
-		fr, err := readRecordFile(path, snapMagic, w.key)
+		path := filepath.Join(s.dir, prevName)
+		fr, err := readRecordFile(path, snapMagic, s.key)
 		if err != nil {
 			return 0, err
 		}
@@ -278,21 +342,21 @@ func (w *WAL) Snapshot() (uint64, error) {
 			}
 		}
 	}
-	for _, sc := range ds.snapshots {
-		if sc < cut {
-			covered = append(covered, snapshotName(sc))
+	for _, sf := range ds.snapshots[s.id] {
+		if sf.meta < cut {
+			covered = append(covered, sf.name)
 		}
 	}
-	for _, base := range ds.segments {
-		if base >= cut {
+	for _, sf := range ds.segments[s.id] {
+		if sf.meta >= cut {
 			continue
 		}
-		covered = append(covered, segmentName(base))
-		if base < prevCut {
+		covered = append(covered, sf.name)
+		if sf.meta < prevCut {
 			continue // already inside the previous snapshot
 		}
-		path := filepath.Join(w.dir, segmentName(base))
-		fr, err := readRecordFile(path, segMagic, w.key)
+		path := filepath.Join(s.dir, sf.name)
+		fr, err := readRecordFile(path, segMagic, s.key)
 		if err != nil {
 			return 0, err
 		}
@@ -314,17 +378,16 @@ func (w *WAL) Snapshot() (uint64, error) {
 	for i := range lsns {
 		lsns[i] = uint64(i)
 	}
-	if err := writeSealedFile(w.dir, snapshotName(cut), snapMagic, cut, w.key, recs, lsns); err != nil {
+	if err := writeSealedFile(s.dir, snapshotName(s.id, cut), snapMagic, cut, s.key, recs, lsns); err != nil {
 		return 0, err
 	}
 	for _, name := range covered {
-		if err := os.Remove(filepath.Join(w.dir, name)); err != nil && !os.IsNotExist(err) {
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
 			return 0, err
 		}
 	}
-	if err := syncDir(w.dir); err != nil {
+	if err := syncDir(s.dir); err != nil {
 		return 0, err
 	}
-	w.snaps.Add(1)
 	return cut, nil
 }

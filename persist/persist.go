@@ -20,21 +20,25 @@
 //
 // # Write path
 //
-// The WAL implements store.Journal[uint64]: store mutations append encoded
-// records to one of a set of striped buffers (chosen by object name, so one
-// object's records stay ordered) and a single writer goroutine drains the
-// stripes, assigns log sequence numbers, encrypts the whole batch against
-// the segment's block-derived pad stream, appends to the active segment,
-// and fsyncs per policy — SyncAlways (adaptive group commit: mutators block
-// until their batch is stable, and the writer holds the fsync open up to
-// Options.BatchDelay while more blocked mutators are in flight, so one
-// fsync absorbs them all; announce and audit records ride along without
-// ever paying for, or causing, a sync), SyncInterval (bounded data loss
-// window), or SyncNever (page cache only). The sharded hot path is never
-// serialized through a single lock: stripes contend only within themselves,
+// The WAL implements store.Journal[uint64]: the log is split into
+// Options.Stripes independently committing stripe groups, and an object's
+// mutations always land in the stripe its name hashes to (the same hash the
+// store's shard map uses), so per-object record order survives the fan-out.
+// Each stripe owns its segment files and runs its own writer goroutine,
+// which drains the stripe's append buffer, assigns that stripe's log
+// sequence numbers, encrypts the whole batch against the active segment's
+// block-derived pad stream, appends, and fsyncs per policy — SyncAlways
+// (adaptive group commit with a pipelined fsync: mutators block until their
+// batch is stable, and the writer holds the commit window open up to
+// Options.BatchDelay while more blocked mutators are in flight on the same
+// stripe, so one fsync absorbs them all; announce and audit records ride
+// along without ever paying for, or causing, a sync), SyncInterval (bounded
+// data loss window), or SyncNever (page cache only). The hot path is never
+// serialized through a single lock or a single disk queue: stripes contend
+// only within themselves, commits on distinct stripes fsync concurrently,
 // and only SyncAlways mutators wait. Stats.SyncHist — surfaced through the
-// server's STATS verb — histograms records-per-fsync, making the batching
-// observable rather than inferred.
+// server's STATS verb, summed across stripes — histograms records-per-fsync,
+// making the batching observable rather than inferred.
 //
 // # Recovery and snapshots
 //
@@ -57,6 +61,7 @@ package persist
 
 import (
 	"crypto/sha256"
+	"runtime"
 	"time"
 
 	"auditreg"
@@ -109,14 +114,21 @@ func ParsePolicy(s string) (Policy, bool) {
 	}
 }
 
-// Defaults for Options fields left zero.
+// Defaults for Options fields left zero. Stripes defaults to
+// runtime.GOMAXPROCS(0) — one independently committing WAL stripe per
+// executor the server runs — rounded up to a power of two and capped at
+// MaxStripes.
 const (
 	DefaultInterval     = 50 * time.Millisecond
 	DefaultSegmentBytes = 64 << 20
-	DefaultStripes      = 16
 	DefaultBatchDelay   = 500 * time.Microsecond
 	DefaultBatchBytes   = 1 << 20
 )
+
+// MaxStripes bounds the stripe-group count: the stripe id is rendered as two
+// hex digits in file names, and 256 writer goroutines is already far past
+// any sensible configuration.
+const MaxStripes = 256
 
 // Options configures a WAL. The zero value of every field selects the
 // documented default (policy SyncAlways).
@@ -129,9 +141,21 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size
 	// (default DefaultSegmentBytes).
 	SegmentBytes int64
-	// Stripes is the number of append buffers (default DefaultStripes,
-	// rounded up to a power of two). One object's records always land in
-	// one stripe, preserving their order.
+	// Stripes is the number of WAL stripe groups (default
+	// runtime.GOMAXPROCS(0), rounded up to a power of two, capped at
+	// MaxStripes). Each stripe owns its segment files, its writer
+	// goroutine, its adaptive group-commit window, and its pipelined
+	// fsync, so commits on distinct stripes proceed — and sync — in
+	// parallel. One object's records always land in one stripe (chosen by
+	// the same name hash the store's shard map uses), preserving their
+	// order; per-stripe snapshots therefore always see whole per-object
+	// histories.
+	//
+	// A non-empty data directory pins its stripe count: Open infers it
+	// from the files on disk and ignores this field, so the name→stripe
+	// mapping — and with it the whole-history property — survives restarts
+	// under a different configuration. To restripe, compact into a fresh
+	// directory.
 	Stripes int
 	// BatchDelay bounds the adaptive group-commit window under SyncAlways:
 	// when more blocking mutators are in flight than the drained batch
@@ -154,7 +178,10 @@ func (o Options) withDefaults() Options {
 		o.SegmentBytes = DefaultSegmentBytes
 	}
 	if o.Stripes <= 0 {
-		o.Stripes = DefaultStripes
+		o.Stripes = runtime.GOMAXPROCS(0)
+	}
+	if o.Stripes > MaxStripes {
+		o.Stripes = MaxStripes
 	}
 	n := 1
 	for n < o.Stripes {

@@ -34,23 +34,47 @@ const (
 	headerLen   = 8 + 4 + 8 + fileNonceLen
 )
 
-// segmentName and snapshotName render the canonical file names; their
-// numeric part keeps lexicographic and numeric order aligned.
-func segmentName(baseLSN uint64) string { return fmt.Sprintf("wal-%016x.seg", baseLSN) }
-func snapshotName(cutLSN uint64) string { return fmt.Sprintf("snap-%016x.snap", cutLSN) }
+// segmentName and snapshotName render the canonical file names: the stripe
+// id first, then the LSN, both in fixed-width hex so lexicographic and
+// (stripe, LSN) order stay aligned. LSN spaces are per stripe — two files of
+// different stripes may legitimately share a base.
+func segmentName(stripe int, baseLSN uint64) string {
+	return fmt.Sprintf("wal-s%02x-%016x.seg", stripe, baseLSN)
+}
+func snapshotName(stripe int, cutLSN uint64) string {
+	return fmt.Sprintf("snap-s%02x-%016x.snap", stripe, cutLSN)
+}
 
-// parseFileName recognizes the two canonical names, yielding the numeric
-// part.
-func parseFileName(name string) (meta uint64, isSeg, isSnap bool) {
+// parseFileName recognizes the canonical names, yielding the stripe id and
+// the numeric part. Pre-stripe names ("wal-%016x.seg", "snap-%016x.snap",
+// written before WAL striping) parse as stripe 0: a legacy directory is
+// adopted as a single-stripe log and its files replay exactly as written.
+func parseFileName(name string) (stripe int, meta uint64, isSeg, isSnap bool) {
+	parse := func(body string) (int, uint64, bool) {
+		if rest, ok := strings.CutPrefix(body, "s"); ok {
+			i := strings.IndexByte(rest, '-')
+			if i < 1 {
+				return 0, 0, false
+			}
+			sid, err1 := strconv.ParseUint(rest[:i], 16, 32)
+			n, err2 := strconv.ParseUint(rest[i+1:], 16, 64)
+			if err1 != nil || err2 != nil || sid >= MaxStripes {
+				return 0, 0, false
+			}
+			return int(sid), n, true
+		}
+		n, err := strconv.ParseUint(body, 16, 64)
+		return 0, n, err == nil
+	}
 	switch {
 	case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
-		n, err := strconv.ParseUint(name[4:len(name)-4], 16, 64)
-		return n, err == nil, false
+		s, n, ok := parse(name[4 : len(name)-4])
+		return s, n, ok, false
 	case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
-		n, err := strconv.ParseUint(name[5:len(name)-5], 16, 64)
-		return n, false, err == nil
+		s, n, ok := parse(name[5 : len(name)-5])
+		return s, n, false, ok
 	default:
-		return 0, false, false
+		return 0, 0, false, false
 	}
 }
 
@@ -142,16 +166,31 @@ func readRecordFile(path, magic string, key auditreg.Key) (fileRecords, error) {
 	return fr, nil
 }
 
-// dirState is the classified content of a data directory.
-type dirState struct {
-	segments  []uint64 // base LSNs, ascending
-	snapshots []uint64 // cut LSNs, ascending
-	others    []string // unrecognized entries (lock file excluded)
+// walFile is one recognized directory entry: its numeric part and its actual
+// file name (legacy entries lack the stripe tag, so the name cannot be
+// reconstructed from the numbers alone).
+type walFile struct {
+	meta uint64 // base LSN (segment) or cut LSN (snapshot)
+	name string
 }
 
-// readDir classifies the data directory's entries.
+// dirState is the classified content of a data directory, keyed by stripe.
+type dirState struct {
+	segments  map[int][]walFile // stripe -> segments, ascending by base LSN
+	snapshots map[int][]walFile // stripe -> snapshots, ascending by cut LSN
+	maxStripe int               // highest stripe id seen; -1 when none
+	others    []string          // unrecognized entries (lock file excluded)
+}
+
+// readDir classifies the data directory's entries. Two files claiming the
+// same (stripe, LSN) — possible only if someone renames a legacy file next
+// to its striped twin — is corruption, not a tie to break silently.
 func readDir(dir string) (dirState, error) {
-	var st dirState
+	st := dirState{
+		segments:  make(map[int][]walFile),
+		snapshots: make(map[int][]walFile),
+		maxStripe: -1,
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return st, err
@@ -161,18 +200,31 @@ func readDir(dir string) (dirState, error) {
 		if name == lockFileName || strings.HasSuffix(name, ".tmp") {
 			continue
 		}
-		meta, isSeg, isSnap := parseFileName(name)
+		stripe, meta, isSeg, isSnap := parseFileName(name)
 		switch {
 		case isSeg:
-			st.segments = append(st.segments, meta)
+			st.segments[stripe] = append(st.segments[stripe], walFile{meta: meta, name: name})
 		case isSnap:
-			st.snapshots = append(st.snapshots, meta)
+			st.snapshots[stripe] = append(st.snapshots[stripe], walFile{meta: meta, name: name})
 		default:
 			st.others = append(st.others, name)
+			continue
+		}
+		if stripe > st.maxStripe {
+			st.maxStripe = stripe
 		}
 	}
-	sort.Slice(st.segments, func(i, j int) bool { return st.segments[i] < st.segments[j] })
-	sort.Slice(st.snapshots, func(i, j int) bool { return st.snapshots[i] < st.snapshots[j] })
+	for _, m := range []map[int][]walFile{st.segments, st.snapshots} {
+		for stripe, files := range m {
+			sort.Slice(files, func(i, j int) bool { return files[i].meta < files[j].meta })
+			for i := 1; i < len(files); i++ {
+				if files[i].meta == files[i-1].meta {
+					return st, fmt.Errorf("persist: %s and %s claim the same stripe %d LSN %d",
+						files[i-1].name, files[i].name, stripe, files[i].meta)
+				}
+			}
+		}
+	}
 	return st, nil
 }
 

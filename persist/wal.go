@@ -21,9 +21,9 @@ import (
 // the directory.
 const lockFileName = "wal.lock"
 
-// pending is one record awaiting the group-commit writer; done is non-nil
-// when the mutator blocks for durability (SyncAlways opens, writes, and
-// fetches).
+// pending is one record awaiting a stripe's group-commit writer; done is
+// non-nil when the mutator blocks for durability (SyncAlways opens, writes,
+// and fetches).
 type pending struct {
 	rec  Record
 	done chan error
@@ -40,13 +40,6 @@ func (p *pending) encSize() int {
 // empty channel — so a blocking mutation costs no channel allocation at
 // steady state.
 var doneChans = sync.Pool{New: func() any { return make(chan error, 1) }}
-
-// stripe is one append buffer. An object's records always land in the
-// stripe its name hashes to, so per-object order survives the fan-in.
-type stripe struct {
-	mu   sync.Mutex
-	recs []pending
-}
 
 // SyncHistBuckets is the number of buckets of the group-commit batch-size
 // histogram: records per fsync, in power-of-two buckets ≤1, ≤2, ≤4, ...,
@@ -65,10 +58,15 @@ func syncBucket(n int) int {
 	return b
 }
 
-// WAL is the write-ahead log over one data directory. It implements
-// store.Journal[uint64]: attach it with store.Store.SetJournal (after
-// recovery) or store.WithJournal (fresh store). Construct with Open; all
-// methods are safe for concurrent use.
+// WAL is the write-ahead log over one data directory: Options.Stripes
+// independently committing stripe groups, each with its own segment files,
+// writer goroutine, adaptive commit window, and pipelined fsync. An object's
+// records always land in the stripe its name hashes to, so per-object order
+// — the property recovery and snapshots rely on — survives the fan-out.
+//
+// It implements store.Journal[uint64]: attach it with store.Store.SetJournal
+// (after recovery) or store.WithJournal (fresh store). Construct with Open;
+// all methods are safe for concurrent use.
 type WAL struct {
 	dir  string
 	key  auditreg.Key
@@ -81,32 +79,60 @@ type WAL struct {
 	// on-disk seqs strictly increasing across process generations —
 	// otherwise a later recovery would see two different writes claiming
 	// one seq and halt on perfectly healthy data. Built once before the
-	// writer starts; read-only afterwards.
+	// writers start; read-only afterwards.
 	seqBase map[string]uint64
 
-	lock     *os.File
-	stripes  []stripe
-	mask     uint64
+	lock   *os.File
+	groups []*walStripe
+	gmask  uint64
+
+	stopc  chan struct{} // closed by Close: broadcast to every stripe
+	killc  chan struct{} // closed by abandon: crash simulation
+	closed atomic.Bool
+
+	// failed is the sticky failure, shared across stripes: one stripe
+	// losing its disk poisons the whole log, exactly as the single-writer
+	// WAL did — a partially durable log must not keep acknowledging.
+	failed atomic.Pointer[error]
+
+	snapMu sync.Mutex // serializes Snapshot
+	snaps  atomic.Uint64
+}
+
+// walStripe is one stripe group: an append buffer, a writer goroutine
+// (run), a sync goroutine (syncLoop), and the stripe's own segment files and
+// LSN space.
+type walStripe struct {
+	id   int
+	dir  string
+	key  auditreg.Key
+	opts Options
+
+	// Shared WAL state (see WAL): sticky failure, close/crash broadcast.
+	failed *atomic.Pointer[error]
+	closed *atomic.Bool
+	stopc  chan struct{}
+	killc  chan struct{}
+
+	// The append buffer.
+	mu   sync.Mutex
+	recs []pending
+
 	notify   chan struct{}
-	stopc    chan struct{}
-	killc    chan struct{}
 	rotatec  chan chan rotateReply
 	flushc   chan chan error
 	done     chan struct{}
 	syncc    chan syncJob // writer → sync goroutine (unbuffered; one job in flight)
 	syncack  chan syncAck // sync goroutine → writer (buffered; never blocks the syncer)
 	syncdone chan struct{}
-	closed   atomic.Bool
 
-	// waiters counts blocking mutators whose records the writer has not yet
-	// committed (incremented on entry to Record, decremented by the writer
-	// when it completes the record). The adaptive commit window compares it
+	// waiters counts blocking mutators whose records this stripe's writer
+	// has not yet committed (incremented on entry to append, decremented
+	// when the record completes). The adaptive commit window compares it
 	// against the blocking records already drained: while more waiters are
-	// known to be in flight, holding the fsync open a little longer absorbs
-	// them into the same batch.
+	// known to be in flight on this stripe, holding the fsync open a little
+	// longer absorbs them into the same batch.
 	waiters atomic.Int64
-
-	failed atomic.Pointer[error]
 
 	// Writer-goroutine state; untouched by other goroutines.
 	active      *os.File
@@ -124,18 +150,16 @@ type WAL struct {
 	blockSync   int       // blocking records appended since the last issued fsync
 	inFlight    bool      // a syncJob is with the sync goroutine
 
-	// cohort is the EWMA of blocking records per fsync — the concurrency
-	// estimate steering the adaptive window. Written by the sync goroutine,
-	// read by the writer (absorb); float bits in an atomic word.
+	// cohort is the EWMA of blocking records per fsync on this stripe —
+	// the concurrency estimate steering the adaptive window. Written by the
+	// sync goroutine, read by the writer (absorb); float bits in an atomic
+	// word.
 	cohort atomic.Uint64
-
-	snapMu sync.Mutex // serializes Snapshot
 
 	records   atomic.Uint64
 	batches   atomic.Uint64
 	syncs     atomic.Uint64
 	rotations atomic.Uint64
-	snaps     atomic.Uint64
 	bytes     atomic.Uint64
 	syncHist  [SyncHistBuckets]atomic.Uint64
 }
@@ -163,27 +187,60 @@ func lockDir(dir string) (*os.File, error) {
 	return f, nil
 }
 
-// stripeOf picks the append buffer for an object name, hashing exactly as
-// the store's shard map does.
-func (w *WAL) stripeOf(name string) *stripe {
-	return &w.stripes[shard.Hash(name)&w.mask]
+// newStripe builds one stripe group wired to the WAL's shared state. The
+// caller sets nextLSN and opens the active segment before starting the
+// goroutines (start).
+func newStripe(w *WAL, id int) *walStripe {
+	return &walStripe{
+		id:       id,
+		dir:      w.dir,
+		key:      w.key,
+		opts:     w.opts,
+		failed:   &w.failed,
+		closed:   &w.closed,
+		stopc:    w.stopc,
+		killc:    w.killc,
+		notify:   make(chan struct{}, 1),
+		rotatec:  make(chan chan rotateReply),
+		flushc:   make(chan chan error),
+		done:     make(chan struct{}),
+		syncc:    make(chan syncJob),
+		syncack:  make(chan syncAck, 1),
+		syncdone: make(chan struct{}),
+		cur:      make([]pending, 0, 64),
+		spare:    make([]pending, 0, 64),
+		nextLSN:  1,
+	}
 }
 
-// append encodes the mutation and appends it to the name's stripe,
-// returning the completion channel for blocking records (nil otherwise).
-// Shared core of Record and RecordAsync.
-func (w *WAL) append(r *store.JournalRecord[uint64]) (chan error, error) {
+// start launches the stripe's writer and sync goroutines.
+func (s *walStripe) start() {
+	s.lastSync = time.Now()
+	go s.run()
+	go s.syncLoop()
+}
+
+// stripeOf picks the stripe group for an object name, hashing exactly as the
+// store's shard map does.
+func (w *WAL) stripeOf(name string) *walStripe {
+	return w.groups[shard.Hash(name)&w.gmask]
+}
+
+// append encodes the mutation and appends it to the name's stripe, returning
+// the stripe and the completion channel for blocking records (nil
+// otherwise). Shared core of Record and RecordAsync.
+func (w *WAL) append(r *store.JournalRecord[uint64]) (*walStripe, chan error, error) {
 	if err := w.err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rec := fromJournal(r)
 	if rec.Op == 0 {
-		return nil, fmt.Errorf("persist: unknown journal op %d", r.Op)
+		return nil, nil, fmt.Errorf("persist: unknown journal op %d", r.Op)
 	}
 	if len(r.Name) > maxName {
 		// Refuse rather than write a frame the decoder must reject: one
 		// oversized record would make every future recovery halt.
-		return nil, fmt.Errorf("persist: object name of %d bytes exceeds %d", len(r.Name), maxName)
+		return nil, nil, fmt.Errorf("persist: object name of %d bytes exceeds %d", len(r.Name), maxName)
 	}
 	if base := w.seqBase[r.Name]; base > 0 {
 		switch rec.Op {
@@ -198,37 +255,37 @@ func (w *WAL) append(r *store.JournalRecord[uint64]) (chan error, error) {
 	blocking := w.opts.Policy == SyncAlways &&
 		(rec.Op == OpOpen || rec.Op == OpWrite || rec.Op == OpFetch)
 	p := pending{rec: rec}
+	s := w.stripeOf(r.Name)
 	if blocking {
 		p.done = doneChans.Get().(chan error)
-		w.waiters.Add(1)
+		s.waiters.Add(1)
 	}
-	s := w.stripeOf(r.Name)
 	s.mu.Lock()
-	// Re-check under the stripe lock: Close's final drain takes every
-	// stripe lock after setting closed, so a record appended while closed
-	// is still false here is guaranteed to be in that drain — no record
-	// can be acknowledged and then stranded in a buffer.
+	// Re-check under the stripe lock: the writer's final drain on stopc
+	// takes this lock after Close sets closed, so a record appended while
+	// closed is still false here is guaranteed to be in that drain — no
+	// record can be acknowledged and then stranded in a buffer.
 	if w.closed.Load() {
 		s.mu.Unlock()
 		if blocking {
-			w.waiters.Add(-1)
+			s.waiters.Add(-1)
 			doneChans.Put(p.done)
 		}
-		return nil, fmt.Errorf("persist: wal is closed")
+		return nil, nil, fmt.Errorf("persist: wal is closed")
 	}
 	s.recs = append(s.recs, p)
 	s.mu.Unlock()
-	w.kick()
-	return p.done, nil
+	s.kick()
+	return s, p.done, nil
 }
 
 // wait collects the durability verdict of one appended blocking record.
-func (w *WAL) wait(done chan error) error {
+func (s *walStripe) wait(done chan error) error {
 	select {
 	case err := <-done:
 		doneChans.Put(done)
 		return err
-	case <-w.done:
+	case <-s.done:
 		// The writer exited (Close racing this append). It may still have
 		// committed the record in its final drain; prefer that verdict.
 		select {
@@ -245,28 +302,28 @@ func (w *WAL) wait(done chan error) error {
 
 // Record implements store.Journal: encode the mutation, append it to the
 // name's stripe, and — under SyncAlways, for records with durability
-// semantics — block until the group-commit writer reports the record
-// stable. Announce and audit records never block: they are pure helping and
-// derived state.
+// semantics — block until that stripe's group-commit writer reports the
+// record stable. Announce and audit records never block: they are pure
+// helping and derived state.
 func (w *WAL) Record(r store.JournalRecord[uint64]) error {
-	done, err := w.append(&r)
+	s, done, err := w.append(&r)
 	if err != nil || done == nil {
 		return err
 	}
-	return w.wait(done)
+	return s.wait(done)
 }
 
 // RecordAsync implements store.AsyncJournal: append like Record, but hand
 // the durability wait back to the caller as a commit closure, so a
 // pipelined caller (the network server) can keep executing requests while
-// the group-commit writer absorbs every in-flight mutation — the whole
-// pending stripe set — into one fsync.
+// the stripe's group-commit writer absorbs every in-flight mutation — the
+// whole pending buffer — into one fsync.
 func (w *WAL) RecordAsync(r store.JournalRecord[uint64]) (func() error, error) {
-	done, err := w.append(&r)
+	s, done, err := w.append(&r)
 	if err != nil || done == nil {
 		return nil, err
 	}
-	return func() error { return w.wait(done) }, nil
+	return func() error { return s.wait(done) }, nil
 }
 
 // err returns the sticky failure, if any.
@@ -280,10 +337,10 @@ func (w *WAL) err() error {
 	return nil
 }
 
-// kick nudges the writer without blocking.
-func (w *WAL) kick() {
+// kick nudges the stripe's writer without blocking.
+func (s *walStripe) kick() {
 	select {
-	case w.notify <- struct{}{}:
+	case s.notify <- struct{}{}:
 	default:
 	}
 }
@@ -305,70 +362,70 @@ type syncAck struct {
 	buf []pending
 }
 
-// run is the group-commit writer: drain the stripes, hold the adaptive
-// commit window open while the blocked-mutator cohort is still arriving,
-// assign LSNs, encrypt the batch against the active segment's pad stream,
-// and append. Under SyncAlways the fsync itself is pipelined: a dedicated
-// sync goroutine (syncLoop) carries at most one fsync in flight while this
-// goroutine keeps draining and appending the next batch — the ZooKeeper-
-// style batched-fsync pipeline, where the next group forms for free during
-// the previous group's fsync and the commit cycle is max(fsync, arrivals)
-// rather than their sum. Other policies fsync inline, as does every
-// barrier path (rotate, flush, close).
-func (w *WAL) run() {
-	defer close(w.done)
-	defer close(w.syncc)
-	tick := time.NewTicker(w.opts.Interval)
+// run is the stripe's group-commit writer: drain the append buffer, hold the
+// adaptive commit window open while the blocked-mutator cohort is still
+// arriving, assign LSNs, encrypt the batch against the active segment's pad
+// stream, and append. Under SyncAlways the fsync itself is pipelined: a
+// dedicated sync goroutine (syncLoop) carries at most one fsync in flight
+// while this goroutine keeps draining and appending the next batch — the
+// ZooKeeper-style batched-fsync pipeline, where the next group forms for
+// free during the previous group's fsync and the commit cycle is max(fsync,
+// arrivals) rather than their sum. Other policies fsync inline, as does
+// every barrier path (rotate, flush, close).
+func (s *walStripe) run() {
+	defer close(s.done)
+	defer close(s.syncc)
+	tick := time.NewTicker(s.opts.Interval)
 	defer tick.Stop()
 	for {
 		select {
-		case <-w.killc:
+		case <-s.killc:
 			// Crash simulation (tests): stop dead, no drain, no seal.
 			return
-		case <-w.stopc:
-			w.syncBarrier()
-			batch := w.drain(w.cur)
-			w.commitInline(batch, true)
-			w.sealActive()
+		case <-s.stopc:
+			s.syncBarrier()
+			batch := s.drain(s.cur)
+			s.commitInline(batch, true)
+			s.sealActive()
 			return
-		case reply := <-w.rotatec:
-			w.syncBarrier()
-			batch := w.drain(w.cur)
-			w.commitInline(batch, true)
-			w.cur = batch[:0]
+		case reply := <-s.rotatec:
+			s.syncBarrier()
+			batch := s.drain(s.cur)
+			s.commitInline(batch, true)
+			s.cur = batch[:0]
 			var rr rotateReply
-			rr.err = w.rotate()
-			rr.cutLSN = w.activeBase
-			if e := w.failed.Load(); rr.err == nil && e != nil {
+			rr.err = s.rotate()
+			rr.cutLSN = s.activeBase
+			if e := s.failed.Load(); rr.err == nil && e != nil {
 				rr.err = *e
 			}
 			reply <- rr
-		case reply := <-w.flushc:
-			w.syncBarrier()
-			batch := w.drain(w.cur)
-			w.commitInline(batch, true)
-			w.cur = batch[:0]
+		case reply := <-s.flushc:
+			s.syncBarrier()
+			batch := s.drain(s.cur)
+			s.commitInline(batch, true)
+			s.cur = batch[:0]
 			var err error
-			if e := w.failed.Load(); e != nil {
+			if e := s.failed.Load(); e != nil {
 				err = *e
 			}
 			reply <- err
-		case <-w.notify:
-			if w.opts.Policy == SyncAlways {
-				w.pipelineCommit()
+		case <-s.notify:
+			if s.opts.Policy == SyncAlways {
+				s.pipelineCommit()
 			} else {
 				// Not forced: commit syncs exactly when the interval is due.
-				batch := w.drain(w.cur)
-				w.commitInline(batch, false)
-				w.cur = batch[:0]
+				batch := s.drain(s.cur)
+				s.commitInline(batch, false)
+				s.cur = batch[:0]
 			}
 		case <-tick.C:
 			// Flush leftovers (announce records appended since the last
 			// sync) so helping state lags stability by at most one interval.
-			w.syncBarrier()
-			batch := w.drain(w.cur)
-			w.commitInline(batch, w.opts.Policy == SyncAlways)
-			w.cur = batch[:0]
+			s.syncBarrier()
+			batch := s.drain(s.cur)
+			s.commitInline(batch, s.opts.Policy == SyncAlways)
+			s.cur = batch[:0]
 		}
 	}
 }
@@ -377,90 +434,87 @@ func (w *WAL) run() {
 // absorbing arrivals for as long as the in-flight fsync forms a free commit
 // window (bounded by BatchBytes), optionally top the batch up to the
 // predicted cohort (absorb), then append and hand off. A shutdown or crash
-// signal parks the batch on w.cur for the outer loop to finish.
-func (w *WAL) pipelineCommit() {
-	batch := w.drain(w.cur)
+// signal parks the batch on s.cur for the outer loop to finish.
+func (s *walStripe) pipelineCommit() {
+	batch := s.drain(s.cur)
 	approx := batchBytes(batch)
-	for w.inFlight && approx < w.opts.BatchBytes {
+	for s.inFlight && approx < s.opts.BatchBytes {
 		select {
-		case <-w.notify:
+		case <-s.notify:
 			before := len(batch)
-			batch = w.drain(batch)
+			batch = s.drain(batch)
 			for i := before; i < len(batch); i++ {
 				approx += batch[i].encSize()
 			}
-		case ack := <-w.syncack:
-			w.inFlight = false
-			w.spare = ack.buf[:0]
-		case <-w.stopc:
-			w.cur = batch
+		case ack := <-s.syncack:
+			s.inFlight = false
+			s.spare = ack.buf[:0]
+		case <-s.stopc:
+			s.cur = batch
 			return
-		case <-w.killc:
-			w.cur = batch
+		case <-s.killc:
+			s.cur = batch
 			return
 		}
 	}
-	batch = w.absorb(batch)
-	w.commitPipelined(batch)
+	batch = s.absorb(batch)
+	s.commitPipelined(batch)
 }
 
 // syncLoop is the fsync half of the pipelined group commit: one job at a
 // time, fsync, publish the batching telemetry, wake the job's waiters,
 // hand the buffer back.
-func (w *WAL) syncLoop() {
-	defer close(w.syncdone)
-	for job := range w.syncc {
+func (s *walStripe) syncLoop() {
+	defer close(s.syncdone)
+	for job := range s.syncc {
 		err := fdatasync(job.fd)
 		if err != nil {
 			err = fmt.Errorf("persist: wal fsync: %w", err)
-			w.failed.CompareAndSwap(nil, &err)
-			w.fail(job.batch, err)
+			s.failed.CompareAndSwap(nil, &err)
+			s.fail(job.batch, err)
 		} else {
-			w.syncs.Add(1)
-			w.syncHist[syncBucket(job.records)].Add(1)
+			s.syncs.Add(1)
+			s.syncHist[syncBucket(job.records)].Add(1)
 			if job.blocking > 0 {
-				w.setCohort(0.75*w.cohortEstimate() + 0.25*float64(job.blocking))
+				s.setCohort(0.75*s.cohortEstimate() + 0.25*float64(job.blocking))
 			}
 			for i := range job.batch {
 				if job.batch[i].done != nil {
-					w.waiters.Add(-1)
+					s.waiters.Add(-1)
 					job.batch[i].done <- nil
 				}
 			}
 		}
-		w.syncack <- syncAck{err: err, buf: job.batch}
+		s.syncack <- syncAck{err: err, buf: job.batch}
 	}
 }
 
 // syncBarrier waits out the in-flight fsync, if any, reclaiming its batch
 // buffer. Every non-pipelined touch of the active file (inline sync,
 // rotation, seal) starts here.
-func (w *WAL) syncBarrier() {
-	if !w.inFlight {
+func (s *walStripe) syncBarrier() {
+	if !s.inFlight {
 		return
 	}
-	ack := <-w.syncack
-	w.inFlight = false
-	w.spare = ack.buf[:0]
+	ack := <-s.syncack
+	s.inFlight = false
+	s.spare = ack.buf[:0]
 }
 
 // cohortEstimate and setCohort move the concurrency EWMA across the
 // writer/syncer boundary.
-func (w *WAL) cohortEstimate() float64 { return math.Float64frombits(w.cohort.Load()) }
-func (w *WAL) setCohort(v float64)     { w.cohort.Store(math.Float64bits(v)) }
+func (s *walStripe) cohortEstimate() float64 { return math.Float64frombits(s.cohort.Load()) }
+func (s *walStripe) setCohort(v float64)     { s.cohort.Store(math.Float64bits(v)) }
 
-// drain steals every stripe's pending records, appending them to batch
-// (a reused buffer).
-func (w *WAL) drain(batch []pending) []pending {
-	for i := range w.stripes {
-		s := &w.stripes[i]
-		s.mu.Lock()
-		if len(s.recs) > 0 {
-			batch = append(batch, s.recs...)
-			s.recs = s.recs[:0]
-		}
-		s.mu.Unlock()
+// drain steals the stripe's pending records, appending them to batch (a
+// reused buffer).
+func (s *walStripe) drain(batch []pending) []pending {
+	s.mu.Lock()
+	if len(s.recs) > 0 {
+		batch = append(batch, s.recs...)
+		s.recs = s.recs[:0]
 	}
+	s.mu.Unlock()
 	return batch
 }
 
@@ -479,22 +533,22 @@ func blockingRecords(batch []pending) int {
 // BatchDelay, bounded by BatchBytes — while the blocked-mutator cohort is
 // still arriving, so one fsync covers it whole. Two signals open the
 // window: waiters the writer can already see (blocking mutators in flight
-// beyond the batch), and the cohort EWMA — the recent blocking-records-per-
-// fsync average — which predicts the stragglers it cannot see yet: under
-// concurrency, a record that lands right after a sync would otherwise
-// commit alone, and the next conn's record half a round-trip behind it
-// would buy a second fsync. The window closes as soon as the batch reaches
-// the predicted cohort with no further waiters in flight; with a single
-// steady mutator the EWMA decays to one and the window stops opening at
-// all — an uncontended log adds no latency. Shutdown and crash signals
-// abort the window.
-func (w *WAL) absorb(batch []pending) []pending {
+// on this stripe beyond the batch), and the cohort EWMA — the recent
+// blocking-records-per-fsync average — which predicts the stragglers it
+// cannot see yet: under concurrency, a record that lands right after a sync
+// would otherwise commit alone, and the next conn's record half a
+// round-trip behind it would buy a second fsync. The window closes as soon
+// as the batch reaches the predicted cohort with no further waiters in
+// flight; with a single steady mutator the EWMA decays to one and the
+// window stops opening at all — an uncontended stripe adds no latency.
+// Shutdown and crash signals abort the window.
+func (s *walStripe) absorb(batch []pending) []pending {
 	nb := blockingRecords(batch)
-	if w.opts.BatchDelay <= 0 || nb == 0 {
+	if s.opts.BatchDelay <= 0 || nb == 0 {
 		return batch
 	}
-	target := int(w.cohortEstimate() + 0.5)
-	if int64(nb) >= w.waiters.Load() && nb >= target {
+	target := int(s.cohortEstimate() + 0.5)
+	if int64(nb) >= s.waiters.Load() && nb >= target {
 		return batch
 	}
 	var timer *time.Timer
@@ -504,28 +558,28 @@ func (w *WAL) absorb(batch []pending) []pending {
 		}
 	}()
 	approx := batchBytes(batch)
-	for approx < w.opts.BatchBytes {
+	for approx < s.opts.BatchBytes {
 		if timer == nil {
-			timer = time.NewTimer(w.opts.BatchDelay)
+			timer = time.NewTimer(s.opts.BatchDelay)
 		}
 		select {
-		case <-w.notify:
+		case <-s.notify:
 			before := len(batch)
-			batch = w.drain(batch)
+			batch = s.drain(batch)
 			for i := before; i < len(batch); i++ {
 				if batch[i].done != nil {
 					nb++
 				}
 				approx += batch[i].encSize()
 			}
-			if int64(nb) >= w.waiters.Load() && nb >= target {
+			if int64(nb) >= s.waiters.Load() && nb >= target {
 				return batch
 			}
 		case <-timer.C:
 			return batch
-		case <-w.stopc:
+		case <-s.stopc:
 			return batch
-		case <-w.killc:
+		case <-s.killc:
 			return batch
 		}
 	}
@@ -544,72 +598,73 @@ func batchBytes(batch []pending) int {
 // appendBatch encodes the batch into the reused frame buffer and appends it
 // to the active segment with one write, rotating first when the segment is
 // over size (callers on the pipelined path have already barriered).
-func (w *WAL) appendBatch(batch []pending) error {
+func (s *walStripe) appendBatch(batch []pending) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	if w.activeSize > w.opts.SegmentBytes {
-		if err := w.rotate(); err != nil {
+	if s.activeSize > s.opts.SegmentBytes {
+		if err := s.rotate(); err != nil {
 			return err
 		}
 	}
-	buf := w.encBuf[:0]
+	buf := s.encBuf[:0]
 	for i := range batch {
-		buf = appendFrame(buf, w.activePads, w.activeSize+int64(len(buf)), w.nextLSN, &batch[i].rec)
-		w.nextLSN++
+		buf = appendFrame(buf, s.activePads, s.activeSize+int64(len(buf)), s.nextLSN, &batch[i].rec)
+		s.nextLSN++
 	}
-	n, err := w.active.Write(buf)
-	w.activeSize += int64(n)
-	w.bytes.Add(uint64(n))
-	w.encBuf = buf
+	n, err := s.active.Write(buf)
+	s.activeSize += int64(n)
+	s.bytes.Add(uint64(n))
+	s.encBuf = buf
 	if err != nil {
 		return err
 	}
-	w.dirty = true
-	w.sinceSync += len(batch)
-	w.blockSync += blockingRecords(batch)
-	w.records.Add(uint64(len(batch)))
-	w.batches.Add(1)
+	s.dirty = true
+	s.sinceSync += len(batch)
+	s.blockSync += blockingRecords(batch)
+	s.records.Add(uint64(len(batch)))
+	s.batches.Add(1)
 	return nil
 }
 
 // commitPipelined is the SyncAlways notify path: append the batch, and —
 // when it carries waiters — hand it to the sync goroutine. The barrier
-// before the handoff keeps exactly one fsync in flight; everything appended
-// before the handoff is covered by the fsync it triggers (the syscall is
-// issued strictly after the writes). A batch with no waiters appends
-// without syncing: pure helping never pays for, or causes, a sync. The
-// writer reclaims the previous job's buffer at the barrier, so two batch
-// buffers ping-pong between the halves with no allocation.
-func (w *WAL) commitPipelined(batch []pending) {
-	if e := w.failed.Load(); e != nil {
-		w.fail(batch, *e)
-		w.cur = batch[:0]
+// before the handoff keeps exactly one fsync in flight per stripe;
+// everything appended before the handoff is covered by the fsync it
+// triggers (the syscall is issued strictly after the writes). A batch with
+// no waiters appends without syncing: pure helping never pays for, or
+// causes, a sync. The writer reclaims the previous job's buffer at the
+// barrier, so two batch buffers ping-pong between the halves with no
+// allocation.
+func (s *walStripe) commitPipelined(batch []pending) {
+	if e := s.failed.Load(); e != nil {
+		s.fail(batch, *e)
+		s.cur = batch[:0]
 		return
 	}
-	rotating := len(batch) > 0 && w.activeSize > w.opts.SegmentBytes
+	rotating := len(batch) > 0 && s.activeSize > s.opts.SegmentBytes
 	if rotating || blockingRecords(batch) > 0 {
 		// The in-flight fsync must finish before we seal its file or issue
 		// the next one.
-		w.syncBarrier()
+		s.syncBarrier()
 	}
-	if err := w.appendBatch(batch); err != nil {
+	if err := s.appendBatch(batch); err != nil {
 		err = fmt.Errorf("persist: wal append: %w", err)
-		w.failed.CompareAndSwap(nil, &err)
-		w.fail(batch, err)
-		w.cur = batch[:0]
+		s.failed.CompareAndSwap(nil, &err)
+		s.fail(batch, err)
+		s.cur = batch[:0]
 		return
 	}
 	if blockingRecords(batch) == 0 {
-		w.cur = batch[:0] // keep the buffer; nobody waits
+		s.cur = batch[:0] // keep the buffer; nobody waits
 		return
 	}
-	w.syncc <- syncJob{fd: w.active, batch: batch, records: w.sinceSync, blocking: w.blockSync}
-	w.inFlight = true
-	w.dirty = false // the issued fsync covers everything appended so far
-	w.sinceSync, w.blockSync = 0, 0
-	w.cur = w.spare[:0]
-	w.spare = nil
+	s.syncc <- syncJob{fd: s.active, batch: batch, records: s.sinceSync, blocking: s.blockSync}
+	s.inFlight = true
+	s.dirty = false // the issued fsync covers everything appended so far
+	s.sinceSync, s.blockSync = 0, 0
+	s.cur = s.spare[:0]
+	s.spare = nil
 }
 
 // commitInline writes one batch to the active segment and fsyncs when the
@@ -617,62 +672,62 @@ func (w *WAL) commitPipelined(batch []pending) {
 // non-pipelined path, used by the Interval/Never policies and by every
 // barrier (rotate, flush, close, tick leftovers). Pipelined callers
 // syncBarrier first.
-func (w *WAL) commitInline(batch []pending, force bool) {
-	if e := w.failed.Load(); e != nil {
-		w.fail(batch, *e)
+func (s *walStripe) commitInline(batch []pending, force bool) {
+	if e := s.failed.Load(); e != nil {
+		s.fail(batch, *e)
 		return
 	}
-	err := w.appendBatch(batch)
-	if err == nil && w.dirty {
+	err := s.appendBatch(batch)
+	if err == nil && s.dirty {
 		sync := force
 		if !sync {
-			switch w.opts.Policy {
+			switch s.opts.Policy {
 			case SyncAlways:
 				// Whatever drained this batch (notify, tick), a waiter must
 				// never be released before its record is stable.
 				sync = blockingRecords(batch) > 0
 			case SyncInterval:
-				if time.Since(w.lastSync) >= w.opts.Interval {
+				if time.Since(s.lastSync) >= s.opts.Interval {
 					sync = true
 				}
 			}
 		}
 		if sync {
-			err = fdatasync(w.active)
+			err = fdatasync(s.active)
 			if err == nil {
-				w.dirty = false
-				w.lastSync = time.Now()
-				w.syncs.Add(1)
-				w.syncHist[syncBucket(w.sinceSync)].Add(1)
-				if w.blockSync > 0 {
+				s.dirty = false
+				s.lastSync = time.Now()
+				s.syncs.Add(1)
+				s.syncHist[syncBucket(s.sinceSync)].Add(1)
+				if s.blockSync > 0 {
 					// Update the concurrency estimate from syncs that carried
 					// waiters (tick-driven announce flushes say nothing about
 					// mutator concurrency).
-					w.setCohort(0.75*w.cohortEstimate() + 0.25*float64(w.blockSync))
+					s.setCohort(0.75*s.cohortEstimate() + 0.25*float64(s.blockSync))
 				}
-				w.sinceSync, w.blockSync = 0, 0
+				s.sinceSync, s.blockSync = 0, 0
 			}
 		}
 	}
 	if err != nil {
 		err = fmt.Errorf("persist: wal append: %w", err)
-		w.failed.CompareAndSwap(nil, &err)
-		w.fail(batch, err)
+		s.failed.CompareAndSwap(nil, &err)
+		s.fail(batch, err)
 		return
 	}
 	for i := range batch {
 		if batch[i].done != nil {
-			w.waiters.Add(-1)
+			s.waiters.Add(-1)
 			batch[i].done <- nil
 		}
 	}
 }
 
 // fail completes a batch's waiters with err.
-func (w *WAL) fail(batch []pending, err error) {
+func (s *walStripe) fail(batch []pending, err error) {
 	for i := range batch {
 		if batch[i].done != nil {
-			w.waiters.Add(-1)
+			s.waiters.Add(-1)
 			batch[i].done <- err
 		}
 	}
@@ -680,58 +735,58 @@ func (w *WAL) fail(batch []pending, err error) {
 
 // rotate seals the active segment and opens a fresh one whose base is the
 // next LSN.
-func (w *WAL) rotate() error {
-	if err := w.sealActive(); err != nil {
+func (s *walStripe) rotate() error {
+	if err := s.sealActive(); err != nil {
 		return err
 	}
-	if err := w.openSegment(w.nextLSN); err != nil {
+	if err := s.openSegment(s.nextLSN); err != nil {
 		return err
 	}
-	w.rotations.Add(1)
+	s.rotations.Add(1)
 	return nil
 }
 
 // sealActive appends the seal record, fsyncs, and closes the active
 // segment.
-func (w *WAL) sealActive() error {
-	if w.active == nil {
+func (s *walStripe) sealActive() error {
+	if s.active == nil {
 		return nil
 	}
-	if e := w.failed.Load(); e != nil {
+	if e := s.failed.Load(); e != nil {
 		// A sticky failure may have left a partial frame at the tail.
 		// Appending a valid seal after it would turn auto-repairable torn
 		// damage into hard corruption the next recovery must refuse; leave
 		// the segment unsealed and let recovery truncate the tail.
-		err := w.active.Close()
-		w.active = nil
-		w.dirty = false
+		err := s.active.Close()
+		s.active = nil
+		s.dirty = false
 		return err
 	}
 	seal := Record{Op: OpSeal}
-	buf := appendFrame(w.encBuf[:0], w.activePads, w.activeSize, w.nextLSN, &seal)
-	w.nextLSN++
-	n, err := w.active.Write(buf)
-	w.activeSize += int64(n)
+	buf := appendFrame(s.encBuf[:0], s.activePads, s.activeSize, s.nextLSN, &seal)
+	s.nextLSN++
+	n, err := s.active.Write(buf)
+	s.activeSize += int64(n)
 	if err != nil {
 		return err
 	}
-	if err := w.active.Sync(); err != nil {
+	if err := s.active.Sync(); err != nil {
 		return err
 	}
-	err = w.active.Close()
-	w.active = nil
-	w.dirty = false
+	err = s.active.Close()
+	s.active = nil
+	s.dirty = false
 	return err
 }
 
 // openSegment creates and syncs a fresh active segment with the given base
 // LSN, deriving the segment's pad stream from its header nonce.
-func (w *WAL) openSegment(base uint64) error {
+func (s *walStripe) openSegment(base uint64) error {
 	hdr, nonce, err := newHeader(segMagic, base)
 	if err != nil {
 		return err
 	}
-	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(base)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	f, err := os.OpenFile(filepath.Join(s.dir, segmentName(s.id, base)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
 	if err != nil {
 		return err
 	}
@@ -743,45 +798,52 @@ func (w *WAL) openSegment(base uint64) error {
 		f.Close()
 		return err
 	}
-	if err := syncDir(w.dir); err != nil {
+	if err := syncDir(s.dir); err != nil {
 		f.Close()
 		return err
 	}
-	w.active = f
-	w.activeNonce = nonce
-	w.activePads = newPadStream(w.key, &nonce)
-	w.activeBase = base
-	w.activeSize = headerLen
+	s.active = f
+	s.activeNonce = nonce
+	s.activePads = newPadStream(s.key, &nonce)
+	s.activeBase = base
+	s.activeSize = headerLen
 	return nil
 }
 
 // Sync forces everything appended so far onto stable storage, regardless of
-// policy: drain, write, fsync. It returns once the log is stable.
+// policy: drain, write, fsync, on every stripe. It returns once the whole
+// log is stable.
 func (w *WAL) Sync() error {
 	if err := w.err(); err != nil {
 		return err
 	}
-	reply := make(chan error, 1)
-	select {
-	case w.flushc <- reply:
-		return <-reply
-	case <-w.done:
-		return w.err()
+	var first error
+	for _, s := range w.groups {
+		reply := make(chan error, 1)
+		select {
+		case s.flushc <- reply:
+			if err := <-reply; err != nil && first == nil {
+				first = err
+			}
+		case <-s.done:
+			if err := w.err(); err != nil && first == nil {
+				first = err
+			}
+		}
 	}
+	return first
 }
 
-// Close drains and seals the log, then releases the directory lock. The WAL
-// is unusable afterwards; a clean Close leaves every segment sealed, so the
-// next recovery finds no torn tail.
+// Close drains and seals every stripe, then releases the directory lock.
+// The WAL is unusable afterwards; a clean Close leaves every segment
+// sealed, so the next recovery finds no torn tail.
 func (w *WAL) Close() error {
 	if !w.closed.CompareAndSwap(false, true) {
-		<-w.done
-		<-w.syncdone
+		w.join()
 		return nil
 	}
 	close(w.stopc)
-	<-w.done
-	<-w.syncdone
+	w.join()
 	var err error
 	if e := w.failed.Load(); e != nil {
 		err = *e
@@ -793,22 +855,31 @@ func (w *WAL) Close() error {
 	return err
 }
 
-// abandon simulates kill -9 for in-process tests: the writer stops without
-// draining its stripes or sealing the active segment, and the directory
-// lock is released so the "restarted" process can take it. Everything the
-// OS already has (every completed Write syscall) stays on disk, exactly as
-// after a real SIGKILL on one machine.
+// join waits for every stripe's writer and sync goroutine to exit.
+func (w *WAL) join() {
+	for _, s := range w.groups {
+		<-s.done
+		<-s.syncdone
+	}
+}
+
+// abandon simulates kill -9 for in-process tests: every stripe's writer
+// stops without draining its buffer or sealing its active segment, and the
+// directory lock is released so the "restarted" process can take it.
+// Everything the OS already has (every completed Write syscall) stays on
+// disk, exactly as after a real SIGKILL on one machine.
 func (w *WAL) abandon() {
 	if !w.closed.CompareAndSwap(false, true) {
-		<-w.done
+		w.join()
 		return
 	}
 	close(w.killc)
-	<-w.done
-	<-w.syncdone // an fsync may still be in flight; let it finish before closing the fd
-	if w.active != nil {
-		w.active.Close()
-		w.active = nil
+	w.join() // in-flight fsyncs finish before the fds close
+	for _, s := range w.groups {
+		if s.active != nil {
+			s.active.Close()
+			s.active = nil
+		}
 	}
 	if w.lock != nil {
 		syscall.Flock(int(w.lock.Fd()), syscall.LOCK_UN)
@@ -816,8 +887,10 @@ func (w *WAL) abandon() {
 	}
 }
 
-// Stats is a point-in-time snapshot of the WAL's counters.
+// Stats is a point-in-time snapshot of the WAL's counters, summed across
+// stripes.
 type Stats struct {
+	Stripes   int    // stripe groups (pinned by the data directory)
 	Records   uint64 // records appended
 	Batches   uint64 // group commits
 	Syncs     uint64 // fsync calls on segment data
@@ -826,24 +899,28 @@ type Stats struct {
 	Bytes     uint64 // record bytes appended
 	// SyncHist is the group-commit batch-size histogram: SyncHist[i] counts
 	// fsyncs that made ≤ 2^i records stable (the last bucket collects
-	// everything larger). It is the direct observable behind the batching
-	// claim: a healthy concurrent workload piles its mass in the upper
-	// buckets.
+	// everything larger), summed across stripes so the series reads the
+	// same whether the log runs one stripe or sixteen. It is the direct
+	// observable behind the batching claim: a healthy concurrent workload
+	// piles its mass in the upper buckets.
 	SyncHist [SyncHistBuckets]uint64
 }
 
 // Stats returns the WAL's counters.
 func (w *WAL) Stats() Stats {
 	st := Stats{
-		Records:   w.records.Load(),
-		Batches:   w.batches.Load(),
-		Syncs:     w.syncs.Load(),
-		Rotations: w.rotations.Load(),
+		Stripes:   len(w.groups),
 		Snapshots: w.snaps.Load(),
-		Bytes:     w.bytes.Load(),
 	}
-	for i := range st.SyncHist {
-		st.SyncHist[i] = w.syncHist[i].Load()
+	for _, s := range w.groups {
+		st.Records += s.records.Load()
+		st.Batches += s.batches.Load()
+		st.Syncs += s.syncs.Load()
+		st.Rotations += s.rotations.Load()
+		st.Bytes += s.bytes.Load()
+		for i := range st.SyncHist {
+			st.SyncHist[i] += s.syncHist[i].Load()
+		}
 	}
 	return st
 }

@@ -251,8 +251,10 @@ func TestRecoverTornTail(t *testing.T) {
 
 func TestRecoverHaltsOnSealedSegmentCorruption(t *testing.T) {
 	dir := t.TempDir()
-	// Tiny segments force rotations, so sealed segments exist.
-	w, _, st := openWAL(t, dir, Options{SegmentBytes: 4 << 10})
+	// Tiny segments force rotations, so sealed segments exist; one stripe so
+	// the first listed segment is guaranteed sealed (a second stripe's active
+	// segment would sort between this stripe's files).
+	w, _, st := openWAL(t, dir, Options{SegmentBytes: 4 << 10, Stripes: 1})
 	drive(t, st, 5, 8, 2000)
 	if err := w.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
@@ -274,7 +276,10 @@ func TestRecoverHaltsOnSealedSegmentCorruption(t *testing.T) {
 
 func TestSnapshotCompactsAndPreservesAudits(t *testing.T) {
 	dir := t.TempDir()
-	w, _, st := openWAL(t, dir, Options{SegmentBytes: 8 << 10})
+	// One stripe: the cut-covers-segment check below compares every file
+	// against one cut LSN, which only means something inside one stripe's
+	// LSN space.
+	w, _, st := openWAL(t, dir, Options{SegmentBytes: 8 << 10, Stripes: 1})
 	names := drive(t, st, 6, 8, 1500)
 	cut, err := w.Snapshot()
 	if err != nil {
@@ -286,11 +291,11 @@ func TestSnapshotCompactsAndPreservesAudits(t *testing.T) {
 	// Covered segments are gone; the snapshot file exists.
 	for _, seg := range allSegments(t, dir) {
 		name := filepath.Base(seg)
-		if meta, isSeg, _ := parseFileName(name); isSeg && meta < cut {
+		if _, meta, isSeg, _ := parseFileName(name); isSeg && meta < cut {
 			t.Errorf("segment %s below cut %d survived the snapshot", name, cut)
 		}
 	}
-	if _, err := os.Stat(filepath.Join(dir, snapshotName(cut))); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, snapshotName(0, cut))); err != nil {
 		t.Fatalf("snapshot file: %v", err)
 	}
 
@@ -396,7 +401,7 @@ func TestSynthesizedWriteFromFetch(t *testing.T) {
 		{Op: OpFetch, Name: "acct", Kind: uint8(store.Register), Reader: 3, Seq: 1, Value: 777},
 	}
 	lsns := []uint64{1, 2}
-	if err := writeSealedFile(dir, segmentName(1), segMagic, 1, testKey(), recs, lsns); err != nil {
+	if err := writeSealedFile(dir, segmentName(0, 1), segMagic, 1, testKey(), recs, lsns); err != nil {
 		t.Fatalf("writeSealedFile: %v", err)
 	}
 
@@ -426,7 +431,7 @@ func TestFetchValueMismatchHalts(t *testing.T) {
 		{Op: OpWrite, Name: "acct", Kind: uint8(store.Register), Seq: 1, Value: 10},
 		{Op: OpFetch, Name: "acct", Kind: uint8(store.Register), Reader: 0, Seq: 1, Value: 11},
 	}
-	if err := writeSealedFile(dir, segmentName(1), segMagic, 1, testKey(), recs, []uint64{1, 2, 3}); err != nil {
+	if err := writeSealedFile(dir, segmentName(0, 1), segMagic, 1, testKey(), recs, []uint64{1, 2, 3}); err != nil {
 		t.Fatalf("writeSealedFile: %v", err)
 	}
 	st := newTestStore(t)
@@ -445,8 +450,10 @@ func allSegments(t *testing.T, dir string) []string {
 		t.Fatal(err)
 	}
 	var out []string
-	for _, base := range ds.segments {
-		out = append(out, filepath.Join(dir, segmentName(base)))
+	for sid := 0; sid <= ds.maxStripe; sid++ {
+		for _, sf := range ds.segments[sid] {
+			out = append(out, filepath.Join(dir, sf.name))
+		}
 	}
 	return out
 }

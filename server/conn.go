@@ -4,8 +4,10 @@ import (
 	"crypto/rand"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
+	"auditreg/internal/shard"
 	"auditreg/store"
 	"auditreg/wire"
 )
@@ -19,31 +21,38 @@ const (
 	connQueue = 256
 )
 
-// conn is one accepted connection: a reader goroutine decoding and executing
-// request frames in order, a writer goroutine coalescing response frames
-// into scatter-gather flushes, and the connection's session secret (the seed
-// of every ValueMask pad applied on it).
+// conn is one accepted connection: a reader goroutine decoding request
+// frames and routing them to the server's shard executors by object-name
+// hash, a writer goroutine coalescing response frames into scatter-gather
+// flushes, and the connection's session secret (the seed of every ValueMask
+// pad applied on it).
 //
-// The request path is allocation-free at steady state: requests are decoded
-// in place from the scanner's reused read buffer (hot verbs via DecodeView —
-// their name strings alias the buffer and die with the dispatch), responses
-// are encoded into pooled frame buffers that the writer recycles right after
-// the writev. See DESIGN.md, "Wire hot path", for the ownership rules.
+// The request path is allocation-free at steady state: request bodies are
+// copied into pooled frame buffers for the executor hop (hot verbs decode in
+// place via DecodeView — their name strings alias that buffer and die with
+// the execute), responses are encoded into pooled frame buffers that the
+// writer recycles right after the writev. See DESIGN.md, "Wire hot path",
+// for the ownership rules.
 type conn struct {
 	srv     *Server
 	nc      net.Conn
 	session [wire.SessionLen]byte
 	writec  chan *wire.Buf
 	wdone   chan struct{}    // closed by writeLoop after its final flush
-	donec   chan pendingResp // dispatch → completion: responses awaiting a durability verdict
+	donec   chan pendingResp // execute → completion: responses awaiting a durability verdict
 	cdone   chan struct{}    // closed by completionLoop when drained
+
+	// inflight counts requests routed to executors and not yet executed;
+	// the reader waits for it to drain before closing donec, so every
+	// executor-side send lands in a live channel.
+	inflight sync.WaitGroup
 }
 
 // pendingResp is one encoded response whose request's durability commit is
 // still outstanding: the completion goroutine collects the verdict and only
-// then releases the frame to the writer — so a connection's dispatch loop
-// never parks on an fsync, and every mutation in flight on the connection
-// rides the same group commit.
+// then releases the frame to the writer — so a shard executor never parks on
+// an fsync, and every mutation in flight on the connection rides its
+// stripe's group commit.
 type pendingResp struct {
 	id     uint64
 	buf    *wire.Buf
@@ -86,10 +95,14 @@ func (c *conn) serve() {
 		if err != nil {
 			break
 		}
-		c.dispatch(f)
+		c.route(f)
 	}
-	close(c.donec) // reader is the sole sender
-	<-c.cdone      // every pending durability verdict collected
+	// Every routed request must have executed (and so delivered its response
+	// into donec or writec) before donec closes; the executors keep running —
+	// Shutdown stops them only after every conn is gone.
+	c.inflight.Wait()
+	close(c.donec)
+	<-c.cdone // every pending durability verdict collected
 	close(c.writec)
 	// Join the writer: serve() returning is what Shutdown waits on, and
 	// the drain guarantee is that every queued response has been flushed
@@ -97,11 +110,11 @@ func (c *conn) serve() {
 	<-c.wdone
 }
 
-// completionLoop collects durability verdicts in dispatch order and
-// releases the finished responses to the writer. A failed commit turns the
+// completionLoop collects durability verdicts in arrival order and releases
+// the finished responses to the writer. A failed commit turns the
 // already-encoded success response back into an error frame: the mutation
 // took effect in memory, but its durability was never acknowledged.
-// Non-durable responses bypass this stage entirely (dispatch sends them
+// Non-durable responses bypass this stage entirely (execute sends them
 // straight to the writer), so a silent read is never queued behind an
 // fsync.
 func (c *conn) completionLoop() {
@@ -168,60 +181,111 @@ func (c *conn) writeLoop() {
 	c.nc.Close()
 }
 
-// dispatch executes one request frame and queues its response. The frame's
-// body is a view into the connection's read buffer; every handler is done
-// with it when dispatch returns. Mutations execute in arrival order here,
-// but their durability wait — when the WAL has one — is handed to the
-// completion goroutine, so the next request starts executing immediately
-// and the group commit absorbs everything this connection has in flight.
-func (c *conn) dispatch(f wire.Frame) {
+// route hands one request frame to the shard executor its object name
+// hashes to — the same FNV-1a hash the store's shard map and the WAL's
+// stripe map use, so one object means one executor means one WAL stripe.
+// The frame body is a view into the connection's read buffer, reused for the
+// next frame, so the executor hop gets a pooled copy. When the executor's
+// queue is at its high watermark the request is shed with CodeBusy instead
+// of queued: under saturation queueing delay stays bounded and the client
+// retries with backoff. Requests that carry no object name (STATS, unknown
+// verbs, bodies too short to hold a name) execute inline on the reader —
+// they touch no per-object state, so they need no serialization.
+func (c *conn) route(f wire.Frame) {
 	s := c.srv
 	s.framesIn.Add(1)
 	if s.cfg.FrameTap != nil {
 		s.cfg.FrameTap(false, wire.AppendFrame(nil, f.ID, f.Verb, f.Body))
 	}
+	switch f.Verb {
+	case wire.VerbOpen, wire.VerbWrite, wire.VerbReadFetch, wire.VerbReadAnnounce, wire.VerbAudit:
+		name, ok := peekName(f.Body)
+		if !ok {
+			break // malformed: the handler's decoder produces the error
+		}
+		e := s.execs[shard.HashBytes(name)&s.execMask]
+		in := wire.GetBuf(len(f.Body))
+		in.B = append(in.B[:0], f.Body...)
+		c.inflight.Add(1)
+		select {
+		case e.queue <- shardReq{c: c, id: f.ID, verb: f.Verb, buf: in}:
+			e.enqueues.Add(1)
+		default:
+			c.inflight.Done()
+			wire.PutBuf(in)
+			e.sheds.Add(1)
+			c.shed(f.ID)
+		}
+		return
+	}
+	c.execute(f.ID, f.Verb, f.Body)
+}
+
+// shed answers a request the admission control refused: a CodeBusy error
+// frame, emitted straight from the reader. The client maps it to
+// wire.ErrBusy and retries with jittered backoff.
+func (c *conn) shed(id uint64) {
+	out := wire.GetBuf(64)
+	b, verb := errBody(wire.BeginFrame(out.B[:0]), wire.CodeBusy, "shard queue full")
+	if err := wire.EndFrame(b, 0, id, verb); err != nil {
+		panic(fmt.Sprintf("server: busy frame does not fit a frame: %v", err))
+	}
+	out.B = b
+	c.srv.errs.Add(1)
+	c.emit(out)
+}
+
+// execute runs one request and queues its response; it runs on the shard
+// executor the request's object hashes to (inline on the reader for the few
+// verbs without a name). The body is owned by the caller; every handler is
+// done with it when execute returns. Same-shard mutations execute in queue
+// order, but their durability wait — when the WAL has one — is handed to
+// the conn's completion goroutine, so the executor moves on immediately and
+// the stripe's group commit absorbs everything in flight on the shard.
+func (c *conn) execute(id uint64, verb wire.Verb, body []byte) {
+	s := c.srv
 	// Size the response buffer by verb so big cold-path responses draw from
 	// the arena class they will be recycled into, instead of growing a
 	// small-class buffer through reallocations.
 	hint := 256
-	if f.Verb == wire.VerbAudit || f.Verb == wire.VerbStats {
+	if verb == wire.VerbAudit || verb == wire.VerbStats {
 		hint = 4 << 10
 	}
 	out := wire.GetBuf(hint)
 	b := wire.BeginFrame(out.B[:0])
-	var verb wire.Verb
+	var rverb wire.Verb
 	var commit func() error
-	switch f.Verb {
+	switch verb {
 	case wire.VerbOpen:
-		b, verb = c.handleOpen(f.Body, b)
+		b, rverb = c.handleOpen(body, b)
 	case wire.VerbWrite:
-		b, verb, commit = c.handleWrite(f.Body, b)
+		b, rverb, commit = c.handleWrite(body, b)
 	case wire.VerbReadFetch:
-		b, verb, commit = c.handleReadFetch(f.Body, b)
+		b, rverb, commit = c.handleReadFetch(body, b)
 	case wire.VerbReadAnnounce:
-		b, verb = c.handleAnnounce(f.Body, b)
+		b, rverb = c.handleAnnounce(body, b)
 	case wire.VerbAudit:
-		b, verb = c.handleAudit(f.Body, b)
+		b, rverb = c.handleAudit(body, b)
 	case wire.VerbStats:
-		b, verb = c.handleStats(f.Body, b)
+		b, rverb = c.handleStats(body, b)
 	default:
-		b, verb = errBody(b, wire.CodeBadRequest, fmt.Sprintf("unknown verb %d", uint8(f.Verb)))
+		b, rverb = errBody(b, wire.CodeBadRequest, fmt.Sprintf("unknown verb %d", uint8(verb)))
 	}
-	if err := wire.EndFrame(b, 0, f.ID, verb); err != nil {
+	if err := wire.EndFrame(b, 0, id, rverb); err != nil {
 		// The response outgrew the protocol (handlers guard against this;
 		// belt and braces): replace it with a bounded error frame.
 		b = wire.BeginFrame(b[:0])
-		b, verb = errBody(b, wire.CodeTooLarge, err.Error())
-		if err := wire.EndFrame(b, 0, f.ID, verb); err != nil {
+		b, rverb = errBody(b, wire.CodeTooLarge, err.Error())
+		if err := wire.EndFrame(b, 0, id, rverb); err != nil {
 			panic(fmt.Sprintf("server: error frame does not fit a frame: %v", err))
 		}
 	}
-	if verb == wire.VerbErr {
+	if rverb == wire.VerbErr {
 		s.errs.Add(1)
 	}
 	out.B = b
 	if commit != nil {
-		c.donec <- pendingResp{id: f.ID, buf: out, commit: commit}
+		c.donec <- pendingResp{id: id, buf: out, commit: commit}
 		return
 	}
 	c.emit(out)

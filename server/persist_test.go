@@ -3,6 +3,7 @@ package server_test
 import (
 	"context"
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"auditreg/persist"
 	"auditreg/server"
 	"auditreg/store"
+	"auditreg/wire"
 )
 
 // startPersistentServer boots a server over dir without the shared
@@ -44,6 +46,99 @@ func startPersistentServer(t *testing.T, key auditreg.Key, dir string) (*server.
 		}
 	}
 	return srv, ln.Addr().String(), stop
+}
+
+// TestShutdownDrainsInFlightCommits is the drain regression check for the
+// executor-routed async journal path: a connection that dies mid-pipeline —
+// dozens of durable writes routed to shard executors, none of their
+// responses ever read — must not wedge Shutdown, leak a completion-stage
+// goroutine, or lose a write that was acknowledged on another connection.
+func TestShutdownDrainsInFlightCommits(t *testing.T) {
+	key := auditreg.KeyFromSeed(77)
+	dir := t.TempDir()
+	g0 := runtime.NumGoroutine()
+	srv, addr, stop := startPersistentServer(t, key, dir)
+	_ = srv
+
+	// An acked write on its own object: its durability verdict is settled
+	// before the messy connection below even exists.
+	cl, err := client.Dial(addr, client.WithKey(key), client.WithConns(1))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	acked, err := cl.Open("drain/acked", store.Register)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := acked.Write(0xACED); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	cl.Close()
+
+	// A raw connection: open an object, then blast a pipeline of durable
+	// writes and slam the socket shut without reading one response. The
+	// frames already buffered server-side still execute; their commits are
+	// in flight through the completion stage when the conn dies.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial raw: %v", err)
+	}
+	const pipelined = "drain/pipelined"
+	open := wire.AppendFrame(nil, 1, wire.VerbOpen, (&wire.OpenReq{Name: pipelined, Kind: wire.KindRegister}).Append(nil))
+	if _, err := nc.Write(open); err != nil {
+		t.Fatalf("write open: %v", err)
+	}
+	sc := wire.NewFrameScanner(nc, 4<<10)
+	if f, err := sc.Next(); err != nil || f.Verb != wire.VerbOpen {
+		t.Fatalf("open response: verb %v, err %v", f.Verb, err)
+	}
+	var burst []byte
+	const writes = 128
+	for i := uint64(0); i < writes; i++ {
+		burst = wire.AppendFrame(burst, 2+i, wire.VerbWrite, (&wire.WriteReq{Name: pipelined, Value: 0x1000 + i}).Append(nil))
+	}
+	if _, err := nc.Write(burst); err != nil {
+		t.Fatalf("write burst: %v", err)
+	}
+	nc.Close()
+
+	// stop() runs Shutdown under a 5s context and fails the test if the
+	// drain wedges — the regression this test exists to catch.
+	stop()
+
+	// No leaked completion-stage (or executor) goroutines: the count must
+	// settle back to the pre-server baseline.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > g0+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > g0+2 {
+		t.Errorf("%d goroutines after shutdown, %d before the server started — a stage leaked", n, g0)
+	}
+
+	// The acked write survived the drain and the restart; the pipelined
+	// object holds either its initial value or one of the attempted writes.
+	_, addrB, stopB := startPersistentServer(t, key, dir)
+	defer stopB()
+	clB, err := client.Dial(addrB, client.WithKey(key), client.WithConns(1))
+	if err != nil {
+		t.Fatalf("Dial B: %v", err)
+	}
+	defer clB.Close()
+	objA, err := clB.Open("drain/acked", store.Register)
+	if err != nil {
+		t.Fatalf("reopen acked: %v", err)
+	}
+	if v, err := objA.Read(0); err != nil || v != 0xACED {
+		t.Errorf("acked write lost across shutdown: Read = %#x, %v; want 0xACED", v, err)
+	}
+	objB, err := clB.Open(pipelined, store.Register)
+	if err != nil {
+		t.Fatalf("reopen pipelined: %v", err)
+	}
+	if v, err := objB.Read(0); err != nil || (v != 0 && (v < 0x1000 || v >= 0x1000+writes)) {
+		t.Errorf("pipelined object recovered %#x, %v; want 0 or an attempted value", v, err)
+	}
 }
 
 // TestServerRecoversFromDataDir drives remote traffic into a daemon with a

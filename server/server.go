@@ -5,13 +5,20 @@
 //
 // # Connection model
 //
-// Each accepted connection gets two goroutines: a reader that decodes and
-// executes request frames in arrival order, and a writer that batches
-// response frames through one buffered writer, flushing when the queue runs
-// dry. Requests pipeline naturally — a client may have any number of frames
-// in flight — while per-connection execution order is preserved, which is
-// what lets a client send READ-ANNOUNCE right behind READ-FETCH without
-// waiting.
+// Each accepted connection gets a reader that decodes request frames and
+// routes each one — by the FNV-1a hash of its object name, the same hash
+// the store's shard map and the WAL's stripe map use — to one of the
+// server's shard executors: single goroutines that each own their slice of
+// the store, so cross-connection operations on one shard serialize without
+// lock contention while distinct shards run in parallel. Responses flow
+// back through the connection's completion stage (durability verdicts) and
+// writer goroutine (scatter-gather flushes). Requests pipeline naturally —
+// a client may have any number of frames in flight — and per-object order
+// is preserved (one object, one executor queue), which is what lets a
+// client send READ-ANNOUNCE right behind READ-FETCH without waiting.
+// Each executor queue is bounded; at the high watermark the reader sheds
+// the request with a CodeBusy error instead of queueing it, so overload
+// degrades into client retries, not unbounded latency.
 //
 // # Trust boundary
 //
@@ -45,6 +52,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -67,6 +75,16 @@ type Config struct {
 	Readers int
 	// Shards is the store's shard count (default shard.DefaultShards).
 	Shards int
+	// ExecShards is the number of shard executors — the single goroutines
+	// requests are routed to by object-name hash, each owning its slice of
+	// the store (default runtime.GOMAXPROCS(0), rounded up to a power of
+	// two). One executor per core is the intended shape; more only adds
+	// queues.
+	ExecShards int
+	// ShardQueue bounds each executor's request queue (default
+	// defaultShardQueue). A routed request that finds the queue full is
+	// shed with a CodeBusy error — the admission-control high watermark.
+	ShardQueue int
 	// Capacity is the default per-object audit-history capacity (default
 	// store.DefaultCapacity).
 	Capacity int
@@ -90,6 +108,10 @@ type Config struct {
 	// negative delay disables the window). See persist.Options.
 	WALBatchDelay time.Duration
 	WALBatchBytes int
+	// WALStripes is the WAL stripe-group count (default in persist:
+	// runtime.GOMAXPROCS(0)). A non-empty data directory pins its own
+	// count; see persist.Options.Stripes.
+	WALStripes int
 	// FrameTap, when non-nil, is invoked synchronously with every complete
 	// frame the server transmits (outbound true) or receives (outbound
 	// false). Test instrumentation — the leak tests assert over every
@@ -108,10 +130,18 @@ type Server struct {
 	epoch uint64
 	start time.Time
 
+	// Shard executors: requests are routed to execs[hash&execMask] by the
+	// conn readers; the goroutines start in Serve and stop in Shutdown once
+	// every conn (every sender) is gone.
+	execs    []*shardExec
+	execMask uint64
+	execStop sync.Once
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[*conn]struct{}
 	draining bool
+	execsUp  bool
 
 	wg sync.WaitGroup
 
@@ -162,6 +192,7 @@ func New(cfg Config) (*Server, error) {
 			Policy:       cfg.Fsync,
 			Interval:     cfg.FsyncInterval,
 			SegmentBytes: cfg.SegmentBytes,
+			Stripes:      cfg.WALStripes,
 			BatchDelay:   cfg.WALBatchDelay,
 			BatchBytes:   cfg.WALBatchBytes,
 		})
@@ -202,15 +233,29 @@ func New(cfg Config) (*Server, error) {
 		}
 		return nil, err
 	}
+	shards := cfg.ExecShards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	queueCap := cfg.ShardQueue
+	if queueCap <= 0 {
+		queueCap = defaultShardQueue
+	}
 	return &Server{
-		cfg:   cfg,
-		st:    st,
-		pool:  pool,
-		wal:   wal,
-		recov: recov,
-		epoch: binary.BigEndian.Uint64(eb[:]),
-		start: time.Now(),
-		conns: make(map[*conn]struct{}),
+		cfg:      cfg,
+		st:       st,
+		pool:     pool,
+		wal:      wal,
+		recov:    recov,
+		epoch:    binary.BigEndian.Uint64(eb[:]),
+		start:    time.Now(),
+		conns:    make(map[*conn]struct{}),
+		execs:    newExecs(n, queueCap),
+		execMask: uint64(n - 1),
 	}, nil
 }
 
@@ -276,6 +321,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	if err := s.pool.Start(); err != nil {
 		return err
 	}
+	s.startExecs()
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
@@ -359,6 +405,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Unlock()
 		<-done
 	}
+	// Every conn reader is gone, so no goroutine can route another request:
+	// the executor queues are safe to close and drain.
+	s.stopExecs()
 	s.pool.Stop()
 	if s.wal != nil {
 		// Last: every drained request has journaled by now. A clean close
@@ -391,6 +440,22 @@ func (s *Server) statPairs() []wire.StatPair {
 		{Name: "uptime-ms", Value: uint64(time.Since(s.start).Milliseconds())},
 		{Name: "writes", Value: s.writes.Load()},
 	}
+	// Shard-executor occupancy: enqueues/sheds are cumulative, depth is the
+	// instantaneous total queue occupancy across shards — nonzero sheds with
+	// bounded depth is what admission control looks like under overload.
+	var enq, sheds, depth uint64
+	for _, e := range s.execs {
+		enq += e.enqueues.Load()
+		sheds += e.sheds.Load()
+		depth += uint64(len(e.queue))
+	}
+	pairs = append(pairs,
+		wire.StatPair{Name: "shards", Value: uint64(len(s.execs))},
+		wire.StatPair{Name: "shard-queue-cap", Value: uint64(cap(s.execs[0].queue))},
+		wire.StatPair{Name: "shard-enqueues", Value: enq},
+		wire.StatPair{Name: "shard-sheds", Value: sheds},
+		wire.StatPair{Name: "shard-depth", Value: depth},
+	)
 	if s.wal != nil {
 		ws := s.wal.Stats()
 		pairs = append(pairs,

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -34,7 +35,15 @@ const (
 	CodeTooLarge     ErrCode = 5 // response exceeds frame limits
 	CodeInternal     ErrCode = 6 // server-side failure
 	CodeShutdown     ErrCode = 7 // server is draining
+	CodeBusy         ErrCode = 8 // shard queue at its high watermark; retry
 )
+
+// ErrBusy is the sentinel a client surfaces (wrapped) when the server shed
+// the request under admission control: the target shard's queue was at its
+// high watermark, the operation was NOT performed, and a retry after a
+// jittered backoff is the intended response. Detect it with
+// errors.Is(err, wire.ErrBusy).
+var ErrBusy = errors.New("server busy: shard queue full")
 
 // SessionLen is the size of the per-connection session secret carried in
 // OpenResp; NonceLen the size of the per-AUDIT-response nonce.
