@@ -1,0 +1,126 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"auditreg/wire"
+)
+
+// backoffHarness swaps the retry loop's clock, sleeper, and jitter draw for
+// deterministic ones and restores them on cleanup. Sleeps advance the fake
+// clock instead of the real one, so the 2-second retry window is exercised
+// in microseconds of test time.
+type backoffHarness struct {
+	now    time.Time
+	slept  []time.Duration
+	delays []time.Duration // the pre-jitter backoff step of each sleep
+}
+
+func newBackoffHarness(t *testing.T, seed int64) *backoffHarness {
+	t.Helper()
+	h := &backoffHarness{now: time.Unix(1000, 0)}
+	rng := rand.New(rand.NewSource(seed))
+	origNow, origSleep, origJitter := busyNow, busySleep, busyJitter
+	t.Cleanup(func() { busyNow, busySleep, busyJitter = origNow, origSleep, origJitter })
+	busyNow = func() time.Time { return h.now }
+	busySleep = func(d time.Duration) {
+		h.slept = append(h.slept, d)
+		h.now = h.now.Add(d)
+	}
+	busyJitter = func(delay time.Duration) time.Duration {
+		h.delays = append(h.delays, delay)
+		return time.Duration(rng.Int63n(int64(delay))) + time.Microsecond
+	}
+	return h
+}
+
+// TestRetryBusyBackoffBounds pins the documented backoff contract: every
+// full-jitter pause stays within (0, busyMaxDelay + 1µs], the pre-jitter
+// step doubles from busyBaseDelay and saturates at busyMaxDelay, and a
+// persistently-shed op surfaces wire.ErrBusy only after the retry window
+// has elapsed.
+func TestRetryBusyBackoffBounds(t *testing.T) {
+	h := newBackoffHarness(t, 7)
+
+	calls := 0
+	err := retryBusy(func() error {
+		calls++
+		return wire.ErrBusy
+	})
+	if !errors.Is(err, wire.ErrBusy) {
+		t.Fatalf("persistently busy op returned %v, want wire.ErrBusy", err)
+	}
+
+	if len(h.slept) == 0 {
+		t.Fatal("no backoff sleeps recorded")
+	}
+	if calls != len(h.slept)+1 {
+		t.Fatalf("%d op calls for %d sleeps; every retry but the last must be preceded by a pause", calls, len(h.slept))
+	}
+	// Documented bounds: pauses in (0, max+1µs], steps doubling 100µs → 10ms.
+	for i, d := range h.slept {
+		if d <= 0 || d > busyMaxDelay+time.Microsecond {
+			t.Errorf("sleep %d = %v outside (0, %v]", i, d, busyMaxDelay+time.Microsecond)
+		}
+	}
+	want := busyBaseDelay
+	for i, step := range h.delays {
+		if step != want {
+			t.Errorf("backoff step %d = %v, want %v", i, step, want)
+		}
+		if h.slept[i] > step+time.Microsecond {
+			t.Errorf("sleep %d = %v exceeds its step %v (+1µs): jitter must stay under the step", i, h.slept[i], step)
+		}
+		if want *= 2; want > busyMaxDelay {
+			want = busyMaxDelay
+		}
+	}
+	if h.delays[len(h.delays)-1] != busyMaxDelay {
+		t.Errorf("final backoff step = %v, never saturated at %v", h.delays[len(h.delays)-1], busyMaxDelay)
+	}
+
+	// Window: the deadline is armed at the first busy result; total slept
+	// time must reach it but not run away past one extra saturated pause.
+	total := time.Duration(0)
+	for _, d := range h.slept {
+		total += d
+	}
+	if total < busyRetryWindow {
+		t.Errorf("gave up after %v of backoff, before the %v window elapsed", total, busyRetryWindow)
+	}
+	if total > busyRetryWindow+busyMaxDelay+time.Microsecond {
+		t.Errorf("kept retrying for %v, past the %v window by more than one saturated pause", total, busyRetryWindow)
+	}
+}
+
+// TestRetryBusyStopsRetrying pins the loop's exits: success and non-busy
+// errors return immediately without sleeping, and a mid-retry success stops
+// the backoff.
+func TestRetryBusyStopsRetrying(t *testing.T) {
+	h := newBackoffHarness(t, 11)
+
+	if err := retryBusy(func() error { return nil }); err != nil {
+		t.Fatalf("retryBusy(ok) = %v", err)
+	}
+	sentinel := errors.New("not busy")
+	if err := retryBusy(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("retryBusy(non-busy) = %v, want the op's error", err)
+	}
+	if len(h.slept) != 0 {
+		t.Fatalf("non-retryable results slept %v", h.slept)
+	}
+
+	calls := 0
+	err := retryBusy(func() error {
+		if calls++; calls < 4 {
+			return wire.ErrBusy
+		}
+		return nil
+	})
+	if err != nil || calls != 4 || len(h.slept) != 3 {
+		t.Fatalf("mid-retry success: err=%v calls=%d sleeps=%d, want nil/4/3", err, calls, len(h.slept))
+	}
+}

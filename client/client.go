@@ -292,6 +292,21 @@ const (
 	busyRetryWindow = 2 * time.Second
 )
 
+// The backoff's clock, sleeper, and jitter draw are package variables so
+// the retry loop is testable against a deterministic schedule; production
+// always runs the defaults below.
+var (
+	busyNow   = time.Now
+	busySleep = time.Sleep
+	// busyJitter draws the full-jitter pause for the current backoff step: a
+	// uniform draw in (0, delay], floored at one microsecond, so shed
+	// clients desynchronize instead of stampeding the shard back to its
+	// watermark in lockstep.
+	busyJitter = func(delay time.Duration) time.Duration {
+		return time.Duration(rand.Int63n(int64(delay))) + time.Microsecond
+	}
+)
+
 // retryBusy runs op, retrying with jittered exponential backoff while the
 // server sheds it under admission control (wire.ErrBusy). Every retry
 // re-encodes and may land on a different pool connection; ops that are not
@@ -304,16 +319,13 @@ func retryBusy(op func() error) error {
 		if err == nil || !errors.Is(err, wire.ErrBusy) {
 			return err
 		}
-		now := time.Now()
+		now := busyNow()
 		if deadline.IsZero() {
 			deadline = now.Add(busyRetryWindow)
 		} else if now.After(deadline) {
 			return err
 		}
-		// Full jitter: a uniform draw in (0, delay], so shed clients
-		// desynchronize instead of stampeding the shard back to its
-		// watermark in lockstep.
-		time.Sleep(time.Duration(rand.Int63n(int64(delay))) + time.Microsecond)
+		busySleep(busyJitter(delay))
 		if delay *= 2; delay > busyMaxDelay {
 			delay = busyMaxDelay
 		}

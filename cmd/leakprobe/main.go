@@ -1,12 +1,22 @@
 // Command leakprobe regenerates the attack experiment tables of
-// EXPERIMENTS.md (E3, E4, E5, E15): honest-but-curious attackers against
-// Algorithm 1, Algorithm 2, and the Section 3.1 strawman, plus the
-// disk-access attacker sweeping auditd's durable data directory (or any
-// directory named with -data-dir) for plaintext reader sets and values.
+// EXPERIMENTS.md: the in-process attacks E3/E4/E5 (crash-simulating read,
+// reader-set inference, max-register gap inference), the E15 disk sweep, and
+// — the E18 adversarial audit lab — statistical distinguisher attacks over
+// the wire, disk, STATS, and timing channels of the live server stack, each
+// paired with a positive control against a deliberately leaky configuration.
 //
 // Usage:
 //
-//	leakprobe [-trials N] [-seed S] [-data-dir DIR]
+//	leakprobe [-trials N] [-seed S] [-data-dir DIR] [-ci] [-delta D] [-addr HOST:PORT]
+//
+// Exit status is non-zero on any finding: an E15 plaintext hit, an E18
+// distinguisher beating chance by more than delta on an honest
+// configuration, or — just as fatally — a positive control failing to
+// detect its planted leak (a lab without power proves nothing). -ci runs
+// E18 and prints the machine-checkable pass/fail table the leak-gate CI job
+// consumes; -addr points the STATS and timing observers at an external
+// auditd (wire and disk observers always run in-process: they need the
+// frame tap and the data directory).
 package main
 
 import (
@@ -19,15 +29,57 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	trials := flag.Int("trials", 1000, "trials per attack experiment")
 	seed := flag.Uint64("seed", 42, "experiment seed")
-	dataDir := flag.String("data-dir", "", "scratch directory for the E15 disk sweep (default: a temp dir)")
+	dataDir := flag.String("data-dir", "", "scratch directory for the E15 disk sweep and E18 disk lab (default: a temp dir)")
+	ci := flag.Bool("ci", false, "run the E18 distinguisher series and print its pass/fail table")
+	delta := flag.Float64("delta", 0.05, "E18 leak threshold: leak iff accuracy's 95% lower bound > 0.5+delta")
+	addr := flag.String("addr", "", "external auditd for the E18 stats/timing observers (default: in-process servers)")
 	flag.Parse()
 
-	fmt.Println("E3  crash-simulating read (stop right after learning the value)")
-	res, err := attacker.RunCrashSimulation(4, 1234, *seed)
+	dir := *dataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "leakprobe-*")
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	failures, err := classic(*trials, *seed, dir)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
+	}
+	if *ci {
+		fmt.Println()
+		n, err := e18(*trials, *delta, *seed, *addr, dir)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		failures += n
+	}
+	if failures > 0 {
+		fmt.Printf("\nFAIL: %d leak-gate failure(s)\n", failures)
+		return 1
+	}
+	return 0
+}
+
+// classic runs the pre-E18 experiment series (E3, E4, E5, E15) and returns
+// how many of them found a leak.
+func classic(trials int, seed uint64, dir string) (failures int, err error) {
+	fmt.Println("E3  crash-simulating read (stop right after learning the value)")
+	res, err := attacker.RunCrashSimulation(4, 1234, seed)
+	if err != nil {
+		return failures, err
 	}
 	fmt.Printf("    attacker learned value:       %d\n", res.Value)
 	fmt.Printf("    algorithm-1 audit caught it:  %t   (effective reads are auditable)\n", res.CoreAudited)
@@ -35,9 +87,9 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("E4  reader-set inference (did reader 1 read the current value?)")
-	coreRes, strawRes, err := attacker.RunReaderSetInference(*trials, *seed)
+	coreRes, strawRes, err := attacker.RunReaderSetInference(trials, seed)
 	if err != nil {
-		log.Fatal(err)
+		return failures, err
 	}
 	fmt.Printf("    %-28s accuracy %.3f   false-claim rate %.3f\n",
 		"strawman (plaintext bits):", strawRes.Rate(), strawRes.FalseClaimRate())
@@ -47,13 +99,13 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("E5  max-register gap inference (was the intermediate value written?)")
-	plain, err := attacker.RunMaxGapInference(*trials, *seed, false)
+	plain, err := attacker.RunMaxGapInference(trials, seed, false)
 	if err != nil {
-		log.Fatal(err)
+		return failures, err
 	}
-	nonced, err := attacker.RunMaxGapInference(*trials, *seed, true)
+	nonced, err := attacker.RunMaxGapInference(trials, seed, true)
 	if err != nil {
-		log.Fatal(err)
+		return failures, err
 	}
 	fmt.Printf("    %-28s accuracy %.3f   false-claim rate %.3f\n",
 		"constant nonces (ablation):", plain.Rate(), plain.FalseClaimRate())
@@ -63,24 +115,92 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("E15 disk-access attacker (raw-byte sweep of the durable data dir)")
-	dir := *dataDir
-	if dir == "" {
-		tmp, err := os.MkdirTemp("", "leakprobe-e15-*")
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer os.RemoveAll(tmp)
-		dir = tmp
-	}
-	sweep, err := attacker.RunDiskSweep(dir, *seed)
+	sweepDir, err := os.MkdirTemp(dir, "e15-*")
 	if err != nil {
-		log.Fatal(err)
+		return failures, err
+	}
+	sweep, err := attacker.RunDiskSweep(sweepDir, seed)
+	if err != nil {
+		return failures, err
 	}
 	fmt.Printf("    files scanned: %d   bytes scanned: %d\n", sweep.FilesScanned, sweep.BytesScanned)
 	fmt.Printf("    plaintext findings in the encrypted WAL/snapshots:  %d\n", len(sweep.Findings))
 	for _, f := range sweep.Findings {
 		fmt.Printf("      LEAK: %s at %s+%d\n", f.Desc, f.File, f.Offset)
+		failures++
 	}
 	fmt.Printf("    findings in the cleartext shadow log (self-check):  %d\n", sweep.SelfCheckFindings)
 	fmt.Println("    (0 findings + a tripping self-check: disk access teaches the attacker nothing)")
+	return failures, nil
+}
+
+// e18 runs the adversarial audit lab: every observer's honest game and its
+// positive control, printed as the pass/fail table EXPERIMENTS.md E18
+// records, returning how many rows failed.
+func e18(trials int, delta float64, seed uint64, addr string, dir string) (failures int, err error) {
+	fmt.Printf("E18 adversarial audit lab (statistical distinguishers, %d trials, delta %.2f)\n", trials, delta)
+
+	wire, err := attacker.NewWireLab(seed)
+	if err != nil {
+		return 0, fmt.Errorf("wire lab: %w", err)
+	}
+	defer wire.Close()
+	diskDir, err := os.MkdirTemp(dir, "e18-disk-*")
+	if err != nil {
+		return 0, err
+	}
+	disk := attacker.NewDiskLab(diskDir, seed)
+	statsDir, err := os.MkdirTemp(dir, "e18-stats-*")
+	if err != nil {
+		return 0, err
+	}
+	stats, err := attacker.NewStatsLab(addr, statsDir, seed)
+	if err != nil {
+		return 0, fmt.Errorf("stats lab: %w", err)
+	}
+	defer stats.Close()
+	timing, err := attacker.NewTimingLab(addr, seed)
+	if err != nil {
+		return 0, fmt.Errorf("timing lab: %w", err)
+	}
+	defer timing.Close()
+
+	games := []attacker.Distinguisher{
+		wire.Occurrence(false),
+		wire.Identity(false),
+		wire.Occurrence(true),
+		wire.Identity(true),
+		disk.Identity(false),
+		disk.Identity(true),
+		stats.Identity(),
+		stats.Occurrence(),
+		timing.SilentRead(),
+		timing.EffectiveRead(),
+	}
+
+	fmt.Printf("    %-30s %-8s %-9s %-18s %-30s %s\n",
+		"game", "role", "accuracy", "wilson95", "verdict", "result")
+	for _, g := range games {
+		v, err := attacker.RunDistinguisher(g, trials, delta, seed)
+		if err != nil {
+			return failures, fmt.Errorf("%s: %w", g.Name, err)
+		}
+		role := "honest"
+		if v.Control {
+			role = "control"
+		}
+		verdict := "no leak"
+		if v.Leak {
+			verdict = fmt.Sprintf("LEAK via %s", v.TopFeature)
+		}
+		result := "ok"
+		if !v.Passed() {
+			result = "FAIL"
+			failures++
+		}
+		fmt.Printf("    %-30s %-8s %-9.3f [%.3f, %.3f]     %-30s %s\n",
+			v.Name, role, v.Accuracy, v.WilsonLow, v.WilsonHigh, verdict, result)
+	}
+	fmt.Println("    (honest rows must hold no-leak; control rows must leak, proving the lab's power)")
+	return failures, nil
 }

@@ -1,0 +1,137 @@
+package attacker
+
+import (
+	"math"
+	mathrand "math/rand/v2"
+	"testing"
+)
+
+// TestWilson pins the Wilson interval against hand-checked values and its
+// structural properties.
+func TestWilson(t *testing.T) {
+	lo, hi := wilson(50, 100, 1.96)
+	if math.Abs(lo-0.404) > 0.005 || math.Abs(hi-0.596) > 0.005 {
+		t.Fatalf("wilson(50,100) = [%.3f, %.3f], want ~[0.404, 0.596]", lo, hi)
+	}
+	lo, _ = wilson(100, 100, 1.96)
+	if lo < 0.95 {
+		t.Fatalf("wilson(100,100) lower bound %.3f, want > 0.95", lo)
+	}
+	if lo, hi = wilson(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Fatalf("wilson(0,0) = [%v, %v], want [0, 1]", lo, hi)
+	}
+	for _, n := range []int{10, 50, 400} {
+		for c := 0; c <= n; c += n / 5 {
+			lo, hi := wilson(c, n, 1.96)
+			p := float64(c) / float64(n)
+			if lo > p || hi < p || lo < 0 || hi > 1 {
+				t.Fatalf("wilson(%d,%d) = [%.3f, %.3f] does not bracket %.3f", c, n, lo, hi, p)
+			}
+		}
+	}
+}
+
+// TestBalancedBits checks exact balance at every size the harness produces.
+func TestBalancedBits(t *testing.T) {
+	rng := mathrand.New(mathrand.NewPCG(1, 2))
+	for _, n := range []int{20, 50, 200} {
+		ones := 0
+		for _, b := range balancedBits(n, rng) {
+			ones += b
+		}
+		if ones != n/2 {
+			t.Fatalf("balancedBits(%d): %d ones, want %d", n, ones, n/2)
+		}
+	}
+}
+
+// TestRunDistinguisherPerfectSignal: a channel that transmits the secret bit
+// outright must be flagged as a leak, attributed to the carrying feature.
+func TestRunDistinguisherPerfectSignal(t *testing.T) {
+	d := Distinguisher{
+		Name:     "test/perfect",
+		Features: []string{"noise", "signal"},
+		Trial: func(b int) ([]float64, error) {
+			return []float64{42, float64(b)}, nil
+		},
+	}
+	v, err := RunDistinguisher(d, 40, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Leak || v.Accuracy != 1 {
+		t.Fatalf("perfect channel not flagged: %+v", v)
+	}
+	if v.TopFeature != "signal" {
+		t.Fatalf("leak attributed to %q, want signal", v.TopFeature)
+	}
+	if v.Passed() {
+		t.Fatal("honest verdict Passed() on a leak")
+	}
+}
+
+// TestRunDistinguisherNoise: a channel of pure noise must sit at chance —
+// the calibration/test split keeps the selected rule from looking better
+// than it is.
+func TestRunDistinguisherNoise(t *testing.T) {
+	rng := mathrand.New(mathrand.NewPCG(3, 4))
+	d := Distinguisher{
+		Name:     "test/noise",
+		Features: []string{"n0", "n1", "n2", "n3"},
+		Trial: func(b int) ([]float64, error) {
+			return []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}, nil
+		},
+	}
+	v, err := RunDistinguisher(d, 400, 0.05, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Leak {
+		t.Fatalf("noise flagged as leak: %+v", v)
+	}
+	if !v.Passed() {
+		t.Fatal("honest no-leak verdict did not pass")
+	}
+}
+
+// TestRunDistinguisherControlSemantics: a control that fails to leak fails
+// the run.
+func TestRunDistinguisherControlSemantics(t *testing.T) {
+	d := Distinguisher{
+		Name:     "test/dead-control",
+		Control:  true,
+		Features: []string{"flat"},
+		Trial:    func(b int) ([]float64, error) { return []float64{1}, nil },
+	}
+	v, err := RunDistinguisher(d, 40, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Leak {
+		t.Fatalf("constant channel flagged as leak: %+v", v)
+	}
+	if v.Passed() {
+		t.Fatal("powerless control Passed()")
+	}
+}
+
+// TestRunDistinguisherTrialFloor: requested trial counts are padded to the
+// floor and balanced in both halves.
+func TestRunDistinguisherTrialFloor(t *testing.T) {
+	n := 0
+	d := Distinguisher{
+		Name:     "test/floor",
+		Features: []string{"x"},
+		Trial: func(b int) ([]float64, error) {
+			n++
+			return []float64{0}, nil
+		},
+	}
+	v, err := RunDistinguisher(d, 1, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != minTrials || v.Trials != minTrials || v.TestTrials != minTrials/2 {
+		t.Fatalf("ran %d trials, verdict %+v; want floor %d", n, v, minTrials)
+	}
+}

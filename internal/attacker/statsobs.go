@@ -1,0 +1,181 @@
+package attacker
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"auditreg"
+	"auditreg/client"
+	"auditreg/persist"
+	"auditreg/server"
+	"auditreg/store"
+)
+
+// STATS-counter observer (E18, stats channel). STATS is auditd's operational
+// telemetry — shard queue depths, WAL batch histograms, global operation
+// counters — and it is deliberately unauthenticated: operators scrape it.
+// The observer snapshots every counter before and after a victim's activity
+// window and asks what the deltas give away.
+//
+// The channel's contract is scoped, and the games encode it. Aggregate
+// operation counts are the channel's purpose — reads-silent going up says
+// *someone* read, exactly as a packet counter on a router says someone sent
+// a packet — so read occurrence is not a secret STATS keeps, and the
+// occurrence game is this lab's positive control: it must fire, proving the
+// observer has the power to see counter-sized signal at the configured trial
+// count. What STATS must never reveal is attribution: WHICH reader
+// principal acted. The honest game hides the reader identity in otherwise
+// identical activity windows and requires every shard-*, wal-*, conn-* and
+// operation counter to sit at chance.
+
+// StatsLab drives the games against a live auditd, remote (addr) or
+// in-process (addr == "" — the lab boots a durable server so wal-* counters
+// exist, dataDir holding its directory).
+type StatsLab struct {
+	srv   *server.Server
+	cl    *client.Client
+	names []string // probed counter set, fixed across trials
+	ctr   int
+}
+
+// NewStatsLab dials addr, or boots an in-process durable auditd under
+// dataDir when addr is empty.
+func NewStatsLab(addr, dataDir string, seed uint64) (*StatsLab, error) {
+	l := &StatsLab{}
+	if addr == "" {
+		srv, err := server.New(server.Config{
+			Key:     auditreg.KeyFromSeed(seed),
+			Readers: 4,
+			DataDir: dataDir,
+			Fsync:   persist.SyncNever,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		l.srv = srv
+		go srv.Serve(ln)
+		addr = ln.Addr().String()
+	}
+	cl, err := client.Dial(addr, client.WithConns(1))
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	l.cl = cl
+	// Probe once to fix the feature vector: one counter delta per name the
+	// server exports. Counters that appear later read as zero-delta.
+	pairs, err := cl.Stats()
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	for _, p := range pairs {
+		l.names = append(l.names, p.Name)
+	}
+	return l, nil
+}
+
+// Close tears down whatever the lab owns.
+func (l *StatsLab) Close() {
+	if l.cl != nil {
+		l.cl.Close()
+	}
+	if l.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		l.srv.Shutdown(ctx)
+	}
+}
+
+// Features returns the probed counter names (the feature vector is their
+// per-trial deltas).
+func (l *StatsLab) Features() []string {
+	return append([]string(nil), l.names...)
+}
+
+// Identity is the honest game: the victim opens a fresh object, writes, and
+// one read happens — by reader 0 or reader 1, the secret. Both branches
+// perform identical operation counts, so any counter that attributes the
+// read to a principal is a leak.
+func (l *StatsLab) Identity() Distinguisher {
+	return Distinguisher{
+		Name:     "stats/reader-identity",
+		Features: l.Features(),
+		Trial: func(b int) ([]float64, error) {
+			return l.trial(func(obj *client.Object) error {
+				_, err := obj.Read(b)
+				return err
+			})
+		},
+	}
+}
+
+// Occurrence is the positive control: the secret is whether the read
+// happened at all. STATS counts operations by design, so this must be
+// detected — it calibrates the lab's power, and it documents that read
+// *occurrence* is outside what the telemetry channel promises to hide.
+func (l *StatsLab) Occurrence() Distinguisher {
+	return Distinguisher{
+		Name:     "stats/read-occurrence+count",
+		Control:  true,
+		Features: l.Features(),
+		Trial: func(b int) ([]float64, error) {
+			return l.trial(func(obj *client.Object) error {
+				if b == 0 {
+					return nil
+				}
+				_, err := obj.Read(0)
+				return err
+			})
+		},
+	}
+}
+
+// trial snapshots the counters, runs one activity window (fresh object, one
+// write, the game's reads) and returns the per-counter deltas. The client
+// holds one connection, so the synchronous fetch round-trip orders the whole
+// window before the closing STATS request server-side.
+func (l *StatsLab) trial(reads func(obj *client.Object) error) ([]float64, error) {
+	before, err := l.statsMap()
+	if err != nil {
+		return nil, err
+	}
+	l.ctr++
+	obj, err := l.cl.Open(fmt.Sprintf("e18/stats/%08d", l.ctr), store.Register)
+	if err != nil {
+		return nil, err
+	}
+	if err := obj.Write(0x57A7_0000_0000 + uint64(l.ctr)); err != nil {
+		return nil, err
+	}
+	if err := reads(obj); err != nil {
+		return nil, err
+	}
+	after, err := l.statsMap()
+	if err != nil {
+		return nil, err
+	}
+	feats := make([]float64, len(l.names))
+	for i, name := range l.names {
+		feats[i] = float64(after[name]) - float64(before[name])
+	}
+	return feats, nil
+}
+
+func (l *StatsLab) statsMap() (map[string]uint64, error) {
+	pairs, err := l.cl.Stats()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]uint64, len(pairs))
+	for _, p := range pairs {
+		m[p.Name] = p.Value
+	}
+	return m, nil
+}

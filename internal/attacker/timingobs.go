@@ -1,0 +1,262 @@
+package attacker
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"auditreg"
+	"auditreg/client"
+	"auditreg/internal/shard"
+	"auditreg/server"
+	"auditreg/store"
+)
+
+// Timing observer (E18, timing channel). The paper's silent read is the
+// whole point of the construction: a read that finds the tracking state
+// already current touches no shared state, so concurrent writers proceed as
+// if it never happened. This observer checks the claim with a stopwatch
+// instead of a memory model: a victim writer measures its own write
+// latencies while a curious reader polls — silently — some other object,
+// and the distinguisher asks whether the writer can tell from its latency
+// distribution that the poller exists.
+//
+// The positive control replaces the silent poller with the loudest one the
+// protocol allows: a tight-loop reader of the object being written. Every
+// write renumbers the sequence, so each poll turns into an effective fetch
+// — fetch&xor on the written object's own shared state, an announce, WAL
+// records — all serialized on the victim's own shard executor. That must be
+// visible, or the stopwatch has no resolution.
+
+const (
+	// timingWrites is the number of write latencies sampled per trial.
+	timingWrites = 24
+	// timingPollGap paces the honest silent poller at a realistic curious-
+	// reader rate (~1k polls/s). The claim under test is that a silent read
+	// touches no shared state, not that the server hides CPU load — a
+	// tight-loop poller of ANY request kind is visible to a stopwatch simply
+	// by occupying the machine, which is why the lab paces the honest poller
+	// and routes it to a different shard executor than the victim (see
+	// NewTimingLab), leaving shared-state contention as the only signal the
+	// game can carry.
+	timingPollGap = time.Millisecond
+)
+
+// timingWriteTarget is the victim's object. The poll target is picked so
+// its name hashes to a different shard executor than the victim's whenever
+// the server runs more than one (executor = hash & pow2mask, so differing in
+// the hash's low bit separates them at every executor count > 1): the honest
+// game must not measure executor-queue sharing between two unrelated
+// objects, which any two requests exhibit, read or not.
+const timingWriteTarget = "e18/timing/write-target"
+
+func timingPollTarget() string {
+	want := shard.Hash(timingWriteTarget)&1 ^ 1
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("e18/timing/poll-target-%d", i)
+		if shard.Hash(name)&1 == want {
+			return name
+		}
+	}
+}
+
+// TimingLab drives the timing games against a live auditd, remote (addr) or
+// in-process (addr == "").
+type TimingLab struct {
+	srv    *server.Server
+	writer *client.Client
+	poller *client.Client
+	wObj   *client.Object // write target
+	pObj   *client.Object // silent-poll target (distinct object)
+	ctr    uint64
+}
+
+// NewTimingLab dials addr, or boots an in-process auditd when addr is empty
+// (volatile — timing needs no data directory), and warms both targets.
+func NewTimingLab(addr string, seed uint64) (*TimingLab, error) {
+	l := &TimingLab{}
+	if addr == "" {
+		srv, err := server.New(server.Config{Key: auditreg.KeyFromSeed(seed), Readers: 4})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		l.srv = srv
+		go srv.Serve(ln)
+		addr = ln.Addr().String()
+	}
+	var err error
+	if l.writer, err = client.Dial(addr, client.WithConns(1)); err != nil {
+		l.Close()
+		return nil, err
+	}
+	// The poller gets its own connection pool: the honest-but-curious reader
+	// is a separate process, and sharing the writer's pipe would measure
+	// head-of-line blocking in the lab's own client, not the server.
+	if l.poller, err = client.Dial(addr, client.WithConns(1)); err != nil {
+		l.Close()
+		return nil, err
+	}
+	if l.wObj, err = l.writer.Open(timingWriteTarget, store.Register); err != nil {
+		l.Close()
+		return nil, err
+	}
+	if l.pObj, err = l.poller.Open(timingPollTarget(), store.Register); err != nil {
+		l.Close()
+		return nil, err
+	}
+	// Warm both objects: a write each, and a first (effective) read of the
+	// poll target so the poller's subsequent reads are silent.
+	if err = l.wObj.Write(1); err != nil {
+		l.Close()
+		return nil, err
+	}
+	if err = l.pObj.Write(1); err != nil {
+		l.Close()
+		return nil, err
+	}
+	if _, err = l.pObj.Read(0); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Close tears the lab down.
+func (l *TimingLab) Close() {
+	if l.writer != nil {
+		l.writer.Close()
+	}
+	if l.poller != nil {
+		l.poller.Close()
+	}
+	if l.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		l.srv.Shutdown(ctx)
+	}
+}
+
+func timingFeatures() []string {
+	return []string{"mean-ns", "p50-ns", "p90-ns", "min-ns"}
+}
+
+// SilentRead is the honest game: the secret is whether a paced silent-read
+// poller runs against a *different* object while the victim writes. Silence
+// means the writer's latency distribution cannot tell.
+func (l *TimingLab) SilentRead() Distinguisher {
+	return Distinguisher{
+		Name:     "timing/silent-read",
+		Features: timingFeatures(),
+		Trial: func(b int) ([]float64, error) {
+			return l.trial(b, l.pollSilent)
+		},
+	}
+}
+
+// EffectiveRead is the positive control: the poller tight-loops effective
+// reads of the write target itself, contending on its shared state and its
+// shard executor. The stopwatch must see this.
+func (l *TimingLab) EffectiveRead() Distinguisher {
+	return Distinguisher{
+		Name:     "timing/effective-read+loud",
+		Control:  true,
+		Features: timingFeatures(),
+		Trial: func(b int) ([]float64, error) {
+			return l.trial(b, l.pollEffective)
+		},
+	}
+}
+
+// trial measures timingWrites write latencies; with b == 1 the given poller
+// runs concurrently until the measurements end.
+func (l *TimingLab) trial(b int, poll func(stop <-chan struct{}) error) ([]float64, error) {
+	stop := make(chan struct{})
+	pollErr := make(chan error, 1)
+	if b == 1 {
+		go func() { pollErr <- poll(stop) }()
+	}
+
+	lats := make([]float64, 0, timingWrites)
+	for k := 0; k < timingWrites; k++ {
+		l.ctr++
+		v := 0x7131_0000_0000 + l.ctr
+		t0 := time.Now()
+		err := l.wObj.Write(v)
+		lat := time.Since(t0)
+		if err != nil {
+			close(stop)
+			return nil, err
+		}
+		lats = append(lats, float64(lat.Nanoseconds()))
+	}
+
+	close(stop)
+	if b == 1 {
+		if err := <-pollErr; err != nil {
+			return nil, err
+		}
+	}
+	return timingFeaturesOf(lats), nil
+}
+
+// pollSilent reads the poll target — a stable object the poller's cache is
+// already current for, so every round is a silent fetch — paced at
+// timingPollGap, until stopped.
+func (l *TimingLab) pollSilent(stop <-chan struct{}) error {
+	tick := time.NewTicker(timingPollGap)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-tick.C:
+			if _, err := l.pObj.Read(0); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// pollEffective tight-loops reads of the write target itself; the victim's
+// writes keep renumbering it, so the reads keep turning effective.
+func (l *TimingLab) pollEffective(stop <-chan struct{}) error {
+	// Its own handle, so the poller's cache state doesn't alias the writer's.
+	obj, err := l.poller.Open(timingWriteTarget, store.Register)
+	if err != nil {
+		return err
+	}
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+			if _, err := obj.Read(1); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// timingFeaturesOf reduces one trial's latency samples to the observer's
+// summary statistics.
+func timingFeaturesOf(lats []float64) []float64 {
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range lats {
+		sum += v
+	}
+	n := len(sorted)
+	return []float64{
+		sum / float64(n),
+		sorted[n/2],
+		sorted[n*9/10],
+		sorted[0],
+	}
+}

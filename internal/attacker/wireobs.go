@@ -1,0 +1,271 @@
+package attacker
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"auditreg"
+	"auditreg/client"
+	"auditreg/server"
+	"auditreg/store"
+	"auditreg/wire"
+)
+
+// Wire-frame observer (E18, wire channel). The observer taps the audit
+// channel of a live auditd — every frame the server exchanges with an
+// auditor client — and tries to learn what the paper says the audit
+// machinery must not reveal: whether a given reader read (read occurrence)
+// and which reader read (reader identity). Reader principals' own channels
+// are out of scope by the deployment model (each principal's connection is
+// private to it — TLS in production — and a principal's own traffic
+// trivially reveals its own actions); the audit channel is the one the
+// auditing machinery adds, and the claim is that it carries reader sets only
+// under fresh pads, so an observer of its frames — bytes, sizes, counts —
+// sits at chance.
+//
+// The positive control replays the same games against the frames a leaky
+// server would have sent: the captured audit responses with their masks
+// stripped (the lab holds the key, so it can compute exactly the plaintext-
+// tracking-bit frames of a naive implementation). The observer must detect
+// those, or the game has no power.
+
+// frameTap is a resettable FrameTap sink: the lab scopes each trial's
+// observation window by resetting it right before the audited phase.
+type frameTap struct {
+	mu     sync.Mutex
+	frames []tappedFrame
+}
+
+type tappedFrame struct {
+	outbound bool
+	raw      []byte
+}
+
+func (t *frameTap) tap(outbound bool, frame []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.frames = append(t.frames, tappedFrame{outbound, append([]byte(nil), frame...)})
+}
+
+func (t *frameTap) reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.frames = t.frames[:0]
+}
+
+func (t *frameTap) snapshot() []tappedFrame {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]tappedFrame(nil), t.frames...)
+}
+
+// wireReaders is the reader count of the lab's objects; the observer gets
+// one tracking-bit feature per reader.
+const wireReaders = 4
+
+// WireLab hosts an in-process auditd with a frame tap plus a victim client
+// (the read traffic under test) and an auditor client (the observed
+// channel). One lab serves any number of distinguisher runs; trials use
+// fresh objects.
+type WireLab struct {
+	key    auditreg.Key
+	srv    *server.Server
+	tap    *frameTap
+	victim *client.Client
+	audit  *client.Client
+	ctr    int
+}
+
+// NewWireLab starts the lab's server and clients.
+func NewWireLab(seed uint64) (*WireLab, error) {
+	l := &WireLab{key: auditreg.KeyFromSeed(seed), tap: &frameTap{}}
+	srv, err := server.New(server.Config{Key: l.key, Readers: wireReaders, FrameTap: l.tap.tap})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	l.srv = srv
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+	// Single-connection clients: the per-conn open cache keeps every trial's
+	// observation window down to exactly the audit exchange.
+	if l.victim, err = client.Dial(addr, client.WithConns(1)); err != nil {
+		l.Close()
+		return nil, err
+	}
+	if l.audit, err = client.Dial(addr, client.WithKey(l.key), client.WithConns(1)); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Close tears the lab down.
+func (l *WireLab) Close() {
+	if l.victim != nil {
+		l.victim.Close()
+	}
+	if l.audit != nil {
+		l.audit.Close()
+	}
+	if l.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		l.srv.Shutdown(ctx)
+	}
+}
+
+// wireFeatures names the audit-channel feature vector: traffic shape
+// (counts, sizes) plus the tracking bits of the audited row.
+func wireFeatures() []string {
+	names := []string{"frames", "bytes", "audit-rows", "row-found"}
+	for j := 0; j < wireReaders; j++ {
+		names = append(names, fmt.Sprintf("row-bit-%d", j))
+	}
+	return names
+}
+
+// Occurrence is the read-occurrence game: reader 1 always reads the current
+// value; the secret is whether reader 0 read it too. Traffic volume is
+// identical in both branches by construction, so the only possible signal is
+// the audited row's masked reader set. unmasked selects the positive
+// control: the observer sees the frames a leaky server (plaintext tracking
+// bits) would have transmitted.
+func (l *WireLab) Occurrence(unmasked bool) Distinguisher {
+	return Distinguisher{
+		Name:     gameName("wire/read-occurrence", unmasked),
+		Control:  unmasked,
+		Features: wireFeatures(),
+		Trial: func(b int) ([]float64, error) {
+			return l.trial(unmasked, func(obj *client.Object) error {
+				if _, err := obj.Read(1); err != nil {
+					return err
+				}
+				if b == 1 {
+					if _, err := obj.Read(0); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// Identity is the reader-identity game: exactly one read happens; the secret
+// is whether reader 0 or reader 1 performed it.
+func (l *WireLab) Identity(unmasked bool) Distinguisher {
+	return Distinguisher{
+		Name:     gameName("wire/reader-identity", unmasked),
+		Control:  unmasked,
+		Features: wireFeatures(),
+		Trial: func(b int) ([]float64, error) {
+			return l.trial(unmasked, func(obj *client.Object) error {
+				_, err := obj.Read(b)
+				return err
+			})
+		},
+	}
+}
+
+func gameName(base string, control bool) string {
+	if control {
+		return base + "+leaky"
+	}
+	return base
+}
+
+// trial plays one round: fresh object, one write, the game's reads, a
+// drain, then — inside the observation window — one audit.
+func (l *WireLab) trial(unmasked bool, reads func(obj *client.Object) error) ([]float64, error) {
+	l.ctr++
+	name := fmt.Sprintf("e18/wire/%08d", l.ctr)
+	value := 0xE18_0000_0000 + uint64(l.ctr)
+
+	obj, err := l.victim.Open(name, store.Register)
+	if err != nil {
+		return nil, err
+	}
+	if err := obj.Write(value); err != nil {
+		return nil, err
+	}
+	if err := reads(obj); err != nil {
+		return nil, err
+	}
+	// Drain, identically in both branches: reader 2 never read this object,
+	// so its first read is always an effective fetch that posts one announce;
+	// the second read is always silent and — FIFO on the single connection —
+	// returns only after the server consumed that announce and every
+	// pipelined announce of the game reads above. After it, no victim frame
+	// can land inside the observation window, and the drain's own traffic is
+	// independent of the secret.
+	for i := 0; i < 2; i++ {
+		if _, err := obj.Read(2); err != nil {
+			return nil, err
+		}
+	}
+	aobj, err := l.audit.Open(name, store.Register)
+	if err != nil {
+		return nil, err
+	}
+	aud, err := aobj.Auditor()
+	if err != nil {
+		return nil, err
+	}
+
+	l.tap.reset()
+	if _, err := aud.Audit(); err != nil {
+		return nil, err
+	}
+	return wireFeaturesOf(l.tap.snapshot(), value, unmasked, l.key)
+}
+
+// wireFeaturesOf extracts the observer's features from one window of audit-
+// channel frames. With unmask set, audit rows are stripped of their masks
+// first — the positive control's leaky world.
+func wireFeaturesOf(frames []tappedFrame, value uint64, unmask bool, key auditreg.Key) ([]float64, error) {
+	var totalBytes, rows, found float64
+	bits := make([]float64, wireReaders)
+	for j := range bits {
+		bits[j] = 0.5 // absent row: no information either way
+	}
+	for _, tf := range frames {
+		totalBytes += float64(len(tf.raw))
+		if !tf.outbound {
+			continue
+		}
+		f, rest, err := wire.ParseFrame(tf.raw)
+		if err != nil || len(rest) != 0 {
+			return nil, fmt.Errorf("attacker: tapped a malformed frame: %v", err)
+		}
+		if f.Verb != wire.VerbAudit {
+			continue
+		}
+		var resp wire.AuditResp
+		if err := resp.Decode(f.Body); err != nil {
+			return nil, fmt.Errorf("attacker: audit response: %w", err)
+		}
+		rows += float64(len(resp.Rows))
+		for i, row := range resp.Rows {
+			readers := row.Readers
+			if unmask {
+				readers ^= wire.AuditMask(key, resp.Nonce, i)
+			}
+			if row.Value != value {
+				continue
+			}
+			found = 1
+			for j := 0; j < wireReaders; j++ {
+				bits[j] = float64((readers >> uint(j)) & 1)
+			}
+		}
+	}
+	feats := []float64{float64(len(frames)), totalBytes, rows, found}
+	return append(feats, bits...), nil
+}

@@ -1,0 +1,46 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ImageFile is one captured file of a data directory: its path relative to
+// the directory root and its full contents.
+type ImageFile struct {
+	Name string
+	Data []byte
+}
+
+// CaptureImage reads every regular file under dir (recursively) and returns
+// them sorted by relative path — a deterministic flattening of a data
+// directory, the raw material of paired-run disk attacks: an observer diffs
+// the images of two alternate executions (read happened vs. didn't, reader 0
+// vs. reader 1) and tries to tell them apart. internal/attacker's disk
+// distinguisher and cmd/leakprobe's E18 series are built on it; it shares
+// nothing with the record decoders on purpose, so a leak in any layer of the
+// on-disk format — headers, padding, names — is visible to it.
+func CaptureImage(dir string) ([]ImageFile, error) {
+	var out []ImageFile
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || !info.Mode().IsRegular() {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out = append(out, ImageFile{Name: rel, Data: b})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
