@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"auditreg"
+	"auditreg/internal/telem"
 	"auditreg/store"
 	"auditreg/wire"
 )
@@ -56,6 +57,11 @@ type Client struct {
 
 	conns []*conn
 	next  atomic.Uint64
+
+	// rtt is the retry-inclusive round-trip histogram over Write/Read/Audit
+	// calls — the client-side end of the pipeline stage trace. Striped by
+	// call start timestamp (concurrent callers share no stripe for long).
+	rtt *telem.Hist
 
 	mu      sync.Mutex
 	objects map[string]*Object
@@ -105,6 +111,7 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		nconns:  DefaultConns,
 		timeout: 10 * time.Second,
 		objects: make(map[string]*Object),
+		rtt:     telem.NewHist(0),
 	}
 	for _, opt := range opts {
 		if err := opt(c); err != nil {
@@ -231,18 +238,34 @@ func (c *Client) Open(name string, kind store.Kind, opts ...OpenOption) (*Object
 
 // Stats fetches the server's counters, sorted by name.
 func (c *Client) Stats() ([]wire.StatPair, error) {
-	r, err := c.pick().roundTrip(wire.VerbStats, (&wire.StatsReq{}).Append(nil))
+	resp, err := c.StatsInfo()
 	if err != nil {
 		return nil, err
+	}
+	return resp.Pairs, nil
+}
+
+// StatsInfo fetches the full STATS response: the counter pairs plus the
+// daemon's build info, uptime, and stats epoch (a scraper that sees the
+// epoch decrease between calls knows the daemon restarted).
+func (c *Client) StatsInfo() (wire.StatsResp, error) {
+	r, err := c.pick().roundTrip(wire.VerbStats, (&wire.StatsReq{}).Append(nil))
+	if err != nil {
+		return wire.StatsResp{}, err
 	}
 	var statsResp wire.StatsResp
 	err = decodeResp(r, wire.VerbStats, &statsResp)
 	wire.PutBuf(r.buf)
 	if err != nil {
-		return nil, err
+		return wire.StatsResp{}, err
 	}
-	return statsResp.Pairs, nil
+	return statsResp, nil
 }
+
+// RTT returns a snapshot of the client's retry-inclusive round-trip
+// histogram: every Object.Write, Object.Read, and Auditor audit call
+// contributes one observation covering redials, backoff, and retries.
+func (c *Client) RTT() telem.Snapshot { return c.rtt.Snapshot() }
 
 // OpenOption configures one Open call.
 type OpenOption func(*openConfig)

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"auditreg"
+	"auditreg/internal/telem"
 	"auditreg/store"
 	"auditreg/wire"
 )
@@ -53,6 +54,15 @@ func (o *Object) Readers() int { return o.readers }
 // backoff (see retryBusy); writes are idempotent per value, so a repeat is
 // always safe.
 func (o *Object) Write(v uint64) error {
+	// The RTT stopwatch starts before the retry loop: the recorded latency
+	// is what the caller experienced, backoff and redials included.
+	t0 := telem.Now()
+	err := o.write(v)
+	o.c.rtt.Observe(uint64(t0), telem.Now()-t0)
+	return err
+}
+
+func (o *Object) write(v uint64) error {
 	return retryBusy(func() error {
 		cn := o.c.pick()
 		if _, err := cn.open(o.name, o.wkind, 0); err != nil {
@@ -83,6 +93,13 @@ func (o *Object) Write(v uint64) error {
 // masked under the connection's session secret and is unmasked here,
 // locally.
 func (o *Object) Read(reader int) (uint64, error) {
+	t0 := telem.Now()
+	v, err := o.read(reader)
+	o.c.rtt.Observe(uint64(t0), telem.Now()-t0)
+	return v, err
+}
+
+func (o *Object) read(reader int) (uint64, error) {
 	if reader < 0 || reader >= o.readers {
 		return 0, fmt.Errorf("client: read %q: reader %d out of range [0, %d)", o.name, reader, o.readers)
 	}
@@ -211,6 +228,13 @@ func (a *Auditor) Audit() (store.ObjectAudit[uint64], error) { return a.audit(tr
 func (a *Auditor) Latest() (store.ObjectAudit[uint64], error) { return a.audit(false) }
 
 func (a *Auditor) audit(fresh bool) (store.ObjectAudit[uint64], error) {
+	t0 := telem.Now()
+	aud, err := a.auditOnce(fresh)
+	a.o.c.rtt.Observe(uint64(t0), telem.Now()-t0)
+	return aud, err
+}
+
+func (a *Auditor) auditOnce(fresh bool) (store.ObjectAudit[uint64], error) {
 	o := a.o
 	var resp wire.AuditResp
 	err := retryBusy(func() error {

@@ -25,6 +25,11 @@
 //
 // The daemon prints "auditd: listening on ADDR" once it accepts connections
 // (scripts wait for that line) and drains gracefully on SIGINT/SIGTERM.
+// -metrics-addr adds an HTTP sidecar serving aggregate-only telemetry:
+// Prometheus text exposition on /metrics (per-stage pipeline latency
+// histograms plus the STATS counter set) and the net/http/pprof suite under
+// /debug/pprof/ — see DESIGN.md, "Observability", for the leak contract the
+// endpoint is held to.
 //
 // The store key is derived deterministically from -seed so benchmark drivers
 // and auditor clients can share it by sharing the seed; a production
@@ -37,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,6 +70,7 @@ func main() {
 	walBatchDelay := flag.Duration("wal-batch-delay", 0, "adaptive group-commit window under -fsync always (0: persist default, negative: disabled)")
 	walBatchBytes := flag.Int("wal-batch-bytes", 0, "group-commit batch size cap in bytes (0: persist default)")
 	walStripes := flag.Int("wal-stripes", 0, "WAL stripe groups, each with its own writer and fsync pipeline (0: GOMAXPROCS; a non-empty -data-dir pins its own count)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus text) and /debug/pprof/ (empty: disabled)")
 	flag.Parse()
 
 	policy, ok := persist.ParsePolicy(*fsync)
@@ -105,6 +112,21 @@ func main() {
 		fatalf("%v", err)
 	}
 	fmt.Printf("auditd: listening on %s\n", ln.Addr())
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatalf("metrics listen: %v", err)
+		}
+		// Best-effort observability sidecar: it serves aggregate-only
+		// telemetry (see DESIGN.md "Observability") and dies with the
+		// process; it does not partake in the drain.
+		go func() {
+			if err := (&http.Server{Handler: srv.MetricsMux()}).Serve(mln); err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "auditd: metrics: %v\n", err)
+			}
+		}()
+		fmt.Printf("auditd: metrics on %s\n", mln.Addr())
+	}
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)

@@ -2,12 +2,13 @@
 // EXPERIMENTS.md: the in-process attacks E3/E4/E5 (crash-simulating read,
 // reader-set inference, max-register gap inference), the E15 disk sweep, and
 // — the E18 adversarial audit lab — statistical distinguisher attacks over
-// the wire, disk, STATS, and timing channels of the live server stack, each
-// paired with a positive control against a deliberately leaky configuration.
+// the wire, disk, STATS, metrics-endpoint, and timing channels of the live
+// server stack, each paired with a positive control against a deliberately
+// leaky configuration.
 //
 // Usage:
 //
-//	leakprobe [-trials N] [-seed S] [-data-dir DIR] [-ci] [-delta D] [-addr HOST:PORT]
+//	leakprobe [-trials N] [-seed S] [-data-dir DIR] [-ci] [-delta D] [-addr HOST:PORT] [-metrics-url URL]
 //
 // Exit status is non-zero on any finding: an E15 plaintext hit, an E18
 // distinguisher beating chance by more than delta on an honest
@@ -15,8 +16,11 @@
 // detect its planted leak (a lab without power proves nothing). -ci runs
 // E18 and prints the machine-checkable pass/fail table the leak-gate CI job
 // consumes; -addr points the STATS and timing observers at an external
-// auditd (wire and disk observers always run in-process: they need the
-// frame tap and the data directory).
+// auditd, and -metrics-url (with -addr) points the metrics observer's
+// honest games at that daemon's -metrics-addr endpoint (wire and disk
+// observers always run in-process: they need the frame tap and the data
+// directory; the metrics control always boots its own in-process leaky
+// daemon).
 package main
 
 import (
@@ -38,7 +42,8 @@ func run() int {
 	dataDir := flag.String("data-dir", "", "scratch directory for the E15 disk sweep and E18 disk lab (default: a temp dir)")
 	ci := flag.Bool("ci", false, "run the E18 distinguisher series and print its pass/fail table")
 	delta := flag.Float64("delta", 0.05, "E18 leak threshold: leak iff accuracy's 95% lower bound > 0.5+delta")
-	addr := flag.String("addr", "", "external auditd for the E18 stats/timing observers (default: in-process servers)")
+	addr := flag.String("addr", "", "external auditd for the E18 stats/timing/metrics observers (default: in-process servers)")
+	metricsURL := flag.String("metrics-url", "", "the external auditd's metrics endpoint (http://host:port/metrics) for the E18 metrics observer; needs -addr")
 	flag.Parse()
 
 	dir := *dataDir
@@ -59,7 +64,7 @@ func run() int {
 	}
 	if *ci {
 		fmt.Println()
-		n, err := e18(*trials, *delta, *seed, *addr, dir)
+		n, err := e18(*trials, *delta, *seed, *addr, *metricsURL, dir)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -137,7 +142,7 @@ func classic(trials int, seed uint64, dir string) (failures int, err error) {
 // e18 runs the adversarial audit lab: every observer's honest game and its
 // positive control, printed as the pass/fail table EXPERIMENTS.md E18
 // records, returning how many rows failed.
-func e18(trials int, delta float64, seed uint64, addr string, dir string) (failures int, err error) {
+func e18(trials int, delta float64, seed uint64, addr, metricsURL string, dir string) (failures int, err error) {
 	fmt.Printf("E18 adversarial audit lab (statistical distinguishers, %d trials, delta %.2f)\n", trials, delta)
 
 	wire, err := attacker.NewWireLab(seed)
@@ -164,6 +169,11 @@ func e18(trials int, delta float64, seed uint64, addr string, dir string) (failu
 		return 0, fmt.Errorf("timing lab: %w", err)
 	}
 	defer timing.Close()
+	metrics, err := attacker.NewMetricsLab(addr, metricsURL, seed)
+	if err != nil {
+		return 0, fmt.Errorf("metrics lab: %w", err)
+	}
+	defer metrics.Close()
 
 	games := []attacker.Distinguisher{
 		wire.Occurrence(false),
@@ -174,6 +184,9 @@ func e18(trials int, delta float64, seed uint64, addr string, dir string) (failu
 		disk.Identity(true),
 		stats.Identity(),
 		stats.Occurrence(),
+		metrics.Occurrence(),
+		metrics.Identity(),
+		metrics.OccurrenceLeaky(),
 		timing.SilentRead(),
 		timing.EffectiveRead(),
 	}

@@ -33,6 +33,12 @@ type daemonTuning struct {
 	shards        int // shard executors (-shards)
 	walStripes    int // WAL stripe groups (-wal-stripes)
 	shardQueue    int // per-executor queue depth (-shard-queue)
+	// metricsAddr is the daemon's -metrics-addr; set internally by
+	// runDurableCell (not a tuning knob, so it stays out of suffix()). The
+	// restart watcher reuses the same tuning, so the restarted daemon
+	// re-listens on the same metrics port and the end-of-cell scrape works
+	// whichever process is alive.
+	metricsAddr string
 }
 
 // suffix renders the non-default tuning knobs as extra benchmark name
@@ -74,6 +80,9 @@ func startDaemon(bin, addr, dataDir string, seed uint64, readers int, tune daemo
 	}
 	if tune.shardQueue != 0 {
 		args = append(args, "-shard-queue", fmt.Sprint(tune.shardQueue))
+	}
+	if tune.metricsAddr != "" {
+		args = append(args, "-metrics-addr", tune.metricsAddr)
 	}
 	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
@@ -175,6 +184,9 @@ func runDurableCell(cfg cellConfig, auditdBin, baseDir string, conns int, tune d
 	dataDir := filepath.Join(baseDir, fmt.Sprintf("cell-o%d-g%d", cfg.objects, cfg.goroutines))
 	addr, err := freePort()
 	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	if tune.metricsAddr, err = freePort(); err != nil {
 		return benchfmt.Result{}, err
 	}
 	d, err := startDaemon(auditdBin, addr, dataDir, cfg.seed, m, tune)
@@ -440,6 +452,14 @@ func runDurableCell(cfg cellConfig, auditdBin, baseDir string, conns int, tune d
 	if err != nil {
 		return benchfmt.Result{}, err
 	}
+	// Scrape the per-stage latency breakdown off the (restarted) daemon's
+	// metrics endpoint, then add the client's retry-inclusive RTT as one
+	// more stage — the same trace, seen from both ends of the wire.
+	stages, err := scrapeStages("http://" + tune.metricsAddr + "/metrics")
+	if err != nil {
+		return benchfmt.Result{}, fmt.Errorf("scrape stages: %w", err)
+	}
+	stages["client-rtt"] = rttStage(cl)
 	if err := cl.Close(); err != nil {
 		return benchfmt.Result{}, err
 	}
@@ -496,5 +516,6 @@ func runDurableCell(cfg cellConfig, auditdBin, baseDir string, conns int, tune d
 		Package: "auditreg/cmd/loadgen",
 		Iters:   int64(totalOps),
 		Metrics: metrics,
+		Stages:  stages,
 	}, nil
 }

@@ -83,6 +83,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed for keys, nonces, and traffic")
 	out := flag.String("out", "", "write results as BENCH_*.json to this file")
 	remote := flag.String("remote", "", "drive a live auditd at this address instead of a local store (E13)")
+	metricsURL := flag.String("metrics-url", "", "the remote daemon's metrics endpoint (http://host:port/metrics); scraped at cell end for the per-stage latency breakdown in -remote mode")
 	conns := flag.Int("conns", 4, "client connection pool size in -remote mode")
 	durable := flag.Bool("durable", false, "durability mode (E14/E16): spawn auditd with a data dir, kill -9 it mid-cell, restart, verify audit exactness")
 	auditdBin := flag.String("auditd", "", "path to a prebuilt auditd binary (required with -durable)")
@@ -169,7 +170,7 @@ func main() {
 					shardQueue:    *shardQueue,
 				})
 			case *remote != "":
-				res, err = runRemoteCell(cfg, *remote, *conns)
+				res, err = runRemoteCell(cfg, *remote, *conns, *metricsURL)
 			default:
 				res, err = runCell(cfg)
 			}

@@ -31,7 +31,11 @@ type observation struct {
 // sampled object, a fresh remote audit must equal, as a set, the (reader,
 // value) pairs this driver actually observed. The check assumes the object
 // names are fresh on the daemon (a new daemon per loadgen run).
-func runRemoteCell(cfg cellConfig, addr string, conns int) (benchfmt.Result, error) {
+//
+// When metricsURL is non-empty (the daemon runs with -metrics-addr), the
+// cell ends with a scrape of the daemon's per-stage latency histograms; the
+// client's retry-inclusive RTT histogram joins them either way.
+func runRemoteCell(cfg cellConfig, addr string, conns int, metricsURL string) (benchfmt.Result, error) {
 	cl, err := client.Dial(addr,
 		client.WithKey(auditreg.KeyFromSeed(cfg.seed)),
 		client.WithConns(conns))
@@ -172,6 +176,17 @@ func runRemoteCell(cfg cellConfig, addr string, conns int) (benchfmt.Result, err
 		return benchfmt.Result{}, err
 	}
 
+	stages := map[string]benchfmt.StageLatency{"client-rtt": rttStage(cl)}
+	if metricsURL != "" {
+		scraped, err := scrapeStages(metricsURL)
+		if err != nil {
+			return benchfmt.Result{}, fmt.Errorf("scrape stages: %w", err)
+		}
+		for name, st := range scraped {
+			stages[name] = st
+		}
+	}
+
 	totalOps := reads + writes + audits
 	metrics, err := benchfmt.Metric(
 		"ns/op", float64(elapsed.Nanoseconds())/float64(totalOps),
@@ -199,6 +214,7 @@ func runRemoteCell(cfg cellConfig, addr string, conns int) (benchfmt.Result, err
 		Package: "auditreg/cmd/loadgen",
 		Iters:   int64(totalOps),
 		Metrics: metrics,
+		Stages:  stages,
 	}, nil
 }
 

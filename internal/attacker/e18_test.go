@@ -60,6 +60,17 @@ func TestStatsLab(t *testing.T) {
 	t.Run("occurrence-control", func(t *testing.T) { runSmoke(t, lab.Occurrence()) })
 }
 
+func TestMetricsLab(t *testing.T) {
+	lab, err := NewMetricsLab("", "", 105)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+	t.Run("occurrence", func(t *testing.T) { runSmoke(t, lab.Occurrence()) })
+	t.Run("identity", func(t *testing.T) { runSmoke(t, lab.Identity()) })
+	t.Run("occurrence-control", func(t *testing.T) { runSmoke(t, lab.OccurrenceLeaky()) })
+}
+
 func TestTimingLab(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing distributions need real wall-clock")

@@ -1,0 +1,279 @@
+package attacker
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"auditreg"
+	"auditreg/client"
+	"auditreg/internal/telem"
+	"auditreg/server"
+	"auditreg/store"
+)
+
+// Metrics-endpoint observer (E18, metrics channel). The -metrics-addr
+// endpoint is auditd's richest telemetry surface — every counter STATS
+// exports plus per-stage latency histograms — and, like STATS, it is
+// unauthenticated by design: Prometheus scrapes it. The observer scrapes the
+// full exposition before and after a victim's activity window and asks what
+// the per-sample deltas give away.
+//
+// The channel's contract is the telemetry leak contract (DESIGN.md,
+// "Observability"): everything aggregate-only, latencies quantized to
+// power-of-two buckets, and no per-object, per-reader, or per-connection
+// dimension anywhere. The honest games encode the two attributions the
+// contract forbids: WHICH object a read touched (both branches perform one
+// silent read, differing only in the target) and WHICH reader principal
+// performed it. The positive control scrapes a deliberately leaky daemon
+// (server.Config.LeakyPerObjectReads: a per-object read counter, exactly
+// the "harmless" label an operator might add) and must fire — proving the
+// observer can see a single-label violation at the configured trial count.
+
+// Fixed object names: the trials reuse them, so the probed feature vector —
+// fixed at lab construction — includes whatever per-object series a leaky
+// exposition grows for them.
+const (
+	metricsVictim = "e18/metrics/victim"
+	metricsDecoy  = "e18/metrics/decoy"
+)
+
+// metricsStack is one daemon under observation: its wire client, its
+// metrics endpoint, the two warmed objects, and the probed feature keys.
+type metricsStack struct {
+	srv  *server.Server // nil when remote
+	hsrv *http.Server   // nil when remote
+	cl   *client.Client
+	url  string
+	keys []string // probed metric sample keys, fixed across trials
+
+	victim, decoy *client.Object
+}
+
+// MetricsLab drives the games against a live metrics endpoint. The honest
+// stack is remote when both addr (wire) and metricsURL (HTTP) are given,
+// in-process otherwise; the leaky control stack is always in-process — the
+// planted per-object counter must never run on a shared daemon.
+type MetricsLab struct {
+	honest *metricsStack
+	leaky  *metricsStack
+}
+
+// NewMetricsLab builds both stacks and warms them: every object written
+// once and read once per reader principal the games use, so all trial reads
+// are silent — the aggregate counters then move identically on both
+// branches of every honest game, and attribution is the only signal left to
+// find.
+func NewMetricsLab(addr, metricsURL string, seed uint64) (*MetricsLab, error) {
+	l := &MetricsLab{}
+	var err error
+	if l.honest, err = newMetricsStack(addr, metricsURL, seed, false); err != nil {
+		return nil, err
+	}
+	if l.leaky, err = newMetricsStack("", "", seed+1, true); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// newMetricsStack dials a remote stack or boots an in-process one (volatile
+// — the metrics games need no data directory), warms the fixed objects, and
+// probes the endpoint once to fix the feature vector.
+func newMetricsStack(addr, metricsURL string, seed uint64, leaky bool) (*metricsStack, error) {
+	st := &metricsStack{url: metricsURL}
+	if addr == "" || metricsURL == "" {
+		srv, err := server.New(server.Config{
+			Key:                 auditreg.KeyFromSeed(seed),
+			Readers:             4,
+			LeakyPerObjectReads: leaky,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.srv = srv
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		go srv.Serve(ln)
+		addr = ln.Addr().String()
+		mln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		st.hsrv = &http.Server{Handler: srv.MetricsMux()}
+		go st.hsrv.Serve(mln)
+		st.url = fmt.Sprintf("http://%s/metrics", mln.Addr())
+	}
+	cl, err := client.Dial(addr, client.WithConns(1))
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	st.cl = cl
+
+	// Warm: one write per object, then one read per (object, reader) the
+	// games use, so every trial read is silent — and so a leaky exposition
+	// has already grown its per-object series before the probe below fixes
+	// the feature vector.
+	if st.victim, err = cl.Open(metricsVictim, store.Register); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if st.decoy, err = cl.Open(metricsDecoy, store.Register); err != nil {
+		st.Close()
+		return nil, err
+	}
+	for _, obj := range []*client.Object{st.victim, st.decoy} {
+		if err := obj.Write(0x3E7_0000 + seed); err != nil {
+			st.Close()
+			return nil, err
+		}
+		for reader := 0; reader < 2; reader++ {
+			if _, err := obj.Read(reader); err != nil {
+				st.Close()
+				return nil, err
+			}
+		}
+	}
+
+	samples, err := st.scrape()
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	st.keys = telem.SortedKeys(samples)
+	return st, nil
+}
+
+// Close tears down whatever the stack owns.
+func (st *metricsStack) Close() {
+	if st.cl != nil {
+		st.cl.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if st.hsrv != nil {
+		st.hsrv.Shutdown(ctx)
+	}
+	if st.srv != nil {
+		st.srv.Shutdown(ctx)
+	}
+}
+
+// Close tears the lab down.
+func (l *MetricsLab) Close() {
+	if l.honest != nil {
+		l.honest.Close()
+	}
+	if l.leaky != nil {
+		l.leaky.Close()
+	}
+}
+
+// scrape fetches and parses one exposition.
+func (st *metricsStack) scrape() (map[string]float64, error) {
+	hc := http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(st.url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %s", st.url, resp.Status)
+	}
+	return telem.ParseText(resp.Body)
+}
+
+// trial scrapes, runs one activity window, scrapes again, and returns the
+// per-sample deltas over the probed key set (samples that appear later read
+// as zero on both scrapes, hence zero delta).
+func (st *metricsStack) trial(window func() error) ([]float64, error) {
+	before, err := st.scrape()
+	if err != nil {
+		return nil, err
+	}
+	if err := window(); err != nil {
+		return nil, err
+	}
+	after, err := st.scrape()
+	if err != nil {
+		return nil, err
+	}
+	feats := make([]float64, len(st.keys))
+	for i, key := range st.keys {
+		feats[i] = after[key] - before[key]
+	}
+	return feats, nil
+}
+
+// Occurrence is the honest object-attribution game: one silent read happens
+// either way; the secret is whether it touched the victim or the decoy. Any
+// sample whose delta depends on WHICH object was read is a leak — this is
+// exactly the game the planted per-object counter loses.
+func (l *MetricsLab) Occurrence() Distinguisher {
+	return Distinguisher{
+		Name:     "metrics/read-occurrence",
+		Features: l.honest.Features(),
+		Trial: func(b int) ([]float64, error) {
+			return l.honest.trial(func() error {
+				obj := l.honest.decoy
+				if b == 1 {
+					obj = l.honest.victim
+				}
+				_, err := obj.Read(0)
+				return err
+			})
+		},
+	}
+}
+
+// Identity is the honest reader-attribution game: the victim is read either
+// way; the secret is which reader principal did it. Both branches are one
+// silent read, so every aggregate sample must sit at chance.
+func (l *MetricsLab) Identity() Distinguisher {
+	return Distinguisher{
+		Name:     "metrics/reader-identity",
+		Features: l.honest.Features(),
+		Trial: func(b int) ([]float64, error) {
+			return l.honest.trial(func() error {
+				_, err := l.honest.victim.Read(b)
+				return err
+			})
+		},
+	}
+}
+
+// OccurrenceLeaky is the positive control: the occurrence game against the
+// in-process daemon running with the planted per-object read counter. The
+// leaky sample auditreg_leaky_object_reads_total{object="…/victim"} moves
+// only when the victim is read, so the observer must win — or the lab has
+// no power against single-label contract violations.
+func (l *MetricsLab) OccurrenceLeaky() Distinguisher {
+	return Distinguisher{
+		Name:     "metrics/read-occurrence+objcount",
+		Control:  true,
+		Features: l.leaky.Features(),
+		Trial: func(b int) ([]float64, error) {
+			return l.leaky.trial(func() error {
+				obj := l.leaky.decoy
+				if b == 1 {
+					obj = l.leaky.victim
+				}
+				_, err := obj.Read(0)
+				return err
+			})
+		},
+	}
+}
+
+// Features returns the stack's probed sample keys (the feature vector is
+// their per-trial deltas).
+func (st *metricsStack) Features() []string {
+	return append([]string(nil), st.keys...)
+}

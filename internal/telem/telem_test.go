@@ -1,0 +1,156 @@
+package telem
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBucketMapping(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{1024, 10}, {1025, 11},
+		{1 << 38, 38}, {1<<39 + 1, NumBuckets - 1}, {1 << 62, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+		// The bucket invariant: v <= bound(bucket) and v > bound(bucket-1).
+		if c.v >= 1 && c.want < NumBuckets-1 {
+			if uint64(c.v) > BucketBound(c.want) {
+				t.Errorf("v=%d above its bucket bound %d", c.v, BucketBound(c.want))
+			}
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHist(1)
+	var empty Snapshot
+	if empty.Quantile(0.5) != 0 || empty.Max() != 0 {
+		t.Fatal("empty snapshot must report zero quantiles")
+	}
+	// 99 observations at ~1µs, 1 at ~1ms: p50 is the 1µs bucket bound,
+	// p99+ and max the 1ms one.
+	for i := 0; i < 99; i++ {
+		h.Observe(0, 1000)
+	}
+	h.Observe(0, 1_000_000)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if got := s.Quantile(0.50); got != BucketBound(bucketOf(1000)) {
+		t.Errorf("p50 = %d, want %d", got, BucketBound(bucketOf(1000)))
+	}
+	if got := s.Quantile(0.999); got != BucketBound(bucketOf(1_000_000)) {
+		t.Errorf("p99.9 = %d, want %d", got, BucketBound(bucketOf(1_000_000)))
+	}
+	if got := s.Max(); got != BucketBound(bucketOf(1_000_000)) {
+		t.Errorf("max = %d, want %d", got, BucketBound(bucketOf(1_000_000)))
+	}
+}
+
+// TestConcurrentObserveMerge hammers one histogram from many goroutines on
+// clashing stripes and checks the merged snapshot is exact — under -race
+// this also proves Observe/Snapshot need no locks.
+func TestConcurrentObserveMerge(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 10000
+	)
+	h := NewHist(4) // fewer stripes than workers: forced sharing
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(uint64(w), int64(i%5000)+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perW {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perW)
+	}
+	var bsum uint64
+	for _, n := range s.Buckets {
+		bsum += n
+	}
+	if bsum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bsum, s.Count)
+	}
+	var other Snapshot
+	other.Merge(s)
+	other.Merge(s)
+	if other.Count != 2*s.Count || other.Sum != 2*s.Sum {
+		t.Fatal("Merge did not double counts")
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Stage("zeta", 1).Observe(0, 10)
+	r.Stage("alpha", 1).Observe(0, 20)
+	if same := r.Stage("zeta", 1); same != r.Stage("zeta", 4) {
+		t.Fatal("Stage must return the existing histogram on re-registration")
+	}
+	snaps := r.Snapshot()
+	if len(snaps) != 2 || snaps[0].Name != "alpha" || snaps[1].Name != "zeta" {
+		t.Fatalf("snapshot order wrong: %+v", snaps)
+	}
+	if snaps[0].Count != 1 || snaps[1].Count != 1 {
+		t.Fatalf("counts wrong: %+v", snaps)
+	}
+}
+
+func TestPromRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Stage("store-op", 1)
+	for i := 0; i < 100; i++ {
+		h.Observe(0, 2000)
+	}
+	var sb strings.Builder
+	if err := WriteStages(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	m, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m[`auditreg_stage_duration_seconds_count{stage="store-op"}`]; got != 100 {
+		t.Fatalf("parsed count = %v, want 100\nexposition:\n%s", got, text)
+	}
+	want := float64(BucketBound(bucketOf(2000)))
+	if got := m[`auditreg_stage_latency_ns{stage="store-op",q="p50"}`]; got != want {
+		t.Fatalf("parsed p50 = %v, want %v", got, want)
+	}
+	if !strings.Contains(text, `le="+Inf"`) {
+		t.Fatal("histogram missing +Inf bucket")
+	}
+}
+
+// TestObserveAllocFree pins the hot-path contract: Observe and Now are
+// allocation-free. (Named *Alloc* so CI's bench-smoke -run 'Alloc' runs it.)
+func TestObserveAllocFree(t *testing.T) {
+	h := NewHist(4)
+	if n := testing.AllocsPerRun(1000, func() {
+		t0 := Now()
+		h.Observe(uint64(t0), Now()-t0)
+	}); n != 0 {
+		t.Fatalf("Observe allocates %v times per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = h.Snapshot()
+	}); n != 0 {
+		t.Fatalf("Snapshot allocates %v times per op, want 0", n)
+	}
+}

@@ -65,6 +65,7 @@ import (
 	"time"
 
 	"auditreg"
+	"auditreg/internal/telem"
 )
 
 // Policy selects when the WAL writer calls fsync.
@@ -168,6 +169,12 @@ type Options struct {
 	// BatchBytes closes the window early once the pending batch's encoded
 	// size exceeds it (default DefaultBatchBytes).
 	BatchBytes int
+	// SyncLatency, when non-nil, receives one observation per fdatasync on
+	// segment data — the wall-clock cost of making a group commit stable.
+	// Each stripe observes on its own histogram stripe (by stripe id), so
+	// the hook adds no contention to the sync path. Aggregate-only, like
+	// all telemetry (see internal/telem).
+	SyncLatency *telem.Hist
 }
 
 func (o Options) withDefaults() Options {

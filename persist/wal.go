@@ -13,6 +13,7 @@ import (
 
 	"auditreg"
 	"auditreg/internal/shard"
+	"auditreg/internal/telem"
 	"auditreg/store"
 )
 
@@ -467,7 +468,11 @@ func (s *walStripe) pipelineCommit() {
 func (s *walStripe) syncLoop() {
 	defer close(s.syncdone)
 	for job := range s.syncc {
+		t0 := telem.Now()
 		err := fdatasync(job.fd)
+		if h := s.opts.SyncLatency; h != nil {
+			h.Observe(uint64(s.id), telem.Now()-t0)
+		}
 		if err != nil {
 			err = fmt.Errorf("persist: wal fsync: %w", err)
 			s.failed.CompareAndSwap(nil, &err)
@@ -693,7 +698,11 @@ func (s *walStripe) commitInline(batch []pending, force bool) {
 			}
 		}
 		if sync {
+			t0 := telem.Now()
 			err = fdatasync(s.active)
+			if h := s.opts.SyncLatency; h != nil {
+				h.Observe(uint64(s.id), telem.Now()-t0)
+			}
 			if err == nil {
 				s.dirty = false
 				s.lastSync = time.Now()
@@ -913,9 +922,13 @@ func (w *WAL) Stats() Stats {
 		Snapshots: w.snaps.Load(),
 	}
 	for _, s := range w.groups {
-		st.Records += s.records.Load()
-		st.Batches += s.batches.Load()
+		// Load numerators before their denominators so a snapshot taken
+		// mid-traffic can't tear the derived ratios the wrong way: a sync is
+		// counted only after its records are, so syncs/records from one
+		// snapshot never exceeds what the stripe actually did.
 		st.Syncs += s.syncs.Load()
+		st.Batches += s.batches.Load()
+		st.Records += s.records.Load()
 		st.Rotations += s.rotations.Load()
 		st.Bytes += s.bytes.Load()
 		for i := range st.SyncHist {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"auditreg"
+	"auditreg/internal/telem"
 	"auditreg/store"
 	"auditreg/wire"
 )
@@ -112,5 +113,60 @@ func TestServerFastPathAllocationFree(t *testing.T) {
 		seq = fetch1(seq)
 	}); n >= 2 {
 		t.Fatalf("write+fetch pair allocated %v times per run, want < 2", n)
+	}
+}
+
+// TestInstrumentedPathAllocationFree pins the hot paths WITH the telemetry
+// the dispatch loops add — the exact observe sequence a routed request pays:
+// conn-decode on the reader, queue-wait + store-op on the executor, and the
+// handler itself. Telemetry must be free on the paths it measures: the
+// silent read stays at exactly zero allocations, the write keeps its
+// amortized sub-one bound.
+func TestInstrumentedPathAllocationFree(t *testing.T) {
+	srv, c := newBenchConn(t)
+	const name = "alloc/telem"
+	if _, err := srv.Store().Open(name, store.Register); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	dst := make([]byte, 0, 256)
+	wbody := (&wire.WriteReq{Name: name, Value: 1}).Append(nil)
+	fbody := (&wire.ReadFetchReq{Name: name, Reader: 0, PrevSeq: ^uint64(0)}).Append(nil)
+	for i := 0; i < 8; i++ {
+		c.handleWrite(wbody, dst[:0])
+		c.handleReadFetch(fbody, dst[:0])
+	}
+	var resp wire.ReadFetchResp
+	out, _, _ := c.handleReadFetch(fbody, dst[:0])
+	if err := resp.Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	silent := (&wire.ReadFetchReq{Name: name, Reader: 0, PrevSeq: resp.Seq}).Append(nil)
+
+	tel := srv.tel
+	instrumented := func(body []byte, want wire.Verb) {
+		tr := telem.Now()
+		t0 := telem.Now()
+		tel.queueWait.Observe(0, t0-tr)
+		var v wire.Verb
+		if want == wire.VerbWrite {
+			_, v, _ = c.handleWrite(body, dst[:0])
+		} else {
+			_, v, _ = c.handleReadFetch(body, dst[:0])
+		}
+		tel.storeOp.Observe(0, telem.Now()-t0)
+		tel.connDecode.Observe(c.tslot, telem.Now()-tr)
+		if v != want {
+			t.Fatalf("instrumented op answered %v, want %v", v, want)
+		}
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		instrumented(silent, wire.VerbReadFetch)
+	}); n != 0 {
+		t.Fatalf("instrumented silent read-fetch allocated %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		instrumented(wbody, wire.VerbWrite)
+	}); n >= 1 {
+		t.Fatalf("instrumented write allocated %v times per run, want < 1", n)
 	}
 }

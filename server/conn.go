@@ -4,10 +4,12 @@ import (
 	"crypto/rand"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
 	"auditreg/internal/shard"
+	"auditreg/internal/telem"
 	"auditreg/store"
 	"auditreg/wire"
 )
@@ -37,6 +39,7 @@ type conn struct {
 	srv     *Server
 	nc      net.Conn
 	session [wire.SessionLen]byte
+	tslot   uint64 // telemetry stripe slot for conn-side histograms
 	writec  chan *wire.Buf
 	wdone   chan struct{}    // closed by writeLoop after its final flush
 	donec   chan pendingResp // execute → completion: responses awaiting a durability verdict
@@ -57,12 +60,14 @@ type pendingResp struct {
 	id     uint64
 	buf    *wire.Buf
 	commit func() error
+	enq    int64 // telem.Now() at hand-off to the completion stage
 }
 
 func newConn(s *Server, nc net.Conn) (*conn, error) {
 	c := &conn{
 		srv:    s,
 		nc:     nc,
+		tslot:  s.connSeq.Add(1),
 		writec: make(chan *wire.Buf, connQueue),
 		wdone:  make(chan struct{}),
 		donec:  make(chan pendingResp, connQueue),
@@ -95,7 +100,12 @@ func (c *conn) serve() {
 		if err != nil {
 			break
 		}
+		// conn-decode covers the reader-side work per frame: peek, hash,
+		// pooled body copy, enqueue (or the inline execute of no-name
+		// verbs) — not the blocking socket read above it.
+		t0 := telem.Now()
 		c.route(f)
+		c.srv.tel.connDecode.Observe(c.tslot, telem.Now()-t0)
 	}
 	// Every routed request must have executed (and so delivered its response
 	// into donec or writec) before donec closes; the executors keep running —
@@ -120,7 +130,10 @@ func (c *conn) serve() {
 func (c *conn) completionLoop() {
 	defer close(c.cdone)
 	for pr := range c.donec {
-		if err := pr.commit(); err != nil {
+		t0 := telem.Now()
+		err := pr.commit()
+		c.srv.tel.walCommit.Observe(c.tslot, telem.Now()-t0)
+		if err != nil {
 			b, verb := storeErr(wire.BeginFrame(pr.buf.B[:0]), err)
 			if e := wire.EndFrame(b, 0, pr.id, verb); e != nil {
 				b = wire.BeginFrame(pr.buf.B[:0])
@@ -131,6 +144,9 @@ func (c *conn) completionLoop() {
 			c.srv.errs.Add(1)
 		}
 		c.emit(pr.buf)
+		// Total completion-stage residence: queue dwell + durability wait +
+		// emit. wal-commit-wait above isolates the durability share.
+		c.srv.tel.completion.Observe(c.tslot, telem.Now()-pr.enq)
 	}
 }
 
@@ -166,7 +182,9 @@ func (c *conn) writeLoop() {
 				break collect
 			}
 		}
+		t0 := telem.Now()
 		err := fl.Flush(c.nc, pend)
+		c.srv.tel.connFlush.Observe(c.tslot, telem.Now()-t0)
 		c.srv.connFlushes.Add(1)
 		c.srv.connFlushFrames.Add(uint64(len(pend)))
 		if err != nil {
@@ -208,7 +226,7 @@ func (c *conn) route(f wire.Frame) {
 		in.B = append(in.B[:0], f.Body...)
 		c.inflight.Add(1)
 		select {
-		case e.queue <- shardReq{c: c, id: f.ID, verb: f.Verb, buf: in}:
+		case e.queue <- shardReq{c: c, id: f.ID, verb: f.Verb, buf: in, enq: telem.Now()}:
 			e.enqueues.Add(1)
 		default:
 			c.inflight.Done()
@@ -285,7 +303,7 @@ func (c *conn) execute(id uint64, verb wire.Verb, body []byte) {
 	}
 	out.B = b
 	if commit != nil {
-		c.donec <- pendingResp{id: id, buf: out, commit: commit}
+		c.donec <- pendingResp{id: id, buf: out, commit: commit, enq: telem.Now()}
 		return
 	}
 	c.emit(out)
@@ -379,6 +397,9 @@ func (c *conn) handleReadFetch(body, dst []byte) ([]byte, wire.Verb, func() erro
 	} else {
 		c.srv.readsSilent.Add(1)
 	}
+	if c.srv.cfg.LeakyPerObjectReads {
+		c.srv.recordLeakyRead(req.Name)
+	}
 	resp := wire.ReadFetchResp{Fetched: fetched, Seq: seq}
 	if seq != req.PrevSeq {
 		// The client's cache is stale: ship the value, masked under this
@@ -459,7 +480,14 @@ func (c *conn) handleStats(body, dst []byte) ([]byte, wire.Verb) {
 	if err := req.Decode(body); err != nil {
 		return errBody(dst, wire.CodeBadRequest, err.Error())
 	}
-	resp := wire.StatsResp{Pairs: c.srv.statPairs()}
+	snap := c.srv.snapshotCounters()
+	resp := wire.StatsResp{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: uint32(runtime.GOMAXPROCS(0)),
+		UptimeMs:   snap.uptimeMs,
+		StatsEpoch: snap.epoch,
+		Pairs:      c.srv.statPairs(snap),
+	}
 	return resp.Append(dst), wire.VerbStats
 }
 

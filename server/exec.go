@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"sync/atomic"
 
+	"auditreg/internal/telem"
 	"auditreg/wire"
 )
 
@@ -21,6 +22,7 @@ type shardReq struct {
 	id   uint64
 	verb wire.Verb
 	buf  *wire.Buf
+	enq  int64 // telem.Now() at enqueue; the executor derives its queue wait
 }
 
 // shardExec is one shard executor: a single goroutine owning the slice of
@@ -29,6 +31,7 @@ type shardReq struct {
 // connection ops on one shard never contend on the store's locks; distinct
 // shards run on distinct executors in parallel.
 type shardExec struct {
+	id    int // executor index; doubles as the telemetry stripe
 	queue chan shardReq
 	done  chan struct{} // closed when the executor goroutine exits
 
@@ -41,6 +44,7 @@ func newExecs(shards, queueCap int) []*shardExec {
 	execs := make([]*shardExec, shards)
 	for i := range execs {
 		execs[i] = &shardExec{
+			id:    i,
 			queue: make(chan shardReq, queueCap),
 			done:  make(chan struct{}),
 		}
@@ -89,8 +93,15 @@ func (s *Server) stopExecs() {
 // its completion or writer stage.
 func (s *Server) runExec(e *shardExec) {
 	defer close(e.done)
+	stripe := uint64(e.id)
 	for req := range e.queue {
+		// Queue wait and handler execution are the two executor-side stages;
+		// both stripe by executor index, so the adds never leave this core's
+		// cache line under the intended one-executor-per-core shape.
+		t0 := telem.Now()
+		s.tel.queueWait.Observe(stripe, t0-req.enq)
 		req.c.execute(req.id, req.verb, req.buf.B)
+		s.tel.storeOp.Observe(stripe, telem.Now()-t0)
 		wire.PutBuf(req.buf)
 		req.c.inflight.Done()
 	}

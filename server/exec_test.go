@@ -114,7 +114,7 @@ func TestShardQueueShedsWithBusy(t *testing.T) {
 
 	// The shed surfaces in STATS under the names the bench drivers read.
 	stats := make(map[string]uint64)
-	for _, p := range srv.statPairs() {
+	for _, p := range srv.statPairs(srv.snapshotCounters()) {
 		stats[p.Name] = p.Value
 	}
 	if stats["shard-sheds"] != 1 || stats["shard-enqueues"] != 1 || stats["shard-depth"] != 1 {

@@ -117,6 +117,11 @@ type Config struct {
 	// false). Test instrumentation — the leak tests assert over every
 	// transmitted frame; do not set it in production.
 	FrameTap func(outbound bool, frame []byte)
+	// LeakyPerObjectReads plants a per-object read counter in the metrics
+	// endpoint — a deliberate violation of the aggregate-only telemetry
+	// contract, existing only as the E18 lab's positive control (the
+	// metrics observer must detect it). Never enable in production.
+	LeakyPerObjectReads bool
 }
 
 // Server hosts a store behind a TCP listener. Construct with New; serve with
@@ -136,6 +141,18 @@ type Server struct {
 	execs    []*shardExec
 	execMask uint64
 	execStop sync.Once
+
+	// tel holds the per-stage pipeline histograms (see metrics.go);
+	// statsEpoch advances on every counter snapshot; connSeq hands each
+	// accepted connection a telemetry stripe slot.
+	tel        *serverTelem
+	statsEpoch atomic.Uint64
+	connSeq    atomic.Uint64
+
+	// The planted per-object read counter behind Config.LeakyPerObjectReads
+	// (positive control only; see metrics.go).
+	leakyMu    sync.Mutex
+	leakyReads map[string]uint64
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -185,6 +202,18 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The executor shard count doubles as the stripe count of the
+	// executor-side histograms, so telemetry is built before the WAL — the
+	// WAL's fsync timer is one of its stages.
+	shards := cfg.ExecShards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	tel := newServerTelem(n)
 	var wal *persist.WAL
 	var recov *persist.RecoverResult
 	if cfg.DataDir != "" {
@@ -195,6 +224,7 @@ func New(cfg Config) (*Server, error) {
 			Stripes:      cfg.WALStripes,
 			BatchDelay:   cfg.WALBatchDelay,
 			BatchBytes:   cfg.WALBatchBytes,
+			SyncLatency:  tel.walFsync,
 		})
 		if err != nil {
 			return nil, err
@@ -233,14 +263,6 @@ func New(cfg Config) (*Server, error) {
 		}
 		return nil, err
 	}
-	shards := cfg.ExecShards
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
-	n := 1
-	for n < shards {
-		n <<= 1
-	}
 	queueCap := cfg.ShardQueue
 	if queueCap <= 0 {
 		queueCap = defaultShardQueue
@@ -256,6 +278,7 @@ func New(cfg Config) (*Server, error) {
 		conns:    make(map[*conn]struct{}),
 		execs:    newExecs(n, queueCap),
 		execMask: uint64(n - 1),
+		tel:      tel,
 	}, nil
 }
 
@@ -419,45 +442,40 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// statPairs snapshots the server counters for the STATS verb, sorted by
-// name.
-func (s *Server) statPairs() []wire.StatPair {
+// statPairs renders one coherent counter snapshot (see snapshotCounters) as
+// the STATS verb's sorted pair list, with quantized per-stage latency
+// summaries appended.
+func (s *Server) statPairs(snap counterSnap) []wire.StatPair {
 	pairs := []wire.StatPair{
-		{Name: "announces", Value: s.announces.Load()},
-		{Name: "audits", Value: s.audits.Load()},
-		{Name: "conn-flushed-frames", Value: s.connFlushFrames.Load()},
-		{Name: "conn-flushes", Value: s.connFlushes.Load()},
-		{Name: "conns", Value: s.connsTotal.Load()},
-		{Name: "errors", Value: s.errs.Load()},
-		{Name: "frames-in", Value: s.framesIn.Load()},
-		{Name: "frames-out", Value: s.framesOut.Load()},
-		{Name: "objects", Value: uint64(s.st.Len())},
-		{Name: "opens", Value: s.opens.Load()},
-		{Name: "pool-audits", Value: s.pool.Audited()},
-		{Name: "pool-sweeps", Value: s.pool.Sweeps()},
-		{Name: "reads-fetched", Value: s.readsFetched.Load()},
-		{Name: "reads-silent", Value: s.readsSilent.Load()},
-		{Name: "uptime-ms", Value: uint64(time.Since(s.start).Milliseconds())},
-		{Name: "writes", Value: s.writes.Load()},
+		{Name: "announces", Value: snap.announces},
+		{Name: "audits", Value: snap.audits},
+		{Name: "conn-flushed-frames", Value: snap.connFlushFrames},
+		{Name: "conn-flushes", Value: snap.connFlushes},
+		{Name: "conns", Value: snap.connsTotal},
+		{Name: "errors", Value: snap.errs},
+		{Name: "frames-in", Value: snap.framesIn},
+		{Name: "frames-out", Value: snap.framesOut},
+		{Name: "objects", Value: snap.objects},
+		{Name: "opens", Value: snap.opens},
+		{Name: "pool-audits", Value: snap.poolAudits},
+		{Name: "pool-sweeps", Value: snap.poolSweeps},
+		{Name: "reads-fetched", Value: snap.readsFetched},
+		{Name: "reads-silent", Value: snap.readsSilent},
+		{Name: "stats-epoch", Value: snap.epoch},
+		{Name: "uptime-ms", Value: snap.uptimeMs},
+		{Name: "writes", Value: snap.writes},
 	}
 	// Shard-executor occupancy: enqueues/sheds are cumulative, depth is the
 	// instantaneous total queue occupancy across shards — nonzero sheds with
 	// bounded depth is what admission control looks like under overload.
-	var enq, sheds, depth uint64
-	for _, e := range s.execs {
-		enq += e.enqueues.Load()
-		sheds += e.sheds.Load()
-		depth += uint64(len(e.queue))
-	}
 	pairs = append(pairs,
 		wire.StatPair{Name: "shards", Value: uint64(len(s.execs))},
 		wire.StatPair{Name: "shard-queue-cap", Value: uint64(cap(s.execs[0].queue))},
-		wire.StatPair{Name: "shard-enqueues", Value: enq},
-		wire.StatPair{Name: "shard-sheds", Value: sheds},
-		wire.StatPair{Name: "shard-depth", Value: depth},
+		wire.StatPair{Name: "shard-enqueues", Value: snap.shardEnqueues},
+		wire.StatPair{Name: "shard-sheds", Value: snap.shardSheds},
+		wire.StatPair{Name: "shard-depth", Value: snap.shardDepth},
 	)
-	if s.wal != nil {
-		ws := s.wal.Stats()
+	if ws := snap.wal; ws != nil {
 		pairs = append(pairs,
 			wire.StatPair{Name: "wal-records", Value: ws.Records},
 			wire.StatPair{Name: "wal-batches", Value: ws.Batches},
@@ -477,6 +495,16 @@ func (s *Server) statPairs() []wire.StatPair {
 			}
 			pairs = append(pairs, wire.StatPair{Name: name, Value: n})
 		}
+	}
+	// Per-stage latency summaries: quantized bucket upper bounds, the same
+	// numbers the metrics endpoint serves — aggregate-only by construction.
+	for _, st := range s.tel.reg.Snapshot() {
+		pairs = append(pairs,
+			wire.StatPair{Name: "stage-" + st.Name + "-p50-ns", Value: st.Quantile(0.50)},
+			wire.StatPair{Name: "stage-" + st.Name + "-p99-ns", Value: st.Quantile(0.99)},
+			wire.StatPair{Name: "stage-" + st.Name + "-max-ns", Value: st.Max()},
+			wire.StatPair{Name: "stage-" + st.Name + "-count", Value: st.Count},
+		)
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
 	return pairs

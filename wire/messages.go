@@ -317,13 +317,25 @@ type StatPair struct {
 	Value uint64
 }
 
-// StatsResp carries the server's counters, sorted by name.
+// StatsResp carries the server's counters, sorted by name, plus typed
+// build/identity fields: uptime, Go build info, and a monotonic stats-epoch
+// counter (incremented per snapshot within one daemon boot) — a scraper that
+// sees the epoch decrease knows the daemon restarted without having to parse
+// recovery log lines.
 type StatsResp struct {
-	Pairs []StatPair
+	GoVersion  string // runtime.Version() of the daemon
+	GoMaxProcs uint32 // runtime.GOMAXPROCS(0) of the daemon
+	UptimeMs   uint64 // milliseconds since daemon boot
+	StatsEpoch uint64 // strictly increasing per STATS snapshot within a boot
+	Pairs      []StatPair
 }
 
 // Append serializes the message body onto dst.
 func (m *StatsResp) Append(dst []byte) []byte {
+	dst = appendStr(dst, m.GoVersion)
+	dst = binary.BigEndian.AppendUint32(dst, m.GoMaxProcs)
+	dst = binary.BigEndian.AppendUint64(dst, m.UptimeMs)
+	dst = binary.BigEndian.AppendUint64(dst, m.StatsEpoch)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Pairs)))
 	for _, p := range m.Pairs {
 		dst = appendStr(dst, p.Name)
@@ -335,6 +347,10 @@ func (m *StatsResp) Append(dst []byte) []byte {
 // Decode parses a message body; the body must be fully consumed.
 func (m *StatsResp) Decode(body []byte) error {
 	c := cursor{b: body}
+	m.GoVersion = c.str(MaxName)
+	m.GoMaxProcs = c.u32()
+	m.UptimeMs = c.u64()
+	m.StatsEpoch = c.u64()
 	n := c.u16()
 	m.Pairs = nil
 	for i := uint16(0); i < n && !c.bad; i++ {

@@ -40,7 +40,7 @@ func sampleMessages() []message {
 			{Value: 7, Readers: 0b101}, {Value: 9, Readers: 1 << 63},
 		}},
 		&wire.StatsReq{},
-		&wire.StatsResp{Pairs: []wire.StatPair{{Name: "writes", Value: 3}, {Name: "reads-fetched", Value: 9}}},
+		&wire.StatsResp{GoVersion: "go1.22.1", GoMaxProcs: 8, UptimeMs: 123456, StatsEpoch: 7, Pairs: []wire.StatPair{{Name: "writes", Value: 3}, {Name: "reads-fetched", Value: 9}}},
 		&wire.ErrResp{Code: wire.CodeKindMismatch, Msg: "open \"x\" as register: object is a maxregister"},
 	}
 }
