@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,8 @@ type Client struct {
 	key     auditreg.Key
 	hasKey  bool
 	timeout time.Duration
+	dialer  Dialer
+	node    uint32
 
 	conns []*conn
 	next  atomic.Uint64
@@ -93,6 +96,37 @@ func WithKey(key auditreg.Key) Option {
 	}
 }
 
+// Dialer dials one transport connection to an auditd address. The default is
+// net.DialTimeout over TCP; tests and simulations substitute their own — the
+// netsim fabric's Dialer runs a whole cluster over in-process pipes with
+// seeded per-link latency and partitions, no sockets involved.
+type Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+
+// WithDialer substitutes the transport dialer (default TCP via
+// net.DialTimeout). Every pool dial and redial goes through it.
+func WithDialer(d Dialer) Option {
+	return func(c *Client) error {
+		if d == nil {
+			return fmt.Errorf("client: nil dialer")
+		}
+		c.dialer = d
+		return nil
+	}
+}
+
+// WithNode asserts which cluster node the dialed daemon must be (1-based
+// node ids; see server.Config.NodeID). Every OPEN carries the assertion and
+// a daemon configured as a different node — or as no node at all — refuses
+// it before touching its store, so a transposed address list surfaces as
+// ErrNodeMismatch instead of silently cross-wiring two nodes' share
+// histories. Zero (the default) asserts nothing.
+func WithNode(id uint32) Option {
+	return func(c *Client) error {
+		c.node = id
+		return nil
+	}
+}
+
 // WithDialTimeout bounds each connection attempt (default 10s).
 func WithDialTimeout(d time.Duration) Option {
 	return func(c *Client) error {
@@ -118,9 +152,14 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 			return nil, err
 		}
 	}
+	if c.dialer == nil {
+		c.dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
 	c.conns = make([]*conn, c.nconns)
 	for i := range c.conns {
-		cn, err := dialConn(addr, c.timeout)
+		cn, err := dialConn(addr, c.timeout, c.dialer, c.node)
 		if err != nil {
 			for _, prev := range c.conns[:i] {
 				prev.close(err)
@@ -131,6 +170,10 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	}
 	return c, nil
 }
+
+// Addr returns the address the pool dials — the identity a cluster caller
+// correlates NodeErrors against.
+func (c *Client) Addr() string { return c.addr }
 
 // Close tears the pool down; in-flight requests fail with a closed-client
 // error.
@@ -166,7 +209,7 @@ func (c *Client) pick() *conn {
 	}
 	// Redial outside the client lock: a blocking dial must stall only this
 	// request, never the healthy connections.
-	fresh, err := dialConn(c.addr, c.timeout)
+	fresh, err := dialConn(c.addr, c.timeout, c.dialer, c.node)
 	if err != nil {
 		return cn
 	}
@@ -301,6 +344,8 @@ func remoteErr(e *wire.ErrResp) error {
 		return fmt.Errorf("client: %s: %w", e.Msg, store.ErrKindMismatch)
 	case wire.CodeBusy:
 		return fmt.Errorf("client: %w", wire.ErrBusy)
+	case wire.CodeNodeMismatch:
+		return fmt.Errorf("client: %s: %w", e.Msg, ErrNodeMismatch)
 	default:
 		return fmt.Errorf("client: remote error %d: %s", e.Code, e.Msg)
 	}

@@ -20,6 +20,30 @@ var errClientClosed = errors.New("client: closed")
 // survives.
 var ErrConnLost = errors.New("client: connection lost")
 
+// ErrNodeMismatch reports that the daemon a connection reached is not the
+// cluster node the client asserted with WithNode: the address list and the
+// cluster the daemons were booted into disagree. Surfaced by Open (the
+// server refuses with wire.CodeNodeMismatch before touching the store), so a
+// misrouted connection can never contribute a share to the wrong node's
+// history.
+var ErrNodeMismatch = errors.New("client: cluster node mismatch")
+
+// NodeError wraps every connection-level failure with the address the
+// failing connection was dialed to. In a single-server pool the address is
+// redundant; in a cluster fan-out it is the signal — a dispersing client
+// (package auditreg/cluster) unwraps it to tell WHICH node went silent and
+// count it against f, rather than failing the whole quorum call. Unwrap
+// preserves the underlying sentinel, so errors.Is(err, ErrConnLost) keeps
+// working through the wrapper.
+type NodeError struct {
+	Addr string // the address the connection was dialed to
+	Err  error
+}
+
+func (e *NodeError) Error() string { return fmt.Sprintf("client: node %s: %v", e.Addr, e.Err) }
+
+func (e *NodeError) Unwrap() error { return e.Err }
+
 // connWriteQueue bounds the request queue between callers and a
 // connection's writer goroutine; senders block (backpressure) when the
 // writer falls this far behind.
@@ -38,7 +62,9 @@ const connWriteQueue = 256
 // that the waiting caller recycles after decoding. Steady-state traffic
 // allocates nothing per request beyond the in-flight bookkeeping.
 type conn struct {
-	nc net.Conn
+	nc   net.Conn
+	addr string // dialed address, for NodeError attribution
+	node uint32 // cluster node id asserted on every OPEN; 0 asserts nothing
 
 	writec chan *wire.Buf
 	wquit  chan struct{} // closed by close(); stops the writer
@@ -68,13 +94,15 @@ type resp struct {
 // returned.
 var respChans = sync.Pool{New: func() any { return make(chan resp, 1) }}
 
-func dialConn(addr string, timeout time.Duration) (*conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+func dialConn(addr string, timeout time.Duration, dial Dialer, node uint32) (*conn, error) {
+	nc, err := dial(addr, timeout)
 	if err != nil {
-		return nil, err
+		return nil, &NodeError{Addr: addr, Err: err}
 	}
 	cn := &conn{
 		nc:       nc,
+		addr:     addr,
+		node:     node,
 		writec:   make(chan *wire.Buf, connWriteQueue),
 		wquit:    make(chan struct{}),
 		inflight: make(map[uint64]chan resp),
@@ -194,14 +222,16 @@ func (cn *conn) close(cause error) {
 	}
 }
 
-// deadErr returns the recorded cause of death, or a generic closed error.
+// deadErr returns the recorded cause of death (or a generic closed error),
+// wrapped in a NodeError naming this connection's dialed address — the
+// per-node attribution every dead-connection failure surfaces with.
 func (cn *conn) deadErr() error {
 	cn.mu.Lock()
 	defer cn.mu.Unlock()
 	if cn.dead != nil {
-		return cn.dead
+		return &NodeError{Addr: cn.addr, Err: cn.dead}
 	}
-	return errClientClosed
+	return &NodeError{Addr: cn.addr, Err: errClientClosed}
 }
 
 // enqueue registers the request id (wait selects a pooled waiter channel)
@@ -214,7 +244,7 @@ func (cn *conn) enqueue(b *wire.Buf, id uint64, wait bool) (chan resp, error) {
 	}
 	cn.mu.Lock()
 	if cn.dead != nil {
-		err := cn.dead
+		err := &NodeError{Addr: cn.addr, Err: cn.dead}
 		cn.mu.Unlock()
 		if ch != nil {
 			respChans.Put(ch)
@@ -302,7 +332,7 @@ func (cn *conn) open(name string, wkind uint8, capacity uint32) (wire.OpenResp, 
 	}
 	cn.mu.Unlock()
 
-	req := wire.OpenReq{Name: name, Kind: wkind, Capacity: capacity}
+	req := wire.OpenReq{Name: name, Kind: wkind, Capacity: capacity, Node: cn.node}
 	r, err := cn.roundTrip(wire.VerbOpen, req.Append(nil))
 	if err != nil {
 		return wire.OpenResp{}, err
@@ -312,6 +342,13 @@ func (cn *conn) open(name string, wkind uint8, capacity uint32) (wire.OpenResp, 
 	wire.PutBuf(r.buf)
 	if err != nil {
 		return wire.OpenResp{}, err
+	}
+	if cn.node != 0 && openResp.Node != cn.node {
+		// Belt and braces: the server refuses asserted mismatches itself
+		// (CodeNodeMismatch), so this only fires against a daemon that echoed
+		// an id it did not check.
+		return wire.OpenResp{}, &NodeError{Addr: cn.addr, Err: fmt.Errorf(
+			"open %q: daemon is node %d, want %d: %w", name, openResp.Node, cn.node, ErrNodeMismatch)}
 	}
 	cn.mu.Lock()
 	cn.session = openResp.Session

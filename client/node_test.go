@@ -1,0 +1,169 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"auditreg"
+	"auditreg/client"
+	"auditreg/server"
+	"auditreg/store"
+)
+
+// TestNodeMismatchRefused pins the cluster handshake: a client asserting a
+// node id (WithNode) against a daemon configured as a different node — or as
+// no node at all — must get the typed ErrNodeMismatch from Open, and the
+// misrouted open must not create the object on the wrong daemon.
+func TestNodeMismatchRefused(t *testing.T) {
+	key := auditreg.KeyFromSeed(7)
+	srv, addr := startServer(t, server.Config{Key: key, Readers: 4, NodeID: 2})
+
+	for _, want := range []uint32{3, 1} {
+		cl, err := client.Dial(addr, client.WithConns(1), client.WithNode(want))
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		if _, err := cl.Open("obj", store.MaxRegister); !errors.Is(err, client.ErrNodeMismatch) {
+			t.Fatalf("Open asserting node %d against node 2 = %v, want ErrNodeMismatch", want, err)
+		}
+		cl.Close()
+	}
+	if _, ok := srv.Store().Lookup("obj"); ok {
+		t.Fatal("misrouted open created the object on the refusing daemon")
+	}
+
+	// The matching assertion — and no assertion at all — both succeed.
+	for _, node := range []uint32{2, 0} {
+		cl, err := client.Dial(addr, client.WithConns(1), client.WithNode(node))
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		if _, err := cl.Open("obj", store.MaxRegister); err != nil {
+			t.Fatalf("Open asserting node %d against node 2: %v", node, err)
+		}
+		cl.Close()
+	}
+}
+
+// TestNodeErrorPerNode is the per-node failure-attribution test: with two
+// clients pooled to two daemons, killing one daemon must surface on ITS
+// client as a *client.NodeError naming its address (still matching
+// ErrConnLost via errors.Is), leave the other client untouched, and heal by
+// per-node redial when the daemon comes back on the same address — the
+// exact discrimination a cluster fan-out needs to count a node against f
+// instead of failing the whole quorum call.
+func TestNodeErrorPerNode(t *testing.T) {
+	key := auditreg.KeyFromSeed(8)
+
+	startAt := func(addr string, node uint32) (*server.Server, string, chan error) {
+		t.Helper()
+		srv, err := server.New(server.Config{Key: key, Readers: 4, PoolInterval: time.Millisecond, NodeID: node})
+		if err != nil {
+			t.Fatalf("server.New: %v", err)
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatalf("listen %s: %v", addr, err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		return srv, ln.Addr().String(), done
+	}
+	shutdown := func(srv *server.Server, done chan error) {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		<-done
+	}
+
+	srv1, addr1, done1 := startAt("127.0.0.1:0", 1)
+	srv2, addr2, done2 := startAt("127.0.0.1:0", 2)
+
+	cl1, err := client.Dial(addr1, client.WithConns(1), client.WithNode(1))
+	if err != nil {
+		t.Fatalf("Dial node 1: %v", err)
+	}
+	defer cl1.Close()
+	cl2, err := client.Dial(addr2, client.WithConns(1), client.WithNode(2))
+	if err != nil {
+		t.Fatalf("Dial node 2: %v", err)
+	}
+	defer cl2.Close()
+
+	obj1, err := cl1.Open("obj", store.MaxRegister)
+	if err != nil {
+		t.Fatalf("Open on node 1: %v", err)
+	}
+	obj2, err := cl2.Open("obj", store.MaxRegister)
+	if err != nil {
+		t.Fatalf("Open on node 2: %v", err)
+	}
+	if _, err := obj1.ShareWrite(1, 0xA1, 1); err != nil {
+		t.Fatalf("ShareWrite node 1: %v", err)
+	}
+	if _, err := obj2.ShareWrite(1, 0xB2, 1); err != nil {
+		t.Fatalf("ShareWrite node 2: %v", err)
+	}
+
+	// Kill node 2 only.
+	shutdown(srv2, done2)
+	deadline := time.Now().Add(5 * time.Second)
+	var nodeErr *client.NodeError
+	for time.Now().Before(deadline) {
+		_, err = obj2.ShareWrite(2, 0xB3, 1)
+		if err != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err == nil {
+		t.Fatal("ShareWrite against the killed node kept succeeding")
+	}
+	if !errors.As(err, &nodeErr) {
+		t.Fatalf("failure against killed node = %v (%T), want *client.NodeError", err, err)
+	}
+	if nodeErr.Addr != addr2 {
+		t.Fatalf("NodeError.Addr = %q, want the killed node's %q", nodeErr.Addr, addr2)
+	}
+	if !errors.Is(err, client.ErrConnLost) {
+		t.Fatalf("NodeError does not unwrap to ErrConnLost: %v", err)
+	}
+	if cl2.Addr() != addr2 {
+		t.Fatalf("Client.Addr() = %q, want %q", cl2.Addr(), addr2)
+	}
+
+	// Node 1's client is untouched by node 2's death: per-node, not per-pool.
+	if cur, err := obj1.ShareWrite(0, 0, 1); err != nil || cur != 1 {
+		t.Fatalf("node 1 probe after node 2 death = wid %d, %v; want 1, nil", cur, err)
+	}
+
+	// Node 2 returns on the same address; the SAME client heals by redial.
+	srv2b, _, done2b := startAt(addr2, 2)
+	defer shutdown(srv2b, done2b)
+	var cur uint64
+	for time.Now().Before(deadline) {
+		cur, err = obj2.ShareWrite(2, 0xB3, 1)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, client.ErrConnLost) {
+			t.Fatalf("post-restart failure = %v, want ErrConnLost while redialing", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("node 2 client never healed: %v", err)
+	}
+	if cur != 2 {
+		t.Fatalf("post-restart resident wid = %d, want 2", cur)
+	}
+
+	shutdown(srv1, done1)
+	_ = srv1
+}

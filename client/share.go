@@ -1,0 +1,137 @@
+package client
+
+import (
+	"fmt"
+
+	"auditreg/internal/telem"
+	"auditreg/wire"
+)
+
+// This file is the client side of the cluster share plane: the two verbs a
+// dispersing client (package auditreg/cluster) drives against each node of a
+// quorum. A share object is an ordinary MaxRegister holding the packed
+// (wid, masked share) value — wid in the high bits, this node's pad-masked
+// IDA share in the low 8*shareLen bits — so writeMax gives newest-wid-wins
+// and duplicate absorption for free. The methods here move single packed
+// values for ONE node; splitting, pad derivation, quorum counting, and
+// reconstruction all live in the cluster package.
+
+// ShareWrite installs this node's share of dispersed write wid: a writeMax
+// of wid<<(8*shareLen) | share on the named MaxRegister, journaled like any
+// write. The share must already be masked under the node's share pad — the
+// client sends exactly what it is given. Wid zero is the wid-sync probe: no
+// write happens and the call returns the node's current resident wid (zero
+// when the object has never taken a share). In every case the returned wid
+// is the resident one after the call, so a stale writer discovers the newer
+// wid it lost to.
+func (o *Object) ShareWrite(wid, share uint64, shareLen int) (uint64, error) {
+	t0 := telem.Now()
+	cur, err := o.shareWrite(wid, share, shareLen)
+	o.c.rtt.Observe(uint64(t0), telem.Now()-t0)
+	return cur, err
+}
+
+func (o *Object) shareWrite(wid, share uint64, shareLen int) (uint64, error) {
+	if shareLen < 1 || shareLen > wire.MaxShareLen {
+		return 0, fmt.Errorf("client: share-write %q: share-len %d out of range [1, %d]", o.name, shareLen, wire.MaxShareLen)
+	}
+	var resp wire.ShareWriteResp
+	err := retryBusy(func() error {
+		cn := o.c.pick()
+		if _, err := cn.open(o.name, o.wkind, 0); err != nil {
+			return err
+		}
+		req := wire.ShareWriteReq{Name: o.name, Wid: wid, Share: share, ShareLen: uint8(shareLen)}
+		b := wire.GetBuf(wire.FramePrefix + 32 + len(o.name))
+		b.B = req.Append(wire.BeginFrame(b.B[:0]))
+		r, err := cn.roundTripBuf(wire.VerbShareWrite, b)
+		if err != nil {
+			return err
+		}
+		if r.verb != wire.VerbShareWrite {
+			err = respError(r, wire.VerbShareWrite)
+			wire.PutBuf(r.buf)
+			return err
+		}
+		err = resp.Decode(r.buf.B)
+		wire.PutBuf(r.buf)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Wid, nil
+}
+
+// ShareRead returns the node's current packed share value as seen by the
+// given reader index — Object.Read over the share plane. It drives the same
+// two pipelined wire messages (one SHARE-FETCH, silent when the per-node
+// slot cache is current; one helping READ-ANNOUNCE after a fetch) against
+// this pool's one node, so the node's audit history records the read exactly
+// as a plain read would be recorded. The packed value arrives masked under
+// the connection's session secret and is unmasked here; unpacking wid from
+// share — and unmasking the share pad — is the cluster caller's job.
+func (o *Object) ShareRead(reader int) (uint64, error) {
+	t0 := telem.Now()
+	v, err := o.shareRead(reader)
+	o.c.rtt.Observe(uint64(t0), telem.Now()-t0)
+	return v, err
+}
+
+func (o *Object) shareRead(reader int) (uint64, error) {
+	if reader < 0 || reader >= o.readers {
+		return 0, fmt.Errorf("client: share-read %q: reader %d out of range [0, %d)", o.name, reader, o.readers)
+	}
+	s := &o.slots[reader]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.init {
+		s.init = true
+		s.prevSeq = ^uint64(0)
+	}
+
+	var cn *conn
+	var fetchResp wire.ShareFetchResp
+	err := retryBusy(func() error {
+		cn = o.c.pick()
+		if _, err := cn.open(o.name, o.wkind, 0); err != nil {
+			return err
+		}
+		// Same epoch rule as read(): a cache filled under another server boot
+		// is dropped, never trusted against renumbered sequence numbers.
+		if e := cn.epochValue(); s.epoch != e {
+			s.epoch = e
+			s.prevSeq = ^uint64(0)
+		}
+		req := wire.ShareFetchReq{Name: o.name, Reader: uint8(reader), PrevSeq: s.prevSeq}
+		b := wire.GetBuf(wire.FramePrefix + 24 + len(o.name))
+		b.B = req.Append(wire.BeginFrame(b.B[:0]))
+		r, err := cn.roundTripBuf(wire.VerbShareFetch, b)
+		if err != nil {
+			return err
+		}
+		if r.verb != wire.VerbShareFetch {
+			err = respError(r, wire.VerbShareFetch)
+			wire.PutBuf(r.buf)
+			return err
+		}
+		err = fetchResp.Decode(r.buf.B)
+		wire.PutBuf(r.buf)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	if fetchResp.Seq != s.prevSeq {
+		session := cn.sessionValue()
+		s.prevVal = fetchResp.Value ^ wire.ValueMask(session, o.name, uint8(reader), fetchResp.Seq)
+		s.prevSeq = fetchResp.Seq
+	}
+	if fetchResp.Fetched {
+		ann := wire.AnnounceReq{Name: o.name, Reader: uint8(reader), Seq: fetchResp.Seq}
+		ab := wire.GetBuf(wire.FramePrefix + 24 + len(o.name))
+		ab.B = ann.Append(wire.BeginFrame(ab.B[:0]))
+		_ = cn.postBuf(wire.VerbReadAnnounce, ab)
+	}
+	return s.prevVal, nil
+}

@@ -1,0 +1,514 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"auditreg/client"
+	"auditreg/internal/ida"
+	"auditreg/store"
+)
+
+// Client is a dispersing client over a cluster membership: one pooled
+// auditreg/client per node, fanned out per operation, quorum-counted per
+// the package rules. Construct with Dial. Safe for concurrent use; the
+// writer role of any one object is serialized internally (single-writer
+// register).
+type Client struct {
+	m        Membership
+	cod      *ida.Coder
+	shareLen int
+
+	clients []*client.Client // position i ↔ m.Nodes[i]
+
+	mu      sync.Mutex
+	objects map[string]*Object
+	closed  bool
+}
+
+// Option configures a cluster Dial.
+type Option func(*dialConfig)
+
+type dialConfig struct {
+	perNode func(Node) []client.Option
+}
+
+// WithClientOptions supplies extra per-node options for the underlying
+// auditreg/client pools — a netsim fabric's Dialer, a pool size, a dial
+// timeout. Called once per node; the returned options are appended after
+// the cluster's own (node assertion, audit key).
+func WithClientOptions(f func(Node) []client.Option) Option {
+	return func(c *dialConfig) { c.perNode = f }
+}
+
+// Dial validates the membership and connects one client pool per node. A
+// node that cannot be dialed does not fail the call as long as at least
+// quorum (n−f) pools connect: the dead node's pool is left nil and every
+// operation counts it against f. Each pool asserts its node's id on OPEN
+// (client.WithNode) and carries the node's audit key when the membership
+// has one.
+func Dial(m Membership, opts ...Option) (*Client, error) {
+	cod, err := m.coder()
+	if err != nil {
+		return nil, err
+	}
+	var cfg dialConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	c := &Client{
+		m:        m,
+		cod:      cod,
+		shareLen: m.ShareLen(),
+		clients:  make([]*client.Client, m.N()),
+		objects:  make(map[string]*Object),
+	}
+	alive := 0
+	var firstErr error
+	for i, nd := range m.Nodes {
+		copts := []client.Option{client.WithNode(nd.ID)}
+		var zero [32]byte
+		if nd.Key != zero {
+			copts = append(copts, client.WithKey(nd.Key))
+		}
+		if cfg.perNode != nil {
+			copts = append(copts, cfg.perNode(nd)...)
+		}
+		cl, err := client.Dial(nd.Addr, copts...)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		c.clients[i] = cl
+		alive++
+	}
+	if alive < m.Quorum() {
+		c.Close()
+		return nil, fmt.Errorf("cluster: only %d of %d nodes dialable, need %d: %w", alive, m.N(), m.Quorum(), firstErr)
+	}
+	return c, nil
+}
+
+// Membership returns the cluster configuration the client was dialed with.
+func (c *Client) Membership() Membership { return c.m }
+
+// Close tears down every node pool.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, cl := range c.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+	return nil
+}
+
+// Open returns the dispersed object stored under name, creating its share
+// object (a MaxRegister) on every reachable node. Up to f nodes may be
+// unreachable; their opens are retried lazily by the first operation that
+// finds them back.
+func (c *Client) Open(name string) (*Object, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("cluster: client closed")
+	}
+	if obj, ok := c.objects[name]; ok {
+		c.mu.Unlock()
+		return obj, nil
+	}
+	c.mu.Unlock()
+
+	o := &Object{c: c, name: name, nodes: make([]*client.Object, c.m.N())}
+	type res struct {
+		i   int
+		obj *client.Object
+		err error
+	}
+	ch := make(chan res, c.m.N())
+	for i := range c.clients {
+		go func(i int) {
+			obj, err := c.openNode(name, i)
+			ch <- res{i, obj, err}
+		}(i)
+	}
+	opened := 0
+	var firstErr error
+	for range c.clients {
+		r := <-ch
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		o.nodes[r.i] = r.obj
+		opened++
+		o.readers = r.obj.Readers()
+	}
+	if opened < c.m.Quorum() {
+		return nil, fmt.Errorf("cluster: open %q reached %d of %d nodes, need %d: %w", name, opened, c.m.N(), c.m.Quorum(), firstErr)
+	}
+	o.rmu = make([]sync.Mutex, o.readers)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.objects[name]; ok {
+		return prev, nil
+	}
+	c.objects[name] = o
+	return o, nil
+}
+
+// openNode opens the share object on node i through its pool.
+func (c *Client) openNode(name string, i int) (*client.Object, error) {
+	cl := c.clients[i]
+	if cl == nil {
+		return nil, &client.NodeError{Addr: c.m.Nodes[i].Addr, Err: errNotDialed}
+	}
+	return cl.Open(name, store.MaxRegister)
+}
+
+// Object is one dispersed register: n per-node share objects behind a
+// single Write/Read/Audit surface. The write side is serialized internally
+// — the register is single-writer, and wids must be issued monotonically.
+type Object struct {
+	c       *Client
+	name    string
+	readers int
+
+	nmu   sync.Mutex
+	nodes []*client.Object // nil where the node was unreachable at Open
+
+	wmu    sync.Mutex
+	synced bool   // wid recovered from a quorum this session
+	wid    uint64 // newest wid this writer installed or observed
+
+	rmu []sync.Mutex // per-reader serialization of ReadTraced
+}
+
+// Name returns the object's name.
+func (o *Object) Name() string { return o.name }
+
+// Readers returns the reader count m of the share objects.
+func (o *Object) Readers() int { return o.readers }
+
+// node returns node i's share-object handle, retrying the open lazily when
+// the node was unreachable before.
+func (o *Object) node(i int) (*client.Object, error) {
+	o.nmu.Lock()
+	obj := o.nodes[i]
+	o.nmu.Unlock()
+	if obj != nil {
+		return obj, nil
+	}
+	obj, err := o.c.openNode(o.name, i)
+	if err != nil {
+		return nil, err
+	}
+	o.nmu.Lock()
+	if o.nodes[i] == nil {
+		o.nodes[i] = obj
+	} else {
+		obj = o.nodes[i]
+	}
+	o.nmu.Unlock()
+	return obj, nil
+}
+
+// shareResult is one node's answer to a fan-out.
+type shareResult struct {
+	i     int
+	value uint64
+	err   error
+}
+
+// fanOut runs op against every node concurrently and returns the results.
+func (o *Object) fanOut(op func(i int, obj *client.Object) (uint64, error)) []shareResult {
+	n := o.c.m.N()
+	ch := make(chan shareResult, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			obj, err := o.node(i)
+			if err != nil {
+				ch <- shareResult{i: i, err: err}
+				return
+			}
+			v, err := op(i, obj)
+			ch <- shareResult{i: i, value: v, err: err}
+		}(i)
+	}
+	out := make([]shareResult, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+// syncWid recovers the writer's wid from a quorum of probe responses: the
+// maximum resident wid across n−f nodes is ≥ the newest completed write's
+// wid (its write quorum intersects any n−f responses in ≥ k ≥ 1 nodes), so
+// issuing from there preserves monotonicity across writer restarts.
+// Caller holds wmu.
+func (o *Object) syncWid() error {
+	results := o.fanOut(func(i int, obj *client.Object) (uint64, error) {
+		return obj.ShareWrite(0, 0, o.c.shareLen)
+	})
+	acks := 0
+	var max uint64
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		acks++
+		if r.value > max {
+			max = r.value
+		}
+	}
+	if acks < o.c.m.Quorum() {
+		return fmt.Errorf("cluster: wid sync %q reached %d of %d nodes, need %d: %w", o.name, acks, o.c.m.N(), o.c.m.Quorum(), firstErr)
+	}
+	if max > o.wid {
+		o.wid = max
+	}
+	o.synced = true
+	return nil
+}
+
+// Write disperses v across the cluster as write id wid+1: IDA-split into n
+// shares, each masked under its node's SharePad and installed on its node
+// as the packed MaxRegister value. The call succeeds once n−f nodes have
+// acknowledged — by quorum intersection, every subsequent quorum read then
+// holds ≥ k shares and reconstructs v (or something newer). A failed write
+// (under-quorum) leaves the wid burned and the writer unsynced; the next
+// write re-probes before issuing.
+func (o *Object) Write(v uint64) error {
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	if !o.synced {
+		if err := o.syncWid(); err != nil {
+			return err
+		}
+	}
+	wid := o.wid + 1
+	if maxWid := uint64(1)<<(64-8*uint(o.c.shareLen)) - 1; wid > maxWid {
+		return fmt.Errorf("cluster: write %q: wid space exhausted (%d bits)", o.name, 64-8*o.c.shareLen)
+	}
+
+	var data [8]byte
+	for i := range data {
+		data[i] = byte(v >> (56 - 8*i))
+	}
+	shares := o.c.cod.Split(data[:])
+
+	results := o.fanOut(func(i int, obj *client.Object) (uint64, error) {
+		masked := shareToUint(shares[i]) ^ SharePad(o.c.m.Secret, o.c.m.Nodes[i].ID, o.name, wid, o.c.shareLen)
+		return obj.ShareWrite(wid, masked, o.c.shareLen)
+	})
+	acks := 0
+	var maxResident uint64
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		acks++
+		if r.value > maxResident {
+			maxResident = r.value
+		}
+	}
+	// Adopt whatever newer wid the cluster reports — a recovered node may
+	// hold a wid this writer issued before a crash and forgot.
+	if maxResident > wid {
+		o.wid = maxResident
+	} else {
+		o.wid = wid
+	}
+	if acks < o.c.m.Quorum() {
+		o.synced = false
+		return fmt.Errorf("cluster: write %q wid %d acked by %d of %d nodes, need %d: %w", o.name, wid, acks, o.c.m.N(), o.c.m.Quorum(), firstErr)
+	}
+	return nil
+}
+
+// ReadTrace documents how a cluster read resolved — the evidence the E19
+// harness needs to reason about reads that raced a crash.
+type ReadTrace struct {
+	// Wid is the write id the read reconstructed; 0 means the initial
+	// value (no write had completed anywhere the read looked).
+	Wid uint64
+	// Responded is how many nodes answered the final share-fetch round.
+	Responded int
+	// Shares is how many of those responses carried Wid.
+	Shares int
+	// Stale reports that some node answered with a DIFFERENT wid than the
+	// one reconstructed: the read overlapped a write (or a recovering
+	// node). Its per-node fetches at those other wids are in the nodes'
+	// audit logs, so a verification harness must expect the merged audit to
+	// charge this reader with those wids too once k nodes agree.
+	Stale bool
+	// Retries counts extra fan-out rounds spent waiting out an in-flight
+	// write or a node outage.
+	Retries int
+	// Failed lists the node ids that errored in the final round.
+	Failed []uint32
+}
+
+// Read returns the dispersed object's current value as seen by the given
+// reader index. See ReadTraced.
+func (o *Object) Read(reader int) (uint64, error) {
+	v, _, err := o.ReadTraced(reader)
+	return v, err
+}
+
+// Read retry schedule: a round that cannot resolve (under-quorum, or no wid
+// at threshold because a write is in flight) backs off and re-fans-out,
+// doubling up to readMaxDelay, giving up after readRetryWindow. With a live
+// writer the unresolvable window is one write fan-out; with f crashed nodes
+// a quorum still answers, so retries terminate in practice long before the
+// window does.
+const (
+	readBaseDelay   = 200 * time.Microsecond
+	readMaxDelay    = 5 * time.Millisecond
+	readRetryWindow = 2 * time.Second
+)
+
+// ReadTraced performs the cluster read and returns its trace: share fetches
+// fan out to all n nodes, the round waits for n−f answers, and the newest
+// write id holding ≥ k shares among them is unmasked and IDA-reconstructed.
+// Quorum intersection guarantees ≥ k responses at or above the newest
+// completed write's wid; when they are split across that wid and an
+// in-flight successor (so no single wid reaches k), the round is
+// inconclusive and the read retries — the register is regular, not atomic,
+// and its reads are live while the single writer is (each write completes,
+// resolving the split). A wid seen on fewer than k nodes is never returned:
+// its write has not completed, and k is exactly the knowledge threshold.
+//
+// Each share fetch is an audited read on its node: the node journals the
+// (reader, packed value) fetch exactly as a plain read would be journaled,
+// which is what makes the merged audit exact. The reader principal appears
+// in k nodes' logs iff it obtained k shares — iff it could know the value.
+func (o *Object) ReadTraced(reader int) (uint64, ReadTrace, error) {
+	if reader < 0 || reader >= o.readers {
+		return 0, ReadTrace{}, fmt.Errorf("cluster: read %q: reader %d out of range [0, %d)", o.name, reader, o.readers)
+	}
+	o.rmu[reader].Lock()
+	defer o.rmu[reader].Unlock()
+
+	var trace ReadTrace
+	delay := readBaseDelay
+	deadline := time.Now().Add(readRetryWindow)
+	for {
+		v, done, err := o.readOnce(reader, &trace)
+		if done || time.Now().After(deadline) {
+			return v, trace, err
+		}
+		trace.Retries++
+		time.Sleep(delay)
+		if delay *= 2; delay > readMaxDelay {
+			delay = readMaxDelay
+		}
+	}
+}
+
+// readOnce runs one fan-out round; done=false means the round was
+// inconclusive and the caller should retry (err then describes why, in case
+// the retry window runs out first).
+func (o *Object) readOnce(reader int, trace *ReadTrace) (v uint64, done bool, err error) {
+	results := o.fanOut(func(i int, obj *client.Object) (uint64, error) {
+		return obj.ShareRead(reader)
+	})
+
+	trace.Responded, trace.Failed = 0, trace.Failed[:0]
+	byWid := make(map[uint64]map[int][]byte)
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil {
+			trace.Failed = append(trace.Failed, o.c.m.Nodes[r.i].ID)
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		trace.Responded++
+		wid, masked := Unpack(r.value, o.c.shareLen)
+		m := byWid[wid]
+		if m == nil {
+			m = make(map[int][]byte)
+			byWid[wid] = m
+		}
+		share := make([]byte, o.c.shareLen)
+		uintToShare(share, masked^SharePad(o.c.m.Secret, o.c.m.Nodes[r.i].ID, o.name, wid, o.c.shareLen))
+		m[r.i] = share
+	}
+	if trace.Responded < o.c.m.Quorum() {
+		return 0, false, fmt.Errorf("cluster: read %q answered by %d of %d nodes, need %d: %w", o.name, trace.Responded, o.c.m.N(), o.c.m.Quorum(), firstErr)
+	}
+
+	// Selection. A completed write puts ≥ k nonzero-wid responses in any
+	// quorum (its write quorum intersects the responders in ≥ k nodes and
+	// wids only grow), so:
+	//   - some nonzero wid at ≥ k shares → newest such wid is safe to
+	//     return (it is ≥ the newest completed write, and reconstructible);
+	//   - < k nonzero responses in total → no write has completed anywhere;
+	//     the register provably still holds its initial value;
+	//   - otherwise the ≥ k nonzero responses are split below threshold by
+	//     an in-flight write: inconclusive, retry. Falling back to the
+	//     initial value here would be a freshness violation.
+	k := o.c.m.Threshold()
+	best, nonzero := uint64(0), 0
+	for wid, shares := range byWid {
+		if wid == 0 {
+			continue
+		}
+		nonzero += len(shares)
+		if len(shares) >= k && wid > best {
+			best = wid
+		}
+	}
+	if best == 0 && nonzero >= k {
+		return 0, false, fmt.Errorf("cluster: read %q: no write id reached %d shares across %d responses (write in flight)", o.name, k, trace.Responded)
+	}
+	trace.Wid = best
+	trace.Shares = len(byWid[best])
+	trace.Stale = len(byWid) > 1
+
+	if best == 0 {
+		return 0, true, nil
+	}
+	v, err = o.reconstruct(byWid[best])
+	if err != nil {
+		return 0, true, fmt.Errorf("cluster: read %q wid %d: %w", o.name, best, err)
+	}
+	return v, true, nil
+}
+
+// reconstruct IDA-decodes a value from unmasked shares keyed by node index.
+func (o *Object) reconstruct(shares map[int][]byte) (uint64, error) {
+	data, err := o.c.cod.Reconstruct(shares, 8)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for _, b := range data {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}

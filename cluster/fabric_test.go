@@ -1,0 +1,114 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"auditreg/client"
+	"auditreg/cluster"
+	"auditreg/internal/netsim"
+	"auditreg/server"
+)
+
+// TestClusterOverFabric runs a whole 5-node cluster over the netsim fabric
+// — in-process listeners, seeded asymmetric link latency, no sockets — and
+// drives it through a partition: with f=1 the client keeps writing and
+// reading while one node is unreachable, and the merged audit at the end
+// (partition healed) is exact.
+func TestClusterOverFabric(t *testing.T) {
+	const n, f = 5, 1
+	fab := netsim.NewFabric(42, 2*time.Millisecond)
+
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("node%d", i+1)
+	}
+	m := cluster.SeededMembership(addrs, f, 301)
+
+	for i := 0; i < n; i++ {
+		srv, err := server.New(server.Config{
+			Key:          m.Nodes[i].Key,
+			Readers:      4,
+			NodeID:       m.Nodes[i].ID,
+			PoolInterval: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("server.New node %d: %v", i+1, err)
+		}
+		ln, err := fab.Listen(addrs[i])
+		if err != nil {
+			t.Fatalf("fabric listen %s: %v", addrs[i], err)
+		}
+		go srv.Serve(ln)
+		defer ln.Close()
+	}
+
+	cc, err := cluster.Dial(m, cluster.WithClientOptions(func(nd cluster.Node) []client.Option {
+		return []client.Option{
+			client.WithDialer(fab.Dialer("principal")),
+			client.WithConns(1),
+			client.WithDialTimeout(2 * time.Second),
+		}
+	}))
+	if err != nil {
+		t.Fatalf("cluster.Dial over fabric: %v", err)
+	}
+	defer cc.Close()
+
+	obj, err := cc.Open("obj")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := obj.Write(0x1001); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if v, err := obj.Read(0); err != nil || v != 0x1001 {
+		t.Fatalf("Read = %#x, %v", v, err)
+	}
+
+	// Cut the client off from node 2 and keep operating: the fan-out counts
+	// node 2 against f and the quorum carries on.
+	fab.Partition("principal", "node2")
+	if err := obj.Write(0x2002); err != nil {
+		t.Fatalf("Write under partition: %v", err)
+	}
+	v, trace, err := obj.ReadTraced(1)
+	if err != nil {
+		t.Fatalf("Read under partition: %v", err)
+	}
+	if v != 0x2002 {
+		t.Fatalf("Read under partition = %#x, want 0x2002", v)
+	}
+	if len(trace.Failed) == 0 {
+		t.Fatal("trace under partition reports no failed node")
+	}
+
+	// Heal and merge: both observed pairs must be charged, node 2 included
+	// in the merge again.
+	fab.Heal("principal", "node2")
+	var merged cluster.Merged
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		merged, err = obj.Audit()
+		if err == nil && merged.Nodes == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("full merge never recovered: nodes=%d err=%v", merged.Nodes, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !merged.Report.Contains(0, 0x1001) {
+		t.Errorf("merged audit misses (0, 0x1001)")
+	}
+	if !merged.Report.Contains(1, 0x2002) {
+		t.Errorf("merged audit misses (1, 0x2002)")
+	}
+	for _, e := range merged.Report.Entries() {
+		ok := (e.Reader == 0 && e.Value == 0x1001) || (e.Reader == 1 && e.Value == 0x2002)
+		if !ok {
+			t.Errorf("merged audit charges unobserved (reader %d, value %#x)", e.Reader, e.Value)
+		}
+	}
+}

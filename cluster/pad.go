@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"auditreg"
+	"auditreg/wire"
+)
+
+// sharePadTag domain-separates the cluster share pads from every other pad
+// family in the system (the wire masks, the store's tracking pads).
+const sharePadTag = "auditreg/cluster/share-pad/v1\x00"
+
+// SharePad derives the pad XOR-applied to node's share of the named
+// object's write wid, truncated to the low 8*shareLen bits: the first bytes
+// of SHA-256(tag, secret, node, wid, name). One pad per (node, object, wid)
+// — each node's share of each write sits under an independent pad, so even
+// n colluding daemons pooling their shares reconstruct only pad-XORed
+// noise. The wid bits of the packed value are deliberately NOT covered: the
+// node orders writes by them (writeMax), so they are metadata the node
+// inherently observes, like sequence numbers.
+//
+// Pad reuse is safe for the same reason wire.ValueMask's is: the plaintext
+// under a given (node, object, wid) pad is fixed — the single writer
+// derives wid w's shares once, and redeliveries repeat the identical
+// ciphertext.
+//
+// Allocation-free (the digest input is assembled in one stack buffer), as
+// it sits on the per-share fast path of every cluster write, read, and
+// audit merge; the CI alloc gate pins this.
+func SharePad(secret auditreg.Key, node uint32, name string, wid uint64, shareLen int) uint64 {
+	if len(name) > wire.MaxName {
+		// Out-of-protocol input (the wire decoders reject such names); fall
+		// back to streaming rather than silently truncate the digest.
+		h := sha256.New()
+		h.Write([]byte(sharePadTag))
+		h.Write(secret[:])
+		var num [12]byte
+		binary.BigEndian.PutUint32(num[:4], node)
+		binary.BigEndian.PutUint64(num[4:], wid)
+		h.Write(num[:])
+		h.Write([]byte(name))
+		var sum [sha256.Size]byte
+		h.Sum(sum[:0])
+		return binary.BigEndian.Uint64(sum[:8]) & shareMask(shareLen)
+	}
+	var in [len(sharePadTag) + 32 + 12 + wire.MaxName]byte
+	n := copy(in[:], sharePadTag)
+	n += copy(in[n:], secret[:])
+	binary.BigEndian.PutUint32(in[n:], node)
+	binary.BigEndian.PutUint64(in[n+4:], wid)
+	n += 12
+	n += copy(in[n:], name)
+	sum := sha256.Sum256(in[:n])
+	return binary.BigEndian.Uint64(sum[:8]) & shareMask(shareLen)
+}
+
+// shareMask returns the mask of the low 8*shareLen bits.
+func shareMask(shareLen int) uint64 {
+	return 1<<(8*uint(shareLen)) - 1
+}
+
+// Pack assembles a share-object value: wid in the high bits, the (already
+// masked) share in the low 8*shareLen bits. The MaxRegister orders packed
+// values as plain uint64s, so wid's position makes ordering by write id.
+func Pack(wid, maskedShare uint64, shareLen int) uint64 {
+	return wid<<(8*uint(shareLen)) | maskedShare
+}
+
+// Unpack splits a share-object value into wid and masked share.
+func Unpack(packed uint64, shareLen int) (wid, maskedShare uint64) {
+	return packed >> (8 * uint(shareLen)), packed & shareMask(shareLen)
+}
+
+// shareToUint packs shareLen share bytes (big-endian) into a uint64.
+func shareToUint(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}
+
+// uintToShare writes v as shareLen big-endian bytes into dst.
+func uintToShare(dst []byte, v uint64) {
+	for i := len(dst) - 1; i >= 0; i-- {
+		dst[i] = byte(v)
+		v >>= 8
+	}
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"testing"
+
+	"auditreg"
+)
+
+// TestPackUnpack round-trips the packing at every legal share width and its
+// boundary values.
+func TestPackUnpack(t *testing.T) {
+	for shareLen := 1; shareLen <= 4; shareLen++ {
+		widBits := 64 - 8*uint(shareLen)
+		maxWid := uint64(1)<<widBits - 1
+		maxShare := uint64(1)<<(8*uint(shareLen)) - 1
+		for _, wid := range []uint64{0, 1, 7, maxWid} {
+			for _, share := range []uint64{0, 1, 0xAB, maxShare} {
+				p := Pack(wid, share, shareLen)
+				gw, gs := Unpack(p, shareLen)
+				if gw != wid || gs != share {
+					t.Fatalf("shareLen=%d: Unpack(Pack(%d, %#x)) = (%d, %#x)", shareLen, wid, share, gw, gs)
+				}
+			}
+		}
+		// Ordering: wid dominates the packed comparison, which is what
+		// makes writeMax newest-wid-wins.
+		if Pack(2, 0, shareLen) <= Pack(1, maxShare, shareLen) {
+			t.Fatalf("shareLen=%d: wid 2 packs below wid 1's largest share", shareLen)
+		}
+	}
+}
+
+// TestSharePadDomains checks that every derivation input separates pads:
+// two pads agreeing across a changed node, name, wid, or secret would let
+// one node's share leak another's.
+func TestSharePadDomains(t *testing.T) {
+	secret := auditreg.KeyFromSeed(1)
+	base := SharePad(secret, 1, "obj", 1, 4)
+	for name, other := range map[string]uint64{
+		"node":   SharePad(secret, 2, "obj", 1, 4),
+		"name":   SharePad(secret, 1, "obj2", 1, 4),
+		"wid":    SharePad(secret, 1, "obj", 2, 4),
+		"secret": SharePad(auditreg.KeyFromSeed(2), 1, "obj", 1, 4),
+	} {
+		if other == base {
+			t.Errorf("pad collision when only %s differs", name)
+		}
+	}
+	if again := SharePad(secret, 1, "obj", 1, 4); again != base {
+		t.Errorf("SharePad not deterministic: %#x vs %#x", again, base)
+	}
+	for shareLen := 1; shareLen <= 4; shareLen++ {
+		if p := SharePad(secret, 1, "obj", 1, shareLen); p>>(8*uint(shareLen)) != 0 {
+			t.Errorf("shareLen=%d pad %#x wider than the share", shareLen, p)
+		}
+	}
+}
+
+// TestShareBytesRoundTrip pins the byte-order contract between the IDA
+// share slices and their packed uint64 transport form.
+func TestShareBytesRoundTrip(t *testing.T) {
+	for _, b := range [][]byte{{0x01}, {0xAB, 0xCD}, {0x00, 0x01, 0x02}, {0xDE, 0xAD, 0xBE, 0xEF}} {
+		v := shareToUint(b)
+		out := make([]byte, len(b))
+		uintToShare(out, v)
+		for i := range b {
+			if out[i] != b[i] {
+				t.Fatalf("round trip %x -> %#x -> %x", b, v, out)
+			}
+		}
+	}
+}
+
+// TestSharePadAllocFree pins the pad derivation's zero-allocation contract:
+// it runs once per share per cluster write, read, and audit-merge row. The
+// CI bench-smoke job runs this by its Alloc name.
+func TestSharePadAllocFree(t *testing.T) {
+	secret := auditreg.KeyFromSeed(3)
+	if avg := testing.AllocsPerRun(200, func() {
+		SharePad(secret, 3, "bench/object", 12345, 3)
+	}); avg != 0 {
+		t.Fatalf("SharePad allocates %.1f times per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		Pack(5, 0xAB, 3)
+		Unpack(0xDEADBEEF, 3)
+	}); avg != 0 {
+		t.Fatalf("Pack/Unpack allocate %.1f times per call, want 0", avg)
+	}
+}

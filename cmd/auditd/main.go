@@ -71,6 +71,7 @@ func main() {
 	walBatchBytes := flag.Int("wal-batch-bytes", 0, "group-commit batch size cap in bytes (0: persist default)")
 	walStripes := flag.Int("wal-stripes", 0, "WAL stripe groups, each with its own writer and fsync pipeline (0: GOMAXPROCS; a non-empty -data-dir pins its own count)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus text) and /debug/pprof/ (empty: disabled)")
+	nodeID := flag.Uint("node-id", 0, "cluster node identity asserted by dispersal clients at OPEN (0: standalone, assertions refused)")
 	flag.Parse()
 
 	policy, ok := persist.ParsePolicy(*fsync)
@@ -92,6 +93,7 @@ func main() {
 		WALBatchDelay: *walBatchDelay,
 		WALBatchBytes: *walBatchBytes,
 		WALStripes:    *walStripes,
+		NodeID:        uint32(*nodeID),
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -2,9 +2,9 @@
 // EXPERIMENTS.md: the in-process attacks E3/E4/E5 (crash-simulating read,
 // reader-set inference, max-register gap inference), the E15 disk sweep, and
 // — the E18 adversarial audit lab — statistical distinguisher attacks over
-// the wire, disk, STATS, metrics-endpoint, and timing channels of the live
-// server stack, each paired with a positive control against a deliberately
-// leaky configuration.
+// the wire, per-node cluster, disk, STATS, metrics-endpoint, and timing
+// channels of the live server stack, each paired with a positive control
+// against a deliberately leaky configuration.
 //
 // Usage:
 //
@@ -150,6 +150,11 @@ func e18(trials int, delta float64, seed uint64, addr, metricsURL string, dir st
 		return 0, fmt.Errorf("wire lab: %w", err)
 	}
 	defer wire.Close()
+	clusterLab, err := attacker.NewClusterLab(seed)
+	if err != nil {
+		return 0, fmt.Errorf("cluster lab: %w", err)
+	}
+	defer clusterLab.Close()
 	diskDir, err := os.MkdirTemp(dir, "e18-disk-*")
 	if err != nil {
 		return 0, err
@@ -180,6 +185,10 @@ func e18(trials int, delta float64, seed uint64, addr, metricsURL string, dir st
 		wire.Identity(false),
 		wire.Occurrence(true),
 		wire.Identity(true),
+		clusterLab.Occurrence(false),
+		clusterLab.Identity(false),
+		clusterLab.Occurrence(true),
+		clusterLab.Identity(true),
 		disk.Identity(false),
 		disk.Identity(true),
 		stats.Identity(),

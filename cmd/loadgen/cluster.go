@@ -1,0 +1,392 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"auditreg"
+	"auditreg/client"
+	"auditreg/cluster"
+	"auditreg/internal/benchfmt"
+)
+
+// runClusterCell is one grid cell of the dispersal-cluster series (E19): n
+// spawned auditd daemons with node identities and durable data dirs, a
+// dispersing cluster client splitting every write into per-node masked
+// shares, one node SIGKILLed mid-cell and later restarted from its own WAL,
+// and a merged end-of-cell audit verified two-sidedly against everything
+// the driver observed — on both sides of the kill.
+//
+// Verification is the distributed version of runDurableCell's:
+//
+//   - Completeness: every (reader, value) the driver successfully read must
+//     appear in the merged audit. A cluster read acks only after the reader
+//     obtained ≥ k shares, so ≥ k nodes journaled the fetch, so the merge
+//     must charge it — across the crash, because share journals are WAL-
+//     durable and the merge needs only k of n logs (quorum intersection).
+//   - Soundness: a merged pair the driver never observed is acceptable only
+//     if its value was attempted by some write AND that reader actually
+//     fetched on that object (or a read of it failed mid-flight). Both are
+//     real knowledge, not slack: a dispersed read fans out to every node,
+//     so a reader that overlapped a write (trace.Stale) or a crash holds k
+//     shares of neighbouring wids too, and the merge correctly charges
+//     what the reader could reconstruct, not just what the driver's
+//     selection rule returned.
+//   - Undecided pairs (logged by 0 < nodes < k) must likewise trace back to
+//     a reader that touched the object: sub-threshold fetch evidence, never
+//     a charge.
+//   - Zero lost acked ops: the cell itself fails if any op never completed,
+//     and after the traffic the newest state must still be writable and
+//     readable through the healed cluster.
+func runClusterCell(cfg cellConfig, auditdBin, baseDir string, conns, n, f int) (benchfmt.Result, error) {
+	m := cfg.readers
+	if m == 0 {
+		m = cfg.goroutines
+		if m > auditreg.MaxReaders {
+			m = auditreg.MaxReaders
+		}
+	}
+
+	// One daemon per node: positional identity, its own WAL directory, and
+	// the per-node store key the seeded membership assigns (node i's daemon
+	// seed is cfg.seed+i+1, matching cluster.SeededMembership).
+	addrs := make([]string, n)
+	daemons := make([]*daemon, n)
+	var dmu sync.Mutex // guards daemons across the background kill/restart
+	for i := 0; i < n; i++ {
+		var err error
+		if addrs[i], err = freePort(); err != nil {
+			return benchfmt.Result{}, err
+		}
+	}
+	mem := cluster.SeededMembership(addrs, f, cfg.seed)
+	if err := mem.Validate(); err != nil {
+		return benchfmt.Result{}, err
+	}
+	nodeDir := func(i int) string {
+		return filepath.Join(baseDir, fmt.Sprintf("cluster-o%d-g%d", cfg.objects, cfg.goroutines), fmt.Sprintf("node%d", i+1))
+	}
+	for i := 0; i < n; i++ {
+		d, err := startDaemon(auditdBin, addrs[i], nodeDir(i), cfg.seed+uint64(i)+1, m, daemonTuning{nodeID: mem.Nodes[i].ID})
+		if err != nil {
+			return benchfmt.Result{}, fmt.Errorf("node %d: %w", i+1, err)
+		}
+		daemons[i] = d
+	}
+	defer func() {
+		dmu.Lock()
+		defer dmu.Unlock()
+		for _, d := range daemons {
+			if d != nil {
+				d.kill9()
+			}
+		}
+	}()
+
+	cc, err := cluster.Dial(mem, cluster.WithClientOptions(func(cluster.Node) []client.Option {
+		return []client.Option{
+			client.WithConns(conns),
+			client.WithDialTimeout(time.Second),
+		}
+	}))
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	defer cc.Close()
+
+	names := make([]string, cfg.objects)
+	objs := make([]*cluster.Object, cfg.objects)
+	for i := range names {
+		names[i] = fmt.Sprintf("e19/n%d-f%d/o%d-g%d/obj-%05d", n, f, cfg.objects, cfg.goroutines, i)
+		if objs[i], err = cc.Open(names[i]); err != nil {
+			return benchfmt.Result{}, err
+		}
+	}
+
+	// Driver bookkeeping, off the measured path (per-goroutine logs, folded
+	// later); attempted/acked/readBy/ambiguous under one mutex — writes and
+	// failures are the rarer events.
+	var mu sync.Mutex
+	obsLogs := make([][]observation, cfg.goroutines)
+	attempted := make([]map[uint64]bool, cfg.objects)
+	acked := make([]map[uint64]bool, cfg.objects)
+	readBy := make([]map[int]bool, cfg.objects)
+	for i := range attempted {
+		attempted[i] = map[uint64]bool{0: true} // 0 is the initial value
+		acked[i] = map[uint64]bool{0: true}
+		readBy[i] = make(map[int]bool)
+	}
+	ambiguous := make(map[ambiguousKey]bool)
+	var reads, writes, failedOps, retriedOps, readRetries, staleReads atomic.Uint64
+
+	// The kill-and-restart watcher: SIGKILL one node (its id counts against
+	// f) once a quarter of the ops are through, let the cluster run a
+	// degraded stretch on the surviving tight quorum, then restart the node
+	// from its own data dir — recovery is replaying its own WAL; shares and
+	// audit journals come back, and the merge at the end covers all n logs.
+	const killIdx = 2 // node id 3: an arbitrary non-edge pick, fixed for reproducibility
+	trafficDone := make(chan struct{})
+	watcher := make(chan error, 1)
+	aborted := make(chan struct{})
+	var kills uint64
+	go func() {
+		target := uint64(cfg.ops / 4)
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			select {
+			case <-trafficDone:
+				watcher <- nil
+				return
+			default:
+			}
+			if reads.Load()+writes.Load() >= target || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		dmu.Lock()
+		daemons[killIdx].kill9()
+		daemons[killIdx] = nil
+		dmu.Unlock()
+		// A degraded stretch: every surviving node is now quorum-critical.
+		select {
+		case <-trafficDone:
+		case <-time.After(time.Second):
+		}
+		nd, err := startDaemon(auditdBin, addrs[killIdx], nodeDir(killIdx), cfg.seed+uint64(killIdx)+1, m, daemonTuning{nodeID: mem.Nodes[killIdx].ID})
+		if err != nil {
+			watcher <- fmt.Errorf("restart node %d: %w", killIdx+1, err)
+			close(aborted)
+			return
+		}
+		dmu.Lock()
+		daemons[killIdx] = nd
+		dmu.Unlock()
+		kills = 1 // read only after the watcher channel synchronizes
+		watcher <- nil
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(g)*7919))
+			reader := g % m
+			ops := cfg.ops / cfg.goroutines
+			if g < cfg.ops%cfg.goroutines {
+				ops++
+			}
+			obs := make([]observation, 0, ops)
+			for i := 0; i < ops; i++ {
+				idx := rng.Intn(len(objs))
+				isWrite := rng.Intn(100) < cfg.writePct
+				var wval uint64
+				if isWrite {
+					wval = 1 + uint64(rng.Intn(1<<20)) // nonzero: 0 is the public initial value
+					mu.Lock()
+					attempted[idx][wval] = true
+					mu.Unlock()
+				}
+				failures := 0
+				deadline := time.Now().Add(90 * time.Second)
+				for {
+					var err error
+					var rval uint64
+					var trace cluster.ReadTrace
+					if isWrite {
+						err = objs[idx].Write(wval)
+					} else {
+						rval, trace, err = objs[idx].ReadTraced(reader)
+					}
+					if err == nil {
+						if isWrite {
+							writes.Add(1)
+							mu.Lock()
+							acked[idx][wval] = true
+							mu.Unlock()
+						} else {
+							obs = append(obs, observation{obj: idx, reader: reader, val: rval})
+							reads.Add(1)
+							readRetries.Add(uint64(trace.Retries))
+							if trace.Stale {
+								staleReads.Add(1)
+							}
+							mu.Lock()
+							readBy[idx][reader] = true
+							mu.Unlock()
+						}
+						if failures > 0 {
+							retriedOps.Add(1)
+						}
+						break
+					}
+					failures++
+					if failures == 1 && !isWrite {
+						// Some nodes may have journaled the fetch without the
+						// driver seeing the value: ambiguous even if a retry
+						// later succeeds.
+						mu.Lock()
+						ambiguous[ambiguousKey{obj: idx, reader: reader}] = true
+						mu.Unlock()
+					}
+					if time.Now().After(deadline) {
+						failedOps.Add(1)
+						break
+					}
+					select {
+					case <-aborted:
+						failedOps.Add(1)
+						return
+					case <-time.After(25 * time.Millisecond): // node restarting
+					}
+				}
+			}
+			obsLogs[g] = obs
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(trafficDone)
+	if err := <-watcher; err != nil {
+		return benchfmt.Result{}, err
+	}
+	if lost := failedOps.Load(); lost > 0 {
+		return benchfmt.Result{}, fmt.Errorf("%d op(s) never completed: the cluster lost acked capacity beyond its fault budget", lost)
+	}
+
+	observed := make(map[int]map[auditreg.Entry[uint64]]bool, cfg.objects)
+	for i := range names {
+		observed[i] = make(map[auditreg.Entry[uint64]]bool)
+	}
+	for _, obs := range obsLogs {
+		for _, o := range obs {
+			if o.val == 0 {
+				// The public initial value: the merge deliberately does not
+				// charge wid-0 fetches (nothing dispersed, nothing learned),
+				// so reads that beat the first write are not in the observed
+				// set either. Write values are minted nonzero, so 0 is
+				// unambiguous.
+				continue
+			}
+			observed[o.obj][auditreg.Entry[uint64]{Reader: o.reader, Value: o.val}] = true
+		}
+	}
+
+	// Two-sided verification across the crash, on a seeded sample.
+	perm := rand.New(rand.NewSource(int64(cfg.seed))).Perm(len(names))
+	if cfg.verify < len(perm) {
+		perm = perm[:max(0, cfg.verify)]
+	}
+	checked := 0
+	mergedNodesMin := n
+	var pairs, staleCharged, undecided uint64
+	for _, i := range perm {
+		// The restarted node may still be replaying its WAL: give the full
+		// merge a moment, but never accept less than all n logs — exactness
+		// relative to fewer is weaker than what this cell claims.
+		var merged cluster.Merged
+		var err error
+		for deadline := time.Now().Add(15 * time.Second); ; {
+			merged, err = objs[i].Audit()
+			if err == nil && merged.Nodes == n {
+				break
+			}
+			if time.Now().After(deadline) {
+				return benchfmt.Result{}, fmt.Errorf("verify %s: full %d-node merge unavailable: nodes=%d err=%v", names[i], n, merged.Nodes, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if merged.Nodes < mergedNodesMin {
+			mergedNodesMin = merged.Nodes
+		}
+		entries := merged.Report.Entries()
+		pairs += uint64(len(entries))
+		got := make(map[auditreg.Entry[uint64]]bool, len(entries))
+		for _, e := range entries {
+			got[e] = true
+			if observed[i][e] {
+				continue
+			}
+			if !attempted[i][e.Value] {
+				return benchfmt.Result{}, fmt.Errorf("verify %s: merged pair (%d, %#x) has a value no write ever attempted", names[i], e.Reader, e.Value)
+			}
+			if !readBy[i][e.Reader] && !ambiguous[ambiguousKey{obj: i, reader: e.Reader}] {
+				return benchfmt.Result{}, fmt.Errorf("verify %s: merged pair (%d, %#x) charged to a reader that never fetched on the object", names[i], e.Reader, e.Value)
+			}
+			staleCharged++
+		}
+		for e := range observed[i] {
+			if !got[e] {
+				return benchfmt.Result{}, fmt.Errorf("verify %s: observed pair (%d, %#x) missing from the merged audit — an acknowledged effective read was lost", names[i], e.Reader, e.Value)
+			}
+		}
+		for _, u := range merged.Undecided {
+			if !readBy[i][u.Reader] && !ambiguous[ambiguousKey{obj: i, reader: u.Reader}] {
+				return benchfmt.Result{}, fmt.Errorf("verify %s: undecided pair (reader %d, wid %d) from a reader that never fetched on the object", names[i], u.Reader, u.Wid)
+			}
+			undecided++
+		}
+
+		// Post-crash liveness: the healed cluster must still accept a write
+		// and read it back exactly — the newest state is not stranded on the
+		// dead node's wid horizon.
+		sentinel := uint64(0xE19_0000_0000) | uint64(i)
+		if err := objs[i].Write(sentinel); err != nil {
+			return benchfmt.Result{}, fmt.Errorf("verify %s: post-crash write: %w", names[i], err)
+		}
+		if v, err := objs[i].Read(0); err != nil || v != sentinel {
+			return benchfmt.Result{}, fmt.Errorf("verify %s: post-crash read = %#x, %v; want %#x", names[i], v, err, sentinel)
+		}
+		checked++
+	}
+
+	// Drain every daemon gracefully; a node that cannot drain lost state.
+	dmu.Lock()
+	for i, d := range daemons {
+		if d == nil {
+			continue
+		}
+		if err := d.terminate(); err != nil {
+			dmu.Unlock()
+			return benchfmt.Result{}, fmt.Errorf("drain node %d: %w", i+1, err)
+		}
+		daemons[i] = nil
+	}
+	dmu.Unlock()
+
+	totalOps := reads.Load() + writes.Load()
+	metrics, err := benchfmt.Metric(
+		"ns/op", float64(elapsed.Nanoseconds())/float64(totalOps),
+		"ops/s", float64(totalOps)/elapsed.Seconds(),
+		"reads", reads.Load(),
+		"writes", writes.Load(),
+		"failed-ops", failedOps.Load(),
+		"retried-ops", retriedOps.Load(),
+		"read-retries", readRetries.Load(),
+		"stale-reads", staleReads.Load(),
+		"kills", kills,
+		"nodes", uint64(n),
+		"faults", uint64(f),
+		"conns", conns,
+		"verified-objects", checked,
+		"audited-pairs", pairs,
+		"stale-charged-pairs", staleCharged,
+		"undecided-pairs", undecided,
+		"merged-nodes", mergedNodesMin,
+	)
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	return benchfmt.Result{
+		Name:    fmt.Sprintf("LoadgenCluster/n=%d/f=%d/objects=%d/goroutines=%d", n, f, cfg.objects, cfg.goroutines),
+		Package: "auditreg/cmd/loadgen",
+		Iters:   int64(totalOps),
+		Metrics: metrics,
+	}, nil
+}

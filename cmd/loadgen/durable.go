@@ -39,6 +39,10 @@ type daemonTuning struct {
 	// re-listens on the same metrics port and the end-of-cell scrape works
 	// whichever process is alive.
 	metricsAddr string
+	// nodeID is the daemon's -node-id; set by runClusterCell, which bakes
+	// the cluster geometry into the cell name itself, so it too stays out
+	// of suffix().
+	nodeID uint32
 }
 
 // suffix renders the non-default tuning knobs as extra benchmark name
@@ -83,6 +87,9 @@ func startDaemon(bin, addr, dataDir string, seed uint64, readers int, tune daemo
 	}
 	if tune.metricsAddr != "" {
 		args = append(args, "-metrics-addr", tune.metricsAddr)
+	}
+	if tune.nodeID != 0 {
+		args = append(args, "-node-id", fmt.Sprint(tune.nodeID))
 	}
 	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr

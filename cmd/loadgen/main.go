@@ -43,6 +43,16 @@
 // completed (expected 0); retried-ops the ops whose first ack the kill
 // lost.
 //
+// With -cluster (series E19) loadgen spawns a whole dispersal cluster:
+// -cluster-n durable auditd nodes with positional -node-id identities, a
+// cluster client (package auditreg/cluster) splitting every write into
+// per-node masked IDA shares, one node SIGKILLed mid-cell and restarted
+// from its own WAL after a degraded stretch. The cell fails unless every
+// op completes (zero lost acked ops) and the end-of-cell merged audit is
+// exact on both sides of the kill: every acknowledged cluster read appears
+// in the merge, and every merged pair traces to a reader that actually
+// fetched shares on that object.
+//
 // -cpuprofile/-memprofile write driver-side pprof profiles; -baseline
 // gates a run against a checked-in BENCH_*.json, failing beyond
 // -max-regress-pct ops/s regression (the CI bench-smoke job).
@@ -86,7 +96,10 @@ func main() {
 	metricsURL := flag.String("metrics-url", "", "the remote daemon's metrics endpoint (http://host:port/metrics); scraped at cell end for the per-stage latency breakdown in -remote mode")
 	conns := flag.Int("conns", 4, "client connection pool size in -remote mode")
 	durable := flag.Bool("durable", false, "durability mode (E14/E16): spawn auditd with a data dir, kill -9 it mid-cell, restart, verify audit exactness")
-	auditdBin := flag.String("auditd", "", "path to a prebuilt auditd binary (required with -durable)")
+	clusterMode := flag.Bool("cluster", false, "dispersal-cluster mode (E19): spawn -cluster-n durable auditd nodes, kill -9 one mid-cell, restart it, verify merged audit exactness")
+	clusterN := flag.Int("cluster-n", 5, "cluster node count in -cluster mode (needs n >= 2f+2)")
+	clusterF := flag.Int("cluster-f", 1, "cluster crash-fault budget in -cluster mode")
+	auditdBin := flag.String("auditd", "", "path to a prebuilt auditd binary (required with -durable and -cluster)")
 	dataDir := flag.String("data-dir", "", "base directory for -durable data dirs (default: a temp dir)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole grid to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -109,9 +122,9 @@ func main() {
 	if *writePct < 0 || *auditPct < 0 || *writePct+*auditPct > 100 {
 		fatalf("-writepct + -auditpct must fit in [0, 100]")
 	}
-	if *durable {
+	if *durable || *clusterMode {
 		if *auditdBin == "" {
-			fatalf("-durable needs -auditd (path to a prebuilt auditd binary)")
+			fatalf("spawning modes need -auditd (path to a prebuilt auditd binary)")
 		}
 		if *dataDir == "" {
 			dir, err := os.MkdirTemp("", "loadgen-durable-*")
@@ -162,6 +175,8 @@ func main() {
 			var res benchfmt.Result
 			var err error
 			switch {
+			case *clusterMode:
+				res, err = runClusterCell(cfg, *auditdBin, *dataDir, *conns, *clusterN, *clusterF)
 			case *durable:
 				res, err = runDurableCell(cfg, *auditdBin, *dataDir, *conns, daemonTuning{
 					walBatchDelay: *walBatchDelay,
@@ -196,6 +211,8 @@ func main() {
 	if *out != "" {
 		series := "Loadgen"
 		switch {
+		case *clusterMode:
+			series = "LoadgenCluster"
 		case *durable:
 			series = "LoadgenDurable"
 		case *remote != "":

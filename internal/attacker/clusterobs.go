@@ -1,0 +1,232 @@
+package attacker
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"auditreg/client"
+	"auditreg/cluster"
+	"auditreg/internal/ida"
+	"auditreg/server"
+)
+
+// Per-node cluster observer (E18, dispersal channel). The single-node wire
+// observer (wireobs.go) pins the audit channel of one auditd; this lab pins
+// the distributed invariant the dispersal cluster adds on top: a curious
+// observer tapping ONE node's wire — every SHARE and AUDIT frame that node
+// exchanges — learns nothing about read occurrence or reader identity, even
+// though that node journals a share of every write and serves a share of
+// every read.
+//
+// The observer here is strictly stronger than the paper's curious server: it
+// is handed the combining-matrix row mapping — which Vandermonde row its
+// node applies, hence exactly which packed share value the trial's write
+// must have produced under that node's pad — so it can locate the audited
+// row for the write under test with certainty. Indistinguishability must
+// survive that: the row's reader set crosses the wire under the per-audit
+// wire.AuditMask stream, and the share itself sits under an independent
+// per-(node, object, wid) pad, so locating the row yields masked bits only.
+//
+// The positive control plays the same games against the frames a leaky node
+// would have sent: the captured audit rows with their masks stripped (the
+// lab holds the node's store key). With the matrix-row mapping locating the
+// row and the mask gone, the tracking bits are plaintext and the harness
+// must flag the leak — that is the game's power proof.
+
+// clusterObsNodes/clusterObsF fix the lab geometry: n=4, f=1 gives
+// threshold k=2 and 4-byte shares — the smallest geometry where no single
+// node's share reconstructs anything and a full wid fits the packed layout.
+const (
+	clusterObsNodes = 4
+	clusterObsF     = 1
+)
+
+// ClusterLab hosts an in-process n-node dispersal cluster with a frame tap
+// on node 1 plus a cluster client that is both the victim (the dispersed
+// writes and reads under test) and the auditor (the merged audit whose
+// node-1 exchange is the observed window). One lab serves any number of
+// distinguisher runs; trials use fresh objects.
+type ClusterLab struct {
+	m    cluster.Membership
+	srvs []*server.Server
+	lns  []net.Listener
+	tap  *frameTap
+	cc   *cluster.Client
+	cod  *ida.Coder
+	ctr  int
+}
+
+// NewClusterLab starts the lab's daemons and cluster client.
+func NewClusterLab(seed uint64) (*ClusterLab, error) {
+	l := &ClusterLab{tap: &frameTap{}}
+	addrs := make([]string, clusterObsNodes)
+	l.lns = make([]net.Listener, clusterObsNodes)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		l.lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	l.m = cluster.SeededMembership(addrs, clusterObsF, seed)
+	for i := 0; i < clusterObsNodes; i++ {
+		cfg := server.Config{
+			Key:     l.m.Nodes[i].Key,
+			Readers: wireReaders,
+			NodeID:  l.m.Nodes[i].ID,
+		}
+		if i == 0 {
+			cfg.FrameTap = l.tap.tap // the observed node
+		}
+		srv, err := server.New(cfg)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		l.srvs = append(l.srvs, srv)
+		go srv.Serve(l.lns[i])
+	}
+	cod, err := ida.New(clusterObsNodes, l.m.Threshold())
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	l.cod = cod
+	// Single-connection pools: per-conn FIFO makes the drain below airtight
+	// and keeps each trial's observation window down to the audit exchange.
+	cc, err := cluster.Dial(l.m, cluster.WithClientOptions(func(cluster.Node) []client.Option {
+		return []client.Option{client.WithConns(1)}
+	}))
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	l.cc = cc
+	return l, nil
+}
+
+// Close tears the lab down.
+func (l *ClusterLab) Close() {
+	if l.cc != nil {
+		l.cc.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, srv := range l.srvs {
+		srv.Shutdown(ctx)
+	}
+	for _, ln := range l.lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+}
+
+// Occurrence is the read-occurrence game on the dispersed object: reader 1
+// always reads the current value; the secret is whether reader 0 read it
+// too. unmasked selects the positive control (node 1's frames with the
+// audit masks stripped).
+func (l *ClusterLab) Occurrence(unmasked bool) Distinguisher {
+	return Distinguisher{
+		Name:     gameName("cluster/read-occurrence", unmasked),
+		Control:  unmasked,
+		Features: wireFeatures(),
+		Trial: func(b int) ([]float64, error) {
+			return l.trial(unmasked, func(obj *cluster.Object) error {
+				if _, err := obj.Read(1); err != nil {
+					return err
+				}
+				if b == 1 {
+					if _, err := obj.Read(0); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// Identity is the reader-identity game: exactly one dispersed read happens;
+// the secret is whether reader 0 or reader 1 performed it.
+func (l *ClusterLab) Identity(unmasked bool) Distinguisher {
+	return Distinguisher{
+		Name:     gameName("cluster/reader-identity", unmasked),
+		Control:  unmasked,
+		Features: wireFeatures(),
+		Trial: func(b int) ([]float64, error) {
+			return l.trial(unmasked, func(obj *cluster.Object) error {
+				_, err := obj.Read(b)
+				return err
+			})
+		},
+	}
+}
+
+// trial plays one round: fresh dispersed object, one cluster write, the
+// game's cluster reads, a drain, then — inside the observation window — one
+// merged audit, of which node 1's exchange is what the tap sees.
+func (l *ClusterLab) trial(unmasked bool, reads func(obj *cluster.Object) error) ([]float64, error) {
+	l.ctr++
+	name := fmt.Sprintf("e18/cluster/%08d", l.ctr)
+	value := 0xC1_0000_0000 + uint64(l.ctr)
+
+	obj, err := l.cc.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := obj.Write(value); err != nil {
+		return nil, err
+	}
+	if err := reads(obj); err != nil {
+		return nil, err
+	}
+	// Drain, identically in both branches: reader 2 never read this object,
+	// so its first cluster read posts one announce per node; the second is
+	// silent everywhere and — FIFO on each node's single connection —
+	// returns only after every node consumed every pipelined announce of
+	// the game reads above. After it, no victim frame can land inside the
+	// observation window.
+	for i := 0; i < 2; i++ {
+		if _, err := obj.Read(2); err != nil {
+			return nil, err
+		}
+	}
+
+	// The combining-matrix row mapping: the observer knows node 1 applies
+	// Vandermonde row 0, so it computes the exact packed value node 1's
+	// audit log must carry for this trial's write (wid 1) — share masked
+	// under node 1's pad, wid in the high bits — and locates the audited
+	// row with certainty. Everything it finds there is still masked bits.
+	var data [8]byte
+	for i := range data {
+		data[i] = byte(value >> (56 - 8*i))
+	}
+	shares := l.cod.Split(data[:])
+	shareLen := l.m.ShareLen()
+	masked := shareToUintObs(shares[0]) ^ cluster.SharePad(l.m.Secret, l.m.Nodes[0].ID, name, 1, shareLen)
+	packed := cluster.Pack(1, masked, shareLen)
+
+	l.tap.reset()
+	if _, err := obj.Audit(); err != nil {
+		return nil, err
+	}
+	// Node 1's audit rows ride the same frame format as the single-node
+	// lab's, so feature extraction is shared: traffic shape plus the
+	// (un)masked tracking bits of the located row.
+	return wireFeaturesOf(l.tap.snapshot(), packed, unmasked, l.m.Nodes[0].Key)
+}
+
+// shareToUintObs packs share bytes big-endian, mirroring the cluster
+// client's on-wire share encoding.
+func shareToUintObs(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}

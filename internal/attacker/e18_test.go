@@ -44,6 +44,18 @@ func TestWireLab(t *testing.T) {
 	t.Run("identity-control", func(t *testing.T) { runSmoke(t, lab.Identity(true)) })
 }
 
+func TestClusterLab(t *testing.T) {
+	lab, err := NewClusterLab(106)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+	t.Run("occurrence", func(t *testing.T) { runSmoke(t, lab.Occurrence(false)) })
+	t.Run("identity", func(t *testing.T) { runSmoke(t, lab.Identity(false)) })
+	t.Run("occurrence-control", func(t *testing.T) { runSmoke(t, lab.Occurrence(true)) })
+	t.Run("identity-control", func(t *testing.T) { runSmoke(t, lab.Identity(true)) })
+}
+
 func TestDiskLab(t *testing.T) {
 	lab := NewDiskLab(t.TempDir(), 102)
 	t.Run("identity", func(t *testing.T) { runSmoke(t, lab.Identity(false)) })

@@ -177,6 +177,46 @@ func (c *Coder) Reconstruct(shares map[int][]byte, dataLen int) ([]byte, error) 
 	return out, nil
 }
 
+// Verify reconstructs a value and cross-checks every provided share against
+// it: the reconstructed value is re-encoded and each share compared to its
+// recomputed row, returning the (sorted) indices that disagree. Information
+// dispersal has no inherent integrity — any k shares decode to SOMETHING —
+// so detection rides entirely on redundancy: with more than k shares, a
+// corrupted share either disagrees with the value the canonical k decoded
+// (it is reported), or it was among the canonical k and skewed the decode,
+// making the honest surplus shares disagree instead. Either way bad is
+// non-empty whenever any share is corrupt and len(shares) > k; the indices
+// say only WHERE disagreement surfaced, not which share lied. With exactly
+// k shares there is no redundancy and Verify reports nothing — callers that
+// need detection must supply a surplus.
+func (c *Coder) Verify(shares map[int][]byte, dataLen int) (data []byte, bad []int, err error) {
+	data, err = c.Reconstruct(shares, dataLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	expect := c.Split(data)
+	for i, s := range shares {
+		if !bytesEqual(s, expect[i]) {
+			bad = append(bad, i)
+		}
+	}
+	sort.Ints(bad)
+	return data, bad, nil
+}
+
+// bytesEqual avoids importing bytes for one comparison.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // invertedSubmatrix returns the inverse of the k×k submatrix whose rows are
 // the dispersal-matrix rows at idx, memoized per index set. idx must be the
 // canonical (sorted) selection: the order permutes the inverse's columns, so

@@ -1,0 +1,77 @@
+package ida_test
+
+import (
+	"bytes"
+	"testing"
+
+	"auditreg/internal/ida"
+)
+
+// FuzzVerifyCorruption drives the corrupted-share detector across fuzzed
+// geometry, payload, and corruption site: any single-byte corruption of any
+// share must (1) surface in Verify whenever a surplus share exists, and
+// (2) never survive into a reconstruction from the honest shares.
+func FuzzVerifyCorruption(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(5), uint8(1), uint16(0), byte(0x5A))
+	f.Add([]byte("dispersed"), uint8(7), uint8(2), uint16(3), byte(0x01))
+	f.Add([]byte{0xFF}, uint8(4), uint8(1), uint16(9), byte(0x80))
+	f.Add([]byte{}, uint8(6), uint8(2), uint16(1), byte(0xAA))
+
+	f.Fuzz(func(t *testing.T, data []byte, nRaw, fRaw uint8, site uint16, xor byte) {
+		// Map the raw bytes onto an admissible cluster geometry with a
+		// surplus: n in [3, 7], f maximal admissible bound, k = n−2f ≥ 1.
+		n := 3 + int(nRaw)%5
+		ff := int(fRaw) % (n / 2)
+		k := n - 2*ff
+		if k < 1 || k >= n {
+			return
+		}
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		if xor == 0 {
+			xor = 1 // a zero XOR is no corruption
+		}
+		c, err := ida.New(n, k)
+		if err != nil {
+			t.Fatalf("New(%d, %d): %v", n, k, err)
+		}
+		shares := c.Split(data)
+		cols := c.ShareSize(len(data))
+		if cols == 0 {
+			return // empty payload: shares carry no bytes to corrupt
+		}
+		corrupt := int(site) % n
+		at := (int(site) / n) % cols
+		shares[corrupt][at] ^= xor
+
+		all := make(map[int][]byte, n)
+		for i, s := range shares {
+			all[i] = s
+		}
+		_, bad, err := c.Verify(all, len(data))
+		if err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		if len(bad) == 0 {
+			t.Fatalf("n=%d k=%d: corruption of share %d byte %d (xor %#x) undetected", n, k, corrupt, at, xor)
+		}
+
+		// The honest shares still reconstruct the truth.
+		honest := make(map[int][]byte, n-1)
+		for i, s := range shares {
+			if i != corrupt {
+				honest[i] = s
+			}
+		}
+		if len(honest) >= k {
+			got, err := c.Reconstruct(honest, len(data))
+			if err != nil {
+				t.Fatalf("honest Reconstruct: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("honest Reconstruct = %x, want %x", got, data)
+			}
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package ida
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// clusterGeometries enumerates every (n, f) pair the dispersal cluster
+// admits up to n=7: n ≥ 2f+2 so that the threshold k = n−2f keeps any two
+// (n−f)-quorums intersecting in ≥ k nodes.
+func clusterGeometries(maxN int) [][2]int {
+	var out [][2]int
+	for n := 2; n <= maxN; n++ {
+		for f := 0; 2*f+2 <= n; f++ {
+			out = append(out, [2]int{n, f})
+		}
+	}
+	return out
+}
+
+// subsets calls fn with every size-r subset of {0, …, n−1}.
+func subsets(n, r int, fn func(idx []int)) {
+	idx := make([]int, r)
+	var rec func(pos, next int)
+	rec = func(pos, next int) {
+		if pos == r {
+			fn(idx)
+			return
+		}
+		for i := next; i <= n-(r-pos); i++ {
+			idx[pos] = i
+			rec(pos+1, i+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// TestClusterGeometriesExhaustive reconstructs from EVERY minimal share
+// subset of every admissible (n, f) geometry up to n=7 — each size-k
+// subset, with the adversary choosing which n−k shares to withhold. The
+// cluster's read path only ever guarantees k surviving shares via quorum
+// intersection, and which k survive is up to the crash schedule, so every
+// subset must decode: any k×k Vandermonde submatrix being invertible is the
+// algebraic fact this pins.
+func TestClusterGeometriesExhaustive(t *testing.T) {
+	value := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x23, 0x45, 0x67} // 8 bytes, the cluster's value width
+	for _, g := range clusterGeometries(7) {
+		n, f := g[0], g[1]
+		k := n - 2*f
+		t.Run(fmt.Sprintf("n=%d_f=%d_k=%d", n, f, k), func(t *testing.T) {
+			c, err := New(n, k)
+			if err != nil {
+				t.Fatalf("New(%d, %d): %v", n, k, err)
+			}
+			shares := c.Split(value)
+			tried := 0
+			subsets(n, k, func(idx []int) {
+				tried++
+				m := make(map[int][]byte, k)
+				for _, i := range idx {
+					m[i] = shares[i]
+				}
+				got, err := c.Reconstruct(m, len(value))
+				if err != nil {
+					t.Fatalf("Reconstruct from %v: %v", idx, err)
+				}
+				if !bytes.Equal(got, value) {
+					t.Fatalf("Reconstruct from %v = %x, want %x", idx, got, value)
+				}
+			})
+			// Also every quorum-sized subset (n−f shares): what a read
+			// actually gathers.
+			subsets(n, n-f, func(idx []int) {
+				tried++
+				m := make(map[int][]byte, len(idx))
+				for _, i := range idx {
+					m[i] = shares[i]
+				}
+				got, err := c.Reconstruct(m, len(value))
+				if err != nil || !bytes.Equal(got, value) {
+					t.Fatalf("quorum Reconstruct from %v = %x, %v", idx, got, err)
+				}
+			})
+			if tried == 0 {
+				t.Fatal("no subsets exercised")
+			}
+			// One below threshold must fail.
+			m := make(map[int][]byte, k-1)
+			for i := 0; i < k-1; i++ {
+				m[i] = shares[i]
+			}
+			if _, err := c.Reconstruct(m, len(value)); err == nil {
+				t.Fatalf("Reconstruct from %d < k shares succeeded", k-1)
+			}
+		})
+	}
+}
+
+// TestVerifyDetectsCorruption flips bytes in single shares across every
+// cluster geometry and checks Verify's contract: with a surplus share
+// available (len > k) the disagreement always surfaces; with exactly k
+// shares it provably cannot.
+func TestVerifyDetectsCorruption(t *testing.T) {
+	value := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, g := range clusterGeometries(7) {
+		n, f := g[0], g[1]
+		k := n - 2*f
+		if n == k {
+			continue // no surplus possible; nothing to detect with
+		}
+		c, err := New(n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for corrupt := 0; corrupt < n; corrupt++ {
+			shares := c.Split(value)
+			shares[corrupt][0] ^= 0x5A
+			m := make(map[int][]byte, n)
+			for i, s := range shares {
+				m[i] = s
+			}
+			_, bad, err := c.Verify(m, len(value))
+			if err != nil {
+				t.Fatalf("n=%d k=%d corrupt=%d: Verify: %v", n, k, corrupt, err)
+			}
+			if len(bad) == 0 {
+				t.Fatalf("n=%d k=%d: corruption of share %d went undetected", n, k, corrupt)
+			}
+		}
+
+		// Clean shares: no false positives, data intact.
+		shares := c.Split(value)
+		m := make(map[int][]byte, n)
+		for i, s := range shares {
+			m[i] = s
+		}
+		data, bad, err := c.Verify(m, len(value))
+		if err != nil || len(bad) != 0 {
+			t.Fatalf("n=%d k=%d: clean Verify = bad %v, %v", n, k, bad, err)
+		}
+		if !bytes.Equal(data, value) {
+			t.Fatalf("n=%d k=%d: clean Verify data = %x", n, k, data)
+		}
+
+		// Exactly k shares: undetectable by construction.
+		m = make(map[int][]byte, k)
+		for i := 0; i < k; i++ {
+			m[i] = shares[i]
+		}
+		m[0] = append([]byte(nil), m[0]...)
+		m[0][0] ^= 0xFF
+		if _, bad, err := c.Verify(m, len(value)); err != nil || len(bad) != 0 {
+			t.Fatalf("n=%d k=%d: Verify with no surplus = bad %v, %v (expected silent)", n, k, bad, err)
+		}
+	}
+}

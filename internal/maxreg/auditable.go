@@ -165,6 +165,15 @@ func (reg *Auditable[V]) Readers() int { return reg.m }
 // Seq returns the current announced sequence number. Diagnostic.
 func (reg *Auditable[V]) Seq() uint64 { return reg.sn.Load() }
 
+// Peek returns the largest value written so far without any audit effect: a
+// bare read of the substrate M, the same primitive the write protocol's own
+// M.read step uses. It is a serving-plane accessor (the network layer's
+// SHARE-WRITE acknowledgment reports the resident write id through it); an
+// effective — auditable — read must go through Reader.ReadFetch. Peek may
+// run ahead of Seq: a value lands in M before its sequence number is
+// announced.
+func (reg *Auditable[V]) Peek() V { return reg.mreg.Read().Val }
+
 // Reader returns the handle for reader j (0 <= j < m). Not safe for
 // concurrent use; one handle per reading process.
 func (reg *Auditable[V]) Reader(j int, opts ...core.HandleOption) (*Reader[V], error) {

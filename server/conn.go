@@ -216,7 +216,8 @@ func (c *conn) route(f wire.Frame) {
 		s.cfg.FrameTap(false, wire.AppendFrame(nil, f.ID, f.Verb, f.Body))
 	}
 	switch f.Verb {
-	case wire.VerbOpen, wire.VerbWrite, wire.VerbReadFetch, wire.VerbReadAnnounce, wire.VerbAudit:
+	case wire.VerbOpen, wire.VerbWrite, wire.VerbReadFetch, wire.VerbReadAnnounce, wire.VerbAudit,
+		wire.VerbShareWrite, wire.VerbShareFetch:
 		name, ok := peekName(f.Body)
 		if !ok {
 			break // malformed: the handler's decoder produces the error
@@ -286,6 +287,10 @@ func (c *conn) execute(id uint64, verb wire.Verb, body []byte) {
 		b, rverb = c.handleAudit(body, b)
 	case wire.VerbStats:
 		b, rverb = c.handleStats(body, b)
+	case wire.VerbShareWrite:
+		b, rverb, commit = c.handleShareWrite(body, b)
+	case wire.VerbShareFetch:
+		b, rverb, commit = c.handleShareFetch(body, b)
 	default:
 		b, rverb = errBody(b, wire.CodeBadRequest, fmt.Sprintf("unknown verb %d", uint8(verb)))
 	}
@@ -335,6 +340,11 @@ func (c *conn) handleOpen(body, dst []byte) ([]byte, wire.Verb) {
 	if !ok {
 		return errBody(dst, wire.CodeUnsupported, fmt.Sprintf("kind %d is not remotable", req.Kind))
 	}
+	// Check the node assertion before touching the store: a misrouted open
+	// must not create the object on the wrong daemon.
+	if req.Node != 0 && req.Node != c.srv.cfg.NodeID {
+		return errBody(dst, wire.CodeNodeMismatch, fmt.Sprintf("open %q: client expects node %d, this daemon is node %d", req.Name, req.Node, c.srv.cfg.NodeID))
+	}
 	var openOpts []store.OpenOption
 	if req.Capacity != 0 {
 		openOpts = append(openOpts, store.WithObjectCapacity(int(req.Capacity)))
@@ -345,7 +355,7 @@ func (c *conn) handleOpen(body, dst []byte) ([]byte, wire.Verb) {
 	}
 	c.srv.opens.Add(1)
 	wk, _ := kindToWire(obj.Kind())
-	resp := wire.OpenResp{Kind: wk, Readers: uint8(obj.Readers()), Epoch: c.srv.epoch, Session: c.session}
+	resp := wire.OpenResp{Kind: wk, Readers: uint8(obj.Readers()), Epoch: c.srv.epoch, Session: c.session, Node: c.srv.cfg.NodeID}
 	return resp.Append(dst), wire.VerbOpen
 }
 
@@ -489,6 +499,108 @@ func (c *conn) handleStats(body, dst []byte) ([]byte, wire.Verb) {
 		Pairs:      c.srv.statPairs(snap),
 	}
 	return resp.Append(dst), wire.VerbStats
+}
+
+// handleShareWrite installs one node's slice of a dispersed write (see the
+// wire package's SHARE-WRITE documentation): a writeMax of the packed
+// (wid, masked share) value, journaled through the WAL like any write. Wid 0
+// is the wid-sync probe — a pure query of the resident write id through the
+// store's unaudited Peek, no write, no journal record.
+func (c *conn) handleShareWrite(body, dst []byte) ([]byte, wire.Verb, func() error) {
+	var req wire.ShareWriteReq
+	if err := req.DecodeView(body); err != nil {
+		b, v := errBody(dst, wire.CodeBadRequest, err.Error())
+		return b, v, nil
+	}
+	if req.ShareLen < 1 || req.ShareLen > wire.MaxShareLen {
+		b, v := errBody(dst, wire.CodeBadRequest, fmt.Sprintf("share-write %q: share-len %d out of range [1, %d]", req.Name, req.ShareLen, wire.MaxShareLen))
+		return b, v, nil
+	}
+	shareBits := 8 * uint(req.ShareLen)
+	if req.Share>>shareBits != 0 {
+		b, v := errBody(dst, wire.CodeBadRequest, fmt.Sprintf("share-write %q: share wider than %d bytes", req.Name, req.ShareLen))
+		return b, v, nil
+	}
+	if req.Wid>>(64-shareBits) != 0 {
+		b, v := errBody(dst, wire.CodeBadRequest, fmt.Sprintf("share-write %q: wid %d overflows the packing", req.Name, req.Wid))
+		return b, v, nil
+	}
+	obj, ok := c.srv.st.Lookup(req.Name)
+	if !ok {
+		b, v := errBody(dst, wire.CodeNotFound, fmt.Sprintf("share-write %q: object not found", req.Name))
+		return b, v, nil
+	}
+	if obj.Kind() != store.MaxRegister {
+		b, v := errBody(dst, wire.CodeShareMode, fmt.Sprintf("share-write %q: share objects are max registers, not %v", req.Name, obj.Kind()))
+		return b, v, nil
+	}
+	if prev, ok := c.srv.pinShareLen(req.Name, req.ShareLen); !ok {
+		b, v := errBody(dst, wire.CodeShareMode, fmt.Sprintf("share-write %q: share-len %d conflicts with the object's pinned %d", req.Name, req.ShareLen, prev))
+		return b, v, nil
+	}
+	var commit func() error
+	if req.Wid == 0 {
+		c.srv.shareProbes.Add(1)
+	} else {
+		var err error
+		commit, err = obj.WriteAsync(req.Wid<<shareBits | req.Share)
+		if err != nil {
+			b, v := storeErr(dst, err)
+			return b, v, nil
+		}
+		c.srv.shareWrites.Add(1)
+	}
+	cur, err := obj.Peek()
+	if err != nil {
+		b, v := storeErr(dst, err)
+		return b, v, nil
+	}
+	resp := wire.ShareWriteResp{Wid: cur >> shareBits}
+	return resp.Append(dst), wire.VerbShareWrite, commit
+}
+
+// handleShareFetch is handleReadFetch over a share object: the same
+// silent-read check, fetch&xor, journal append, and ValueMask masking — the
+// packed value is what crosses the wire, the cluster layer unpacks and
+// unmasks the share bits. The response echoes the node id so a dispersing
+// client can reject a misrouted connection's shares.
+func (c *conn) handleShareFetch(body, dst []byte) ([]byte, wire.Verb, func() error) {
+	var req wire.ShareFetchReq
+	if err := req.DecodeView(body); err != nil {
+		b, v := errBody(dst, wire.CodeBadRequest, err.Error())
+		return b, v, nil
+	}
+	if int(req.Reader) >= c.srv.st.Readers() {
+		b, v := errBody(dst, wire.CodeBadRequest, fmt.Sprintf("share-fetch %q: reader %d out of range [0, %d)", req.Name, req.Reader, c.srv.st.Readers()))
+		return b, v, nil
+	}
+	obj, ok := c.srv.st.Lookup(req.Name)
+	if !ok {
+		b, v := errBody(dst, wire.CodeNotFound, fmt.Sprintf("share-fetch %q: object not found", req.Name))
+		return b, v, nil
+	}
+	if obj.Kind() != store.MaxRegister {
+		b, v := errBody(dst, wire.CodeShareMode, fmt.Sprintf("share-fetch %q: share objects are max registers, not %v", req.Name, obj.Kind()))
+		return b, v, nil
+	}
+	val, seq, fetched, commit, err := obj.ReadFetchAsync(int(req.Reader))
+	if err != nil {
+		b, v := storeErr(dst, err)
+		return b, v, nil
+	}
+	if fetched {
+		c.srv.shareFetch.Add(1)
+	} else {
+		c.srv.shareSilent.Add(1)
+	}
+	if c.srv.cfg.LeakyPerObjectReads {
+		c.srv.recordLeakyRead(req.Name)
+	}
+	resp := wire.ShareFetchResp{Fetched: fetched, Seq: seq, Node: c.srv.cfg.NodeID}
+	if seq != req.PrevSeq {
+		resp.Value = val ^ wire.ValueMask(c.session, req.Name, req.Reader, seq)
+	}
+	return resp.Append(dst), wire.VerbShareFetch, commit
 }
 
 // auditRows flattens a report into one row per distinct value, readers as an

@@ -86,6 +86,8 @@ type counterSnap struct {
 
 	shardSheds, shardEnqueues, shardDepth uint64
 
+	shareWrites, shareProbes, shareFetch, shareSilent, shareObjects uint64
+
 	wal *persist.Stats // nil without a data dir
 }
 
@@ -122,6 +124,13 @@ func (s *Server) snapshotCounters() counterSnap {
 	snap.poolAudits = s.pool.Audited()
 	snap.poolSweeps = s.pool.Sweeps()
 	snap.objects = uint64(s.st.Len())
+	snap.shareWrites = s.shareWrites.Load()
+	snap.shareProbes = s.shareProbes.Load()
+	snap.shareFetch = s.shareFetch.Load()
+	snap.shareSilent = s.shareSilent.Load()
+	s.shareMu.RLock()
+	snap.shareObjects = uint64(len(s.shareLens))
+	s.shareMu.RUnlock()
 	if s.wal != nil {
 		ws := s.wal.Stats() // persist loads syncs before records; see WAL.Stats
 		snap.wal = &ws

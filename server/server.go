@@ -54,6 +54,7 @@ import (
 	"net"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -112,6 +113,12 @@ type Config struct {
 	// runtime.GOMAXPROCS(0)). A non-empty data directory pins its own
 	// count; see persist.Options.Stripes.
 	WALStripes int
+	// NodeID is this daemon's cluster node id (1-based; 0 means standalone,
+	// not part of a cluster). A dispersing client (package auditreg/cluster)
+	// derives each node's share pads from the node id it maps an address to,
+	// so OPEN requests asserting a different id are refused with
+	// CodeNodeMismatch and OPEN responses echo the configured id.
+	NodeID uint32
 	// FrameTap, when non-nil, is invoked synchronously with every complete
 	// frame the server transmits (outbound true) or receives (outbound
 	// false). Test instrumentation — the leak tests assert over every
@@ -154,6 +161,14 @@ type Server struct {
 	leakyMu    sync.Mutex
 	leakyReads map[string]uint64
 
+	// Share-mode registry: the pinned packing width (share bytes) of every
+	// object that has taken a SHARE-WRITE this boot. Advisory — correctness
+	// rides on the MaxRegister's packed-value ordering, which survives
+	// recovery; the registry only rejects width drift within a boot and
+	// feeds the cluster STATS block.
+	shareMu   sync.RWMutex
+	shareLens map[string]uint8
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[*conn]struct{}
@@ -172,6 +187,12 @@ type Server struct {
 	framesIn     atomic.Uint64
 	framesOut    atomic.Uint64
 	connsTotal   atomic.Uint64
+
+	// Cluster share-path counters (the STATS cluster block).
+	shareWrites atomic.Uint64
+	shareProbes atomic.Uint64
+	shareFetch  atomic.Uint64
+	shareSilent atomic.Uint64
 
 	// Coalesced-flush counters: one flush is one writev on one connection,
 	// however many response frames it carried. frames-out over conn-flushes
@@ -268,18 +289,40 @@ func New(cfg Config) (*Server, error) {
 		queueCap = defaultShardQueue
 	}
 	return &Server{
-		cfg:      cfg,
-		st:       st,
-		pool:     pool,
-		wal:      wal,
-		recov:    recov,
-		epoch:    binary.BigEndian.Uint64(eb[:]),
-		start:    time.Now(),
-		conns:    make(map[*conn]struct{}),
-		execs:    newExecs(n, queueCap),
-		execMask: uint64(n - 1),
-		tel:      tel,
+		cfg:       cfg,
+		st:        st,
+		pool:      pool,
+		wal:       wal,
+		recov:     recov,
+		epoch:     binary.BigEndian.Uint64(eb[:]),
+		start:     time.Now(),
+		conns:     make(map[*conn]struct{}),
+		execs:     newExecs(n, queueCap),
+		execMask:  uint64(n - 1),
+		tel:       tel,
+		shareLens: make(map[string]uint8),
 	}, nil
+}
+
+// pinShareLen records the share width an object's first SHARE-WRITE of this
+// boot declared and rejects later drift: two writers dispersing the same name
+// with different (n, f) geometries would otherwise silently corrupt each
+// other's packing. Returns the pinned width and whether want matches it. The
+// name view aliases a pooled frame buffer, so the key is a stable copy.
+func (s *Server) pinShareLen(name string, want uint8) (uint8, bool) {
+	s.shareMu.RLock()
+	got, ok := s.shareLens[name]
+	s.shareMu.RUnlock()
+	if ok {
+		return got, got == want
+	}
+	s.shareMu.Lock()
+	defer s.shareMu.Unlock()
+	if got, ok := s.shareLens[name]; ok {
+		return got, got == want
+	}
+	s.shareLens[strings.Clone(name)] = want
+	return want, true
 }
 
 // Recovery returns what boot-time recovery reconstructed, nil when the
@@ -465,6 +508,17 @@ func (s *Server) statPairs(snap counterSnap) []wire.StatPair {
 		{Name: "uptime-ms", Value: snap.uptimeMs},
 		{Name: "writes", Value: snap.writes},
 	}
+	// The cluster block: this node's identity and its share-path traffic. A
+	// node id of 0 marks a standalone daemon; share counters stay zero until
+	// a dispersing client targets the node.
+	pairs = append(pairs,
+		wire.StatPair{Name: "node-id", Value: uint64(s.cfg.NodeID)},
+		wire.StatPair{Name: "share-writes", Value: snap.shareWrites},
+		wire.StatPair{Name: "share-probes", Value: snap.shareProbes},
+		wire.StatPair{Name: "share-fetches", Value: snap.shareFetch},
+		wire.StatPair{Name: "share-silent", Value: snap.shareSilent},
+		wire.StatPair{Name: "share-objects", Value: snap.shareObjects},
+	)
 	// Shard-executor occupancy: enqueues/sheds are cumulative, depth is the
 	// instantaneous total queue occupancy across shards — nonzero sheds with
 	// bounded depth is what admission control looks like under overload.

@@ -433,6 +433,21 @@ func (o *Object[V]) UpdateAt(i int, v V) error {
 	return c.up.Update(v)
 }
 
+// Peek returns a MaxRegister object's current (largest) value without any
+// audit effect: a bare read of the substrate M, never a fetch&xor. The
+// network layer's SHARE-WRITE path uses it to report the resident packed
+// write id; it is not a read in the model's sense and leaves no trace, so
+// nothing user-facing should be served from it. Other kinds return
+// ErrKindMismatch — a plain Register's current value is only defined through
+// a reader principal.
+func (o *Object[V]) Peek() (V, error) {
+	var zero V
+	if o.kind != MaxRegister {
+		return zero, fmt.Errorf("store: peek %q: only MaxRegister objects have an unaudited current value: %w", o.name, ErrKindMismatch)
+	}
+	return o.max.Peek(), nil
+}
+
 // Audit audits the object with a fresh auditor: a full scan of the history,
 // yielding the exact current audit set. This is the synchronous ground
 // truth; the batched path is AuditPool.

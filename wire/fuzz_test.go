@@ -27,6 +27,10 @@ func decodersFor(verb wire.Verb) []message {
 		return []message{&wire.AuditReq{}, &wire.AuditResp{}}
 	case wire.VerbStats:
 		return []message{&wire.StatsReq{}, &wire.StatsResp{}}
+	case wire.VerbShareWrite:
+		return []message{&wire.ShareWriteReq{}, &wire.ShareWriteResp{}}
+	case wire.VerbShareFetch:
+		return []message{&wire.ShareFetchReq{}, &wire.ShareFetchResp{}}
 	default:
 		return nil
 	}
@@ -45,7 +49,7 @@ func FuzzFrame(f *testing.F) {
 	// message, a concatenation, and truncations.
 	var all []byte
 	for i, msg := range sampleMessages() {
-		frame := wire.AppendFrame(nil, uint64(i), wire.VerbOpen+wire.Verb(i%7), msg.Append(nil))
+		frame := wire.AppendFrame(nil, uint64(i), wire.VerbOpen+wire.Verb(i%8), msg.Append(nil))
 		f.Add(frame)
 		all = append(all, frame...)
 	}

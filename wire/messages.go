@@ -28,14 +28,16 @@ type ErrCode uint16
 
 // Error codes carried by ErrResp.
 const (
-	CodeBadRequest   ErrCode = 1 // malformed or out-of-range request
-	CodeNotFound     ErrCode = 2 // maps to store.ErrNotFound
-	CodeKindMismatch ErrCode = 3 // maps to store.ErrKindMismatch
-	CodeUnsupported  ErrCode = 4 // e.g. opening a Snapshot remotely
-	CodeTooLarge     ErrCode = 5 // response exceeds frame limits
-	CodeInternal     ErrCode = 6 // server-side failure
-	CodeShutdown     ErrCode = 7 // server is draining
-	CodeBusy         ErrCode = 8 // shard queue at its high watermark; retry
+	CodeBadRequest   ErrCode = 1  // malformed or out-of-range request
+	CodeNotFound     ErrCode = 2  // maps to store.ErrNotFound
+	CodeKindMismatch ErrCode = 3  // maps to store.ErrKindMismatch
+	CodeUnsupported  ErrCode = 4  // e.g. opening a Snapshot remotely
+	CodeTooLarge     ErrCode = 5  // response exceeds frame limits
+	CodeInternal     ErrCode = 6  // server-side failure
+	CodeShutdown     ErrCode = 7  // server is draining
+	CodeBusy         ErrCode = 8  // shard queue at its high watermark; retry
+	CodeNodeMismatch ErrCode = 9  // OPEN named a node id this server is not
+	CodeShareMode    ErrCode = 10 // share-mode violation (len or kind drift)
 )
 
 // ErrBusy is the sentinel a client surfaces (wrapped) when the server shed
@@ -68,17 +70,26 @@ const MaxAuditRows = (MaxFrame - HeaderLen - 64) / 16
 
 // OpenReq asks the server to open (creating if absent) the named object.
 // Capacity 0 selects the server's default history capacity.
+//
+// Node is the node-id half of the cluster handshake: a dispersing client
+// derives each node's share pads from the node id it believes an address
+// belongs to, so a misrouted connection (an address pointing at the wrong
+// daemon) would silently produce garbage shares. A non-zero Node therefore
+// asserts the server's configured node id; a server whose id differs answers
+// CodeNodeMismatch. Zero (the standalone default) asserts nothing.
 type OpenReq struct {
 	Name     string
 	Kind     uint8
 	Capacity uint32
+	Node     uint32
 }
 
 // Append serializes the message body onto dst.
 func (m *OpenReq) Append(dst []byte) []byte {
 	dst = appendStr(dst, m.Name)
 	dst = append(dst, m.Kind)
-	return binary.BigEndian.AppendUint32(dst, m.Capacity)
+	dst = binary.BigEndian.AppendUint32(dst, m.Capacity)
+	return binary.BigEndian.AppendUint32(dst, m.Node)
 }
 
 // Decode parses a message body; the body must be fully consumed.
@@ -87,6 +98,7 @@ func (m *OpenReq) Decode(body []byte) error {
 	m.Name = c.str(MaxName)
 	m.Kind = c.u8()
 	m.Capacity = c.u32()
+	m.Node = c.u32()
 	return c.done()
 }
 
@@ -103,18 +115,23 @@ func (m *OpenReq) Decode(body []byte) error {
 // a client's cached (prev_sn, prev_val) from the previous epoch could
 // collide with a fresh seq and silently serve a stale value; clients reset
 // their per-reader caches whenever the epoch changes.
+// Node is the server's configured node id (0: standalone, not part of a
+// cluster), echoed so a dispersing client can pin share-pad derivation to
+// the daemon it actually reached.
 type OpenResp struct {
 	Kind    uint8
 	Readers uint8
 	Epoch   uint64
 	Session [SessionLen]byte
+	Node    uint32
 }
 
 // Append serializes the message body onto dst.
 func (m *OpenResp) Append(dst []byte) []byte {
 	dst = append(dst, m.Kind, m.Readers)
 	dst = binary.BigEndian.AppendUint64(dst, m.Epoch)
-	return append(dst, m.Session[:]...)
+	dst = append(dst, m.Session[:]...)
+	return binary.BigEndian.AppendUint32(dst, m.Node)
 }
 
 // Decode parses a message body; the body must be fully consumed.
@@ -124,6 +141,7 @@ func (m *OpenResp) Decode(body []byte) error {
 	m.Readers = c.u8()
 	m.Epoch = c.u64()
 	copy(m.Session[:], c.take(SessionLen))
+	m.Node = c.u32()
 	return c.done()
 }
 
@@ -356,6 +374,124 @@ func (m *StatsResp) Decode(body []byte) error {
 	for i := uint16(0); i < n && !c.bad; i++ {
 		m.Pairs = append(m.Pairs, StatPair{Name: c.str(MaxName), Value: c.u64()})
 	}
+	return c.done()
+}
+
+// MaxShareLen bounds the share-byte width of a share-mode object: shares are
+// packed into the low bits of a uint64 value with the write id above them,
+// and the write id needs at least 32 bits to be collision-free for any
+// realistic run, so shares are one to four bytes (IDA threshold k >= 2).
+const MaxShareLen = 4
+
+// ShareWriteReq installs one node's slice of a dispersed write: Share is the
+// node's IDA share, already XOR-masked under the writer's per-node share pad
+// (cluster.SharePad — the server cannot unmask it), packed with the
+// client-assigned write id as Wid<<(8*ShareLen)|Share. The server applies it
+// to the named share object as a writeMax of the packed value, so a newer
+// write id always wins and re-sent duplicates are no-ops; ShareLen pins the
+// packing width, which must be consistent across every write to the object.
+type ShareWriteReq struct {
+	Name     string
+	Wid      uint64
+	Share    uint64
+	ShareLen uint8
+}
+
+// Append serializes the message body onto dst.
+func (m *ShareWriteReq) Append(dst []byte) []byte {
+	dst = appendStr(dst, m.Name)
+	dst = binary.BigEndian.AppendUint64(dst, m.Wid)
+	dst = binary.BigEndian.AppendUint64(dst, m.Share)
+	return append(dst, m.ShareLen)
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *ShareWriteReq) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Name = c.str(MaxName)
+	m.Wid = c.u64()
+	m.Share = c.u64()
+	m.ShareLen = c.u8()
+	return c.done()
+}
+
+// ShareWriteResp acknowledges a SHARE-WRITE. Wid is the object's current
+// write id after the request took effect — the request's own when it won,
+// the newer resident one when it was absorbed. A writer that must not reuse
+// ids across restarts probes with Wid 0 (never applied; the packed value 0
+// cannot exceed a resident one) and resumes above the answer.
+type ShareWriteResp struct {
+	Wid uint64
+}
+
+// Append serializes the message body onto dst.
+func (m *ShareWriteResp) Append(dst []byte) []byte {
+	return binary.BigEndian.AppendUint64(dst, m.Wid)
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *ShareWriteResp) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Wid = c.u64()
+	return c.done()
+}
+
+// ShareFetchReq performs the fetch half of a dispersed read against one
+// node: identical semantics to ReadFetchReq — the silent-read check and (at
+// most) one fetch&xor, audited server-side — over the share object's packed
+// values. PrevSeq is the node-local sequence number of the client's cached
+// share (each node numbers its own writes; write ids align shares across
+// nodes, sequence numbers never leave their node).
+type ShareFetchReq struct {
+	Name    string
+	Reader  uint8
+	PrevSeq uint64
+}
+
+// Append serializes the message body onto dst.
+func (m *ShareFetchReq) Append(dst []byte) []byte {
+	dst = appendStr(dst, m.Name)
+	dst = append(dst, m.Reader)
+	return binary.BigEndian.AppendUint64(dst, m.PrevSeq)
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *ShareFetchReq) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Name = c.str(MaxName)
+	m.Reader = c.u8()
+	m.PrevSeq = c.u64()
+	return c.done()
+}
+
+// ShareFetchResp answers a SHARE-FETCH exactly as ReadFetchResp answers a
+// READ-FETCH: Value is the packed share, XOR-masked with
+// ValueMask(session, name, reader, Seq) and zero when the client's cache is
+// current. Node echoes the server's node id so a dispersing client can
+// reject shares from a misrouted connection before feeding them to the
+// combiner.
+type ShareFetchResp struct {
+	Fetched bool
+	Seq     uint64
+	Value   uint64
+	Node    uint32
+}
+
+// Append serializes the message body onto dst.
+func (m *ShareFetchResp) Append(dst []byte) []byte {
+	dst = appendBool(dst, m.Fetched)
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, m.Value)
+	return binary.BigEndian.AppendUint32(dst, m.Node)
+}
+
+// Decode parses a message body; the body must be fully consumed.
+func (m *ShareFetchResp) Decode(body []byte) error {
+	c := cursor{b: body}
+	m.Fetched = c.bool()
+	m.Seq = c.u64()
+	m.Value = c.u64()
+	m.Node = c.u32()
 	return c.done()
 }
 

@@ -17,9 +17,10 @@
 //
 // # Verbs
 //
-// OPEN, WRITE, READ-FETCH, READ-ANNOUNCE, AUDIT, STATS. The READ verb of the
-// local API deliberately splits in two on the wire, mirroring the two
-// shared-memory steps of the paper's read (Algorithm 1 lines 4 and 5):
+// OPEN, WRITE, READ-FETCH, READ-ANNOUNCE, AUDIT, STATS, SHARE-WRITE,
+// SHARE-FETCH. The READ verb of the local API deliberately splits in two on
+// the wire, mirroring the two shared-memory steps of the paper's read
+// (Algorithm 1 lines 4 and 5):
 //
 //   - READ-FETCH performs the silent-read check and (at most) one atomic
 //     fetch&xor on the object's register R, through the server's persistent
@@ -28,6 +29,15 @@
 //     remote client does.
 //   - READ-ANNOUNCE performs the helping CAS on SN. It is pure helping, so
 //     clients pipeline it behind the fetch without waiting.
+//
+// SHARE-WRITE and SHARE-FETCH are the cluster dispersal verbs (package
+// auditreg/cluster): one node's slice of an information-dispersed write. A
+// share object is a MaxRegister whose uint64 value packs a client-assigned
+// write id above the share bytes (newest write id wins, duplicates are
+// idempotent), so the share path rides the same store machinery — WAL
+// journaling, fetch&xor audit trail, silent-read cache — as a plain write.
+// The share bits arrive already XOR-masked under a per-node pad derived from
+// a cluster secret the node never holds; see cluster.SharePad.
 //
 // # What crosses the wire encrypted
 //
@@ -79,6 +89,8 @@ const (
 	VerbReadAnnounce Verb = 4
 	VerbAudit        Verb = 5
 	VerbStats        Verb = 6
+	VerbShareWrite   Verb = 7
+	VerbShareFetch   Verb = 8
 )
 
 // String returns the verb's protocol name.
@@ -98,6 +110,10 @@ func (v Verb) String() string {
 		return "AUDIT"
 	case VerbStats:
 		return "STATS"
+	case VerbShareWrite:
+		return "SHARE-WRITE"
+	case VerbShareFetch:
+		return "SHARE-FETCH"
 	default:
 		return fmt.Sprintf("Verb(%d)", uint8(v))
 	}

@@ -29,8 +29,8 @@ func sampleMessages() []message {
 		nonce[i] = byte(255 - i)
 	}
 	return []message{
-		&wire.OpenReq{Name: "acct/42", Kind: wire.KindRegister, Capacity: 1 << 16},
-		&wire.OpenResp{Kind: wire.KindMaxRegister, Readers: 64, Epoch: 0xFEED_BEEF_0042_1111, Session: session},
+		&wire.OpenReq{Name: "acct/42", Kind: wire.KindRegister, Capacity: 1 << 16, Node: 3},
+		&wire.OpenResp{Kind: wire.KindMaxRegister, Readers: 64, Epoch: 0xFEED_BEEF_0042_1111, Session: session, Node: 3},
 		&wire.WriteReq{Name: "acct/42", Value: 0xdeadbeefcafe},
 		&wire.ReadFetchReq{Name: "acct/42", Reader: 63, PrevSeq: ^uint64(0)},
 		&wire.ReadFetchResp{Fetched: true, Seq: 12, Value: 0x1234},
@@ -41,6 +41,10 @@ func sampleMessages() []message {
 		}},
 		&wire.StatsReq{},
 		&wire.StatsResp{GoVersion: "go1.22.1", GoMaxProcs: 8, UptimeMs: 123456, StatsEpoch: 7, Pairs: []wire.StatPair{{Name: "writes", Value: 3}, {Name: "reads-fetched", Value: 9}}},
+		&wire.ShareWriteReq{Name: "acct/42", Wid: 99, Share: 0xBEEF12, ShareLen: 3},
+		&wire.ShareWriteResp{Wid: 99},
+		&wire.ShareFetchReq{Name: "acct/42", Reader: 5, PrevSeq: ^uint64(0)},
+		&wire.ShareFetchResp{Fetched: true, Seq: 4, Value: 0x63_0000BEEF12, Node: 2},
 		&wire.ErrResp{Code: wire.CodeKindMismatch, Msg: "open \"x\" as register: object is a maxregister"},
 	}
 }
@@ -80,7 +84,9 @@ func TestFrameRoundTrip(t *testing.T) {
 	verbs := []wire.Verb{
 		wire.VerbOpen, wire.VerbOpen, wire.VerbWrite, wire.VerbReadFetch,
 		wire.VerbReadFetch, wire.VerbReadAnnounce, wire.VerbAudit,
-		wire.VerbAudit, wire.VerbStats, wire.VerbStats, wire.VerbErr,
+		wire.VerbAudit, wire.VerbStats, wire.VerbStats, wire.VerbShareWrite,
+		wire.VerbShareWrite, wire.VerbShareFetch, wire.VerbShareFetch,
+		wire.VerbErr,
 	}
 	for i, msg := range msgs {
 		stream = wire.AppendFrame(stream, uint64(i+1), verbs[i], msg.Append(nil))
