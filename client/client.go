@@ -50,13 +50,14 @@ const DefaultConns = 4
 
 // Client is a pooled connection to one auditd server. Construct with Dial.
 type Client struct {
-	addr    string
-	nconns  int
-	key     auditreg.Key
-	hasKey  bool
-	timeout time.Duration
-	dialer  Dialer
-	node    uint32
+	addr       string
+	nconns     int
+	key        auditreg.Key
+	hasKey     bool
+	timeout    time.Duration
+	reqTimeout time.Duration
+	dialer     Dialer
+	node       uint32
 
 	conns []*conn
 	next  atomic.Uint64
@@ -138,6 +139,23 @@ func WithDialTimeout(d time.Duration) Option {
 	}
 }
 
+// WithRequestTimeout bounds every waited round trip on the pool: a request
+// with no response after d — including time spent queued behind a stalled
+// flush — kills its connection with a cause wrapping ErrTimeout, failing
+// every request in flight there fast instead of letting a hung peer (a
+// partition that drops bytes without resetting the connection) wedge callers
+// forever. The pool redials on next use as with any dead connection. Zero
+// (the default) disables enforcement and costs nothing per request.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *Client) error {
+		if d < 0 {
+			return fmt.Errorf("client: request timeout must be non-negative, got %v", d)
+		}
+		c.reqTimeout = d
+		return nil
+	}
+}
+
 // Dial connects the pool to addr.
 func Dial(addr string, opts ...Option) (*Client, error) {
 	c := &Client{
@@ -159,7 +177,7 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	}
 	c.conns = make([]*conn, c.nconns)
 	for i := range c.conns {
-		cn, err := dialConn(addr, c.timeout, c.dialer, c.node)
+		cn, err := dialConn(addr, c.timeout, c.reqTimeout, c.dialer, c.node)
 		if err != nil {
 			for _, prev := range c.conns[:i] {
 				prev.close(err)
@@ -209,7 +227,7 @@ func (c *Client) pick() *conn {
 	}
 	// Redial outside the client lock: a blocking dial must stall only this
 	// request, never the healthy connections.
-	fresh, err := dialConn(c.addr, c.timeout, c.dialer, c.node)
+	fresh, err := dialConn(c.addr, c.timeout, c.reqTimeout, c.dialer, c.node)
 	if err != nil {
 		return cn
 	}

@@ -20,6 +20,15 @@ var errClientClosed = errors.New("client: closed")
 // survives.
 var ErrConnLost = errors.New("client: connection lost")
 
+// ErrTimeout reports that a round trip outlived the pool's per-request
+// timeout (WithRequestTimeout): the peer accepted the connection but never
+// answered — hung process, partition holding the connection open, or a flush
+// that stalled past the deadline. The connection is killed (every request in
+// flight on it fails with a cause wrapping ErrTimeout, test with errors.Is
+// through the NodeError wrapper) so a hung node costs one timeout, not a
+// wedged caller; the pool redials on next use.
+var ErrTimeout = errors.New("client: request timeout")
+
 // ErrNodeMismatch reports that the daemon a connection reached is not the
 // cluster node the client asserted with WithNode: the address list and the
 // cluster the daemons were booted into disagree. Surfaced by Open (the
@@ -62,14 +71,22 @@ const connWriteQueue = 256
 // that the waiting caller recycles after decoding. Steady-state traffic
 // allocates nothing per request beyond the in-flight bookkeeping.
 type conn struct {
-	nc   net.Conn
-	addr string // dialed address, for NodeError attribution
-	node uint32 // cluster node id asserted on every OPEN; 0 asserts nothing
+	nc         net.Conn
+	addr       string        // dialed address, for NodeError attribution
+	node       uint32        // cluster node id asserted on every OPEN; 0 asserts nothing
+	reqTimeout time.Duration // per-request deadline; 0 disables enforcement
 
 	writec chan *wire.Buf
 	wquit  chan struct{} // closed by close(); stops the writer
 
 	nextID atomic.Uint64
+
+	// timedOut marks that a request timer fired and kicked the read loop off
+	// the socket via SetReadDeadline; the read loop consults it to attribute
+	// its exit to ErrTimeout rather than a generic lost connection. Set
+	// strictly before the deadline is moved, so the attribution never races
+	// the wakeup it causes.
+	timedOut atomic.Bool
 
 	mu       sync.Mutex
 	inflight map[uint64]chan resp // nil channel: fire-and-forget
@@ -94,19 +111,20 @@ type resp struct {
 // returned.
 var respChans = sync.Pool{New: func() any { return make(chan resp, 1) }}
 
-func dialConn(addr string, timeout time.Duration, dial Dialer, node uint32) (*conn, error) {
+func dialConn(addr string, timeout, reqTimeout time.Duration, dial Dialer, node uint32) (*conn, error) {
 	nc, err := dial(addr, timeout)
 	if err != nil {
 		return nil, &NodeError{Addr: addr, Err: err}
 	}
 	cn := &conn{
-		nc:       nc,
-		addr:     addr,
-		node:     node,
-		writec:   make(chan *wire.Buf, connWriteQueue),
-		wquit:    make(chan struct{}),
-		inflight: make(map[uint64]chan resp),
-		opened:   make(map[string]wire.OpenResp),
+		nc:         nc,
+		addr:       addr,
+		node:       node,
+		reqTimeout: reqTimeout,
+		writec:     make(chan *wire.Buf, connWriteQueue),
+		wquit:      make(chan struct{}),
+		inflight:   make(map[uint64]chan resp),
+		opened:     make(map[string]wire.OpenResp),
 	}
 	go cn.writeLoop()
 	go cn.readLoop()
@@ -138,8 +156,19 @@ func (cn *conn) writeLoop() {
 				break collect
 			}
 		}
+		if cn.reqTimeout > 0 {
+			// A per-flush write deadline: a peer that stops draining its
+			// receive window must not park the writer (and everything queued
+			// behind it) forever.
+			cn.nc.SetWriteDeadline(time.Now().Add(cn.reqTimeout))
+		}
 		if err := fl.Flush(cn.nc, pend); err != nil {
-			cn.close(fmt.Errorf("%w: write failed: %v", ErrConnLost, err))
+			cause := fmt.Errorf("%w: write failed: %v", ErrConnLost, err)
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				cause = fmt.Errorf("%w: flush stalled past %v: %v", ErrTimeout, cn.reqTimeout, err)
+			}
+			cn.close(cause)
 			cn.recycleQueued()
 			return
 		}
@@ -176,7 +205,11 @@ func (cn *conn) readLoop() {
 	for {
 		f, err := sc.Next()
 		if err != nil {
-			cn.close(fmt.Errorf("%w: %v", ErrConnLost, err))
+			if cn.timedOut.Load() {
+				cn.close(fmt.Errorf("%w: no response within %v", ErrTimeout, cn.reqTimeout))
+			} else {
+				cn.close(fmt.Errorf("%w: %v", ErrConnLost, err))
+			}
 			return
 		}
 		cn.mu.Lock()
@@ -189,6 +222,16 @@ func (cn *conn) readLoop() {
 			ch <- resp{verb: f.Verb, buf: rb}
 		}
 	}
+}
+
+// timeoutKill is the request timer's firing path: mark the timeout (so the
+// read loop attributes its exit correctly), then move the read deadline into
+// the past, forcing the blocked read off the socket immediately. Death then
+// flows through the read loop's single exit path — close with an ErrTimeout
+// cause, every waiter woken — rather than a second, racing teardown.
+func (cn *conn) timeoutKill() {
+	cn.timedOut.Store(true)
+	cn.nc.SetReadDeadline(time.Unix(1, 0))
 }
 
 // isDead reports whether the connection has failed.
@@ -284,6 +327,17 @@ func (cn *conn) roundTripBuf(verb wire.Verb, b *wire.Buf) (resp, error) {
 	if err := wire.EndFrame(b.B, 0, id, verb); err != nil {
 		wire.PutBuf(b)
 		return resp{}, err
+	}
+	if cn.reqTimeout > 0 {
+		// Armed before enqueue so the deadline also covers time spent queued
+		// behind a stalled flush. Firing kicks the read loop off the socket
+		// (SetReadDeadline in the past), which kills the connection with an
+		// ErrTimeout cause and wakes every waiter — including this one, via
+		// the dead-connection resp below. Stopped on the normal path; a
+		// response racing the timer at the deadline costs a redial, nothing
+		// more.
+		t := time.AfterFunc(cn.reqTimeout, cn.timeoutKill)
+		defer t.Stop()
 	}
 	ch, err := cn.enqueue(b, id, true)
 	if err != nil {

@@ -1,0 +1,128 @@
+package client_test
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"auditreg/client"
+	"auditreg/store"
+)
+
+// TestRequestTimeoutAgainstHungServer is the liveness regression test for
+// WithRequestTimeout: a peer that accepts the connection and reads requests
+// but never answers — the partitioned-without-RST failure a crash detector
+// cannot see — must cost one bounded wait ending in a typed ErrTimeout, not
+// a wedged caller.
+func TestRequestTimeoutAgainstHungServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var swallowed atomic.Int64
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) { // swallow bytes forever, answer nothing
+				defer nc.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := nc.Read(buf)
+					swallowed.Add(int64(n))
+					if err != nil {
+						return
+					}
+				}
+			}(nc)
+		}
+	}()
+
+	const timeout = 200 * time.Millisecond
+	cl, err := client.Dial(ln.Addr().String(),
+		client.WithConns(1), client.WithRequestTimeout(timeout))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	start := time.Now()
+	_, err = cl.Open("obj", store.Register)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Open against a hung server succeeded")
+	}
+	if !errors.Is(err, client.ErrTimeout) {
+		t.Fatalf("hung-server failure = %v, want errors.Is(err, ErrTimeout)", err)
+	}
+	var ne *client.NodeError
+	if !errors.As(err, &ne) || ne.Addr != ln.Addr().String() {
+		t.Fatalf("timeout not attributed to the hung node: %v", err)
+	}
+	if elapsed < timeout/2 || elapsed > 10*timeout {
+		t.Fatalf("timed out after %v, want about %v", elapsed, timeout)
+	}
+	if swallowed.Load() == 0 {
+		t.Fatal("request never reached the hung server; test proved nothing")
+	}
+}
+
+// TestRequestTimeoutRecovery: after the timeout kills a hung connection the
+// pool must redial on next use and the caller must see a fast failure (the
+// listener is gone by then) — never a hang and never a poisoned Client.
+func TestRequestTimeoutRecovery(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			if _, err := nc.Read(buf); err != nil {
+				nc.Close()
+				ln.Close()
+				return
+			}
+		}
+	}()
+
+	cl, err := client.Dial(ln.Addr().String(),
+		client.WithConns(1), client.WithRequestTimeout(150*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Open("obj", store.Register)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Open against a hung server succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Open wedged despite request timeout")
+	}
+
+	// The pool's next use must not hang either: the dead connection is
+	// replaced by a redial, which now fails fast (listener closed).
+	start := time.Now()
+	if _, err := cl.Open("obj2", store.Register); err == nil {
+		t.Fatal("Open after listener close succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("post-timeout Open took %v", elapsed)
+	}
+}

@@ -37,8 +37,16 @@ type Merged struct {
 	// surfaces in Undecided instead.
 	Nodes int
 	// Undecided lists sub-threshold (reader, wid) pairs — in-flight reads,
-	// or reads whose k-th logging node has not been merged.
+	// or reads whose k-th logging node has not been merged. A pair whose
+	// logged shares disagree so badly that no value reaches quorum support
+	// is also reported here (Nodes then counts the loggers): the logs prove
+	// the reader fetched, but pin no value to charge.
 	Undecided []Undecided
+	// Corrupted lists the node ids whose logged shares disagreed with a
+	// value the merge accepted — a journal corrupted at rest, or a node
+	// whose share pipeline is lying consistently enough to journal what it
+	// serves. Sorted, deduplicated.
+	Corrupted []uint32
 }
 
 // Audit merges a fresh audit from every reachable node into the exact
@@ -124,24 +132,35 @@ func (o *Object) Audit() (Merged, error) {
 	}
 
 	k := o.c.m.Threshold()
-	values := make(map[uint64]uint64) // wid → reconstructed value
+	badNodes := make(map[uint32]bool)
 	var entries []auditreg.Entry[uint64]
 	for p, m := range shares {
 		if len(m) < k {
 			merged.Undecided = append(merged.Undecided, Undecided{Reader: p.reader, Wid: p.wid, Nodes: len(m)})
 			continue
 		}
-		v, ok := values[p.wid]
-		if !ok {
-			var err error
-			v, err = o.reconstruct(m)
-			if err != nil {
-				return Merged{}, fmt.Errorf("cluster: audit %q: reconstruct wid %d from logged shares: %w", o.name, p.wid, err)
-			}
-			values[p.wid] = v
+		// Non-strict decode: exactly k logged shares ARE the charging
+		// semantics (k loggers → the reader could know), and with surplus
+		// the decode is verified — a corrupt journal entry cannot shift the
+		// charged value, only surface in Corrupted (or, if no value reaches
+		// quorum support, demote the pair to Undecided).
+		v, corrupted, err := o.decodeShares(m, false)
+		if errors.Is(err, errInconclusive) {
+			merged.Undecided = append(merged.Undecided, Undecided{Reader: p.reader, Wid: p.wid, Nodes: len(m)})
+			continue
+		}
+		if err != nil {
+			return Merged{}, fmt.Errorf("cluster: audit %q: reconstruct wid %d from logged shares: %w", o.name, p.wid, err)
+		}
+		for _, i := range corrupted {
+			badNodes[o.c.m.Nodes[i].ID] = true
 		}
 		entries = append(entries, auditreg.Entry[uint64]{Reader: p.reader, Value: v})
 	}
+	for id := range badNodes {
+		merged.Corrupted = append(merged.Corrupted, id)
+	}
+	sort.Slice(merged.Corrupted, func(a, b int) bool { return merged.Corrupted[a] < merged.Corrupted[b] })
 	sort.Slice(merged.Undecided, func(a, b int) bool {
 		ua, ub := merged.Undecided[a], merged.Undecided[b]
 		if ua.Reader != ub.Reader {

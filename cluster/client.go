@@ -23,6 +23,9 @@ type Client struct {
 
 	clients []*client.Client // position i ↔ m.Nodes[i]
 
+	suspects *suspectSet // Byzantine quarantine state (cluster/suspect.go)
+	ctr      counters    // detection counters, snapshot via Counters()
+
 	mu      sync.Mutex
 	objects map[string]*Object
 	closed  bool
@@ -63,6 +66,7 @@ func Dial(m Membership, opts ...Option) (*Client, error) {
 		cod:      cod,
 		shareLen: m.ShareLen(),
 		clients:  make([]*client.Client, m.N()),
+		suspects: newSuspectSet(),
 		objects:  make(map[string]*Object),
 	}
 	alive := 0
@@ -233,8 +237,15 @@ type shareResult struct {
 	err   error
 }
 
-// fanOut runs op against every node concurrently and returns the results.
-func (o *Object) fanOut(op func(i int, obj *client.Object) (uint64, error)) []shareResult {
+// fanOut launches op against every node concurrently and returns the result
+// channel, which will eventually carry exactly n results. The channel is
+// buffered to n, so the per-node goroutines complete into it no matter when
+// (or whether) the caller stops reading — a collector that returns at a
+// decisive quorum detaches, and the buffer is the drainer; nothing leaks
+// and no goroutine ever blocks on an abandoned round (invariant:
+// fan-out-never-blocks-past-quorum). A hung node's straggling answer lands
+// in the buffer and is garbage-collected with it.
+func (o *Object) fanOut(op func(i int, obj *client.Object) (uint64, error)) <-chan shareResult {
 	n := o.c.m.N()
 	ch := make(chan shareResult, n)
 	for i := 0; i < n; i++ {
@@ -248,11 +259,33 @@ func (o *Object) fanOut(op func(i int, obj *client.Object) (uint64, error)) []sh
 			ch <- shareResult{i: i, value: v, err: err}
 		}(i)
 	}
-	out := make([]shareResult, 0, n)
-	for i := 0; i < n; i++ {
-		out = append(out, <-ch)
+	return ch
+}
+
+// collectQuorum reads fan-out results until the outcome is decided: success
+// once quorum (n−f) calls acked, failure once more than f have errored
+// (quorum is then unreachable). Stragglers stay in the fan-out buffer. It
+// returns the results seen, the ack count, and the first error.
+func (o *Object) collectQuorum(ch <-chan shareResult) (results []shareResult, acks int, firstErr error) {
+	n, q := o.c.m.N(), o.c.m.Quorum()
+	results = make([]shareResult, 0, n)
+	for len(results) < n {
+		r := <-ch
+		results = append(results, r)
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if len(results)-acks > n-q {
+				return results, acks, firstErr // quorum unreachable
+			}
+			continue
+		}
+		if acks++; acks >= q {
+			return results, acks, firstErr
+		}
 	}
-	return out
+	return results, acks, firstErr
 }
 
 // syncWid recovers the writer's wid from a quorum of probe responses: the
@@ -261,21 +294,12 @@ func (o *Object) fanOut(op func(i int, obj *client.Object) (uint64, error)) []sh
 // issuing from there preserves monotonicity across writer restarts.
 // Caller holds wmu.
 func (o *Object) syncWid() error {
-	results := o.fanOut(func(i int, obj *client.Object) (uint64, error) {
+	results, acks, firstErr := o.collectQuorum(o.fanOut(func(i int, obj *client.Object) (uint64, error) {
 		return obj.ShareWrite(0, 0, o.c.shareLen)
-	})
-	acks := 0
+	}))
 	var max uint64
-	var firstErr error
 	for _, r := range results {
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
-			}
-			continue
-		}
-		acks++
-		if r.value > max {
+		if r.err == nil && r.value > max {
 			max = r.value
 		}
 	}
@@ -315,22 +339,17 @@ func (o *Object) Write(v uint64) error {
 	}
 	shares := o.c.cod.Split(data[:])
 
-	results := o.fanOut(func(i int, obj *client.Object) (uint64, error) {
+	// The collector returns at quorum acks (the write is then complete by
+	// definition — any later quorum read intersects the ack set in ≥ k
+	// nodes) or once more than f nodes errored; a hung node's share install
+	// proceeds in the background and lands whenever it lands.
+	results, acks, firstErr := o.collectQuorum(o.fanOut(func(i int, obj *client.Object) (uint64, error) {
 		masked := shareToUint(shares[i]) ^ SharePad(o.c.m.Secret, o.c.m.Nodes[i].ID, o.name, wid, o.c.shareLen)
 		return obj.ShareWrite(wid, masked, o.c.shareLen)
-	})
-	acks := 0
+	}))
 	var maxResident uint64
-	var firstErr error
 	for _, r := range results {
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
-			}
-			continue
-		}
-		acks++
-		if r.value > maxResident {
+		if r.err == nil && r.value > maxResident {
 			maxResident = r.value
 		}
 	}
@@ -369,6 +388,12 @@ type ReadTrace struct {
 	Retries int
 	// Failed lists the node ids that errored in the final round.
 	Failed []uint32
+	// Corrupted lists the node ids whose shares disagreed with the value
+	// the final round accepted: each one answered, at the right wid, with
+	// arithmetic that does not fit the quorum-supported decode. The client
+	// has already quarantined them (see Client.Suspects); the trace is how
+	// a harness proves detection fired on this very read.
+	Corrupted []uint32
 }
 
 // Read returns the dispersed object's current value as seen by the given
@@ -431,19 +456,33 @@ func (o *Object) ReadTraced(reader int) (uint64, ReadTrace, error) {
 // readOnce runs one fan-out round; done=false means the round was
 // inconclusive and the caller should retry (err then describes why, in case
 // the retry window runs out first).
+//
+// The round returns as soon as the outcome is decided — usually at the
+// first quorum of answers — but an INCONCLUSIVE quorum keeps collecting
+// stragglers up to all n before giving up on the round: when shares
+// disagree (a Byzantine node in the quorum) or a write is mid-flight, the
+// extra answers are exactly what tips the consensus rule over its support
+// threshold. With a request timeout configured, a hung straggler bounds the
+// wait instead of wedging it.
 func (o *Object) readOnce(reader int, trace *ReadTrace) (v uint64, done bool, err error) {
-	results := o.fanOut(func(i int, obj *client.Object) (uint64, error) {
+	n, q := o.c.m.N(), o.c.m.Quorum()
+	ch := o.fanOut(func(i int, obj *client.Object) (uint64, error) {
 		return obj.ShareRead(reader)
 	})
 
-	trace.Responded, trace.Failed = 0, trace.Failed[:0]
+	trace.Responded, trace.Failed, trace.Corrupted = 0, trace.Failed[:0], trace.Corrupted[:0]
 	byWid := make(map[uint64]map[int][]byte)
-	var firstErr error
-	for _, r := range results {
+	var firstErr, lastReason error
+	for got := 0; got < n; got++ {
+		r := <-ch
 		if r.err != nil {
 			trace.Failed = append(trace.Failed, o.c.m.Nodes[r.i].ID)
 			if firstErr == nil {
 				firstErr = r.err
+			}
+			if len(trace.Failed) > n-q {
+				return 0, false, fmt.Errorf("cluster: read %q answered by %d of %d nodes, need %d: %w",
+					o.name, trace.Responded, n, q, firstErr)
 			}
 			continue
 		}
@@ -457,21 +496,38 @@ func (o *Object) readOnce(reader int, trace *ReadTrace) (v uint64, done bool, er
 		share := make([]byte, o.c.shareLen)
 		uintToShare(share, masked^SharePad(o.c.m.Secret, o.c.m.Nodes[r.i].ID, o.name, wid, o.c.shareLen))
 		m[r.i] = share
-	}
-	if trace.Responded < o.c.m.Quorum() {
-		return 0, false, fmt.Errorf("cluster: read %q answered by %d of %d nodes, need %d: %w", o.name, trace.Responded, o.c.m.N(), o.c.m.Quorum(), firstErr)
-	}
 
-	// Selection. A completed write puts ≥ k nonzero-wid responses in any
-	// quorum (its write quorum intersects the responders in ≥ k nodes and
-	// wids only grow), so:
-	//   - some nonzero wid at ≥ k shares → newest such wid is safe to
-	//     return (it is ≥ the newest completed write, and reconstructible);
-	//   - < k nonzero responses in total → no write has completed anywhere;
-	//     the register provably still holds its initial value;
-	//   - otherwise the ≥ k nonzero responses are split below threshold by
-	//     an in-flight write: inconclusive, retry. Falling back to the
-	//     initial value here would be a freshness violation.
+		if trace.Responded < q {
+			continue
+		}
+		v, done, err = o.resolveRead(byWid, trace)
+		if done {
+			return v, true, err
+		}
+		lastReason = err
+	}
+	if lastReason == nil {
+		lastReason = firstErr
+	}
+	return 0, false, fmt.Errorf("cluster: read %q inconclusive across %d responses: %w", o.name, trace.Responded, lastReason)
+}
+
+// resolveRead attempts to decide the read from the responses gathered so
+// far (already ≥ quorum). Selection first: a completed write puts ≥ k
+// nonzero-wid responses in any quorum (its write quorum intersects the
+// responders in ≥ k nodes and wids only grow), so:
+//
+//   - some nonzero wid at ≥ k shares → newest such wid is the candidate;
+//     its shares then face the verified decode, which accepts only with
+//     quorum support — so a decode that succeeds is both fresh and correct
+//     even against f Byzantine nodes;
+//   - < k nonzero responses in total → no write has completed anywhere;
+//     the register provably still holds its initial value (decided);
+//   - otherwise — nonzero responses split below threshold, or a candidate
+//     whose shares disagree without quorum support — the state is
+//     inconclusive: an in-flight write, or corruption awaiting straggler
+//     votes. Not decided; the caller gathers more answers or retries.
+func (o *Object) resolveRead(byWid map[uint64]map[int][]byte, trace *ReadTrace) (v uint64, done bool, err error) {
 	k := o.c.m.Threshold()
 	best, nonzero := uint64(0), 0
 	for wid, shares := range byWid {
@@ -493,22 +549,18 @@ func (o *Object) readOnce(reader int, trace *ReadTrace) (v uint64, done bool, er
 	if best == 0 {
 		return 0, true, nil
 	}
-	v, err = o.reconstruct(byWid[best])
+	v, corrupted, err := o.decodeShares(byWid[best], true)
+	if len(corrupted) > 0 {
+		trace.Corrupted = trace.Corrupted[:0]
+		for _, i := range corrupted {
+			trace.Corrupted = append(trace.Corrupted, o.c.m.Nodes[i].ID)
+		}
+	}
+	if errors.Is(err, errInconclusive) {
+		return 0, false, fmt.Errorf("cluster: read %q wid %d: %w", o.name, best, err)
+	}
 	if err != nil {
 		return 0, true, fmt.Errorf("cluster: read %q wid %d: %w", o.name, best, err)
 	}
 	return v, true, nil
-}
-
-// reconstruct IDA-decodes a value from unmasked shares keyed by node index.
-func (o *Object) reconstruct(shares map[int][]byte) (uint64, error) {
-	data, err := o.c.cod.Reconstruct(shares, 8)
-	if err != nil {
-		return 0, err
-	}
-	var v uint64
-	for _, b := range data {
-		v = v<<8 | uint64(b)
-	}
-	return v, nil
 }

@@ -18,7 +18,9 @@ type testCluster struct {
 	dones []chan error
 }
 
-func startCluster(t *testing.T, n, f int, seed uint64) *testCluster {
+// startCluster boots the cluster; cfgHooks (optional) run against each
+// node's config before server.New — how a test plants one Byzantine node.
+func startCluster(t *testing.T, n, f int, seed uint64, cfgHooks ...func(i int, cfg *server.Config)) *testCluster {
 	t.Helper()
 	addrs := make([]string, n)
 	lns := make([]net.Listener, n)
@@ -35,12 +37,16 @@ func startCluster(t *testing.T, n, f int, seed uint64) *testCluster {
 		t.Fatalf("membership: %v", err)
 	}
 	for i := 0; i < n; i++ {
-		srv, err := server.New(server.Config{
+		cfg := server.Config{
 			Key:          tc.m.Nodes[i].Key,
 			Readers:      4,
 			NodeID:       tc.m.Nodes[i].ID,
 			PoolInterval: time.Millisecond,
-		})
+		}
+		for _, hook := range cfgHooks {
+			hook(i, &cfg)
+		}
+		srv, err := server.New(cfg)
 		if err != nil {
 			t.Fatalf("server.New node %d: %v", i+1, err)
 		}

@@ -3,7 +3,7 @@
 // snapshot per node, and renders a per-node health table plus a quorum
 // verdict — the operational view of the invariants the cluster relies on
 // (every node reachable, every node answering under the node id the
-// membership assigns it, share traffic flowing).
+// membership assigns it, share traffic flowing, no node caught corrupting).
 //
 // Usage:
 //
@@ -15,15 +15,19 @@
 // must match the daemons' so the tool can dial their auditor plane, mirroring
 // cmd/loadgen; health itself needs only STATS.
 //
-// Exit status: 0 when every node answers with the expected identity, 2 when
-// some nodes are down or wrong but a quorum (n−f) still answers — degraded
-// yet serving — and 1 when even the quorum is gone (or the membership is
-// invalid), at which point writes and reads stall.
+// Exit status: 0 when every node answers with the expected identity and none
+// has served a corrupt share, 3 when the cluster is serving but some node's
+// share-corrupts-served counter is nonzero — a SUSPECT node the Byzantine
+// budget f is currently absorbing; replace it — 2 when some nodes are down
+// or wrong but a quorum (n−f) still answers — degraded yet serving — and 1
+// when even the quorum is gone (or the membership is invalid), at which
+// point writes and reads stall.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -34,82 +38,112 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	nodes := flag.String("nodes", "", "comma-separated node addresses, positional: i-th address is node id i+1")
-	f := flag.Int("f", 1, "crash-fault budget the cluster tolerates (needs n >= 2f+2)")
-	seed := flag.Uint64("seed", 1, "cluster key seed (matches the daemons' -seed scheme)")
-	timeout := flag.Duration("timeout", 3*time.Second, "per-node dial timeout")
-	flag.Parse()
+// Exit codes, in decreasing order of operational urgency. SUSPECT ranks
+// between serving states and UNAVAILABLE: the cluster answers — the quorum
+// holds — but a node has been caught serving corrupt shares, so the
+// Byzantine budget is partly spent and the verdict must not read as clean.
+const (
+	exitHealthy     = 0
+	exitUnavailable = 1
+	exitDegraded    = 2
+	exitSuspect     = 3
+)
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("auditctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nodes := fs.String("nodes", "", "comma-separated node addresses, positional: i-th address is node id i+1")
+	f := fs.Int("f", 1, "crash-fault budget the cluster tolerates (needs n >= 2f+2)")
+	seed := fs.Uint64("seed", 1, "cluster key seed (matches the daemons' -seed scheme)")
+	timeout := fs.Duration("timeout", 3*time.Second, "per-node dial timeout")
+	if err := fs.Parse(args); err != nil {
+		return exitUnavailable
+	}
 
 	addrs := splitAddrs(*nodes)
 	if len(addrs) == 0 {
-		fmt.Fprintln(os.Stderr, "auditctl: -nodes is required (comma-separated addresses)")
-		return 1
+		fmt.Fprintln(stderr, "auditctl: -nodes is required (comma-separated addresses)")
+		return exitUnavailable
 	}
 	m := cluster.SeededMembership(addrs, *f, *seed)
 	if err := m.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "auditctl: %v\n", err)
-		return 1
+		fmt.Fprintf(stderr, "auditctl: %v\n", err)
+		return exitUnavailable
 	}
 
 	cc, err := cluster.Dial(m, cluster.WithClientOptions(func(cluster.Node) []client.Option {
 		return []client.Option{client.WithConns(1), client.WithDialTimeout(*timeout)}
 	}))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "auditctl: %v\n", err)
-		return 1
+		fmt.Fprintf(stderr, "auditctl: %v\n", err)
+		return exitUnavailable
 	}
 	defer cc.Close()
 
 	stats, err := cc.NodeStats()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "auditctl: %v\n", err)
-		return 1
+		fmt.Fprintf(stderr, "auditctl: %v\n", err)
+		return exitUnavailable
 	}
 
-	fmt.Printf("cluster: n=%d f=%d  quorum=%d  threshold k=%d  share-len=%dB\n\n",
+	fmt.Fprintf(stdout, "cluster: n=%d f=%d  quorum=%d  threshold k=%d  share-len=%dB\n\n",
 		m.N(), m.F, m.Quorum(), m.Threshold(), m.ShareLen())
-	fmt.Printf("%-5s %-22s %-9s %-10s %-12s %-13s %-13s %s\n",
-		"node", "addr", "status", "uptime", "share-objs", "share-writes", "share-fetches", "go")
-	healthy := 0
+	fmt.Fprintf(stdout, "%-5s %-22s %-9s %-10s %-12s %-13s %-13s %-9s %s\n",
+		"node", "addr", "status", "uptime", "share-objs", "share-writes", "share-fetches", "corrupts", "go")
+	healthy, suspects := 0, 0
 	for _, ns := range stats {
 		if ns.Err != nil {
-			fmt.Printf("%-5d %-22s %-9s %v\n", ns.Node, ns.Addr, "DOWN", ns.Err)
+			fmt.Fprintf(stdout, "%-5d %-22s %-9s %v\n", ns.Node, ns.Addr, "DOWN", ns.Err)
 			continue
 		}
 		pairs := pairMap(ns.Resp)
 		status := "ok"
-		if got := pairs["node-id"]; got != uint64(ns.Node) {
+		switch {
+		case pairs["node-id"] != uint64(ns.Node):
 			// The daemon answers but is not who the membership says: a
 			// miswired address list. Shares routed here would land under the
 			// wrong pad, so it cannot count toward the quorum.
-			status = fmt.Sprintf("ID=%d!", got)
-		} else {
+			status = fmt.Sprintf("ID=%d!", pairs["node-id"])
+		case pairs["share-corrupts-served"] > 0:
+			// The node itself confesses (the counter exists for the chaos
+			// lab's positive-control hook), but a real corruptor is caught
+			// the same way from the client side: quarantined by every
+			// dispersing client's verified reconstruction. Either way the
+			// node answers — it counts toward the quorum — while the verdict
+			// must say the Byzantine budget is being spent.
+			status = "SUSPECT"
+			suspects++
+			healthy++
+		default:
 			healthy++
 		}
-		fmt.Printf("%-5d %-22s %-9s %-10s %-12d %-13d %-13d %s\n",
+		fmt.Fprintf(stdout, "%-5d %-22s %-9s %-10s %-12d %-13d %-13d %-9d %s\n",
 			ns.Node, ns.Addr, status,
 			(time.Duration(ns.Resp.UptimeMs) * time.Millisecond).Truncate(time.Second),
 			pairs["share-objects"], pairs["share-writes"], pairs["share-fetches"],
-			ns.Resp.GoVersion)
+			pairs["share-corrupts-served"], ns.Resp.GoVersion)
 	}
 
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	switch {
-	case healthy == m.N():
-		fmt.Printf("HEALTHY: all %d nodes answering with their assigned identity\n", healthy)
-		return 0
-	case healthy >= m.Quorum():
-		fmt.Printf("DEGRADED: %d of %d nodes healthy (quorum %d holds; %d more loss(es) tolerated)\n",
-			healthy, m.N(), m.Quorum(), healthy-m.Quorum())
-		return 2
-	default:
-		fmt.Printf("UNAVAILABLE: %d of %d nodes healthy, quorum %d lost — writes and reads stall\n",
+	case healthy < m.Quorum():
+		fmt.Fprintf(stdout, "UNAVAILABLE: %d of %d nodes healthy, quorum %d lost — writes and reads stall\n",
 			healthy, m.N(), m.Quorum())
-		return 1
+		return exitUnavailable
+	case suspects > 0:
+		fmt.Fprintf(stdout, "SUSPECT: %d node(s) served corrupt shares — quorum %d holds and reads stay correct (f=%d budget), but the corruptor(s) must be replaced\n",
+			suspects, m.Quorum(), m.F)
+		return exitSuspect
+	case healthy == m.N():
+		fmt.Fprintf(stdout, "HEALTHY: all %d nodes answering with their assigned identity\n", healthy)
+		return exitHealthy
+	default:
+		fmt.Fprintf(stdout, "DEGRADED: %d of %d nodes healthy (quorum %d holds; %d more loss(es) tolerated)\n",
+			healthy, m.N(), m.Quorum(), healthy-m.Quorum())
+		return exitDegraded
 	}
 }
 

@@ -72,6 +72,7 @@ func main() {
 	walStripes := flag.Int("wal-stripes", 0, "WAL stripe groups, each with its own writer and fsync pipeline (0: GOMAXPROCS; a non-empty -data-dir pins its own count)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus text) and /debug/pprof/ (empty: disabled)")
 	nodeID := flag.Uint("node-id", 0, "cluster node identity asserted by dispersal clients at OPEN (0: standalone, assertions refused)")
+	corruptShares := flag.Bool("corrupt-shares", false, "BYZANTINE TEST HOOK: flip one bit of every served share on the wire (chaos-lab positive control; never in production)")
 	flag.Parse()
 
 	policy, ok := persist.ParsePolicy(*fsync)
@@ -94,6 +95,7 @@ func main() {
 		WALBatchBytes: *walBatchBytes,
 		WALStripes:    *walStripes,
 		NodeID:        uint32(*nodeID),
+		CorruptShares: *corruptShares,
 	})
 	if err != nil {
 		fatalf("%v", err)

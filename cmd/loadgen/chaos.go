@@ -1,0 +1,565 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"auditreg"
+	"auditreg/client"
+	"auditreg/cluster"
+	"auditreg/internal/benchfmt"
+	"auditreg/internal/netsim"
+)
+
+// Chaos phase pacing. Each fault is held long enough for real traffic to
+// cross it (the stretch also requires a minimum op count, so an idle phase
+// can never vacuously pass), then healed and given a settle window before
+// the next fault — one fault at a time, so every assertion isolates one
+// failure mode against the f=1 budget.
+const (
+	chaosFaultHold    = 1200 * time.Millisecond
+	chaosSettle       = 600 * time.Millisecond
+	chaosMinPhaseOps  = 40
+	chaosOpDeadline   = 45 * time.Second // per-op retry budget; an op past this is a lost acked op
+	chaosReqTimeout   = 2 * time.Second  // client request timeout: bounds every round against a hung node
+	chaosDetectWindow = 20 * time.Second // Byzantine phase: detection must fire within this
+)
+
+// runChaosCell is the E20 fault-injection lab: n durable auditd daemons
+// reached through an in-process netsim.Fabric bridge (so links can be cut,
+// stalled, and healed from the driver), continuous read/write traffic, and a
+// chaos controller cycling through the four failure modes one at a time:
+//
+//  1. CRASH — SIGKILL a node, run degraded, restart it from its own WAL.
+//  2. PARTITION — cut the driver's link to a node via the fabric, heal it.
+//  3. HANG — stall the node's link (bytes park, no RST: the failure a crash
+//     detector cannot see); the client's request timeout bounds every round.
+//  4. BYZANTINE — restart a node with -corrupt-shares (the daemon's
+//     bit-flipping positive control); the cell blocks until the client's
+//     verified reconstruction flags it in a ReadTrace, quarantines it, and
+//     the node's own share-corrupts-served STATS counter confesses; then the
+//     node restarts honest and the cell waits for the quarantine to clear.
+//
+// Throughout, every read is checked against the attempted-writes set (a
+// value no write ever attempted is a wrong read — the cell fails instantly),
+// per-op latency is bounded by chaosOpDeadline, and an honest node flagged
+// corrupt fails the cell. At the end, the same two-sided merged-audit
+// verification as E19 runs over the healed cluster: zero lost acked ops,
+// exact audits, post-fault liveness.
+func runChaosCell(cfg cellConfig, auditdBin, baseDir string, conns, n, f int) (benchfmt.Result, error) {
+	if f < 1 {
+		return benchfmt.Result{}, fmt.Errorf("chaos mode needs f >= 1 (got f=%d): every phase spends exactly one fault", f)
+	}
+	m := cfg.readers
+	if m == 0 {
+		m = cfg.goroutines
+		if m > auditreg.MaxReaders {
+			m = auditreg.MaxReaders
+		}
+	}
+
+	// Fault assignments: distinct nodes, fixed for reproducibility.
+	crashIdx, partIdx, byzIdx := 1, 2, 0
+	hungIdx := n - 1
+
+	// Real daemons on TCP; the cluster client reaches them through fabric
+	// endpoints named node1..nodeN, each bridged to its daemon's TCP address.
+	// The fabric is where partitions and hangs are injected; kills go to the
+	// processes directly.
+	tcpAddrs := make([]string, n)
+	daemons := make([]*daemon, n)
+	var dmu sync.Mutex
+	for i := 0; i < n; i++ {
+		var err error
+		if tcpAddrs[i], err = freePort(); err != nil {
+			return benchfmt.Result{}, err
+		}
+	}
+	fabNames := make([]string, n)
+	for i := range fabNames {
+		fabNames[i] = fmt.Sprintf("node%d", i+1)
+	}
+	mem := cluster.SeededMembership(fabNames, f, cfg.seed)
+	if err := mem.Validate(); err != nil {
+		return benchfmt.Result{}, err
+	}
+	nodeDir := func(i int) string {
+		return filepath.Join(baseDir, fmt.Sprintf("chaos-o%d-g%d", cfg.objects, cfg.goroutines), fmt.Sprintf("node%d", i+1))
+	}
+	spawn := func(i int, corrupt bool) (*daemon, error) {
+		return startDaemon(auditdBin, tcpAddrs[i], nodeDir(i), cfg.seed+uint64(i)+1, m,
+			daemonTuning{nodeID: mem.Nodes[i].ID, corruptShares: corrupt})
+	}
+	for i := 0; i < n; i++ {
+		d, err := spawn(i, false)
+		if err != nil {
+			return benchfmt.Result{}, fmt.Errorf("node %d: %w", i+1, err)
+		}
+		daemons[i] = d
+	}
+	defer func() {
+		dmu.Lock()
+		defer dmu.Unlock()
+		for _, d := range daemons {
+			if d != nil {
+				d.kill9()
+			}
+		}
+	}()
+
+	fab := netsim.NewFabric(cfg.seed, 0)
+	for i := 0; i < n; i++ {
+		if err := bridgeNode(fab, fabNames[i], tcpAddrs[i]); err != nil {
+			return benchfmt.Result{}, err
+		}
+	}
+
+	cc, err := cluster.Dial(mem, cluster.WithClientOptions(func(cluster.Node) []client.Option {
+		return []client.Option{
+			client.WithConns(conns),
+			client.WithDialTimeout(time.Second),
+			client.WithDialer(fab.Dialer("driver")),
+			client.WithRequestTimeout(chaosReqTimeout),
+		}
+	}))
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	defer cc.Close()
+
+	names := make([]string, cfg.objects)
+	objs := make([]*cluster.Object, cfg.objects)
+	for i := range names {
+		names[i] = fmt.Sprintf("e20/n%d-f%d/o%d-g%d/obj-%05d", n, f, cfg.objects, cfg.goroutines, i)
+		if objs[i], err = cc.Open(names[i]); err != nil {
+			return benchfmt.Result{}, err
+		}
+	}
+
+	// Bookkeeping (see runClusterCell). wrongRead/badFlag hold the first
+	// correctness violation — either fails the cell.
+	var mu sync.Mutex
+	obsLogs := make([][]observation, cfg.goroutines)
+	attempted := make([]map[uint64]bool, cfg.objects)
+	readBy := make([]map[int]bool, cfg.objects)
+	for i := range attempted {
+		attempted[i] = map[uint64]bool{0: true}
+		readBy[i] = make(map[int]bool)
+	}
+	ambiguous := make(map[ambiguousKey]bool)
+	var reads, writes, failedOps, retriedOps, readRetries, staleReads atomic.Uint64
+	var failedNodeReads, corruptedReads, maxOpNanos atomic.Uint64
+	var wrongRead, badFlag atomic.Pointer[string]
+	byzID := mem.Nodes[byzIdx].ID
+
+	// Workers run until the chaos controller has finished every phase: the
+	// cell is phase-paced, not op-paced, so each fault window is guaranteed
+	// live traffic (cfg.ops is not used as a stop condition here).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < cfg.goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(g)*7919))
+			reader := g % m
+			var obs []observation
+			defer func() { obsLogs[g] = obs }()
+			for opStart := time.Now(); ; opStart = time.Now() {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := rng.Intn(len(objs))
+				isWrite := rng.Intn(100) < cfg.writePct
+				var wval uint64
+				if isWrite {
+					wval = 1 + uint64(rng.Intn(1<<20))
+					mu.Lock()
+					attempted[idx][wval] = true
+					mu.Unlock()
+				}
+				failures := 0
+				deadline := opStart.Add(chaosOpDeadline)
+				for {
+					var err error
+					var rval uint64
+					var trace cluster.ReadTrace
+					if isWrite {
+						err = objs[idx].Write(wval)
+					} else {
+						rval, trace, err = objs[idx].ReadTraced(reader)
+					}
+					if err == nil {
+						if isWrite {
+							writes.Add(1)
+						} else {
+							mu.Lock()
+							okVal := rval == 0 || attempted[idx][rval]
+							readBy[idx][reader] = true
+							mu.Unlock()
+							if !okVal {
+								msg := fmt.Sprintf("WRONG READ on %s: %#x was never written", names[idx], rval)
+								wrongRead.CompareAndSwap(nil, &msg)
+								return
+							}
+							obs = append(obs, observation{obj: idx, reader: reader, val: rval})
+							reads.Add(1)
+							readRetries.Add(uint64(trace.Retries))
+							if trace.Stale {
+								staleReads.Add(1)
+							}
+							if len(trace.Failed) > 0 {
+								failedNodeReads.Add(1)
+							}
+							for _, id := range trace.Corrupted {
+								if id != byzID {
+									msg := fmt.Sprintf("honest node %d flagged corrupt on %s", id, names[idx])
+									badFlag.CompareAndSwap(nil, &msg)
+									return
+								}
+								corruptedReads.Add(1)
+							}
+						}
+						if failures > 0 {
+							retriedOps.Add(1)
+						}
+						// Bounded latency: the worst single op, fault windows
+						// included, goes into the BENCH metrics and is capped
+						// by the per-op deadline above.
+						for {
+							cur := maxOpNanos.Load()
+							d := uint64(time.Since(opStart))
+							if d <= cur || maxOpNanos.CompareAndSwap(cur, d) {
+								break
+							}
+						}
+						break
+					}
+					failures++
+					if failures == 1 && !isWrite {
+						mu.Lock()
+						ambiguous[ambiguousKey{obj: idx, reader: reader}] = true
+						mu.Unlock()
+					}
+					if time.Now().After(deadline) {
+						failedOps.Add(1)
+						break
+					}
+					select {
+					case <-stop:
+						// An op abandoned mid-retry at teardown is not lost:
+						// nothing acked it.
+						return
+					case <-time.After(25 * time.Millisecond):
+					}
+				}
+			}
+		}(g)
+	}
+
+	opsDone := func() uint64 { return reads.Load() + writes.Load() }
+	// stretch holds the current cluster state for d while requiring minOps
+	// fresh completions — proof the cluster stayed live through the window.
+	stretch := func(what string, d time.Duration) error {
+		from := opsDone()
+		end := time.Now().Add(d)
+		for deadline := time.Now().Add(d + 30*time.Second); ; {
+			if time.Now().After(end) && opsDone()-from >= chaosMinPhaseOps {
+				return nil
+			}
+			if p := wrongRead.Load(); p != nil {
+				return fmt.Errorf("%s", *p)
+			}
+			if p := badFlag.Load(); p != nil {
+				return fmt.Errorf("%s", *p)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("phase %s: traffic stalled (%d ops in %v, need %d) — liveness lost", what, opsDone()-from, d, chaosMinPhaseOps)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	phases := func() error {
+		if err := stretch("warmup", 300*time.Millisecond); err != nil {
+			return err
+		}
+
+		// Phase 1: CRASH. Zero lost acked ops is the claim; the workers'
+		// retry loops absorb the outage and the WAL restart rejoins the node.
+		dmu.Lock()
+		daemons[crashIdx].kill9()
+		daemons[crashIdx] = nil
+		dmu.Unlock()
+		if err := stretch("crash", chaosFaultHold); err != nil {
+			return err
+		}
+		nd, err := spawn(crashIdx, false)
+		if err != nil {
+			return fmt.Errorf("restart node %d: %w", crashIdx+1, err)
+		}
+		dmu.Lock()
+		daemons[crashIdx] = nd
+		dmu.Unlock()
+		if err := stretch("crash-heal", chaosSettle); err != nil {
+			return err
+		}
+
+		// Phase 2: PARTITION. The fabric cuts the driver↔node link both
+		// ways: established bridges die like a pulled cable, dials refuse.
+		fab.Partition("driver", fabNames[partIdx])
+		if err := stretch("partition", chaosFaultHold); err != nil {
+			return err
+		}
+		fab.Heal("driver", fabNames[partIdx])
+		if err := stretch("partition-heal", chaosSettle); err != nil {
+			return err
+		}
+
+		// Phase 3: HANG. Bytes park in the link with the connection open —
+		// no RST, no error, just silence. The client's request timeout is
+		// the only thing that unsticks a round including this node.
+		fab.SetDelay("driver", fabNames[hungIdx], time.Hour)
+		fab.SetDelay(fabNames[hungIdx], "driver", time.Hour)
+		if err := stretch("hang", chaosFaultHold); err != nil {
+			return err
+		}
+		fab.SetDelay("driver", fabNames[hungIdx], 0)
+		fab.SetDelay(fabNames[hungIdx], "driver", 0)
+		if err := stretch("hang-heal", chaosSettle); err != nil {
+			return err
+		}
+
+		// Phase 4: BYZANTINE. Restart one node with the bit-flipping share
+		// server and require the whole detection chain to fire: a ReadTrace
+		// naming the corruptor, the client quarantine, and the node's own
+		// STATS confession — while every read stays correct (asserted in the
+		// workers) and the journals stay honest (asserted by the end-of-cell
+		// audit merge).
+		dmu.Lock()
+		daemons[byzIdx].kill9()
+		dmu.Unlock()
+		nd, err = spawn(byzIdx, true)
+		if err != nil {
+			return fmt.Errorf("byzantine restart node %d: %w", byzIdx+1, err)
+		}
+		dmu.Lock()
+		daemons[byzIdx] = nd
+		dmu.Unlock()
+		detectBy := time.Now().Add(chaosDetectWindow)
+		for {
+			if corruptedReads.Load() > 0 && containsID(cc.Suspects(), byzID) && nodeConfessed(cc, byzID) {
+				break
+			}
+			if p := wrongRead.Load(); p != nil {
+				return fmt.Errorf("%s", *p)
+			}
+			if p := badFlag.Load(); p != nil {
+				return fmt.Errorf("%s", *p)
+			}
+			if time.Now().After(detectBy) {
+				return fmt.Errorf("byzantine node %d ran undetected for %v: corrupted-reads=%d suspects=%v",
+					byzID, chaosDetectWindow, corruptedReads.Load(), cc.Suspects())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		// Heal: restart honest and wait for the quarantine to lift — the
+		// node's shares decode cleanly again, so the client clears it.
+		dmu.Lock()
+		daemons[byzIdx].kill9()
+		dmu.Unlock()
+		nd, err = spawn(byzIdx, false)
+		if err != nil {
+			return fmt.Errorf("honest restart node %d: %w", byzIdx+1, err)
+		}
+		dmu.Lock()
+		daemons[byzIdx] = nd
+		dmu.Unlock()
+		clearBy := time.Now().Add(chaosDetectWindow)
+		for len(cc.Suspects()) > 0 {
+			if time.Now().After(clearBy) {
+				return fmt.Errorf("quarantine never cleared after honest restart: suspects=%v", cc.Suspects())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		return stretch("byzantine-heal", chaosSettle)
+	}
+
+	phaseErr := phases()
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if phaseErr != nil {
+		return benchfmt.Result{}, phaseErr
+	}
+	if p := wrongRead.Load(); p != nil {
+		return benchfmt.Result{}, fmt.Errorf("%s", *p)
+	}
+	if p := badFlag.Load(); p != nil {
+		return benchfmt.Result{}, fmt.Errorf("%s", *p)
+	}
+	if lost := failedOps.Load(); lost > 0 {
+		return benchfmt.Result{}, fmt.Errorf("%d op(s) never completed within %v: acked capacity lost beyond the fault budget", lost, chaosOpDeadline)
+	}
+	if corruptedReads.Load() == 0 {
+		return benchfmt.Result{}, fmt.Errorf("no read trace ever flagged the corruptor")
+	}
+
+	observed := make([]map[auditreg.Entry[uint64]]bool, cfg.objects)
+	for i := range observed {
+		observed[i] = make(map[auditreg.Entry[uint64]]bool)
+	}
+	for _, obs := range obsLogs {
+		for _, o := range obs {
+			if o.val == 0 {
+				continue
+			}
+			observed[o.obj][auditreg.Entry[uint64]{Reader: o.reader, Value: o.val}] = true
+		}
+	}
+
+	cv := clusterVerify{
+		names: names, objs: objs,
+		observed: observed, attempted: attempted, readBy: readBy, ambiguous: ambiguous,
+		n: n, sample: cfg.verify, seed: cfg.seed, sentinelBase: 0xE20_0000_0000,
+	}
+	vr, err := cv.run()
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	if len(vr.corrupted) > 0 {
+		// The Byzantine hook corrupts only the wire; a corrupt JOURNAL would
+		// break the merged audit's exactness claim, so it fails the cell.
+		return benchfmt.Result{}, fmt.Errorf("merged audit found corrupt journal shares on nodes %v", vr.corrupted)
+	}
+
+	dmu.Lock()
+	for i, d := range daemons {
+		if d == nil {
+			continue
+		}
+		if err := d.terminate(); err != nil {
+			dmu.Unlock()
+			return benchfmt.Result{}, fmt.Errorf("drain node %d: %w", i+1, err)
+		}
+		daemons[i] = nil
+	}
+	dmu.Unlock()
+
+	totalOps := opsDone()
+	ctr := cc.Counters()
+	metrics, err := benchfmt.Metric(
+		"ns/op", float64(elapsed.Nanoseconds())/float64(totalOps),
+		"ops/s", float64(totalOps)/elapsed.Seconds(),
+		"reads", reads.Load(),
+		"writes", writes.Load(),
+		"failed-ops", failedOps.Load(),
+		"retried-ops", retriedOps.Load(),
+		"read-retries", readRetries.Load(),
+		"stale-reads", staleReads.Load(),
+		"failed-node-reads", failedNodeReads.Load(),
+		"corrupted-reads", corruptedReads.Load(),
+		"verified-decodes", ctr.VerifiedDecodes,
+		"consensus-decodes", ctr.ConsensusDecodes,
+		"corrupt-shares", ctr.CorruptShares,
+		"suspect-marks", ctr.SuspectMarks,
+		"suspect-clears", ctr.SuspectClears,
+		"max-op-ms", float64(maxOpNanos.Load())/1e6,
+		"nodes", uint64(n),
+		"faults", uint64(f),
+		"conns", conns,
+		"verified-objects", vr.checked,
+		"audited-pairs", vr.pairs,
+		"stale-charged-pairs", vr.staleCharged,
+		"undecided-pairs", vr.undecided,
+		"audit-corrupted-nodes", uint64(len(vr.corrupted)),
+		"merged-nodes", vr.mergedNodesMin,
+	)
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	return benchfmt.Result{
+		Name:    fmt.Sprintf("LoadgenChaos/n=%d/f=%d/objects=%d/goroutines=%d", n, f, cfg.objects, cfg.goroutines),
+		Package: "auditreg/cmd/loadgen",
+		Iters:   int64(totalOps),
+		Metrics: metrics,
+	}, nil
+}
+
+// bridgeNode registers a fabric listener under name and forwards every
+// accepted fabric connection to the node's real TCP address — the seam that
+// lets fabric partitions and stalls act on traffic to a real daemon process.
+// A daemon that is down refuses the TCP dial; the bridge then closes the
+// fabric side, which the client sees as a dead connection (exactly a crashed
+// peer). The bridge itself lives until the enclosing cell's daemons die with
+// the process; its per-connection goroutines die with their connections.
+func bridgeNode(fab *netsim.Fabric, name, tcpAddr string) error {
+	ln, err := fab.Listen(name)
+	if err != nil {
+		return err
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				tc, err := net.DialTimeout("tcp", tcpAddr, 2*time.Second)
+				if err != nil {
+					c.Close()
+					return
+				}
+				go func() {
+					io.Copy(tc, c)
+					tc.Close()
+					c.Close()
+				}()
+				io.Copy(c, tc)
+				c.Close()
+				tc.Close()
+			}(c)
+		}
+	}()
+	return nil
+}
+
+// containsID reports whether ids contains id.
+func containsID(ids []uint32, id uint32) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeConfessed reports whether the node's own STATS counter
+// share-corrupts-served is nonzero — the daemon-side half of the detection
+// chain (what auditctl's SUSPECT verdict keys on).
+func nodeConfessed(cc *cluster.Client, id uint32) bool {
+	stats, err := cc.NodeStats()
+	if err != nil {
+		return false
+	}
+	for _, ns := range stats {
+		if ns.Node != id || ns.Err != nil {
+			continue
+		}
+		for _, p := range ns.Resp.Pairs {
+			if p.Name == "share-corrupts-served" && p.Value > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -122,6 +122,7 @@ func runClusterCell(cfg cellConfig, auditdBin, baseDir string, conns, n, f int) 
 	}
 	ambiguous := make(map[ambiguousKey]bool)
 	var reads, writes, failedOps, retriedOps, readRetries, staleReads atomic.Uint64
+	var failedNodeReads, corruptedReads atomic.Uint64
 
 	// The kill-and-restart watcher: SIGKILL one node (its id counts against
 	// f) once a quarter of the ops are through, let the cluster run a
@@ -217,6 +218,12 @@ func runClusterCell(cfg cellConfig, auditdBin, baseDir string, conns, n, f int) 
 							if trace.Stale {
 								staleReads.Add(1)
 							}
+							if len(trace.Failed) > 0 {
+								failedNodeReads.Add(1)
+							}
+							if len(trace.Corrupted) > 0 {
+								corruptedReads.Add(1)
+							}
 							mu.Lock()
 							readBy[idx][reader] = true
 							mu.Unlock()
@@ -260,7 +267,7 @@ func runClusterCell(cfg cellConfig, auditdBin, baseDir string, conns, n, f int) 
 		return benchfmt.Result{}, fmt.Errorf("%d op(s) never completed: the cluster lost acked capacity beyond its fault budget", lost)
 	}
 
-	observed := make(map[int]map[auditreg.Entry[uint64]]bool, cfg.objects)
+	observed := make([]map[auditreg.Entry[uint64]]bool, cfg.objects)
 	for i := range names {
 		observed[i] = make(map[auditreg.Entry[uint64]]bool)
 	}
@@ -279,71 +286,14 @@ func runClusterCell(cfg cellConfig, auditdBin, baseDir string, conns, n, f int) 
 	}
 
 	// Two-sided verification across the crash, on a seeded sample.
-	perm := rand.New(rand.NewSource(int64(cfg.seed))).Perm(len(names))
-	if cfg.verify < len(perm) {
-		perm = perm[:max(0, cfg.verify)]
+	cv := clusterVerify{
+		names: names, objs: objs,
+		observed: observed, attempted: attempted, readBy: readBy, ambiguous: ambiguous,
+		n: n, sample: cfg.verify, seed: cfg.seed, sentinelBase: 0xE19_0000_0000,
 	}
-	checked := 0
-	mergedNodesMin := n
-	var pairs, staleCharged, undecided uint64
-	for _, i := range perm {
-		// The restarted node may still be replaying its WAL: give the full
-		// merge a moment, but never accept less than all n logs — exactness
-		// relative to fewer is weaker than what this cell claims.
-		var merged cluster.Merged
-		var err error
-		for deadline := time.Now().Add(15 * time.Second); ; {
-			merged, err = objs[i].Audit()
-			if err == nil && merged.Nodes == n {
-				break
-			}
-			if time.Now().After(deadline) {
-				return benchfmt.Result{}, fmt.Errorf("verify %s: full %d-node merge unavailable: nodes=%d err=%v", names[i], n, merged.Nodes, err)
-			}
-			time.Sleep(50 * time.Millisecond)
-		}
-		if merged.Nodes < mergedNodesMin {
-			mergedNodesMin = merged.Nodes
-		}
-		entries := merged.Report.Entries()
-		pairs += uint64(len(entries))
-		got := make(map[auditreg.Entry[uint64]]bool, len(entries))
-		for _, e := range entries {
-			got[e] = true
-			if observed[i][e] {
-				continue
-			}
-			if !attempted[i][e.Value] {
-				return benchfmt.Result{}, fmt.Errorf("verify %s: merged pair (%d, %#x) has a value no write ever attempted", names[i], e.Reader, e.Value)
-			}
-			if !readBy[i][e.Reader] && !ambiguous[ambiguousKey{obj: i, reader: e.Reader}] {
-				return benchfmt.Result{}, fmt.Errorf("verify %s: merged pair (%d, %#x) charged to a reader that never fetched on the object", names[i], e.Reader, e.Value)
-			}
-			staleCharged++
-		}
-		for e := range observed[i] {
-			if !got[e] {
-				return benchfmt.Result{}, fmt.Errorf("verify %s: observed pair (%d, %#x) missing from the merged audit — an acknowledged effective read was lost", names[i], e.Reader, e.Value)
-			}
-		}
-		for _, u := range merged.Undecided {
-			if !readBy[i][u.Reader] && !ambiguous[ambiguousKey{obj: i, reader: u.Reader}] {
-				return benchfmt.Result{}, fmt.Errorf("verify %s: undecided pair (reader %d, wid %d) from a reader that never fetched on the object", names[i], u.Reader, u.Wid)
-			}
-			undecided++
-		}
-
-		// Post-crash liveness: the healed cluster must still accept a write
-		// and read it back exactly — the newest state is not stranded on the
-		// dead node's wid horizon.
-		sentinel := uint64(0xE19_0000_0000) | uint64(i)
-		if err := objs[i].Write(sentinel); err != nil {
-			return benchfmt.Result{}, fmt.Errorf("verify %s: post-crash write: %w", names[i], err)
-		}
-		if v, err := objs[i].Read(0); err != nil || v != sentinel {
-			return benchfmt.Result{}, fmt.Errorf("verify %s: post-crash read = %#x, %v; want %#x", names[i], v, err, sentinel)
-		}
-		checked++
+	vr, err := cv.run()
+	if err != nil {
+		return benchfmt.Result{}, err
 	}
 
 	// Drain every daemon gracefully; a node that cannot drain lost state.
@@ -361,6 +311,7 @@ func runClusterCell(cfg cellConfig, auditdBin, baseDir string, conns, n, f int) 
 	dmu.Unlock()
 
 	totalOps := reads.Load() + writes.Load()
+	ctr := cc.Counters()
 	metrics, err := benchfmt.Metric(
 		"ns/op", float64(elapsed.Nanoseconds())/float64(totalOps),
 		"ops/s", float64(totalOps)/elapsed.Seconds(),
@@ -370,15 +321,23 @@ func runClusterCell(cfg cellConfig, auditdBin, baseDir string, conns, n, f int) 
 		"retried-ops", retriedOps.Load(),
 		"read-retries", readRetries.Load(),
 		"stale-reads", staleReads.Load(),
+		"failed-node-reads", failedNodeReads.Load(),
+		"corrupted-reads", corruptedReads.Load(),
+		"verified-decodes", ctr.VerifiedDecodes,
+		"consensus-decodes", ctr.ConsensusDecodes,
+		"corrupt-shares", ctr.CorruptShares,
+		"suspect-marks", ctr.SuspectMarks,
+		"suspect-clears", ctr.SuspectClears,
 		"kills", kills,
 		"nodes", uint64(n),
 		"faults", uint64(f),
 		"conns", conns,
-		"verified-objects", checked,
-		"audited-pairs", pairs,
-		"stale-charged-pairs", staleCharged,
-		"undecided-pairs", undecided,
-		"merged-nodes", mergedNodesMin,
+		"verified-objects", vr.checked,
+		"audited-pairs", vr.pairs,
+		"stale-charged-pairs", vr.staleCharged,
+		"undecided-pairs", vr.undecided,
+		"audit-corrupted-nodes", uint64(len(vr.corrupted)),
+		"merged-nodes", vr.mergedNodesMin,
 	)
 	if err != nil {
 		return benchfmt.Result{}, err
@@ -389,4 +348,109 @@ func runClusterCell(cfg cellConfig, auditdBin, baseDir string, conns, n, f int) 
 		Iters:   int64(totalOps),
 		Metrics: metrics,
 	}, nil
+}
+
+// clusterVerify is the end-of-cell, two-sided merged-audit verification
+// shared by the E19 cluster cell and the E20 chaos cell: a seeded sample of
+// objects is audited through the full n-node merge and checked exactly
+// against everything the driver observed.
+type clusterVerify struct {
+	names []string
+	objs  []*cluster.Object
+	// observed[i] is the set of (reader, value) pairs the driver's reads
+	// acknowledged on object i; attempted[i] the values writes attempted;
+	// readBy[i] the readers that fetched on i; ambiguous the (object,
+	// reader) pairs whose fetch outcome a failure left unknown.
+	observed  []map[auditreg.Entry[uint64]]bool
+	attempted []map[uint64]bool
+	readBy    []map[int]bool
+	ambiguous map[ambiguousKey]bool
+
+	n            int    // full cluster size: the merge must cover all n logs
+	sample       int    // objects to verify (seeded shuffle)
+	seed         uint64 // shuffle seed
+	sentinelBase uint64 // tag of the post-fault liveness sentinel writes
+}
+
+// clusterVerifyResult carries the verification tallies into the cell metrics.
+type clusterVerifyResult struct {
+	checked                        int
+	pairs, staleCharged, undecided uint64
+	corrupted                      []uint32 // union of Merged.Corrupted over the sample
+	mergedNodesMin                 int
+}
+
+func (cv clusterVerify) run() (clusterVerifyResult, error) {
+	perm := rand.New(rand.NewSource(int64(cv.seed))).Perm(len(cv.names))
+	if cv.sample < len(perm) {
+		perm = perm[:max(0, cv.sample)]
+	}
+	res := clusterVerifyResult{mergedNodesMin: cv.n}
+	badNodes := make(map[uint32]bool)
+	for _, i := range perm {
+		// A restarted node may still be replaying its WAL: give the full
+		// merge a moment, but never accept less than all n logs — exactness
+		// relative to fewer is weaker than what the cell claims.
+		var merged cluster.Merged
+		var err error
+		for deadline := time.Now().Add(15 * time.Second); ; {
+			merged, err = cv.objs[i].Audit()
+			if err == nil && merged.Nodes == cv.n {
+				break
+			}
+			if time.Now().After(deadline) {
+				return res, fmt.Errorf("verify %s: full %d-node merge unavailable: nodes=%d err=%v", cv.names[i], cv.n, merged.Nodes, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if merged.Nodes < res.mergedNodesMin {
+			res.mergedNodesMin = merged.Nodes
+		}
+		for _, id := range merged.Corrupted {
+			badNodes[id] = true
+		}
+		entries := merged.Report.Entries()
+		res.pairs += uint64(len(entries))
+		got := make(map[auditreg.Entry[uint64]]bool, len(entries))
+		for _, e := range entries {
+			got[e] = true
+			if cv.observed[i][e] {
+				continue
+			}
+			if !cv.attempted[i][e.Value] {
+				return res, fmt.Errorf("verify %s: merged pair (%d, %#x) has a value no write ever attempted", cv.names[i], e.Reader, e.Value)
+			}
+			if !cv.readBy[i][e.Reader] && !cv.ambiguous[ambiguousKey{obj: i, reader: e.Reader}] {
+				return res, fmt.Errorf("verify %s: merged pair (%d, %#x) charged to a reader that never fetched on the object", cv.names[i], e.Reader, e.Value)
+			}
+			res.staleCharged++
+		}
+		for e := range cv.observed[i] {
+			if !got[e] {
+				return res, fmt.Errorf("verify %s: observed pair (%d, %#x) missing from the merged audit — an acknowledged effective read was lost", cv.names[i], e.Reader, e.Value)
+			}
+		}
+		for _, u := range merged.Undecided {
+			if !cv.readBy[i][u.Reader] && !cv.ambiguous[ambiguousKey{obj: i, reader: u.Reader}] {
+				return res, fmt.Errorf("verify %s: undecided pair (reader %d, wid %d) from a reader that never fetched on the object", cv.names[i], u.Reader, u.Wid)
+			}
+			res.undecided++
+		}
+
+		// Post-fault liveness: the healed cluster must still accept a write
+		// and read it back exactly — the newest state is not stranded on any
+		// dead node's wid horizon.
+		sentinel := cv.sentinelBase | uint64(i)
+		if err := cv.objs[i].Write(sentinel); err != nil {
+			return res, fmt.Errorf("verify %s: post-fault write: %w", cv.names[i], err)
+		}
+		if v, err := cv.objs[i].Read(0); err != nil || v != sentinel {
+			return res, fmt.Errorf("verify %s: post-fault read = %#x, %v; want %#x", cv.names[i], v, err, sentinel)
+		}
+		res.checked++
+	}
+	for id := range badNodes {
+		res.corrupted = append(res.corrupted, id)
+	}
+	return res, nil
 }

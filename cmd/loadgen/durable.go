@@ -43,6 +43,11 @@ type daemonTuning struct {
 	// the cluster geometry into the cell name itself, so it too stays out
 	// of suffix().
 	nodeID uint32
+	// corruptShares forwards -corrupt-shares: the chaos cell's Byzantine
+	// phase restarts one node with the bit-flipping share server (the
+	// positive control its detection assertions key on). Not a tuning knob;
+	// stays out of suffix().
+	corruptShares bool
 }
 
 // suffix renders the non-default tuning knobs as extra benchmark name
@@ -90,6 +95,9 @@ func startDaemon(bin, addr, dataDir string, seed uint64, readers int, tune daemo
 	}
 	if tune.nodeID != 0 {
 		args = append(args, "-node-id", fmt.Sprint(tune.nodeID))
+	}
+	if tune.corruptShares {
+		args = append(args, "-corrupt-shares")
 	}
 	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr

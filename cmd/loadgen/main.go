@@ -53,6 +53,17 @@
 // in the merge, and every merged pair traces to a reader that actually
 // fetched shares on that object.
 //
+// With -cluster -chaos (series E20) the same cluster runs behind an
+// in-process netsim fabric and is walked through four fault phases —
+// kill+restart, partition+heal, a hung node (hour-long link delay,
+// bounded by the client request timeout), and a Byzantine node restarted
+// with -corrupt-shares — while workers sustain traffic. The cell fails on
+// any wrong read, any op missing its retry deadline, a corruptor that
+// goes undetected (ReadTrace.Corrupted, client quarantine, and the node's
+// own STATS confession are all required) or mislabeled, a quarantine that
+// fails to lift after an honest restart, or a merged audit that is
+// inexact or reports journal corruption.
+//
 // -cpuprofile/-memprofile write driver-side pprof profiles; -baseline
 // gates a run against a checked-in BENCH_*.json, failing beyond
 // -max-regress-pct ops/s regression (the CI bench-smoke job).
@@ -99,6 +110,7 @@ func main() {
 	clusterMode := flag.Bool("cluster", false, "dispersal-cluster mode (E19): spawn -cluster-n durable auditd nodes, kill -9 one mid-cell, restart it, verify merged audit exactness")
 	clusterN := flag.Int("cluster-n", 5, "cluster node count in -cluster mode (needs n >= 2f+2)")
 	clusterF := flag.Int("cluster-f", 1, "cluster crash-fault budget in -cluster mode")
+	chaos := flag.Bool("chaos", false, "fault-injection mode (E20, with -cluster): cycle crash, partition, hang, and Byzantine faults through a netsim fabric, asserting zero wrong reads, zero lost acked ops, corruptor detection, and bounded latency")
 	auditdBin := flag.String("auditd", "", "path to a prebuilt auditd binary (required with -durable and -cluster)")
 	dataDir := flag.String("data-dir", "", "base directory for -durable data dirs (default: a temp dir)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole grid to this file")
@@ -175,6 +187,8 @@ func main() {
 			var res benchfmt.Result
 			var err error
 			switch {
+			case *clusterMode && *chaos:
+				res, err = runChaosCell(cfg, *auditdBin, *dataDir, *conns, *clusterN, *clusterF)
 			case *clusterMode:
 				res, err = runClusterCell(cfg, *auditdBin, *dataDir, *conns, *clusterN, *clusterF)
 			case *durable:
@@ -211,6 +225,8 @@ func main() {
 	if *out != "" {
 		series := "Loadgen"
 		switch {
+		case *clusterMode && *chaos:
+			series = "LoadgenChaos"
 		case *clusterMode:
 			series = "LoadgenCluster"
 		case *durable:

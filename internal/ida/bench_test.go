@@ -188,6 +188,34 @@ func BenchmarkSplit(b *testing.B) {
 	}
 }
 
+// BenchmarkVerify prices the verified read path: a Reconstruct plus a full
+// re-encode and n share comparisons, from all n shares (the surplus case the
+// cluster routes through Verify). Compare against BenchmarkReconstruct at the
+// same geometry to see what the integrity check costs.
+func BenchmarkVerify(b *testing.B) {
+	for _, tc := range []struct{ n, k, size int }{
+		{5, 2, 1024}, {5, 3, 8}, {16, 8, 4096},
+	} {
+		name := fmt.Sprintf("n=%d/k=%d/size=%d", tc.n, tc.k, tc.size)
+		c := benchCoder(b, tc.n, tc.k)
+		data := benchData(tc.size)
+		shares := c.Split(data)
+		all := make(map[int][]byte, tc.n)
+		for i, s := range shares {
+			all[i] = s
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(tc.size))
+			for i := 0; i < b.N; i++ {
+				_, bad, err := c.Verify(all, len(data))
+				if err != nil || len(bad) != 0 {
+					b.Fatalf("bad=%v err=%v", bad, err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkReconstruct(b *testing.B) {
 	for _, tc := range []struct{ n, k, size int }{
 		{5, 2, 1024}, {16, 8, 4096},

@@ -97,6 +97,120 @@ func TestClusterGeometriesExhaustive(t *testing.T) {
 	}
 }
 
+// TestVerifyIdentificationLimits pins exactly how far Verify's detection and
+// identification reach, exhaustively over every admissible (n, f) geometry up
+// to n=7, every provided share subset with surplus, and every corrupt subset
+// within the surplus budget. Three facts, each a theorem of the Vandermonde
+// code rather than an accident of the test vectors:
+//
+//  1. Detection: with s = len(shares) − k surplus shares, any c ≤ s corrupt
+//     shares are detected (bad non-empty). If bad were empty all shares would
+//     match the re-encode of the decode d, and the ≥ k honest shares also
+//     match Split of the true value v — k matching shares force d = v, so
+//     the corrupt shares would have to disagree after all.
+//  2. Blind spot (padding-free lengths only): bad never includes the
+//     canonical k smallest provided indices — the decode interpolates
+//     exactly through them, so a corrupt share hiding there skews d and
+//     surfaces as disagreement elsewhere. When k does not divide the value
+//     length this is NOT a theorem: a corrupt canonical share skews the
+//     decode's discarded padding bytes, Split re-pads with zeros, and the
+//     re-encode can disagree at the corrupt canonical index itself.
+//  3. Exact identification: when the corrupt set is disjoint from the
+//     canonical k, the decode is the true value and bad is exactly the
+//     corrupt set. (Callers cannot choose this — it is why the cluster
+//     treats bad as "where disagreement surfaced", quarantines suspects,
+//     and re-derives the value by consensus rather than trusting d.)
+func TestVerifyIdentificationLimits(t *testing.T) {
+	for _, g := range clusterGeometries(7) {
+		n, f := g[0], g[1]
+		k := n - 2*f
+		if n == k {
+			continue // no surplus at any provided-subset size
+		}
+		c, err := New(n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, vlen := range []int{8, 2 * k} {
+			value := make([]byte, vlen)
+			for i := range value {
+				value[i] = byte(i*29 + 13)
+			}
+			padded := vlen%k != 0
+			clean := c.Split(value)
+			cases := 0
+			// Every provided subset with at least one surplus share…
+			for m := k + 1; m <= n; m++ {
+				subsets(n, m, func(provided []int) {
+					prov := append([]int(nil), provided...)
+					canonical := make(map[int]bool, k)
+					for _, i := range prov[:k] {
+						canonical[i] = true
+					}
+					surplus := m - k
+					// …and every corrupt subset within the surplus budget.
+					for corrupt := 1; corrupt <= surplus; corrupt++ {
+						subsets(m, corrupt, func(pos []int) {
+							cases++
+							bad := make(map[int]bool, corrupt)
+							shares := make(map[int][]byte, m)
+							for _, i := range prov {
+								shares[i] = clean[i]
+							}
+							for _, p := range pos {
+								i := prov[p]
+								bad[i] = true
+								s := append([]byte(nil), clean[i]...)
+								s[i%len(s)] ^= byte(0x5A + i) // distinct flip per index
+								shares[i] = s
+							}
+							data, got, err := c.Verify(shares, len(value))
+							if err != nil {
+								t.Fatalf("n=%d k=%d provided=%v corrupt=%v: %v", n, k, prov, pos, err)
+							}
+							// (1) c ≤ s corruptions never pass silently.
+							if len(got) == 0 {
+								t.Fatalf("n=%d k=%d provided=%v corrupt=%v: undetected", n, k, prov, pos)
+							}
+							// (2) padding-free: the canonical k are never flagged.
+							if !padded {
+								for _, i := range got {
+									if canonical[i] {
+										t.Fatalf("n=%d k=%d provided=%v: canonical share %d flagged", n, k, prov, i)
+									}
+								}
+							}
+							// (3) corrupt set disjoint from canonical ⇒ exact.
+							disjoint := true
+							for i := range bad {
+								if canonical[i] {
+									disjoint = false
+								}
+							}
+							if disjoint {
+								if !bytes.Equal(data, value) {
+									t.Fatalf("n=%d k=%d provided=%v corrupt=%v: data skewed despite clean canonical set", n, k, prov, pos)
+								}
+								if len(got) != len(bad) {
+									t.Fatalf("n=%d k=%d provided=%v: bad=%v want exactly the corrupt set", n, k, prov, got)
+								}
+								for _, i := range got {
+									if !bad[i] {
+										t.Fatalf("n=%d k=%d provided=%v: honest share %d flagged", n, k, prov, i)
+									}
+								}
+							}
+						})
+					}
+				})
+			}
+			if cases == 0 {
+				t.Fatalf("n=%d k=%d: no cases exercised", n, k)
+			}
+		}
+	}
+}
+
 // TestVerifyDetectsCorruption flips bytes in single shares across every
 // cluster geometry and checks Verify's contract: with a surplus share
 // available (len > k) the disagreement always surfaces; with exactly k

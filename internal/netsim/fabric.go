@@ -49,18 +49,19 @@ func NewFabric(seed uint64, maxDelay time.Duration) *Fabric {
 	}
 }
 
-// linkDelay returns the seeded delay of the ordered link (from, to),
-// memoized — the stream twin of Network.linkDelay. Asymmetry is the point:
-// the two directions of a pair draw independently, like real paths.
+// linkDelay returns the current delay of the ordered link (from, to):
+// a SetDelay override if one is in force, else the seeded draw, memoized —
+// the stream twin of Network.linkDelay. Asymmetry is the point: the two
+// directions of a pair draw independently, like real paths.
 func (f *Fabric) linkDelay(from, to string) time.Duration {
-	if f.maxDelay == 0 {
-		return 0
-	}
 	key := [2]string{from, to}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if d, ok := f.delays[key]; ok {
 		return d
+	}
+	if f.maxDelay == 0 {
+		return 0
 	}
 	h1, h2 := f.seed^0x66616272, uint64(0x6963) // "fabr", "ic"
 	for _, s := range []string{from, "\x00", to} {
@@ -72,6 +73,24 @@ func (f *Fabric) linkDelay(from, to string) time.Duration {
 	d := time.Duration(r.Int64N(int64(f.maxDelay) + 1))
 	f.delays[key] = d
 	return d
+}
+
+// SetDelay overrides the one-way delay of the ordered link (from, to) from
+// now on, replacing the seeded draw. Unlike the frozen-at-first-use seeded
+// delays, the override takes effect on LIVE connections: pumps consult the
+// fabric per chunk, and a chunk already sleeping re-checks the delay every
+// few milliseconds, so revising a huge delay back down releases it promptly.
+// A huge delay is the fabric's "hung node": bytes stall indefinitely while
+// the connection stays open — no RST, exactly the failure a crash detector
+// cannot see. Negative d clamps to zero. Call once per direction to stall a
+// pair both ways.
+func (f *Fabric) SetDelay(from, to string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	f.mu.Lock()
+	f.delays[[2]string{from, to}] = d
+	f.mu.Unlock()
 }
 
 // Partition cuts both directions between two endpoint names: established
@@ -135,8 +154,8 @@ func (f *Fabric) Dialer(from string) func(addr string, timeout time.Duration) (n
 		// by its pump.
 		cliEnd, cliFab := net.Pipe()
 		srvFab, srvEnd := net.Pipe()
-		go pump(cliFab, srvFab, f.linkDelay(from, addr))
-		go pump(srvFab, cliFab, f.linkDelay(addr, from))
+		go pump(cliFab, srvFab, func() time.Duration { return f.linkDelay(from, addr) })
+		go pump(srvFab, cliFab, func() time.Duration { return f.linkDelay(addr, from) })
 
 		f.mu.Lock()
 		key := [2]string{from, addr}
@@ -158,18 +177,32 @@ func (f *Fabric) Dialer(from string) func(addr string, timeout time.Duration) (n
 	}
 }
 
-// pump relays one direction, imposing the link delay per chunk. Closing
-// either pipe end unblocks it; it closes the far side so connection death
-// propagates both ways, like a TCP reset.
-func pump(src, dst net.Conn, delay time.Duration) {
+// pump relays one direction, imposing the link's current delay per chunk —
+// re-read from the fabric each time so SetDelay reaches live connections.
+// Closing either pipe end unblocks it; it closes the far side so connection
+// death propagates both ways, like a TCP reset.
+func pump(src, dst net.Conn, delay func() time.Duration) {
 	defer dst.Close()
 	defer src.Close()
 	buf := make([]byte, 32<<10)
 	for {
 		n, err := src.Read(buf)
 		if n > 0 {
-			if delay > 0 {
-				time.Sleep(delay)
+			// Sleep in short slices, re-consulting the delay each time: a
+			// chunk caught under a huge "hung link" override is released as
+			// soon as the override is revised down, instead of serving out
+			// the original sentence.
+			for start := time.Now(); ; {
+				d := delay()
+				elapsed := time.Since(start)
+				if elapsed >= d {
+					break
+				}
+				if rem := d - elapsed; rem < 10*time.Millisecond {
+					time.Sleep(rem)
+				} else {
+					time.Sleep(10 * time.Millisecond)
+				}
 			}
 			if _, werr := dst.Write(buf[:n]); werr != nil {
 				return

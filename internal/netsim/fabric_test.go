@@ -89,6 +89,79 @@ func TestFabricSeededDelays(t *testing.T) {
 	}
 }
 
+// TestFabricSetDelay checks the dynamic override: it must reach a LIVE
+// connection (the chaos lab's delay-spike scenario), not just future dials,
+// and revising it back down must release the link promptly — including a
+// chunk already sleeping under a huge "hung link" delay.
+func TestFabricSetDelay(t *testing.T) {
+	f := NewFabric(3, 0)
+	ln, err := f.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c) // echo
+		}
+	}()
+
+	c, err := f.Dialer("cli")("srv", time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	one := make([]byte, 1)
+	rtt := func() time.Duration {
+		start := time.Now()
+		if _, err := c.Write([]byte("x")); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if _, err := io.ReadFull(c, one); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return time.Since(start)
+	}
+
+	if d := rtt(); d > 100*time.Millisecond {
+		t.Fatalf("baseline echo took %v on an instant fabric", d)
+	}
+
+	// Spike the request direction of the live connection.
+	f.SetDelay("cli", "srv", 80*time.Millisecond)
+	if d := rtt(); d < 80*time.Millisecond {
+		t.Fatalf("echo took %v; the 80ms override did not reach the live link", d)
+	}
+
+	// Hang the link, park a byte in it, then release: the parked byte must
+	// come back promptly once the override drops, not after the original
+	// huge delay.
+	f.SetDelay("cli", "srv", time.Hour)
+	start := time.Now()
+	if _, err := c.Write([]byte("y")); err != nil {
+		t.Fatalf("write into hung link: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if _, err := c.Read(one); err == nil {
+		t.Fatal("byte crossed a link hung for an hour")
+	}
+	c.SetReadDeadline(time.Time{})
+	f.SetDelay("cli", "srv", 0)
+	if _, err := io.ReadFull(c, one); err != nil {
+		t.Fatalf("read after release: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("parked byte took %v to release", elapsed)
+	}
+	if one[0] != 'y' {
+		t.Fatalf("released byte = %q", one)
+	}
+}
+
 // TestFabricPartition checks that a cut severs established connections,
 // fails new dials, and heals.
 func TestFabricPartition(t *testing.T) {

@@ -599,6 +599,16 @@ func (c *conn) handleShareFetch(body, dst []byte) ([]byte, wire.Verb, func() err
 	resp := wire.ShareFetchResp{Fetched: fetched, Seq: seq, Node: c.srv.cfg.NodeID}
 	if seq != req.PrevSeq {
 		resp.Value = val ^ wire.ValueMask(c.session, req.Name, req.Reader, seq)
+		if c.srv.cfg.CorruptShares {
+			// Byzantine test hook: flip the low bit of the packed value on
+			// the wire. The low bits are the share (the wid rides the high
+			// bits), so the corrupted share stays a plausible field element
+			// at the advertised wid — the hardest wire corruption for a
+			// client to detect short of verified reconstruction. The journal
+			// keeps the honest value; only the serving path lies.
+			resp.Value ^= 1
+			c.srv.shareCorrupt.Add(1)
+		}
 	}
 	return resp.Append(dst), wire.VerbShareFetch, commit
 }

@@ -87,6 +87,7 @@ type counterSnap struct {
 	shardSheds, shardEnqueues, shardDepth uint64
 
 	shareWrites, shareProbes, shareFetch, shareSilent, shareObjects uint64
+	shareCorrupt                                                    uint64
 
 	wal *persist.Stats // nil without a data dir
 }
@@ -128,6 +129,7 @@ func (s *Server) snapshotCounters() counterSnap {
 	snap.shareProbes = s.shareProbes.Load()
 	snap.shareFetch = s.shareFetch.Load()
 	snap.shareSilent = s.shareSilent.Load()
+	snap.shareCorrupt = s.shareCorrupt.Load()
 	s.shareMu.RLock()
 	snap.shareObjects = uint64(len(s.shareLens))
 	s.shareMu.RUnlock()

@@ -129,6 +129,16 @@ type Config struct {
 	// contract, existing only as the E18 lab's positive control (the
 	// metrics observer must detect it). Never enable in production.
 	LeakyPerObjectReads bool
+	// CorruptShares makes the daemon Byzantine on the share-read path: every
+	// SHARE-FETCH that carries a value has one bit of its share flipped on
+	// the wire. The E20 chaos lab's positive control — the dispersing
+	// client's verified reconstruction must detect and quarantine this node,
+	// never return a wrong value. The corruption is wire-only: the journal
+	// records the honest share, so merged audits stay exact, and the
+	// served-corrupt count is published as the share-corrupts-served STATS
+	// counter (what cmd/auditctl's SUSPECT state keys on). Never enable in
+	// production.
+	CorruptShares bool
 }
 
 // Server hosts a store behind a TCP listener. Construct with New; serve with
@@ -189,10 +199,11 @@ type Server struct {
 	connsTotal   atomic.Uint64
 
 	// Cluster share-path counters (the STATS cluster block).
-	shareWrites atomic.Uint64
-	shareProbes atomic.Uint64
-	shareFetch  atomic.Uint64
-	shareSilent atomic.Uint64
+	shareWrites  atomic.Uint64
+	shareProbes  atomic.Uint64
+	shareFetch   atomic.Uint64
+	shareSilent  atomic.Uint64
+	shareCorrupt atomic.Uint64 // shares deliberately corrupted (Config.CorruptShares)
 
 	// Coalesced-flush counters: one flush is one writev on one connection,
 	// however many response frames it carried. frames-out over conn-flushes
@@ -518,6 +529,7 @@ func (s *Server) statPairs(snap counterSnap) []wire.StatPair {
 		wire.StatPair{Name: "share-fetches", Value: snap.shareFetch},
 		wire.StatPair{Name: "share-silent", Value: snap.shareSilent},
 		wire.StatPair{Name: "share-objects", Value: snap.shareObjects},
+		wire.StatPair{Name: "share-corrupts-served", Value: snap.shareCorrupt},
 	)
 	// Shard-executor occupancy: enqueues/sheds are cumulative, depth is the
 	// instantaneous total queue occupancy across shards — nonzero sheds with
